@@ -1,0 +1,304 @@
+package sortinghat
+
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation at a reduced, benchmark-friendly scale, plus ablation benches
+// for the design choices called out in DESIGN.md §5. Run the cmd/benchmark
+// binary for full-size, human-readable experiment output:
+//
+//	go run ./cmd/benchmark -run all        # small-machine sizing
+//	go run ./cmd/benchmark -run all -full  # paper-scale corpus
+//
+// Each BenchmarkTableN/BenchmarkFigureN iteration executes the complete
+// experiment pipeline behind that artifact.
+
+import (
+	"sync"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/downstream"
+	"sortinghat/internal/experiments"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/svm"
+	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/synth"
+)
+
+// benchEnv is the shared, lazily built experiment environment. Benchmarks
+// use a small corpus so the whole suite completes on a laptop-class
+// machine; cmd/benchmark regenerates the full-size tables.
+var (
+	benchOnce sync.Once
+	benchE    *experiments.Env
+)
+
+func benchEnvironment() *experiments.Env {
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.CorpusN = 1500
+		cfg.RFTrees = 25
+		cfg.CNNEpochs = 2
+		cfg.Quick = true
+		benchE = experiments.NewEnv(cfg)
+	})
+	return benchE
+}
+
+func BenchmarkTable1(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable11(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table11(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable12(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table12(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable18(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table18(env)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	env := benchEnvironment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(env, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSuite is a reduced downstream slice (6 of the 30 datasets spanning
+// every routing path) used by the downstream benchmarks; the full Tables
+// 4/5/15 come from cmd/benchmark -run downstream.
+func benchSuite() []*synth.Downstream {
+	keep := map[string]bool{"Hayes": true, "Boxing": true, "IOT": true,
+		"Zoo": true, "MBA": true, "Accident": true}
+	var out []*synth.Downstream
+	for _, sp := range synth.SuiteSpecs(1234) {
+		if keep[sp.Name] {
+			sp.Rows /= 2
+			out = append(out, synth.Generate(sp))
+		}
+	}
+	return out
+}
+
+// BenchmarkTables4And5 exercises the downstream pipeline behind Tables 4
+// and 5 and Figure 8: infer types with every tool, featurize per routing,
+// train both downstream models, and score against truth.
+func BenchmarkTables4And5(b *testing.B) {
+	env := benchEnvironment()
+	rf, err := experiments.TrainOurRF(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := benchSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range suite {
+			for _, types := range [][]ftype.FeatureType{d.TrueTypes, downstream.InferTypes(d, rf)} {
+				for _, m := range []downstream.Model{downstream.LinearModel, downstream.ForestModel} {
+					if _, err := downstream.Evaluate(d, types, m, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable15 exercises the double-representation variant.
+func BenchmarkTable15(b *testing.B) {
+	env := benchEnvironment()
+	rf, err := experiments.TrainOurRF(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := benchSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range suite {
+			if d.IsRegression() {
+				continue
+			}
+			types := downstream.InferTypes(d, rf)
+			double := make([]bool, len(types))
+			for c := range double {
+				double[c] = downstream.IsIntegerColumn(&d.Data.Columns[c])
+			}
+			if _, err := downstream.EvaluateDouble(d, types, double, downstream.ForestModel, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkHashingDims ablates the hashed-bigram dimensionality of the
+// attribute-name features: accuracy/speed tradeoff of the paper's
+// "bigrams on the attribute name" featurization.
+func BenchmarkHashingDims(b *testing.B) {
+	env := benchEnvironment()
+	trainBases, trainLabels := env.TrainBases()
+	for _, dim := range []int{64, 256, 1024} {
+		b.Run(sizeName("nameDim", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fs := featurize.FeatureSet{UseStats: true, UseName: true, NameDim: dim}
+				_, err := core.TrainOnBases(trainBases, trainLabels, core.Options{
+					Model: core.RandomForest, FeatureSet: fs, Seed: 1, RFTrees: 15, RFDepth: 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRFFDim ablates the random-Fourier-feature count approximating
+// the RBF kernel.
+func BenchmarkRFFDim(b *testing.B) {
+	env := benchEnvironment()
+	trainBases, trainLabels := env.TrainBases()
+	fs := featurize.DefaultFeatureSet()
+	X := fs.Matrix(trainBases)
+	for _, d := range []int{128, 512, 1024} {
+		b.Run(sizeName("rff", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := svm.NewRBFSVM()
+				m.D = d
+				m.Epochs = 5
+				if err := m.Fit(X, trainLabels, ftype.NumBaseClasses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRFGrid sweeps the paper's Random Forest grid corners
+// (NumEstimator × MaxDepth, Appendix B).
+func BenchmarkRFGrid(b *testing.B) {
+	env := benchEnvironment()
+	trainBases, trainLabels := env.TrainBases()
+	fs := featurize.DefaultFeatureSet()
+	X := fs.Matrix(trainBases)
+	for _, p := range []struct{ trees, depth int }{{5, 5}, {25, 25}, {50, 10}} {
+		b.Run(sizeName("trees", p.trees)+"_"+sizeName("depth", p.depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := tree.NewClassifier(p.trees, p.depth)
+				if err := m.Fit(X, trainLabels, ftype.NumBaseClasses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaseFeaturization measures the shared featurization cost per
+// column (the dominant online-phase cost in Figure 7).
+func BenchmarkBaseFeaturization(b *testing.B) {
+	env := benchEnvironment()
+	cols := env.Corpus
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := &cols[i%len(cols)].Column
+		featurize.ExtractFirstN(col, featurize.SampleCount)
+	}
+}
+
+// BenchmarkPredictColumn measures end-to-end single-column inference with
+// the trained Random Forest (the paper's "under 0.2s per column" claim).
+func BenchmarkPredictColumn(b *testing.B) {
+	env := benchEnvironment()
+	rf, err := experiments.TrainOurRF(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := env.Corpus
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.Infer(&cols[i%len(cols)].Column)
+	}
+}
+
+func sizeName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + string(buf[i:])
+}

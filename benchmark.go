@@ -1,0 +1,94 @@
+package sortinghat
+
+import (
+	"fmt"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/synth"
+)
+
+// GenerateBenchmark returns a labeled benchmark corpus of n columns
+// (n <= 0 selects the paper-scale 9,921) generated deterministically from
+// seed, as public Examples. This is the repository's stand-in for the
+// paper's hand-labeled dataset and is the substrate for the public
+// leaderboard: train on one split, evaluate with Evaluate on another.
+func GenerateBenchmark(n int, seed int64) []Example {
+	cfg := synth.DefaultCorpusConfig()
+	if n > 0 {
+		cfg.N = n
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	corpus := synth.GenerateCorpus(cfg)
+	out := make([]Example, len(corpus))
+	for i, c := range corpus {
+		out[i] = Example{Name: c.Name, Values: c.Values, Label: c.Label}
+	}
+	return out
+}
+
+// InferFunc is a custom feature type inference approach under evaluation:
+// any function from a raw column to a feature type can compete on the
+// benchmark.
+type InferFunc func(name string, values []string) FeatureType
+
+// ClassReport holds the one-vs-rest leaderboard metrics for one class.
+type ClassReport struct {
+	Class     FeatureType
+	Precision float64
+	Recall    float64
+	F1        float64
+	Accuracy  float64 // binarized 2x2 diagonal accuracy
+	Support   int
+}
+
+// Report is a leaderboard evaluation result: the 9-class accuracy plus
+// per-class binarized metrics, exactly the metrics the paper's public
+// leaderboard tracks.
+type Report struct {
+	NineClassAccuracy float64
+	PerClass          []ClassReport
+	Examples          int
+}
+
+// Evaluate scores an inference approach on labeled examples.
+func Evaluate(examples []Example, infer InferFunc) Report {
+	truth := make([]int, len(examples))
+	pred := make([]int, len(examples))
+	for i, ex := range examples {
+		truth[i] = ex.Label.Index()
+		pred[i] = infer(ex.Name, ex.Values).Index()
+	}
+	cm := metrics.Confusion(truth, pred, ftype.NumBaseClasses)
+	rep := Report{NineClassAccuracy: cm.MultiAccuracy(), Examples: len(examples)}
+	for _, cls := range ftype.BaseClasses() {
+		s := cm.Binarized(cls.Index())
+		rep.PerClass = append(rep.PerClass, ClassReport{
+			Class: cls, Precision: s.Precision, Recall: s.Recall,
+			F1: s.F1, Accuracy: s.Accuracy, Support: s.Support,
+		})
+	}
+	return rep
+}
+
+// EvaluateModel scores a trained Model on labeled examples.
+func EvaluateModel(examples []Example, m *Model) Report {
+	return Evaluate(examples, func(name string, values []string) FeatureType {
+		return m.InferColumn(name, values).Type
+	})
+}
+
+// String renders the report in the leaderboard's table format.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "9-class accuracy: %.3f  (%d examples)\n", r.NineClassAccuracy, r.Examples)
+	fmt.Fprintf(&b, "%-18s %-6s %-6s %-6s %-8s %s\n", "class", "P", "R", "F1", "bin-acc", "support")
+	for _, c := range r.PerClass {
+		fmt.Fprintf(&b, "%-18s %.3f  %.3f  %.3f  %.3f    %d\n",
+			c.Class, c.Precision, c.Recall, c.F1, c.Accuracy, c.Support)
+	}
+	return b.String()
+}

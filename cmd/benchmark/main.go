@@ -1,0 +1,114 @@
+// Command benchmark regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchmark -run all            # every experiment, small-machine sizing
+//	benchmark -run table1         # one experiment
+//	benchmark -run table1 -full   # paper-scale corpus (9,921 columns)
+//	benchmark -list               # list available experiments
+//
+// Experiment ids follow the paper: table1, table2 (incl. table9), table3,
+// table7, table11, table12, table15, table18, downstream (tables 4, 5 and
+// figure 8), figure7, figure9 (incl. table16).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sortinghat/internal/experiments"
+)
+
+type runner func(env *experiments.Env) (fmt.Stringer, error)
+
+var registry = map[string]runner{
+	"table1":     func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table1(e) },
+	"table2":     func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table2(e) },
+	"table3":     func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table3(e) },
+	"table7":     func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table7(e) },
+	"table11":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table11(e) },
+	"table12":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table12(e) },
+	"table15":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table15(e) },
+	"table18":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table18(e), nil },
+	"downstream": func(e *experiments.Env) (fmt.Stringer, error) { return experiments.DownstreamSuite(e) },
+	"figure7":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Figure7(e) },
+	"figure9":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Figure9(e, 0) },
+	"grids":      func(e *experiments.Env) (fmt.Stringer, error) { return experiments.GridSearchRF(e) },
+	"table14":    func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table14(e) },
+}
+
+// order lists experiments in presentation order for -run all.
+var order = []string{
+	"table18", "table1", "table2", "table3", "figure7", "figure9",
+	"table7", "table11", "table12", "table14", "grids", "downstream", "table15",
+}
+
+func main() {
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	full := flag.Bool("full", false, "paper-scale corpus (9,921 columns; slow on small machines)")
+	quick := flag.Bool("quick", false, "shrink the slowest experiments further")
+	corpusN := flag.Int("n", 0, "override corpus size")
+	seed := flag.Int64("seed", 7, "master random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(registry))
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+	if *quick {
+		cfg.Quick = true
+		if cfg.CorpusN > 2500 {
+			cfg.CorpusN = 2500
+		}
+		cfg.RFTrees = 30
+		cfg.CNNEpochs = 2
+	}
+	if *corpusN > 0 {
+		cfg.CorpusN = *corpusN
+	}
+	cfg.Seed = *seed
+
+	var ids []string
+	if *run == "all" {
+		ids = order
+	} else {
+		if _, ok := registry[*run]; !ok {
+			fmt.Fprintf(os.Stderr, "benchmark: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		ids = []string{*run}
+	}
+
+	fmt.Printf("# SortingHat benchmark — corpus=%d seed=%d trees=%d\n\n", cfg.CorpusN, cfg.Seed, cfg.RFTrees)
+	start := time.Now()
+	env := experiments.NewEnv(cfg)
+	fmt.Printf("(corpus + base featurization: %.1fs)\n\n", time.Since(start).Seconds())
+
+	for _, id := range ids {
+		fmt.Printf("==================== %s ====================\n", id)
+		t0 := time.Now()
+		res, err := registry[id](env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestOrderMatchesRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range order {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("order entry %q missing from registry", id)
+		}
+		if seen[id] {
+			t.Errorf("order entry %q duplicated", id)
+		}
+		seen[id] = true
+	}
+	for id := range registry {
+		if !seen[id] {
+			t.Errorf("registry entry %q missing from -run all order", id)
+		}
+	}
+}

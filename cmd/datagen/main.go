@@ -1,0 +1,138 @@
+// Command datagen materialises the benchmark data as CSV files on disk:
+// the labeled corpus (one CSV per synthetic source file plus a labels
+// index) and the 30-dataset downstream suite.
+//
+// Usage:
+//
+//	datagen -out ./benchdata [-n 9921] [-seed 7]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sortinghat/internal/data"
+	"sortinghat/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", "benchdata", "output directory")
+	n := flag.Int("n", synth.PaperCorpusSize, "labeled corpus size")
+	seed := flag.Int64("seed", 7, "generator seed")
+	flag.Parse()
+
+	if err := run(*out, *n, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, n int, seed int64) error {
+	corpusDir := filepath.Join(out, "corpus")
+	suiteDir := filepath.Join(out, "downstream")
+	for _, d := range []string{corpusDir, suiteDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+
+	// Labeled corpus, grouped back into per-file CSVs.
+	cfg := synth.DefaultCorpusConfig()
+	cfg.N = n
+	cfg.Seed = seed
+	corpus := synth.GenerateCorpus(cfg)
+	byFile := map[int][]data.LabeledColumn{}
+	maxFile := 0
+	for _, c := range corpus {
+		byFile[c.FileID] = append(byFile[c.FileID], c)
+		if c.FileID > maxFile {
+			maxFile = c.FileID
+		}
+	}
+	labelsPath := filepath.Join(out, "labels.csv")
+	lf, err := os.Create(labelsPath)
+	if err != nil {
+		return err
+	}
+	lw := csv.NewWriter(lf)
+	if err := lw.Write([]string{"file", "column", "label"}); err != nil {
+		return err
+	}
+	files := 0
+	for id := 0; id <= maxFile; id++ {
+		cols, ok := byFile[id]
+		if !ok {
+			continue
+		}
+		ds := &data.Dataset{Name: fmt.Sprintf("file_%04d", id)}
+		for _, c := range cols {
+			ds.Columns = append(ds.Columns, c.Column)
+			if err := lw.Write([]string{ds.Name, c.Name, c.Label.String()}); err != nil {
+				return err
+			}
+		}
+		path := filepath.Join(corpusDir, ds.Name+".csv")
+		if err := data.WriteCSVFile(path, ds); err != nil {
+			return err
+		}
+		files++
+	}
+	lw.Flush()
+	if err := lw.Error(); err != nil {
+		return err
+	}
+	if err := lf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d columns across %d files -> %s (labels: %s)\n",
+		len(corpus), files, corpusDir, labelsPath)
+
+	// Downstream suite.
+	suite := synth.GenerateSuite(seed + 1000)
+	typesPath := filepath.Join(out, "downstream_types.csv")
+	tf, err := os.Create(typesPath)
+	if err != nil {
+		return err
+	}
+	tw := csv.NewWriter(tf)
+	if err := tw.Write([]string{"dataset", "column", "true_type", "task"}); err != nil {
+		return err
+	}
+	for _, d := range suite {
+		path := filepath.Join(suiteDir, sanitize(d.Spec.Name)+".csv")
+		if err := data.WriteCSVFile(path, d.Data); err != nil {
+			return err
+		}
+		task := "classification"
+		if d.IsRegression() {
+			task = "regression"
+		}
+		for c, t := range d.TrueTypes {
+			if err := tw.Write([]string{d.Spec.Name, d.Data.Columns[c].Name, t.String(), task}); err != nil {
+				return err
+			}
+		}
+	}
+	tw.Flush()
+	if err := tw.Error(); err != nil {
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("downstream: %d datasets -> %s (types: %s)\n", len(suite), suiteDir, typesPath)
+	return nil
+}
+
+func sanitize(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		if c == ' ' || c == '/' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sortinghat/internal/data"
+)
+
+func TestRunMaterialisesBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 150, 3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Labels index exists and covers every corpus column.
+	labels, err := os.ReadFile(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatalf("labels.csv: %v", err)
+	}
+	lines := strings.Count(string(labels), "\n")
+	if lines < 150 {
+		t.Errorf("labels.csv has %d lines, want >= 150", lines)
+	}
+
+	// Corpus files parse back as CSVs.
+	corpusFiles, err := filepath.Glob(filepath.Join(dir, "corpus", "*.csv"))
+	if err != nil || len(corpusFiles) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	ds, err := data.ReadCSVFile(corpusFiles[0])
+	if err != nil {
+		t.Fatalf("corpus file unreadable: %v", err)
+	}
+	if ds.NumCols() == 0 || ds.NumRows() == 0 {
+		t.Error("corpus file empty")
+	}
+
+	// Downstream suite: 30 datasets plus the type index.
+	suiteFiles, err := filepath.Glob(filepath.Join(dir, "downstream", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suiteFiles) != 30 {
+		t.Errorf("downstream datasets = %d, want 30", len(suiteFiles))
+	}
+	types, err := os.ReadFile(filepath.Join(dir, "downstream_types.csv"))
+	if err != nil {
+		t.Fatalf("downstream_types.csv: %v", err)
+	}
+	if n := strings.Count(string(types), "\n"); n != 567 { // header + 566 columns
+		t.Errorf("type index rows = %d, want 567", n)
+	}
+
+	// Every downstream file must include the target column.
+	dd, err := data.ReadCSVFile(suiteFiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.ColumnIndex("target") != dd.NumCols()-1 {
+		t.Error("target column missing or misplaced")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Car Fuel"); got != "Car_Fuel" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("a/b c"); got != "a_b_c" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+// AutoML pipeline example: the end-to-end workflow of Figure 1 in the
+// paper. A raw table arrives as a CSV; feature type inference is the
+// gateway step that decides how each column is featurized before the
+// downstream model is trained. The example runs the same dataset through
+// (a) correct inferred types and (b) a naive syntactic typing, and shows
+// the downstream accuracy gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sortinghat"
+	"sortinghat/ftype"
+	"sortinghat/internal/downstream"
+	"sortinghat/internal/synth"
+)
+
+func main() {
+	// A churn-style downstream dataset with integer-coded categoricals —
+	// the exact trap the paper shows syntax-based tools falling into.
+	spec := synth.DatasetSpec{
+		Name: "churn-demo", Rows: 700, Classes: 2, Noise: 0.5, Seed: 42,
+		Cols: []synth.ColSpec{
+			{Name: "salary", Kind: synth.KindNumFloat, Weight: 0.7},
+			{Name: "age", Kind: synth.KindNumInt, Weight: 0.5},
+			{Name: "zipcode", Kind: synth.KindCatInt, Weight: 1.0, Card: 8},
+			{Name: "plan_code", Kind: synth.KindCatInt, Weight: 1.0, Card: 5},
+			{Name: "segment", Kind: synth.KindCatStr, Weight: 0.6, Card: 5},
+			{Name: "cust_id", Kind: synth.KindPK},
+		},
+	}
+	d := synth.Generate(spec)
+
+	fmt.Println("training the type inference model...")
+	model, err := sortinghat.TrainDefault(&sortinghat.CorpusConfig{N: 4000})
+	if err != nil {
+		log.Fatalf("automl: %v", err)
+	}
+
+	// Step 1: infer feature types for every column.
+	nCols := d.Data.NumCols() - 1
+	inferred := make([]ftype.FeatureType, nCols)
+	fmt.Println("\ninferred types:")
+	for c := 0; c < nCols; c++ {
+		col := &d.Data.Columns[c]
+		p := model.InferColumn(col.Name, col.Values)
+		inferred[c] = p.Type
+		fmt.Printf("  %-10s -> %-18s (true: %s)\n", col.Name, p.Type, d.TrueTypes[c])
+	}
+
+	// A syntax-based typing: every castable column is Numeric.
+	syntactic := make([]ftype.FeatureType, nCols)
+	for c := 0; c < nCols; c++ {
+		switch d.TrueTypes[c] {
+		case ftype.Categorical: // int-coded ones look numeric to syntax
+			syntactic[c] = ftype.Numeric
+		default:
+			syntactic[c] = d.TrueTypes[c]
+		}
+	}
+	syntactic[5] = ftype.Numeric // the primary key sneaks in as a feature
+
+	// Step 2: route featurization by type and train the downstream model.
+	run := func(label string, types []ftype.FeatureType) {
+		ev, err := downstream.Evaluate(d, types, downstream.LinearModel, 1)
+		if err != nil {
+			log.Fatalf("automl: %v", err)
+		}
+		fmt.Printf("  %-28s downstream logistic regression accuracy: %.1f%%\n", label, ev.Acc)
+	}
+	fmt.Println("\ndownstream model comparison:")
+	run("true types:", d.TrueTypes)
+	run("SortingHat inferred types:", inferred)
+	run("syntactic types:", syntactic)
+	fmt.Println("\nwith syntactic typing the integer-coded categoricals collapse to single numbers and the model loses their signal.")
+}

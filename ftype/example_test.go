@@ -1,0 +1,27 @@
+package ftype_test
+
+import (
+	"fmt"
+
+	"sortinghat/ftype"
+)
+
+func ExampleParse() {
+	t, ok := ftype.Parse("Categorical")
+	fmt.Println(t, ok, t.Short())
+	u, ok := ftype.Parse("EN")
+	fmt.Println(u, ok)
+	// Output:
+	// Categorical true CA
+	// Embedded-Number true
+}
+
+func ExampleFeatureType_Index() {
+	for _, t := range ftype.BaseClasses()[:3] {
+		fmt.Println(t.Index(), t)
+	}
+	// Output:
+	// 0 Numeric
+	// 1 Categorical
+	// 2 Datetime
+}

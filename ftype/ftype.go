@@ -1,0 +1,140 @@
+// Package ftype defines the ML feature type vocabulary used throughout the
+// SortingHat benchmark.
+//
+// The nine base classes follow Section 2.1 of "Towards Benchmarking Feature
+// Type Inference for AutoML Platforms" (SIGMOD 2021). Two optional extension
+// classes (Country and State) support the vocabulary-extension study from
+// Appendix I.4 of the paper.
+package ftype
+
+import "fmt"
+
+// FeatureType is an ML feature type: the semantic role a raw column plays
+// when consumed by a downstream ML model, as opposed to its syntactic
+// attribute type (int, float, string) in a database or file.
+type FeatureType int
+
+// The nine-class base label vocabulary, plus extension classes.
+//
+// The numeric values of the base classes double as class indices for the
+// multi-class classification task (0..8).
+const (
+	// Numeric marks quantitative attributes directly usable as numeric
+	// features (e.g. Salary), excluding IDs and integer-coded categories.
+	Numeric FeatureType = iota
+	// Categorical marks qualitative attributes from a discrete domain,
+	// nominal or ordinal, including categories encoded as integers
+	// (e.g. ZipCode).
+	Categorical
+	// Datetime marks date or timestamp values in any textual format.
+	Datetime
+	// Sentence marks free natural-language text with semantic meaning.
+	Sentence
+	// URL marks values following the URL standard (protocol + domain).
+	URL
+	// EmbeddedNumber marks values with a number embedded in messy syntax,
+	// such as "USD 45", "30 Mhz" or "5,00,000", requiring extraction.
+	EmbeddedNumber
+	// List marks delimiter-separated collections of items, e.g. "ru; uk; mx".
+	List
+	// NotGeneralizable marks primary keys, constant columns, and other
+	// attributes with no generalizable signal for a downstream model.
+	NotGeneralizable
+	// ContextSpecific is the catch-all for attributes requiring human
+	// intervention: meaningless names, JSON dumps, addresses, etc.
+	ContextSpecific
+
+	// Country is an extension class for the Appendix I.4 study: country
+	// names or ISO codes.
+	Country
+	// State is an extension class for the Appendix I.4 study: state or
+	// province names and abbreviations.
+	State
+)
+
+// Unknown is returned by tools whose vocabulary does not cover a column.
+// It is never a valid class label in the benchmark.
+const Unknown FeatureType = -1
+
+// NumBaseClasses is the size of the paper's base label vocabulary.
+const NumBaseClasses = 9
+
+// BaseClasses lists the nine-class vocabulary in class-index order.
+func BaseClasses() []FeatureType {
+	return []FeatureType{
+		Numeric, Categorical, Datetime, Sentence, URL,
+		EmbeddedNumber, List, NotGeneralizable, ContextSpecific,
+	}
+}
+
+var names = map[FeatureType]string{
+	Unknown:          "Unknown",
+	Numeric:          "Numeric",
+	Categorical:      "Categorical",
+	Datetime:         "Datetime",
+	Sentence:         "Sentence",
+	URL:              "URL",
+	EmbeddedNumber:   "Embedded-Number",
+	List:             "List",
+	NotGeneralizable: "Not-Generalizable",
+	ContextSpecific:  "Context-Specific",
+	Country:          "Country",
+	State:            "State",
+}
+
+var shortNames = map[FeatureType]string{
+	Unknown:          "??",
+	Numeric:          "NU",
+	Categorical:      "CA",
+	Datetime:         "DT",
+	Sentence:         "ST",
+	URL:              "URL",
+	EmbeddedNumber:   "EN",
+	List:             "LST",
+	NotGeneralizable: "NG",
+	ContextSpecific:  "CS",
+	Country:          "CTY",
+	State:            "STA",
+}
+
+// String returns the human-readable label used in the paper's tables.
+func (t FeatureType) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("FeatureType(%d)", int(t))
+}
+
+// Short returns the paper's two/three-letter abbreviation (NU, CA, DT, ...).
+func (t FeatureType) Short() string {
+	if s, ok := shortNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("T%d", int(t))
+}
+
+// Valid reports whether t is one of the nine base classes.
+func (t FeatureType) Valid() bool {
+	return t >= Numeric && t <= ContextSpecific
+}
+
+// Index returns the class index (0..8) for base classes, 9/10 for the
+// extension classes, and -1 for Unknown.
+func (t FeatureType) Index() int { return int(t) }
+
+// Parse converts a label string (long or short form, case-insensitive word
+// matching on the long form) back to a FeatureType. It returns Unknown and
+// false if the string matches no known label.
+func Parse(s string) (FeatureType, bool) {
+	for t, n := range names {
+		if s == n {
+			return t, true
+		}
+	}
+	for t, n := range shortNames {
+		if s == n {
+			return t, true
+		}
+	}
+	return Unknown, false
+}

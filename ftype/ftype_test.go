@@ -1,0 +1,86 @@
+package ftype
+
+import "testing"
+
+func TestBaseClassesOrder(t *testing.T) {
+	classes := BaseClasses()
+	if len(classes) != NumBaseClasses {
+		t.Fatalf("BaseClasses() returned %d classes, want %d", len(classes), NumBaseClasses)
+	}
+	for i, c := range classes {
+		if c.Index() != i {
+			t.Errorf("class %v has index %d, want %d", c, c.Index(), i)
+		}
+		if !c.Valid() {
+			t.Errorf("class %v should be valid", c)
+		}
+	}
+}
+
+func TestStringAndShort(t *testing.T) {
+	cases := []struct {
+		t     FeatureType
+		long  string
+		short string
+	}{
+		{Numeric, "Numeric", "NU"},
+		{Categorical, "Categorical", "CA"},
+		{Datetime, "Datetime", "DT"},
+		{Sentence, "Sentence", "ST"},
+		{URL, "URL", "URL"},
+		{EmbeddedNumber, "Embedded-Number", "EN"},
+		{List, "List", "LST"},
+		{NotGeneralizable, "Not-Generalizable", "NG"},
+		{ContextSpecific, "Context-Specific", "CS"},
+		{Country, "Country", "CTY"},
+		{State, "State", "STA"},
+		{Unknown, "Unknown", "??"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.long {
+			t.Errorf("%d.String() = %q, want %q", c.t, got, c.long)
+		}
+		if got := c.t.Short(); got != c.short {
+			t.Errorf("%d.Short() = %q, want %q", c.t, got, c.short)
+		}
+	}
+}
+
+func TestStringUnknownValue(t *testing.T) {
+	bogus := FeatureType(97)
+	if got := bogus.String(); got != "FeatureType(97)" {
+		t.Errorf("bogus.String() = %q", got)
+	}
+	if got := bogus.Short(); got != "T97" {
+		t.Errorf("bogus.Short() = %q", got)
+	}
+	if bogus.Valid() {
+		t.Error("bogus type should not be valid")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, c := range BaseClasses() {
+		if got, ok := Parse(c.String()); !ok || got != c {
+			t.Errorf("Parse(%q) = %v,%v; want %v,true", c.String(), got, ok, c)
+		}
+		if got, ok := Parse(c.Short()); !ok || got != c {
+			t.Errorf("Parse(%q) = %v,%v; want %v,true", c.Short(), got, ok, c)
+		}
+	}
+	if _, ok := Parse("definitely-not-a-type"); ok {
+		t.Error("Parse accepted garbage")
+	}
+}
+
+func TestUnknownNotValid(t *testing.T) {
+	if Unknown.Valid() {
+		t.Error("Unknown must not be a valid base class")
+	}
+	if Country.Valid() || State.Valid() {
+		t.Error("extension classes are not base classes")
+	}
+	if Unknown.Index() != -1 {
+		t.Errorf("Unknown.Index() = %d, want -1", Unknown.Index())
+	}
+}

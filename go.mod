@@ -1,0 +1,3 @@
+module sortinghat
+
+go 1.22

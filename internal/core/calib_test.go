@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/synth"
+	"sortinghat/internal/tools"
+)
+
+// gatherBases selects slice rows by index.
+func gatherBases[T any](b []T, idx []int) []T {
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = b[j]
+	}
+	return out
+}
+
+// TestCalibration is a smoke check that the synthetic corpus separates the
+// approaches the way the paper reports: ML models well above the rule
+// baseline and Sherlock, Random Forest the best.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration smoke is slow")
+	}
+	cfg := synth.DefaultCorpusConfig()
+	cfg.N = 3000
+	corpus := synth.GenerateCorpus(cfg)
+	bases, labels := ExtractBases(corpus, 42)
+	rng := rand.New(rand.NewSource(9))
+	trainIdx, testIdx := modelsel.StratifiedSplit(labels, 0.2, rng)
+	yTest := modelsel.GatherInts(labels, testIdx)
+
+	opts := DefaultOptions()
+	opts.RFTrees = 40
+	pipe, err := TrainOnBases(gatherBases(bases, trainIdx), modelsel.GatherInts(labels, trainIdx), opts)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	pred := make([]int, len(testIdx))
+	for i, j := range testIdx {
+		ft, _ := pipe.PredictBase(&bases[j])
+		pred[i] = ft.Index()
+	}
+	acc := metrics.Accuracy(yTest, pred)
+	t.Logf("RandomForest 9-class accuracy: %.3f", acc)
+	if acc < 0.80 {
+		t.Errorf("RF accuracy too low: %.3f", acc)
+	}
+
+	for _, tool := range []tools.Inferrer{tools.TFDV{}, tools.Pandas{}, tools.TransmogrifAI{}, tools.AutoGluon{}, tools.RuleBaseline{}, tools.Sherlock{}} {
+		tp := make([]int, len(testIdx))
+		for i, j := range testIdx {
+			tp[i] = tool.Infer(&corpus[j].Column).Index()
+		}
+		cm := metrics.Confusion(yTest, tp, ftype.NumBaseClasses)
+		t.Logf("%-14s 9-class=%.3f  NU(P=%.2f R=%.2f) CA(P=%.2f R=%.2f) DT(P=%.2f R=%.2f) ST(P=%.2f R=%.2f)",
+			tool.Name(), cm.MultiAccuracy(),
+			cm.Binarized(0).Precision, cm.Binarized(0).Recall,
+			cm.Binarized(1).Precision, cm.Binarized(1).Recall,
+			cm.Binarized(2).Precision, cm.Binarized(2).Recall,
+			cm.Binarized(3).Precision, cm.Binarized(3).Recall)
+	}
+}

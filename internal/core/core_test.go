@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/synth"
+)
+
+// tinyCorpus builds a small labeled corpus for fast model tests.
+func tinyCorpus(t *testing.T, n int) ([]data.LabeledColumn, []featurize.Base, []int) {
+	t.Helper()
+	cfg := synth.DefaultCorpusConfig()
+	cfg.N = n
+	corpus := synth.GenerateCorpus(cfg)
+	bases, labels := ExtractBases(corpus, 3)
+	return corpus, bases, labels
+}
+
+func TestExtractBasesAlignment(t *testing.T) {
+	corpus, bases, labels := tinyCorpus(t, 120)
+	if len(bases) != len(corpus) || len(labels) != len(corpus) {
+		t.Fatalf("sizes %d/%d/%d", len(bases), len(labels), len(corpus))
+	}
+	for i := range corpus {
+		if bases[i].Name != corpus[i].Name {
+			t.Fatalf("base %d name mismatch", i)
+		}
+		if labels[i] != corpus[i].Label.Index() {
+			t.Fatalf("label %d mismatch", i)
+		}
+	}
+}
+
+// TestAllModelKindsTrainAndPredict exercises the full pipeline for all five
+// model families on a small corpus: train, predict, sane accuracy.
+func TestAllModelKindsTrainAndPredict(t *testing.T) {
+	_, bases, labels := tinyCorpus(t, 900)
+	rngSplit := modelsel.KFold(labels, 5, rand.New(rand.NewSource(1)))
+	train, val := rngSplit[0].Train, rngSplit[0].Val
+
+	kinds := []struct {
+		kind   ModelKind
+		minAcc float64
+		fs     featurize.FeatureSet
+	}{
+		{RandomForest, 0.80, featurize.DefaultFeatureSet()},
+		{LogReg, 0.65, featurize.FullFeatureSet()},
+		{RBFSVM, 0.55, featurize.DefaultFeatureSet()},
+		{KNN, 0.55, featurize.DefaultFeatureSet()},
+		{CNN, 0.50, featurize.FeatureSet{UseStats: true, UseName: true}},
+	}
+	for _, k := range kinds {
+		opts := Options{Model: k.kind, FeatureSet: k.fs, Seed: 1,
+			RFTrees: 20, RFDepth: 20, CNNEpochs: 3}
+		pipe, err := TrainOnBases(gatherBases(bases, train), modelsel.GatherInts(labels, train), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", k.kind, err)
+		}
+		pred := make([]int, len(val))
+		for i, j := range val {
+			ft, probs := pipe.PredictBase(&bases[j])
+			pred[i] = ft.Index()
+			var sum float64
+			for _, p := range probs {
+				sum += p
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Fatalf("%s: probabilities sum to %f", k.kind, sum)
+			}
+		}
+		acc := metrics.Accuracy(modelsel.GatherInts(labels, val), pred)
+		t.Logf("%-14s val accuracy %.3f", k.kind, acc)
+		if acc < k.minAcc {
+			t.Errorf("%s accuracy %.3f below floor %.3f", k.kind, acc, k.minAcc)
+		}
+	}
+}
+
+func TestPipelineInferrerInterface(t *testing.T) {
+	_, bases, labels := tinyCorpus(t, 300)
+	pipe, err := TrainOnBases(bases, labels, Options{Model: RandomForest,
+		FeatureSet: featurize.DefaultFeatureSet(), Seed: 1, RFTrees: 10, RFDepth: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Name() != "OurRF" {
+		t.Errorf("Name() = %q", pipe.Name())
+	}
+	col := &data.Column{Name: "salary", Values: []string{"100.5", "220.1", "330.7", "98.2", "151.9"}}
+	if got := pipe.Infer(col); got != ftype.Numeric {
+		t.Errorf("Infer(salary floats) = %v", got)
+	}
+}
+
+func TestPersistenceRoundTripAllKinds(t *testing.T) {
+	_, bases, labels := tinyCorpus(t, 250)
+	kinds := []ModelKind{RandomForest, LogReg, RBFSVM, KNN, CNN}
+	probe := &data.Column{Name: "zipcode", Values: []string{"92092", "78712", "92092", "10001", "78712", "60614"}}
+	for _, kind := range kinds {
+		opts := Options{Model: kind, FeatureSet: featurize.DefaultFeatureSet(),
+			Seed: 1, RFTrees: 8, RFDepth: 10, CNNEpochs: 1}
+		if kind == CNN {
+			opts.FeatureSet = featurize.FeatureSet{UseStats: true, UseName: true}
+		}
+		pipe, err := TrainOnBases(bases, labels, opts)
+		if err != nil {
+			t.Fatalf("%s: train: %v", kind, err)
+		}
+		var buf bytes.Buffer
+		if err := pipe.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", kind, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", kind, err)
+		}
+		wantT, wantP := pipe.Predict(probe)
+		gotT, gotP := back.Predict(probe)
+		if wantT != gotT {
+			t.Errorf("%s: round-trip changed prediction %v -> %v", kind, wantT, gotT)
+		}
+		for i := range wantP {
+			if diff := wantP[i] - gotP[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("%s: round-trip changed probabilities", kind)
+				break
+			}
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := TrainOnBases(nil, nil, Options{}); err == nil {
+		t.Error("empty training must error")
+	}
+	if _, err := TrainOnBases(make([]featurize.Base, 2), []int{0}, Options{}); err == nil {
+		t.Error("mismatch must error")
+	}
+	if _, err := TrainOnBases(make([]featurize.Base, 1), []int{0}, Options{Model: "bogus"}); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	_, bases, labels := tinyCorpus(t, 200)
+	pipe, err := TrainOnBases(bases, labels, Options{Model: RandomForest,
+		FeatureSet: featurize.DefaultFeatureSet(), Seed: 1, RFTrees: 5, RFDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.gob"
+	if err := pipe.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if back.Opts.Model != RandomForest {
+		t.Error("options lost in round trip")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file must error")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/cnn"
+)
+
+func TestCNNTextInputs(t *testing.T) {
+	cases := []struct {
+		fs   featurize.FeatureSet
+		want int
+	}{
+		{featurize.FeatureSet{UseName: true}, 1},
+		{featurize.FeatureSet{UseName: true, SampleCount: 2}, 3},
+		{featurize.FeatureSet{SampleCount: 1}, 1},
+		{featurize.FeatureSet{UseStats: true}, 0},
+	}
+	for _, c := range cases {
+		if got := cnnTextInputs(c.fs); got != c.want {
+			t.Errorf("cnnTextInputs(%s) = %d, want %d", c.fs.Label(), got, c.want)
+		}
+	}
+}
+
+func TestCNNExampleAssembly(t *testing.T) {
+	b := featurize.Base{Name: "salary", Samples: []string{"10", "20"}}
+	fs := featurize.FeatureSet{UseStats: true, UseName: true, SampleCount: 2}
+	cfg := cnn.DefaultConfig()
+	cfg.StatsDim = 27
+	ex := cnnExample(&b, fs, cfg)
+	if len(ex.Texts) != 3 || ex.Texts[0] != "salary" || ex.Texts[1] != "10" || ex.Texts[2] != "20" {
+		t.Errorf("texts = %v", ex.Texts)
+	}
+	if len(ex.Stats) != 27 {
+		t.Errorf("stats len = %d", len(ex.Stats))
+	}
+	// Stats disabled.
+	cfg.StatsDim = 0
+	ex2 := cnnExample(&b, featurize.FeatureSet{UseName: true}, cfg)
+	if len(ex2.Texts) != 1 || ex2.Stats != nil {
+		t.Errorf("ex2 = %+v", ex2)
+	}
+}
+
+func TestKNNInputs(t *testing.T) {
+	bases := []featurize.Base{
+		{Name: "a"}, {Name: "b"},
+	}
+	names, stats := knnInputs(bases, featurize.FeatureSet{UseName: true, UseStats: true})
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+	if len(stats) != 2 || len(stats[0]) == 0 {
+		t.Error("stats not extracted")
+	}
+	names2, stats2 := knnInputs(bases, featurize.FeatureSet{UseStats: true})
+	if names2[0] != "" {
+		t.Error("names should be blank when disabled")
+	}
+	if stats2 == nil {
+		t.Error("stats missing")
+	}
+	_, stats3 := knnInputs(bases, featurize.FeatureSet{UseName: true})
+	if stats3 != nil {
+		t.Error("stats should be nil when disabled")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.Model != RandomForest || opts.RFTrees != 100 || opts.RFDepth != 25 {
+		t.Errorf("defaults = %+v", opts)
+	}
+	if !opts.FeatureSet.UseStats || !opts.FeatureSet.UseName {
+		t.Error("default feature set should be stats + name")
+	}
+	if opts.Classes != 9 {
+		t.Errorf("classes = %d", opts.Classes)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save serialises a trained pipeline with encoding/gob.
+func (p *Pipeline) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("core: encoding pipeline: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the pipeline to a file at path.
+func (p *Pipeline) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating %s: %w", path, err)
+	}
+	if err := p.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load deserialises a pipeline written by Save.
+func Load(r io.Reader) (*Pipeline, error) {
+	var p Pipeline
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decoding pipeline: %w", err)
+	}
+	return &p, nil
+}
+
+// LoadFile reads a pipeline from a file at path.
+func LoadFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,346 @@
+// Package core implements the paper's primary contribution: ML-based
+// feature type inference. A Pipeline bundles base featurization, a
+// model-specific feature extraction, and one of the five model families the
+// paper trains on its labeled data (logistic regression, RBF-SVM, Random
+// Forest, k-NN with the task-adapted distance, and a character-level CNN).
+// A trained Pipeline predicts one of the nine feature types for a raw
+// column, with per-class confidence scores.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/cnn"
+	"sortinghat/internal/ml/knn"
+	"sortinghat/internal/ml/linear"
+	"sortinghat/internal/ml/svm"
+	"sortinghat/internal/ml/tree"
+)
+
+// ModelKind selects the model family of a Pipeline.
+type ModelKind string
+
+// The five model families benchmarked in the paper.
+const (
+	LogReg       ModelKind = "logreg"
+	RBFSVM       ModelKind = "rbf-svm"
+	RandomForest ModelKind = "random-forest"
+	KNN          ModelKind = "knn"
+	CNN          ModelKind = "cnn"
+)
+
+// Options configure training.
+type Options struct {
+	Model      ModelKind
+	FeatureSet featurize.FeatureSet
+	Classes    int // label vocabulary size (default 9)
+	Seed       int64
+
+	// Model hyper-parameters (paper grids, Appendix B). Zero values take
+	// the benchmark defaults.
+	LogRegC     float64
+	SVMC        float64
+	SVMGamma    float64
+	SVMFeatures int // random Fourier feature count
+	RFTrees     int
+	RFDepth     int
+	KNNK        int
+	KNNGamma    float64
+	CNNEpochs   int
+	CNNFilters  int
+	CNNEmbed    int
+	CNNNeurons  int
+}
+
+// DefaultOptions is the paper's best configuration: a Random Forest over
+// descriptive stats plus attribute-name bigrams.
+func DefaultOptions() Options {
+	return Options{
+		Model:      RandomForest,
+		FeatureSet: featurize.DefaultFeatureSet(),
+		Classes:    ftype.NumBaseClasses,
+		Seed:       1,
+		RFTrees:    100,
+		RFDepth:    25,
+	}
+}
+
+// Pipeline is a trained feature type inference model.
+type Pipeline struct {
+	Opts   Options
+	Scaler *featurize.Scaler // standardization for scale-sensitive models
+
+	Forest *tree.Forest
+	Linear *linear.LogisticRegression
+	SVM    *svm.RBFSVM
+	Near   *knn.KNN
+	Net    *cnn.Model
+}
+
+// ExtractBases runs base featurization over labeled columns with a seeded
+// sampler, returning aligned bases and class indices. Experiments share
+// this step across all models.
+func ExtractBases(cols []data.LabeledColumn, seed int64) ([]featurize.Base, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([]featurize.Base, len(cols))
+	labels := make([]int, len(cols))
+	for i := range cols {
+		bases[i] = featurize.Extract(&cols[i].Column, rng)
+		labels[i] = cols[i].Label.Index()
+	}
+	return bases, labels
+}
+
+// Train runs base featurization and fits a pipeline on labeled columns.
+func Train(cols []data.LabeledColumn, opts Options) (*Pipeline, error) {
+	bases, labels := ExtractBases(cols, opts.Seed)
+	return TrainOnBases(bases, labels, opts)
+}
+
+// TrainOnBases fits a pipeline on pre-extracted base features. Labels are
+// class indices in [0, opts.Classes).
+func TrainOnBases(bases []featurize.Base, labels []int, opts Options) (*Pipeline, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if len(bases) != len(labels) {
+		return nil, fmt.Errorf("core: bases and labels size mismatch: %d vs %d", len(bases), len(labels))
+	}
+	if opts.Classes <= 0 {
+		opts.Classes = ftype.NumBaseClasses
+	}
+	if opts.Model == "" {
+		opts.Model = RandomForest
+	}
+	p := &Pipeline{Opts: opts}
+	switch opts.Model {
+	case LogReg, RBFSVM, RandomForest:
+		X := opts.FeatureSet.Matrix(bases)
+		if opts.Model != RandomForest {
+			// Standardize for the scale-sensitive models, as the paper does.
+			p.Scaler = featurize.FitScaler(X)
+			X = p.Scaler.Transform(X)
+		}
+		switch opts.Model {
+		case LogReg:
+			m := linear.NewLogisticRegression()
+			m.Seed = opts.Seed
+			if opts.LogRegC > 0 {
+				m.C = opts.LogRegC
+			}
+			if err := m.Fit(X, labels, opts.Classes); err != nil {
+				return nil, fmt.Errorf("core: training logreg: %w", err)
+			}
+			p.Linear = m
+		case RBFSVM:
+			m := svm.NewRBFSVM()
+			m.Seed = opts.Seed
+			if opts.SVMC > 0 {
+				m.C = opts.SVMC
+			}
+			if opts.SVMGamma > 0 {
+				m.Gamma = opts.SVMGamma
+			}
+			if opts.SVMFeatures > 0 {
+				m.D = opts.SVMFeatures
+			}
+			if err := m.Fit(X, labels, opts.Classes); err != nil {
+				return nil, fmt.Errorf("core: training svm: %w", err)
+			}
+			p.SVM = m
+		default:
+			trees, depth := opts.RFTrees, opts.RFDepth
+			if trees <= 0 {
+				trees = 100
+			}
+			if depth <= 0 {
+				depth = 25
+			}
+			m := tree.NewClassifier(trees, depth)
+			m.Seed = opts.Seed
+			if err := m.Fit(X, labels, opts.Classes); err != nil {
+				return nil, fmt.Errorf("core: training random forest: %w", err)
+			}
+			p.Forest = m
+		}
+	case KNN:
+		m := knn.New()
+		m.UseName = opts.FeatureSet.UseName
+		m.UseStats = opts.FeatureSet.UseStats
+		if opts.KNNK > 0 {
+			m.K = opts.KNNK
+		}
+		if opts.KNNGamma > 0 {
+			m.Gamma = opts.KNNGamma
+		}
+		names, stats := knnInputs(bases, opts.FeatureSet)
+		if err := m.Fit(names, stats, labels, opts.Classes); err != nil {
+			return nil, fmt.Errorf("core: training knn: %w", err)
+		}
+		p.Near = m
+	case CNN:
+		cfg := cnn.DefaultConfig()
+		cfg.Classes = opts.Classes
+		cfg.Seed = opts.Seed
+		cfg.TextInputs = cnnTextInputs(opts.FeatureSet)
+		if opts.FeatureSet.UseStats {
+			cfg.StatsDim = len((&featurize.Base{}).Stats.Vector())
+		}
+		if opts.CNNEpochs > 0 {
+			cfg.Epochs = opts.CNNEpochs
+		}
+		if opts.CNNFilters > 0 {
+			cfg.NumFilters = opts.CNNFilters
+		}
+		if opts.CNNEmbed > 0 {
+			cfg.EmbedDim = opts.CNNEmbed
+		}
+		if opts.CNNNeurons > 0 {
+			cfg.Neurons = opts.CNNNeurons
+		}
+		if cfg.TextInputs == 0 {
+			// Stats-only CNN degenerates to an MLP over stats with a
+			// constant text head; feed the name head anyway but empty.
+			cfg.TextInputs = 1
+		}
+		m := cnn.New(cfg)
+		examples := make([]cnn.Example, len(bases))
+		for i := range bases {
+			examples[i] = cnnExample(&bases[i], opts.FeatureSet, cfg)
+		}
+		if err := m.Fit(examples, labels); err != nil {
+			return nil, fmt.Errorf("core: training cnn: %w", err)
+		}
+		p.Net = m
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %q", opts.Model)
+	}
+	return p, nil
+}
+
+// knnInputs assembles the k-NN inputs per the feature set: attribute names
+// for the edit-distance component and the stats vector for the Euclidean
+// component.
+func knnInputs(bases []featurize.Base, fs featurize.FeatureSet) ([]string, [][]float64) {
+	names := make([]string, len(bases))
+	var stats [][]float64
+	if fs.UseStats {
+		stats = make([][]float64, len(bases))
+	}
+	for i := range bases {
+		if fs.UseName {
+			names[i] = bases[i].Name
+		}
+		if fs.UseStats {
+			stats[i] = bases[i].Stats.Vector()
+		}
+	}
+	return names, stats
+}
+
+// cnnTextInputs counts the raw-character heads implied by a feature set.
+func cnnTextInputs(fs featurize.FeatureSet) int {
+	n := 0
+	if fs.UseName {
+		n++
+	}
+	n += fs.SampleCount
+	return n
+}
+
+// cnnExample builds the CNN input for one base-featurized column.
+func cnnExample(b *featurize.Base, fs featurize.FeatureSet, cfg cnn.Config) cnn.Example {
+	var texts []string
+	if fs.UseName {
+		texts = append(texts, b.Name)
+	}
+	for i := 0; i < fs.SampleCount; i++ {
+		texts = append(texts, b.Sample(i))
+	}
+	var ex cnn.Example
+	ex.Texts = texts
+	if cfg.StatsDim > 0 {
+		ex.Stats = b.Stats.Vector()
+	}
+	return ex
+}
+
+// PredictBase classifies a base-featurized column, returning the feature
+// type and the per-class confidence scores (index order = class index).
+func (p *Pipeline) PredictBase(b *featurize.Base) (ftype.FeatureType, []float64) {
+	var probs []float64
+	switch {
+	case p.Forest != nil:
+		probs = p.Forest.PredictProba(p.Opts.FeatureSet.Vector(b))
+	case p.Linear != nil:
+		x := p.Opts.FeatureSet.Vector(b)
+		if p.Scaler != nil {
+			x = p.Scaler.TransformRow(x)
+		}
+		probs = p.Linear.PredictProba(x)
+	case p.SVM != nil:
+		x := p.Opts.FeatureSet.Vector(b)
+		if p.Scaler != nil {
+			x = p.Scaler.TransformRow(x)
+		}
+		probs = p.SVM.PredictProba(x)
+	case p.Near != nil:
+		name := ""
+		if p.Opts.FeatureSet.UseName {
+			name = b.Name
+		}
+		var st []float64
+		if p.Opts.FeatureSet.UseStats {
+			st = b.Stats.Vector()
+		}
+		probs = p.Near.PredictProba(name, st)
+	case p.Net != nil:
+		ex := cnnExample(b, p.Opts.FeatureSet, p.Net.Cfg)
+		probs = p.Net.PredictProba(&ex)
+	default:
+		return ftype.Unknown, nil
+	}
+	best := 0
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return ftype.FeatureType(best), probs
+}
+
+// Predict classifies a raw column using deterministic base featurization
+// (the first five distinct non-missing values as samples).
+func (p *Pipeline) Predict(col *data.Column) (ftype.FeatureType, []float64) {
+	b := featurize.ExtractFirstN(col, featurize.SampleCount)
+	return p.PredictBase(&b)
+}
+
+// Name implements the tools.Inferrer naming convention so a Pipeline can be
+// benchmarked alongside the industrial tools (the paper's "OurRF").
+func (p *Pipeline) Name() string {
+	switch p.Opts.Model {
+	case RandomForest:
+		return "OurRF"
+	case LogReg:
+		return "OurLogReg"
+	case RBFSVM:
+		return "OurSVM"
+	case KNN:
+		return "OurKNN"
+	case CNN:
+		return "OurCNN"
+	default:
+		return "OurModel"
+	}
+}
+
+// Infer implements the tools.Inferrer prediction contract.
+func (p *Pipeline) Infer(col *data.Column) ftype.FeatureType {
+	t, _ := p.Predict(col)
+	return t
+}

@@ -1,0 +1,85 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a CSV stream with a header row into a Dataset. Rows with a
+// different field count from the header are rejected, matching the strict
+// rectangular-table assumption of the benchmark.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0 // enforce rectangular input
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("data: csv %q: empty input", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("data: csv %q: reading header: %w", name, err)
+	}
+	ds := &Dataset{Name: name, Columns: make([]Column, len(header))}
+	for i, h := range header {
+		ds.Columns[i].Name = h
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: csv %q: reading row: %w", name, err)
+		}
+		for i, cell := range rec {
+			ds.Columns[i].Values = append(ds.Columns[i].Values, cell)
+		}
+	}
+	return ds, nil
+}
+
+// ReadCSVFile reads a CSV file from disk into a Dataset named after the path.
+func ReadCSVFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// WriteCSV serialises the dataset as CSV with a header row.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(ds.Columns))
+	for i := range ds.Columns {
+		header[i] = ds.Columns[i].Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("data: writing csv header: %w", err)
+	}
+	for r := 0; r < ds.NumRows(); r++ {
+		if err := cw.Write(ds.Row(r)); err != nil {
+			return fmt.Errorf("data: writing csv row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("data: flushing csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCSVFile writes the dataset to a CSV file at path.
+func WriteCSVFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: creating %s: %w", path, err)
+	}
+	if err := WriteCSV(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

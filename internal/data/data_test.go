@@ -1,0 +1,170 @@
+package data
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIsMissing(t *testing.T) {
+	missing := []string{"", "NA", "na", " n/a ", "NaN", "NULL", "None", "-", "?", "#NULL", "missing", "MISSING"}
+	for _, v := range missing {
+		if !IsMissing(v) {
+			t.Errorf("IsMissing(%q) = false, want true", v)
+		}
+	}
+	present := []string{"0", "x", "nil?", "none at all", "na na", "--"}
+	for _, v := range present {
+		if IsMissing(v) {
+			t.Errorf("IsMissing(%q) = true, want false", v)
+		}
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	col := Column{Name: "c", Values: []string{"a", "", "b", "a", "NA", "c", "b"}}
+	if col.NumValues() != 7 {
+		t.Fatalf("NumValues = %d", col.NumValues())
+	}
+	nm := col.NonMissing()
+	if len(nm) != 5 {
+		t.Fatalf("NonMissing = %v", nm)
+	}
+	distinct := col.DistinctNonMissing()
+	want := []string{"a", "b", "c"}
+	if len(distinct) != len(want) {
+		t.Fatalf("DistinctNonMissing = %v, want %v", distinct, want)
+	}
+	for i := range want {
+		if distinct[i] != want[i] {
+			t.Errorf("distinct[%d] = %q, want %q (first-occurrence order)", i, distinct[i], want[i])
+		}
+	}
+}
+
+func newTestDataset() *Dataset {
+	return &Dataset{
+		Name: "t",
+		Columns: []Column{
+			{Name: "a", Values: []string{"1", "2", "3"}},
+			{Name: "b", Values: []string{"x", "y", "z"}},
+			{Name: "c", Values: []string{"p", "q", "r"}},
+		},
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	ds := newTestDataset()
+	if ds.NumRows() != 3 || ds.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", ds.NumRows(), ds.NumCols())
+	}
+	if ds.ColumnIndex("b") != 1 || ds.ColumnIndex("zz") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if ds.Column("c") == nil || ds.Column("c").Values[0] != "p" {
+		t.Error("Column lookup wrong")
+	}
+	if ds.Column("nope") != nil {
+		t.Error("missing column should be nil")
+	}
+	row := ds.Row(1)
+	if strings.Join(row, ",") != "2,y,q" {
+		t.Errorf("Row(1) = %v", row)
+	}
+	empty := &Dataset{}
+	if empty.NumRows() != 0 {
+		t.Error("empty dataset should have 0 rows")
+	}
+}
+
+func TestDropColumn(t *testing.T) {
+	ds := newTestDataset()
+	out := ds.DropColumn(1)
+	if out.NumCols() != 2 || out.Columns[1].Name != "c" {
+		t.Fatalf("DropColumn result wrong: %+v", out.Columns)
+	}
+	if ds.NumCols() != 3 {
+		t.Error("DropColumn must not mutate the receiver")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := newTestDataset()
+	sub := ds.Subset([]int{2, 0})
+	if sub.NumRows() != 2 {
+		t.Fatalf("Subset rows = %d", sub.NumRows())
+	}
+	if sub.Columns[0].Values[0] != "3" || sub.Columns[0].Values[1] != "1" {
+		t.Errorf("Subset order wrong: %v", sub.Columns[0].Values)
+	}
+	// Mutating the subset must not touch the original.
+	sub.Columns[0].Values[0] = "mut"
+	if ds.Columns[0].Values[2] == "mut" {
+		t.Error("Subset must copy values")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := newTestDataset()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.NumRows() != ds.NumRows() || back.NumCols() != ds.NumCols() {
+		t.Fatalf("round-trip shape mismatch")
+	}
+	for c := range ds.Columns {
+		if back.Columns[c].Name != ds.Columns[c].Name {
+			t.Errorf("column %d name %q != %q", c, back.Columns[c].Name, ds.Columns[c].Name)
+		}
+		for r := range ds.Columns[c].Values {
+			if back.Columns[c].Values[r] != ds.Columns[c].Values[r] {
+				t.Errorf("cell (%d,%d) mismatch", r, c)
+			}
+		}
+	}
+}
+
+func TestCSVQuotedCells(t *testing.T) {
+	in := "name,desc\n1,\"a, quoted, value\"\n2,plain\n"
+	ds, err := ReadCSV("q", strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got := ds.Columns[1].Values[0]; got != "a, quoted, value" {
+		t.Errorf("quoted cell = %q", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("empty", strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV("ragged", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	ds := newTestDataset()
+	if err := WriteCSVFile(path, ds); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if back.NumRows() != 3 {
+		t.Errorf("rows = %d", back.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}

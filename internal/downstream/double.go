@@ -1,0 +1,85 @@
+package downstream
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/stats"
+	"sortinghat/internal/synth"
+)
+
+// IsIntegerColumn reports whether every non-missing cell of the column is a
+// plain integer — the population the paper's double-representation study
+// (Appendix I.5.2) applies to.
+func IsIntegerColumn(col *data.Column) bool {
+	any := false
+	for _, v := range col.Values {
+		if data.IsMissing(v) {
+			continue
+		}
+		if !stats.IsInt(v) {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// DesignDouble builds the design matrix like Design, but columns flagged in
+// double receive both the numeric and the one-hot representation at once,
+// regardless of their inferred type.
+func DesignDouble(ds *data.Dataset, types []ftype.FeatureType, double []bool, trainRows []int) [][]float64 {
+	nCols := ds.NumCols() - 1
+	var encoders [][]columnEncoder
+	for c := 0; c < nCols; c++ {
+		var encs []columnEncoder
+		if double != nil && double[c] {
+			vals := make([]string, len(trainRows))
+			for i, r := range trainRows {
+				vals[i] = ds.Columns[c].Values[r]
+			}
+			encs = append(encs,
+				fitNumeric(ds.Columns[c].Values, trainRows),
+				&oneHotColEncoder{featurize.FitOneHot(vals, oneHotCap)})
+		} else if e := buildEncoder(&ds.Columns[c], types[c], trainRows); e != nil {
+			encs = append(encs, e)
+		}
+		encoders = append(encoders, encs)
+	}
+	X := make([][]float64, ds.NumRows())
+	for r := range X {
+		var row []float64
+		for c := 0; c < nCols; c++ {
+			for _, e := range encoders[c] {
+				row = append(row, e.encode(ds.Columns[c].Values[r])...)
+			}
+		}
+		X[r] = row
+	}
+	return X
+}
+
+// EvaluateDouble scores one downstream model with the double-representation
+// design matrix (classification tasks only, as in the paper's study).
+func EvaluateDouble(d *synth.Downstream, types []ftype.FeatureType, double []bool, model Model, seed int64) (Eval, error) {
+	ev := Eval{Dataset: d.Spec.Name, Model: model}
+	if d.IsRegression() {
+		return ev, fmt.Errorf("downstream: double representation study covers classification only")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train, test := modelsel.StratifiedSplit(d.TargetCls, 0.3, rng)
+	X := DesignDouble(d.Data, types, double, train)
+	Xtr, ytr := modelsel.Gather(X, train), modelsel.GatherInts(d.TargetCls, train)
+	Xte, yte := modelsel.Gather(X, test), modelsel.GatherInts(d.TargetCls, test)
+	pred, err := fitPredictClassifier(model, Xtr, ytr, Xte, d.Spec.Classes, seed)
+	if err != nil {
+		return ev, fmt.Errorf("downstream: %s: %w", d.Spec.Name, err)
+	}
+	ev.Acc = 100 * metrics.Accuracy(yte, pred)
+	return ev, nil
+}

@@ -1,0 +1,264 @@
+// Package downstream implements the downstream benchmark suite machinery
+// (Section 5 of the paper): routing each column to a featurization
+// according to its (inferred or true) feature type, training downstream
+// models at both ends of the bias-variance spectrum (L2 logistic/linear
+// regression and Random Forest), and scoring them against the performance
+// obtained with perfect type inference.
+//
+// The Section 5.3 routing: Numeric columns are used as-is, Categorical
+// columns are one-hot encoded, Sentence columns go through TF-IDF, URLs
+// through word-level bigrams, Not-Generalizable columns are dropped, and
+// every other type is featurized with character bigrams.
+package downstream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/linear"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/stats"
+	"sortinghat/internal/synth"
+)
+
+// Featurization caps; modest sizes keep 60 downstream models tractable on
+// one core without changing who wins.
+const (
+	oneHotCap   = 40
+	tfidfVocab  = 150
+	charHashDim = 48
+	urlHashDim  = 48
+)
+
+// columnEncoder turns one raw column into a block of feature values, fitted
+// on training rows only.
+type columnEncoder interface {
+	dim() int
+	encode(v string) []float64
+}
+
+type numericEncoder struct{ mean, std float64 }
+
+func fitNumeric(vals []string, trainRows []int) *numericEncoder {
+	var sum, sumsq, n float64
+	for _, r := range trainRows {
+		if f, ok := stats.ParseFloat(vals[r]); ok {
+			sum += f
+			sumsq += f * f
+			n++
+		}
+	}
+	e := &numericEncoder{}
+	if n > 0 {
+		e.mean = sum / n
+		if variance := sumsq/n - e.mean*e.mean; variance > 0 {
+			e.std = math.Sqrt(variance)
+		}
+	}
+	if e.std <= 0 {
+		e.std = 1
+	}
+	return e
+}
+
+func (e *numericEncoder) dim() int { return 1 }
+func (e *numericEncoder) encode(v string) []float64 {
+	f, ok := stats.ParseFloat(v)
+	if !ok {
+		return []float64{0} // non-castable cells impute to the (scaled) mean
+	}
+	return []float64{(f - e.mean) / e.std}
+}
+
+type oneHotColEncoder struct{ enc *featurize.OneHotEncoder }
+
+func (e *oneHotColEncoder) dim() int                  { return e.enc.Dim }
+func (e *oneHotColEncoder) encode(v string) []float64 { return e.enc.Transform(v) }
+
+type tfidfColEncoder struct{ enc *featurize.TFIDF }
+
+func (e *tfidfColEncoder) dim() int                  { return e.enc.Dim() }
+func (e *tfidfColEncoder) encode(v string) []float64 { return e.enc.Transform(v) }
+
+type charBigramEncoder struct{ d int }
+
+func (e *charBigramEncoder) dim() int                  { return e.d }
+func (e *charBigramEncoder) encode(v string) []float64 { return featurize.HashNgrams(v, 2, e.d) }
+
+type wordBigramEncoder struct{ d int }
+
+func (e *wordBigramEncoder) dim() int                  { return e.d }
+func (e *wordBigramEncoder) encode(v string) []float64 { return featurize.HashWordBigrams(v, e.d) }
+
+// buildEncoder fits the Section 5.3 routing for one column under the given
+// inferred type. It returns nil for dropped (Not-Generalizable) columns.
+func buildEncoder(col *data.Column, t ftype.FeatureType, trainRows []int) columnEncoder {
+	switch t {
+	case ftype.Numeric:
+		return fitNumeric(col.Values, trainRows)
+	case ftype.Categorical, ftype.Country, ftype.State:
+		vals := make([]string, len(trainRows))
+		for i, r := range trainRows {
+			vals[i] = col.Values[r]
+		}
+		return &oneHotColEncoder{featurize.FitOneHot(vals, oneHotCap)}
+	case ftype.Sentence:
+		docs := make([]string, len(trainRows))
+		for i, r := range trainRows {
+			docs[i] = col.Values[r]
+		}
+		return &tfidfColEncoder{featurize.FitTFIDF(docs, tfidfVocab)}
+	case ftype.URL:
+		return &wordBigramEncoder{urlHashDim}
+	case ftype.NotGeneralizable:
+		return nil
+	default:
+		// Datetime, Embedded Number, List, Context-Specific, Unknown:
+		// char-bigram featurization.
+		return &charBigramEncoder{charHashDim}
+	}
+}
+
+// Design builds the downstream design matrix for the feature columns of ds
+// (all but the final target column), routed by types, with encoders fitted
+// on trainRows only.
+func Design(ds *data.Dataset, types []ftype.FeatureType, trainRows []int) [][]float64 {
+	nCols := ds.NumCols() - 1
+	encoders := make([]columnEncoder, nCols)
+	total := 0
+	for c := 0; c < nCols; c++ {
+		encoders[c] = buildEncoder(&ds.Columns[c], types[c], trainRows)
+		if encoders[c] != nil {
+			total += encoders[c].dim()
+		}
+	}
+	X := make([][]float64, ds.NumRows())
+	for r := range X {
+		row := make([]float64, 0, total)
+		for c := 0; c < nCols; c++ {
+			if encoders[c] == nil {
+				continue
+			}
+			row = append(row, encoders[c].encode(ds.Columns[c].Values[r])...)
+		}
+		X[r] = row
+	}
+	return X
+}
+
+// Model selects the downstream model family.
+type Model string
+
+// Downstream model families (both ends of the bias-variance tradeoff).
+const (
+	LinearModel Model = "linear" // logistic regression / ridge regression
+	ForestModel Model = "forest" // random forest
+)
+
+// Eval holds one downstream evaluation result.
+type Eval struct {
+	Dataset string
+	Model   Model
+	Acc     float64 // classification accuracy ×100 (classification tasks)
+	RMSE    float64 // regression error (regression tasks)
+}
+
+// downstream random-forest sizing (kept modest for single-core runs).
+const (
+	rfTrees = 30
+	rfDepth = 20
+)
+
+// Evaluate trains and scores one downstream model on ds with the given
+// per-column feature types. The split is a deterministic 70:30 train/test
+// partition (stratified for classification).
+func Evaluate(d *synth.Downstream, types []ftype.FeatureType, model Model, seed int64) (Eval, error) {
+	ev := Eval{Dataset: d.Spec.Name, Model: model}
+	rng := rand.New(rand.NewSource(seed))
+	if !d.IsRegression() {
+		train, test := modelsel.StratifiedSplit(d.TargetCls, 0.3, rng)
+		X := Design(d.Data, types, train)
+		Xtr, ytr := modelsel.Gather(X, train), modelsel.GatherInts(d.TargetCls, train)
+		Xte, yte := modelsel.Gather(X, test), modelsel.GatherInts(d.TargetCls, test)
+		pred, err := fitPredictClassifier(model, Xtr, ytr, Xte, d.Spec.Classes, seed)
+		if err != nil {
+			return ev, fmt.Errorf("downstream: %s: %w", d.Spec.Name, err)
+		}
+		ev.Acc = 100 * metrics.Accuracy(yte, pred)
+		return ev, nil
+	}
+
+	// Regression.
+	n := d.Data.NumRows()
+	perm := rng.Perm(n)
+	cut := n * 7 / 10
+	train, test := perm[:cut], perm[cut:]
+	X := Design(d.Data, types, train)
+	Xtr, ytr := modelsel.Gather(X, train), modelsel.GatherFloats(d.TargetReg, train)
+	Xte, yte := modelsel.Gather(X, test), modelsel.GatherFloats(d.TargetReg, test)
+	var pred []float64
+	switch model {
+	case LinearModel:
+		m := linear.NewRidge(1.0)
+		if err := m.Fit(Xtr, ytr); err != nil {
+			return ev, fmt.Errorf("downstream: %s: %w", d.Spec.Name, err)
+		}
+		pred = m.Predict(Xte)
+	case ForestModel:
+		m := tree.NewRegressor(rfTrees, rfDepth)
+		m.Seed = seed
+		if err := m.FitRegression(Xtr, ytr); err != nil {
+			return ev, fmt.Errorf("downstream: %s: %w", d.Spec.Name, err)
+		}
+		pred = m.PredictValues(Xte)
+	default:
+		return ev, fmt.Errorf("downstream: unknown model %q", model)
+	}
+	ev.RMSE = metrics.RMSE(yte, pred)
+	return ev, nil
+}
+
+// fitPredictClassifier trains the selected downstream classifier and
+// predicts the test rows.
+func fitPredictClassifier(model Model, Xtr [][]float64, ytr []int, Xte [][]float64, classes int, seed int64) ([]int, error) {
+	switch model {
+	case LinearModel:
+		m := linear.NewLogisticRegression()
+		m.Seed = seed
+		if err := m.Fit(Xtr, ytr, classes); err != nil {
+			return nil, err
+		}
+		return m.Predict(Xte), nil
+	case ForestModel:
+		m := tree.NewClassifier(rfTrees, rfDepth)
+		m.Seed = seed
+		if err := m.Fit(Xtr, ytr, classes); err != nil {
+			return nil, err
+		}
+		return m.Predict(Xte), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+// InferTypes applies a type-inference approach to every feature column.
+type TypeInferrer interface {
+	Name() string
+	Infer(col *data.Column) ftype.FeatureType
+}
+
+// InferTypes runs the inferrer over the feature columns of d.
+func InferTypes(d *synth.Downstream, inf TypeInferrer) []ftype.FeatureType {
+	n := d.Data.NumCols() - 1
+	out := make([]ftype.FeatureType, n)
+	for c := 0; c < n; c++ {
+		out[c] = inf.Infer(&d.Data.Columns[c])
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package downstream
+
+import (
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/synth"
+)
+
+func demoDataset() *synth.Downstream {
+	return synth.Generate(synth.DatasetSpec{
+		Name: "demo", Rows: 300, Classes: 2, Noise: 0.3, Seed: 5,
+		Cols: []synth.ColSpec{
+			{Name: "x", Kind: synth.KindNumFloat, Weight: 1},
+			{Name: "code", Kind: synth.KindCatInt, Weight: 1, Card: 4},
+			{Name: "notes", Kind: synth.KindSentence, Weight: 0.8, Card: 3},
+			{Name: "id", Kind: synth.KindPK},
+		},
+	})
+}
+
+func TestDesignRouting(t *testing.T) {
+	d := demoDataset()
+	train := seqRows(0, 200)
+	X := Design(d.Data, d.TrueTypes, train)
+	if len(X) != 300 {
+		t.Fatalf("rows = %d", len(X))
+	}
+	// Numeric(1) + one-hot(<=card*7 sparse codes + other) + tfidf + PK dropped.
+	width := len(X[0])
+	if width < 1+2+1 {
+		t.Fatalf("design width = %d, implausibly small", width)
+	}
+	// Dropping NG must shrink the design vs treating it as Categorical.
+	asCat := append([]ftype.FeatureType(nil), d.TrueTypes...)
+	asCat[3] = ftype.Categorical
+	X2 := Design(d.Data, asCat, train)
+	if len(X2[0]) <= width {
+		t.Errorf("one-hot of the PK should widen the design: %d vs %d", len(X2[0]), width)
+	}
+}
+
+func seqRows(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestEvaluateClassification(t *testing.T) {
+	d := demoDataset()
+	truth, err := Evaluate(d, d.TrueTypes, LinearModel, 1)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if truth.Acc < 55 {
+		t.Errorf("truth accuracy = %.1f, should comfortably beat chance", truth.Acc)
+	}
+	// Mis-typing the informative int-coded categorical as Numeric must hurt
+	// the linear model (the Table 5 mechanism).
+	wrong := append([]ftype.FeatureType(nil), d.TrueTypes...)
+	wrong[1] = ftype.Numeric
+	broken, err := Evaluate(d, wrong, LinearModel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.Acc >= truth.Acc {
+		t.Errorf("numeric-coded categorical should hurt the linear model: %.1f vs %.1f", broken.Acc, truth.Acc)
+	}
+	// ...but the random forest must be largely robust to it.
+	truthRF, err := Evaluate(d, d.TrueTypes, ForestModel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokenRF, err := Evaluate(d, wrong, ForestModel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truthRF.Acc-brokenRF.Acc > 15 {
+		t.Errorf("forest should tolerate int-coded categories: %.1f vs %.1f", brokenRF.Acc, truthRF.Acc)
+	}
+}
+
+func TestEvaluateRegression(t *testing.T) {
+	d := synth.Generate(synth.DatasetSpec{
+		Name: "reg", Rows: 300, Classes: 0, Noise: 0.2, Seed: 6,
+		Cols: []synth.ColSpec{
+			{Name: "a", Kind: synth.KindNumFloat, Weight: 1},
+			{Name: "b", Kind: synth.KindCatInt, Weight: 1, Card: 4},
+		},
+	})
+	truth, err := Evaluate(d, d.TrueTypes, LinearModel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.RMSE <= 0 {
+		t.Fatalf("RMSE = %f", truth.RMSE)
+	}
+	wrong := []ftype.FeatureType{ftype.Numeric, ftype.Numeric}
+	broken, err := Evaluate(d, wrong, LinearModel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.RMSE <= truth.RMSE {
+		t.Errorf("wrong typing should raise RMSE: %.3f vs %.3f", broken.RMSE, truth.RMSE)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	d := demoDataset()
+	if _, err := Evaluate(d, d.TrueTypes, Model("bogus"), 1); err == nil {
+		t.Error("unknown model must error")
+	}
+	if _, err := EvaluateDouble(d, d.TrueTypes, nil, Model("bogus"), 1); err == nil {
+		t.Error("unknown model must error in double variant")
+	}
+	reg := synth.Generate(synth.DatasetSpec{Name: "r", Rows: 50, Classes: 0, Seed: 1,
+		Cols: []synth.ColSpec{{Name: "a", Kind: synth.KindNumFloat, Weight: 1}}})
+	if _, err := EvaluateDouble(reg, reg.TrueTypes, nil, ForestModel, 1); err == nil {
+		t.Error("double representation on regression must error")
+	}
+}
+
+func TestIsIntegerColumn(t *testing.T) {
+	yes := &data.Column{Name: "a", Values: []string{"1", "05", "-3", "", "NA"}}
+	if !IsIntegerColumn(yes) {
+		t.Error("integer column not recognised")
+	}
+	no := &data.Column{Name: "b", Values: []string{"1", "2.5"}}
+	if IsIntegerColumn(no) {
+		t.Error("float column recognised as integer")
+	}
+	empty := &data.Column{Name: "c", Values: []string{"", "NA"}}
+	if IsIntegerColumn(empty) {
+		t.Error("all-missing column is not an integer column")
+	}
+}
+
+func TestEvaluateDoubleRecoversWrongTyping(t *testing.T) {
+	// Double representation of integer columns restores the one-hot signal
+	// even when the column was wrongly typed Numeric.
+	d := demoDataset()
+	wrong := append([]ftype.FeatureType(nil), d.TrueTypes...)
+	wrong[1] = ftype.Numeric
+	single, err := Evaluate(d, wrong, LinearModel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := make([]bool, len(wrong))
+	double[1] = true
+	dbl, err := EvaluateDouble(d, wrong, double, LinearModel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbl.Acc < single.Acc-1 {
+		t.Errorf("double representation should not hurt: %.1f vs %.1f", dbl.Acc, single.Acc)
+	}
+}
+
+func TestInferTypesUsesAllFeatureColumns(t *testing.T) {
+	d := demoDataset()
+	fixed := fixedInferrer{t: ftype.Categorical}
+	types := InferTypes(d, fixed)
+	if len(types) != d.Data.NumCols()-1 {
+		t.Fatalf("types = %d", len(types))
+	}
+	for _, ty := range types {
+		if ty != ftype.Categorical {
+			t.Fatal("inferrer not applied")
+		}
+	}
+}
+
+type fixedInferrer struct{ t ftype.FeatureType }
+
+func (f fixedInferrer) Name() string                         { return "fixed" }
+func (f fixedInferrer) Infer(*data.Column) ftype.FeatureType { return f.t }
+
+func TestEncoderRoutingPerType(t *testing.T) {
+	// A minimal dataset exercising every Section-5.3 route.
+	mk := func(vals []string) data.Column { return data.Column{Name: "c", Values: vals} }
+	repeat := func(pattern []string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = pattern[i%len(pattern)]
+		}
+		return out
+	}
+	n := 40
+	ds := &data.Dataset{Name: "routes", Columns: []data.Column{
+		mk(repeat([]string{"1.5", "2.5", "3.5"}, n)),                        // Numeric
+		mk(repeat([]string{"red", "blue", "green"}, n)),                     // Categorical
+		mk(repeat([]string{"great product works", "poor quality item"}, n)), // Sentence
+		mk(repeat([]string{"https://a.com/x", "https://b.org/y"}, n)),       // URL
+		mk(repeat([]string{"id1", "id2"}, n)),                               // NG -> dropped
+		mk(repeat([]string{"2020-01-02", "2021-03-04"}, n)),                 // Datetime -> char bigrams
+		mk(repeat([]string{"t"}, n)),                                        // target placeholder
+	}}
+	types := []ftype.FeatureType{
+		ftype.Numeric, ftype.Categorical, ftype.Sentence,
+		ftype.URL, ftype.NotGeneralizable, ftype.Datetime,
+	}
+	train := seqRows(0, 30)
+	X := Design(ds, types, train)
+	width := len(X[0])
+	// Expected widths: numeric 1, one-hot 3+1, tfidf <= vocab, url hash, bigram hash.
+	min := 1 + 4 + 1 + urlHashDim + charHashDim
+	if width < min {
+		t.Errorf("design width = %d, want >= %d", width, min)
+	}
+	// Dropping the NG column: re-typing it Numeric adds exactly 1 dim
+	// (non-castable -> constant zero but still a slot).
+	types[4] = ftype.Numeric
+	X2 := Design(ds, types, train)
+	if len(X2[0]) != width+1 {
+		t.Errorf("NG->Numeric should add one dimension: %d vs %d", len(X2[0]), width)
+	}
+	// Numeric standardization: training mean ~0.
+	var mean float64
+	for _, r := range train {
+		mean += X[r][0]
+	}
+	mean /= float64(len(train))
+	if mean > 0.2 || mean < -0.2 {
+		t.Errorf("numeric route not standardized: train mean %f", mean)
+	}
+}
+
+func TestNumericEncoderImputesNonCastable(t *testing.T) {
+	e := fitNumeric([]string{"1", "2", "3"}, []int{0, 1, 2})
+	if got := e.encode("garbage"); got[0] != 0 {
+		t.Errorf("non-castable cell should impute to scaled mean (0), got %f", got[0])
+	}
+	if got := e.encode("2"); got[0] > 0.1 || got[0] < -0.1 {
+		t.Errorf("mean value should encode near 0, got %f", got[0])
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/ml/metrics"
+)
+
+// Table18Row is the per-class descriptive-statistic profile of the labeled
+// corpus (the paper's Table 18 / Figure 10): moments of name length, value
+// length, word counts, numeric means, distinct and NaN percentages.
+type Table18Row struct {
+	Class       ftype.FeatureType
+	Count       int
+	NameChars   summary
+	ValueChars  summary
+	ValueWords  summary
+	MeanValue   summary
+	PctDistinct summary
+	PctNaNs     summary
+}
+
+type summary struct{ Avg, Median, Std, Max float64 }
+
+func summarize(v []float64) summary {
+	if len(v) == 0 {
+		return summary{}
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	avg := sum / float64(len(s))
+	var ss float64
+	for _, x := range s {
+		d := x - avg
+		ss += d * d
+	}
+	return summary{
+		Avg:    avg,
+		Median: s[len(s)/2],
+		Std:    math.Sqrt(ss / float64(len(s))),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Table18Result holds the corpus profile, overall and per class, plus the
+// Figure-10 empirical CDFs of %distinct and %NaN per class.
+type Table18Result struct {
+	Overall Table18Row
+	ByClass []Table18Row
+
+	CDFProbes   []float64 // probe points (percent values)
+	DistinctCDF map[ftype.FeatureType][]float64
+	NaNCDF      map[ftype.FeatureType][]float64
+}
+
+// Table18 profiles the labeled corpus per class.
+func Table18(env *Env) *Table18Result {
+	type acc struct {
+		nameChars, valueChars, valueWords, meanVal, pctDistinct, pctNaNs []float64
+	}
+	accs := map[ftype.FeatureType]*acc{}
+	overall := &acc{}
+	for _, t := range ftype.BaseClasses() {
+		accs[t] = &acc{}
+	}
+	for i := range env.Bases {
+		b := &env.Bases[i]
+		label := env.Corpus[i].Label
+		for _, a := range []*acc{accs[label], overall} {
+			a.nameChars = append(a.nameChars, float64(len(b.Name)))
+			a.valueChars = append(a.valueChars, b.Stats.MeanCharCount)
+			a.valueWords = append(a.valueWords, b.Stats.MeanWordCount)
+			a.meanVal = append(a.meanVal, b.Stats.MeanVal)
+			a.pctDistinct = append(a.pctDistinct, b.Stats.PctUnique)
+			a.pctNaNs = append(a.pctNaNs, b.Stats.PctNaNs)
+		}
+	}
+	row := func(class ftype.FeatureType, a *acc) Table18Row {
+		return Table18Row{
+			Class:       class,
+			Count:       len(a.nameChars),
+			NameChars:   summarize(a.nameChars),
+			ValueChars:  summarize(a.valueChars),
+			ValueWords:  summarize(a.valueWords),
+			MeanValue:   summarize(a.meanVal),
+			PctDistinct: summarize(a.pctDistinct),
+			PctNaNs:     summarize(a.pctNaNs),
+		}
+	}
+	res := &Table18Result{Overall: row(ftype.Unknown, overall)}
+	for _, t := range ftype.BaseClasses() {
+		res.ByClass = append(res.ByClass, row(t, accs[t]))
+	}
+	res.CDFProbes = []float64{0.1, 1, 5, 25, 50, 75, 95, 100}
+	res.DistinctCDF = map[ftype.FeatureType][]float64{}
+	res.NaNCDF = map[ftype.FeatureType][]float64{}
+	for _, t := range ftype.BaseClasses() {
+		res.DistinctCDF[t] = metrics.CDF(accs[t].pctDistinct, res.CDFProbes)
+		res.NaNCDF[t] = metrics.CDF(accs[t].pctNaNs, res.CDFProbes)
+	}
+	return res
+}
+
+// String renders the Table 18 profile.
+func (r *Table18Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 18 / Figure 10: descriptive-statistic profile of the labeled corpus\n")
+	b.WriteString("(avg / median values per class)\n\n")
+	t := &table{header: []string{"Class", "N", "Name chars", "Value chars", "Value words", "%Distinct", "%NaNs"}}
+	addRow := func(label string, row Table18Row) {
+		t.addRow(label, fmt.Sprintf("%d", row.Count),
+			fmt.Sprintf("%.1f/%.0f", row.NameChars.Avg, row.NameChars.Median),
+			fmt.Sprintf("%.1f/%.0f", row.ValueChars.Avg, row.ValueChars.Median),
+			fmt.Sprintf("%.1f/%.0f", row.ValueWords.Avg, row.ValueWords.Median),
+			fmt.Sprintf("%.1f/%.1f", row.PctDistinct.Avg, row.PctDistinct.Median),
+			fmt.Sprintf("%.1f/%.1f", row.PctNaNs.Avg, row.PctNaNs.Median))
+	}
+	addRow("Overall", r.Overall)
+	for _, row := range r.ByClass {
+		addRow(row.Class.String(), row)
+	}
+	b.WriteString(t.String())
+
+	if len(r.CDFProbes) > 0 {
+		b.WriteString("\nFigure 10: CDF of %distinct values per class, P(X <= p)\n\n")
+		header := []string{"Class"}
+		for _, p := range r.CDFProbes {
+			header = append(header, fmt.Sprintf("<=%g%%", p))
+		}
+		tc := &table{header: header}
+		for _, row := range r.ByClass {
+			cells := []string{row.Class.String()}
+			for _, v := range r.DistinctCDF[row.Class] {
+				cells = append(cells, fmt.Sprintf("%.2f", v))
+			}
+			tc.addRow(cells...)
+		}
+		b.WriteString(tc.String())
+		b.WriteString("\nFigure 10: CDF of %NaNs per class, P(X <= p)\n\n")
+		tn := &table{header: header}
+		for _, row := range r.ByClass {
+			cells := []string{row.Class.String()}
+			for _, v := range r.NaNCDF[row.Class] {
+				cells = append(cells, fmt.Sprintf("%.2f", v))
+			}
+			tn.addRow(cells...)
+		}
+		b.WriteString(tn.String())
+	}
+	return b.String()
+}

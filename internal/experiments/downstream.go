@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/downstream"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/synth"
+	"sortinghat/internal/tools"
+)
+
+// downstreamTools are the approaches compared in Section 5 (Tables 4/5):
+// Pandas, TFDV, AutoGluon, and the paper's OurRF.
+var downstreamToolNames = []string{"Pandas", "TFDV", "AutoGluon", "OurRF"}
+
+// DatasetRow is one row of Table 5: truth performance plus per-tool deltas,
+// for both downstream models.
+type DatasetRow struct {
+	Name       string
+	Regression bool
+	Classes    int
+	NumCols    int
+
+	TruthLinear float64 // accuracy (classification) or RMSE (regression)
+	TruthForest float64
+	// Deltas vs truth, keyed by tool name. Classification: accuracy points
+	// (negative = worse). Regression: RMSE increase (positive = worse).
+	DeltaLinear map[string]float64
+	DeltaForest map[string]float64
+}
+
+// CoverageRow is Table 4(A): column coverage and accuracy given coverage.
+type CoverageRow struct {
+	Tool     string
+	Covered  int
+	Total    int
+	Accuracy float64 // type accuracy over covered columns
+}
+
+// SummaryCounts is Table 4(B): dataset counts per tool and downstream
+// model family.
+type SummaryCounts struct {
+	Underperform map[string]int
+	Match        map[string]int
+	Outperform   map[string]int
+	Best         map[string]int
+}
+
+// DownstreamResult aggregates Tables 4, 5 and the Figure-8 CDF data.
+type DownstreamResult struct {
+	Rows     []DatasetRow
+	Coverage []CoverageRow
+	Linear   SummaryCounts
+	Forest   SummaryCounts
+
+	// Figure 8 raw data: deltas vs truth over all classification models
+	// and normalized RMSE increases over regression models.
+	ClsDrops map[string][]float64
+	RegRises map[string][]float64
+}
+
+func newSummary() SummaryCounts {
+	return SummaryCounts{
+		Underperform: map[string]int{}, Match: map[string]int{},
+		Outperform: map[string]int{}, Best: map[string]int{},
+	}
+}
+
+// matchTolerance defines "matching the truth": within half an accuracy
+// point, or within 2% relative RMSE.
+const accTol = 0.5
+
+func regTol(truth float64) float64 { return 0.02 * math.Max(math.Abs(truth), 1e-9) }
+
+// suiteFor generates the downstream suite, reduced to a representative
+// subset (covering every routing path and both task types) in Quick mode.
+func suiteFor(env *Env) []*synth.Downstream {
+	specs := synth.SuiteSpecs(env.Cfg.Seed + 1000)
+	if env.Cfg.Quick {
+		keep := map[string]bool{"Cancer": true, "Hayes": true, "Boxing": true,
+			"Auto-MPG": true, "IOT": true, "Zoo": true, "BBC": true,
+			"MBA": true, "Accident": true}
+		var subset []synth.DatasetSpec
+		for _, sp := range specs {
+			if keep[sp.Name] {
+				sp.Rows /= 2
+				subset = append(subset, sp)
+			}
+		}
+		specs = subset
+	}
+	out := make([]*synth.Downstream, len(specs))
+	for i, sp := range specs {
+		out[i] = synth.Generate(sp)
+	}
+	return out
+}
+
+// TrainOurRF trains the paper's best pipeline on the environment's training
+// split (shared by the downstream experiments).
+func TrainOurRF(env *Env) (*core.Pipeline, error) {
+	trainBases, trainLabels := env.TrainBases()
+	return core.TrainOnBases(trainBases, trainLabels, core.Options{
+		Model: core.RandomForest, FeatureSet: featurize.DefaultFeatureSet(),
+		Seed: env.Cfg.Seed, RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth,
+	})
+}
+
+// DownstreamSuite runs the full Section-5 study: generate the 30 datasets,
+// infer types with every tool, train both downstream models under each
+// typing, and score against the truth typing.
+func DownstreamSuite(env *Env) (*DownstreamResult, error) {
+	ourRF, err := TrainOurRF(env)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: downstream: %w", err)
+	}
+	suite := suiteFor(env)
+
+	inferrers := map[string]downstream.TypeInferrer{
+		"Pandas":    tools.Pandas{},
+		"TFDV":      tools.TFDV{},
+		"AutoGluon": tools.AutoGluon{},
+		"OurRF":     ourRF,
+	}
+
+	res := &DownstreamResult{
+		Linear: newSummary(), Forest: newSummary(),
+		ClsDrops: map[string][]float64{}, RegRises: map[string][]float64{},
+	}
+	coverage := map[string]*CoverageRow{}
+	for _, tn := range downstreamToolNames {
+		coverage[tn] = &CoverageRow{Tool: tn}
+	}
+
+	for _, d := range suite {
+		row := DatasetRow{
+			Name: d.Spec.Name, Regression: d.IsRegression(),
+			Classes: d.Spec.Classes, NumCols: len(d.Spec.Cols),
+			DeltaLinear: map[string]float64{}, DeltaForest: map[string]float64{},
+		}
+		seed := env.Cfg.Seed + 31
+
+		evalBoth := func(types []ftype.FeatureType) (lin, for_ float64, err error) {
+			le, err := downstream.Evaluate(d, types, downstream.LinearModel, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			fe, err := downstream.Evaluate(d, types, downstream.ForestModel, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			if d.IsRegression() {
+				return le.RMSE, fe.RMSE, nil
+			}
+			return le.Acc, fe.Acc, nil
+		}
+
+		truthLin, truthFor, err := evalBoth(d.TrueTypes)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: downstream truth: %w", err)
+		}
+		row.TruthLinear, row.TruthForest = truthLin, truthFor
+
+		type toolScore struct{ lin, forest float64 }
+		scores := map[string]toolScore{}
+		for _, tn := range downstreamToolNames {
+			inf := inferrers[tn]
+			types := downstream.InferTypes(d, inf)
+
+			// Table 4(A) coverage accounting.
+			cov := tools.CoverageSet(tn)
+			cr := coverage[tn]
+			for c, pt := range types {
+				cr.Total++
+				if pt != ftype.Unknown && cov[pt] {
+					cr.Covered++
+					if pt == d.TrueTypes[c] {
+						cr.Accuracy++ // counts; normalized later
+					}
+				}
+			}
+
+			lin, forest, err := evalBoth(types)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: downstream %s/%s: %w", d.Spec.Name, tn, err)
+			}
+			scores[tn] = toolScore{lin, forest}
+			if d.IsRegression() {
+				row.DeltaLinear[tn] = lin - truthLin
+				row.DeltaForest[tn] = forest - truthFor
+				res.RegRises[tn] = append(res.RegRises[tn],
+					100*(lin-truthLin)/math.Max(math.Abs(truthLin), 1e-9),
+					100*(forest-truthFor)/math.Max(math.Abs(truthFor), 1e-9))
+			} else {
+				row.DeltaLinear[tn] = lin - truthLin
+				row.DeltaForest[tn] = forest - truthFor
+				res.ClsDrops[tn] = append(res.ClsDrops[tn], truthLin-lin, truthFor-forest)
+			}
+		}
+
+		// Table 4(B) summary counts.
+		tally := func(sum *SummaryCounts, pickScore func(toolScore) float64, truth float64) {
+			best := math.Inf(-1)
+			if d.IsRegression() {
+				best = math.Inf(1)
+			}
+			for _, tn := range downstreamToolNames {
+				v := pickScore(scores[tn])
+				if d.IsRegression() {
+					switch {
+					case v > truth+regTol(truth):
+						sum.Underperform[tn]++
+					case v < truth-regTol(truth):
+						sum.Outperform[tn]++
+					default:
+						sum.Match[tn]++
+					}
+					if v < best {
+						best = v
+					}
+				} else {
+					switch {
+					case v < truth-accTol:
+						sum.Underperform[tn]++
+					case v > truth+accTol:
+						sum.Outperform[tn]++
+					default:
+						sum.Match[tn]++
+					}
+					if v > best {
+						best = v
+					}
+				}
+			}
+			for _, tn := range downstreamToolNames {
+				v := pickScore(scores[tn])
+				if d.IsRegression() {
+					if v <= best+regTol(best) {
+						sum.Best[tn]++
+					}
+				} else if v >= best-accTol {
+					sum.Best[tn]++
+				}
+			}
+		}
+		tally(&res.Linear, func(s toolScore) float64 { return s.lin }, truthLin)
+		tally(&res.Forest, func(s toolScore) float64 { return s.forest }, truthFor)
+
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, tn := range downstreamToolNames {
+		cr := coverage[tn]
+		if cr.Covered > 0 {
+			cr.Accuracy = cr.Accuracy / float64(cr.Covered)
+		}
+		res.Coverage = append(res.Coverage, *cr)
+	}
+	return res, nil
+}
+
+// String renders Tables 4(A), 4(B), 5 and the Figure-8 summary statistics.
+func (r *DownstreamResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table 4(A): type inference on the 30 downstream datasets\n\n")
+	t := &table{header: []string{"Tool", "Column coverage", "Type accuracy given coverage"}}
+	for _, c := range r.Coverage {
+		t.addRow(c.Tool, fmt.Sprintf("%d/%d", c.Covered, c.Total), pct(c.Accuracy))
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nTable 4(B): datasets where tools underperform / match / outperform truth\n\n")
+	for _, ms := range []struct {
+		name string
+		sum  SummaryCounts
+	}{{"Logistic/Linear Regression", r.Linear}, {"Random Forest", r.Forest}} {
+		fmt.Fprintf(&b, "-- downstream %s --\n", ms.name)
+		t := &table{header: append([]string{""}, downstreamToolNames...)}
+		for _, rowName := range []string{"Underperform truth", "Match truth", "Outperform truth", "Best tool for a dataset"} {
+			row := []string{rowName}
+			for _, tn := range downstreamToolNames {
+				var v int
+				switch rowName {
+				case "Underperform truth":
+					v = ms.sum.Underperform[tn]
+				case "Match truth":
+					v = ms.sum.Match[tn]
+				case "Outperform truth":
+					v = ms.sum.Outperform[tn]
+				default:
+					v = ms.sum.Best[tn]
+				}
+				row = append(row, fmt.Sprintf("%d", v))
+			}
+			t.addRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("Table 5: downstream performance relative to true feature types\n")
+	b.WriteString("(classification: accuracy x100, deltas in points; regression: RMSE, deltas absolute)\n\n")
+	header := []string{"Dataset", "|A|", "|Y|", "Model", "Truth"}
+	header = append(header, downstreamToolNames...)
+	t5 := &table{header: header}
+	for _, row := range r.Rows {
+		task := fmt.Sprintf("%d", row.Classes)
+		if row.Regression {
+			task = "reg"
+		}
+		for _, m := range []string{"Linear", "RF"} {
+			truth := row.TruthLinear
+			deltas := row.DeltaLinear
+			if m == "RF" {
+				truth = row.TruthForest
+				deltas = row.DeltaForest
+			}
+			cells := []string{row.Name, fmt.Sprintf("%d", row.NumCols), task, m, fmt.Sprintf("%.2f", truth)}
+			for _, tn := range downstreamToolNames {
+				cells = append(cells, fmt.Sprintf("%+.2f", deltas[tn]))
+			}
+			t5.addRow(cells...)
+		}
+	}
+	b.WriteString(t5.String())
+
+	b.WriteString("\nFigure 8: distribution of downstream drops vs truth (classification models)\n\n")
+	tf := &table{header: []string{"Tool", "median drop", "75th pct drop", "max drop"}}
+	for _, tn := range downstreamToolNames {
+		drops := r.ClsDrops[tn]
+		tf.addRow(tn,
+			fmt.Sprintf("%.2f", metrics.Percentile(drops, 50)),
+			fmt.Sprintf("%.2f", metrics.Percentile(drops, 75)),
+			fmt.Sprintf("%.2f", metrics.Percentile(drops, 100)))
+	}
+	b.WriteString(tf.String())
+	b.WriteString("\nFigure 8 (regression): normalized RMSE increase vs truth (%)\n\n")
+	tr := &table{header: []string{"Tool", "median rise", "75th pct rise", "max rise"}}
+	for _, tn := range downstreamToolNames {
+		rises := r.RegRises[tn]
+		tr.addRow(tn,
+			fmt.Sprintf("%.1f", metrics.Percentile(rises, 50)),
+			fmt.Sprintf("%.1f", metrics.Percentile(rises, 75)),
+			fmt.Sprintf("%.1f", metrics.Percentile(rises, 100)))
+	}
+	b.WriteString(tr.String())
+	return b.String()
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md section 4 for the experiment index). Each
+// experiment is a function from a shared Env (corpus + split + base
+// features) to a result struct with a formatted String method; cmd/benchmark
+// drives them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sortinghat/internal/core"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/synth"
+)
+
+// Config sizes the experiments. Full reproduces the paper-scale corpus;
+// the default is sized for a small single-core machine (same shapes,
+// smaller constants).
+type Config struct {
+	CorpusN   int   // labeled corpus size
+	Seed      int64 // master seed
+	RFTrees   int   // forest size for the type-inference RF
+	RFDepth   int
+	CNNEpochs int
+	Quick     bool // further shrinks the slowest experiments
+}
+
+// DefaultConfig is the small-machine configuration.
+func DefaultConfig() Config {
+	return Config{CorpusN: 4000, Seed: 7, RFTrees: 60, RFDepth: 25, CNNEpochs: 5}
+}
+
+// FullConfig reproduces the paper-scale corpus (9,921 columns).
+func FullConfig() Config {
+	return Config{CorpusN: synth.PaperCorpusSize, Seed: 7, RFTrees: 100, RFDepth: 25, CNNEpochs: 6}
+}
+
+// Env is the shared experimental environment: the labeled corpus, its base
+// featurization, and the 80:20 stratified train/test split of Section 4.1.
+type Env struct {
+	Cfg    Config
+	Corpus []data.LabeledColumn
+	Bases  []featurize.Base
+	Labels []int
+
+	TrainIdx []int
+	TestIdx  []int
+}
+
+// NewEnv generates the corpus and split for a configuration.
+func NewEnv(cfg Config) *Env {
+	ccfg := synth.DefaultCorpusConfig()
+	ccfg.N = cfg.CorpusN
+	ccfg.Seed = cfg.Seed
+	corpus := synth.GenerateCorpus(ccfg)
+	bases, labels := core.ExtractBases(corpus, cfg.Seed+1)
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	train, test := modelsel.StratifiedSplit(labels, 0.2, rng)
+	return &Env{Cfg: cfg, Corpus: corpus, Bases: bases, Labels: labels,
+		TrainIdx: train, TestIdx: test}
+}
+
+// TrainBases returns the training bases and labels.
+func (e *Env) TrainBases() ([]featurize.Base, []int) {
+	return gather(e.Bases, e.TrainIdx), modelsel.GatherInts(e.Labels, e.TrainIdx)
+}
+
+// TestLabels returns the held-out test labels as class indices.
+func (e *Env) TestLabels() []int { return modelsel.GatherInts(e.Labels, e.TestIdx) }
+
+// gather selects slice elements by index.
+func gather[T any](s []T, idx []int) []T {
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// table is a tiny fixed-width text table builder used by every experiment's
+// String method.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// f3 formats a float with 3 decimals, or "-" for negative sentinels.
+func f3(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// pct formats a 0..1 fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

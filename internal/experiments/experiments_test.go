@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sortinghat/ftype"
+)
+
+// A tiny shared environment keeps the experiment smoke tests fast.
+var (
+	envOnce sync.Once
+	tinyEnv *Env
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.CorpusN = 1000
+		cfg.RFTrees = 15
+		cfg.CNNEpochs = 1
+		cfg.Quick = true
+		tinyEnv = NewEnv(cfg)
+	})
+	return tinyEnv
+}
+
+func TestEnvSplitDisjoint(t *testing.T) {
+	env := testEnv(t)
+	if len(env.TrainIdx)+len(env.TestIdx) != len(env.Corpus) {
+		t.Fatalf("split does not partition: %d+%d != %d",
+			len(env.TrainIdx), len(env.TestIdx), len(env.Corpus))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, env.TrainIdx...), env.TestIdx...) {
+		if seen[i] {
+			t.Fatal("index in both splits")
+		}
+		seen[i] = true
+	}
+	frac := float64(len(env.TestIdx)) / float64(len(env.Corpus))
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("test fraction = %f, want ~0.2", frac)
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table1(env)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(res.Approaches) != 9 {
+		t.Fatalf("approaches = %d, want 9", len(res.Approaches))
+	}
+	// The paper's headline orderings.
+	rf := res.NineClass["Rand Forest"]
+	if rf < res.NineClass["TFDV"] || rf < res.NineClass["Sherlock"] || rf < res.NineClass["Rule-based"] {
+		t.Errorf("Random Forest (%.3f) must beat the rule/syntax approaches", rf)
+	}
+	// Tools have perfect Numeric recall but poor precision.
+	for _, tool := range []string{"TFDV", "Pandas", "AutoGluon"} {
+		s := res.Confusions[tool].Binarized(ftype.Numeric.Index())
+		if s.Recall < 0.99 {
+			t.Errorf("%s Numeric recall = %.3f, want ~1.0", tool, s.Recall)
+		}
+		if s.Precision > 0.85 {
+			t.Errorf("%s Numeric precision = %.3f, suspiciously high", tool, s.Precision)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 1") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable3ErrorsConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table3(env)
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if res.TestTotal != len(env.TestIdx) {
+		t.Errorf("TestTotal = %d", res.TestTotal)
+	}
+	sum := 0
+	for _, c := range res.PairCounts {
+		sum += c
+	}
+	if sum != res.TestErrors {
+		t.Errorf("pair counts sum %d != errors %d", sum, res.TestErrors)
+	}
+	for _, e := range res.Examples {
+		if e.Label == e.Prediction {
+			t.Error("error table contains a correct prediction")
+		}
+	}
+	if !strings.Contains(res.String(), "Table 3") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable18Profile(t *testing.T) {
+	env := testEnv(t)
+	res := Table18(env)
+	if res.Overall.Count != len(env.Corpus) {
+		t.Fatalf("overall count = %d", res.Overall.Count)
+	}
+	byClass := map[ftype.FeatureType]Table18Row{}
+	total := 0
+	for _, r := range res.ByClass {
+		byClass[r.Class] = r
+		total += r.Count
+	}
+	if total != len(env.Corpus) {
+		t.Errorf("class counts sum to %d", total)
+	}
+	// Sentences and lists are long; numerics are short (Table 18 shape).
+	if byClass[ftype.Sentence].ValueChars.Avg <= byClass[ftype.Numeric].ValueChars.Avg {
+		t.Error("Sentence values should be longer than Numeric values")
+	}
+	if byClass[ftype.NotGeneralizable].PctNaNs.Avg <= byClass[ftype.URL].PctNaNs.Avg-20 {
+		t.Error("NG should be NaN-heavy")
+	}
+	if !strings.Contains(res.String(), "Table 18") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFigure7RuntimeBuckets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Figure7(env)
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.TotalUs <= 0 {
+			t.Errorf("%s total = %f", r.Model, r.TotalUs)
+		}
+		if r.TotalUs > 200000 { // paper: all models < 0.2s per column
+			t.Errorf("%s takes %.0fµs per column", r.Model, r.TotalUs)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFigure9Stability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Figure9(env, 8)
+	if err != nil {
+		t.Fatalf("Figure9: %v", err)
+	}
+	if res.Runs != 8 {
+		t.Errorf("runs = %d", res.Runs)
+	}
+	// Median stability should be very high for both models.
+	if res.LogReg[0] < 90 || res.Forest[0] < 90 {
+		t.Errorf("median stability LR=%.0f RF=%.0f, want >= 90", res.LogReg[0], res.Forest[0])
+	}
+	// Percentile curves are non-increasing as percentile shrinks.
+	for i := 1; i < len(res.Forest); i++ {
+		if res.Forest[i] > res.Forest[i-1]+1e-9 {
+			t.Error("forest stability percentiles should be non-increasing")
+		}
+	}
+	if !strings.Contains(res.String(), "Table 16") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable7GroupedSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table7(env)
+	if err != nil {
+		t.Fatalf("Table7: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Test <= 0.3 || r.Test > 1 {
+			t.Errorf("%s test accuracy = %.3f out of range", r.Model, r.Test)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 7") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable12Ablation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table12(env)
+	if err != nil {
+		t.Fatalf("Table12: %v", err)
+	}
+	if len(res.Rows) != 8 { // 2 models × 4 configurations
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's takeaway: dropping one custom feature moves 9-class
+	// accuracy only marginally.
+	var base, dropped float64
+	for _, r := range res.Rows {
+		if r.Model == "Random Forest" {
+			if r.Dropped == "" {
+				base = r.NineAcc
+			} else if r.Dropped == "datetime" {
+				dropped = r.NineAcc
+			}
+		}
+	}
+	if base == 0 || dropped == 0 {
+		t.Fatal("missing rows")
+	}
+	if base-dropped > 0.08 {
+		t.Errorf("dropping the datetime check cost %.3f accuracy; featurization should be robust", base-dropped)
+	}
+}
+
+func TestStatFeatureIndex(t *testing.T) {
+	if statFeatureIndex("sample_has_url") < 0 {
+		t.Error("sample_has_url not found")
+	}
+	if statFeatureIndex("nope") != -1 {
+		t.Error("unknown feature should be -1")
+	}
+}
+
+func TestDownstreamSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := DownstreamSuite(env)
+	if err != nil {
+		t.Fatalf("DownstreamSuite: %v", err)
+	}
+	if len(res.Rows) != 9 { // quick subset
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Coverage ordering: Pandas < OurRF (vocabulary coverage).
+	cov := map[string]CoverageRow{}
+	for _, c := range res.Coverage {
+		cov[c.Tool] = c
+	}
+	if cov["Pandas"].Covered >= cov["OurRF"].Covered {
+		t.Errorf("Pandas coverage %d should be below OurRF %d",
+			cov["Pandas"].Covered, cov["OurRF"].Covered)
+	}
+	// OurRF should not underperform truth more often than the tools.
+	for _, tn := range []string{"Pandas", "TFDV", "AutoGluon"} {
+		if res.Linear.Underperform["OurRF"] > res.Linear.Underperform[tn] {
+			t.Errorf("OurRF underperforms truth (%d) more than %s (%d)",
+				res.Linear.Underperform["OurRF"], tn, res.Linear.Underperform[tn])
+		}
+	}
+	if !strings.Contains(res.String(), "Table 4(A)") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable15Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table15(env)
+	if err != nil {
+		t.Fatalf("Table15: %v", err)
+	}
+	if res.Datasets != 7 { // quick subset has 7 classification datasets
+		t.Fatalf("datasets = %d", res.Datasets)
+	}
+	if len(res.Tools) != 4 || res.Tools[3] != "NewRF" {
+		t.Fatalf("tools = %v", res.Tools)
+	}
+	if !strings.Contains(res.String(), "Table 15") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table11(env)
+	if err != nil {
+		t.Fatalf("Table11: %v", err)
+	}
+	if len(res.Rows) != 4 { // Country/State x N=100/200
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Recall < 0.3 {
+			t.Errorf("%s N=%d recall = %.3f, extension should be learnable", r.Type, r.ExtraN, r.Recall)
+		}
+		if r.TenClass < res.NineClass-0.15 {
+			t.Errorf("10-class accuracy %.3f collapsed relative to 9-class %.3f", r.TenClass, res.NineClass)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 11") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("very slow")
+	}
+	env := testEnv(t)
+	res, err := Table2(env)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(res.Sets) != 9 {
+		t.Fatalf("sets = %d", len(res.Sets))
+	}
+	// k-NN runs only where applicable.
+	knnCells := res.Cells["k-NN"]
+	applicable := 0
+	for _, c := range knnCells {
+		if !c.Skipped {
+			applicable++
+		}
+	}
+	if applicable != 3 {
+		t.Errorf("k-NN applicable cells = %d, want 3", applicable)
+	}
+	// Stats+name should beat name-only for the Random Forest.
+	rf := res.Cells["Random Forest"]
+	if rf[3].Test <= rf[1].Test-0.02 {
+		t.Errorf("RF stats+name (%.3f) should be at least name-only (%.3f)", rf[3].Test, rf[1].Test)
+	}
+	if !strings.Contains(res.String(), "Table 2") || !strings.Contains(res.String(), "Table 9") {
+		t.Error("String() missing headers")
+	}
+}
+
+func TestGridSearchRF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := GridSearchRF(env)
+	if err != nil {
+		t.Fatalf("GridSearchRF: %v", err)
+	}
+	if len(res.Points) != 6 { // quick grid 3x2
+		t.Fatalf("grid points = %d", len(res.Points))
+	}
+	if res.Best.ValAccuracy <= 0.5 {
+		t.Errorf("best val accuracy = %.3f", res.Best.ValAccuracy)
+	}
+	// The Section 6.2 takeaway: stats carry the majority of the signal.
+	if res.StatsShare < res.NameShare {
+		t.Errorf("stats share %.2f should exceed name share %.2f", res.StatsShare, res.NameShare)
+	}
+	if !strings.Contains(res.String(), "Appendix B") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable14Complementarity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := testEnv(t)
+	res, err := Table14(env)
+	if err != nil {
+		t.Fatalf("Table14: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SherlockGivenOurRF > r.SherlockCorrect {
+			t.Errorf("%s: conditional correct (%d) cannot exceed unconditional (%d)",
+				r.Type, r.SherlockGivenOurRF, r.SherlockCorrect)
+		}
+		if r.OurRFCategorical < r.TestExamples/2 {
+			t.Errorf("%s: OurRF routed only %d/%d probes to Categorical",
+				r.Type, r.OurRFCategorical, r.TestExamples)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 14") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable18CDFs(t *testing.T) {
+	env := testEnv(t)
+	res := Table18(env)
+	if len(res.CDFProbes) == 0 {
+		t.Fatal("no CDF probes")
+	}
+	for _, cls := range ftype.BaseClasses() {
+		cdf := res.DistinctCDF[cls]
+		if len(cdf) != len(res.CDFProbes) {
+			t.Fatalf("%v: cdf len %d", cls, len(cdf))
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				t.Errorf("%v: CDF not monotone", cls)
+			}
+		}
+		if cdf[len(cdf)-1] < 0.999 {
+			t.Errorf("%v: CDF does not reach 1 at 100%%", cls)
+		}
+	}
+	// Shape: the NG class contains (nearly) all-NaN columns, so its CDF at
+	// the 95% probe must sit below Categorical's (which has none).
+	if res.NaNCDF[ftype.NotGeneralizable][6] >= res.NaNCDF[ftype.Categorical][6] {
+		t.Error("NG should have a heavier extreme-NaN tail than Categorical")
+	}
+	if !strings.Contains(res.String(), "Figure 10") {
+		t.Error("String() missing Figure 10 section")
+	}
+}

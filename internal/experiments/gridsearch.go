@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/stats"
+)
+
+// GridResult is the Appendix-B hyper-parameter study for the Random
+// Forest: validation accuracy over the paper's NumEstimator × MaxDepth
+// grid, plus the top feature importances of the best model (backing the
+// Section 6.2 takeaway that descriptive stats and attribute names carry
+// most of the signal).
+type GridResult struct {
+	Points []GridCell
+	Best   GridCell
+
+	// Top feature importances of the best forest, as (name, weight).
+	TopFeatures []FeatureWeight
+	// Aggregate importance by signal group.
+	StatsShare, NameShare float64
+}
+
+// GridCell is one grid evaluation.
+type GridCell struct {
+	Trees, Depth int
+	ValAccuracy  float64
+}
+
+// FeatureWeight names one feature importance.
+type FeatureWeight struct {
+	Name   string
+	Weight float64
+}
+
+// paperRFGrid is Appendix B's Random Forest grid. In Quick mode a reduced
+// grid keeps the sweep cheap.
+func paperRFGrid(quick bool) (trees, depths []float64) {
+	if quick {
+		return []float64{5, 25, 75}, []float64{5, 25}
+	}
+	return []float64{5, 25, 50, 75, 100}, []float64{5, 10, 25, 50, 100}
+}
+
+// GridSearchRF sweeps the paper's Random Forest grid on a train/validation
+// split of the training data and reports the winner and its feature
+// importances.
+func GridSearchRF(env *Env) (*GridResult, error) {
+	fs := featurize.DefaultFeatureSet()
+	trainLabels := modelsel.GatherInts(env.Labels, env.TrainIdx)
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 21))
+	subIdx, valIdx := modelsel.StratifiedSplit(trainLabels, 0.25, rng)
+	sub := gather(env.TrainIdx, subIdx)
+	val := gather(env.TrainIdx, valIdx)
+
+	X := fs.Matrix(env.Bases)
+	Xsub := modelsel.Gather(X, sub)
+	ysub := modelsel.GatherInts(env.Labels, sub)
+	Xval := modelsel.Gather(X, val)
+	yval := modelsel.GatherInts(env.Labels, val)
+
+	treesGrid, depthGrid := paperRFGrid(env.Cfg.Quick)
+	grid := modelsel.Grid(map[string][]float64{"trees": treesGrid, "depth": depthGrid})
+
+	res := &GridResult{}
+	var bestForest *tree.Forest
+	for _, p := range grid {
+		m := tree.NewClassifier(int(p["trees"]), int(p["depth"]))
+		m.Seed = env.Cfg.Seed
+		if err := m.Fit(Xsub, ysub, ftype.NumBaseClasses); err != nil {
+			return nil, fmt.Errorf("experiments: grid search: %w", err)
+		}
+		acc := metrics.Accuracy(yval, m.Predict(Xval))
+		cell := GridCell{Trees: int(p["trees"]), Depth: int(p["depth"]), ValAccuracy: acc}
+		res.Points = append(res.Points, cell)
+		if acc > res.Best.ValAccuracy {
+			res.Best = cell
+			bestForest = m
+		}
+	}
+
+	// Feature importances, mapped back to signal names: the first
+	// stats.VectorDim dimensions are the descriptive stats; the rest are
+	// hashed attribute-name bigram buckets.
+	imp := bestForest.FeatureImportances()
+	names := stats.VectorNames()
+	for i, w := range imp {
+		var name string
+		if i < len(names) {
+			name = names[i]
+			res.StatsShare += w
+		} else {
+			name = fmt.Sprintf("name_bigram[%d]", i-len(names))
+			res.NameShare += w
+		}
+		res.TopFeatures = append(res.TopFeatures, FeatureWeight{name, w})
+	}
+	sort.Slice(res.TopFeatures, func(i, j int) bool {
+		return res.TopFeatures[i].Weight > res.TopFeatures[j].Weight
+	})
+	if len(res.TopFeatures) > 12 {
+		res.TopFeatures = res.TopFeatures[:12]
+	}
+	return res, nil
+}
+
+// String renders the grid and the importance summary.
+func (r *GridResult) String() string {
+	var b strings.Builder
+	b.WriteString("Appendix B: Random Forest hyper-parameter grid (validation accuracy)\n\n")
+	t := &table{header: []string{"NumEstimator", "MaxDepth", "Validation accuracy"}}
+	for _, c := range r.Points {
+		marker := ""
+		if c == r.Best {
+			marker = "  <- best"
+		}
+		t.addRow(fmt.Sprintf("%d", c.Trees), fmt.Sprintf("%d", c.Depth), f3(c.ValAccuracy)+marker)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nSignal share of the best forest (Section 6.2 takeaway): descriptive stats %.1f%%, attribute-name bigrams %.1f%%\n\n",
+		100*r.StatsShare, 100*r.NameShare)
+	b.WriteString("Top individual features:\n")
+	for _, fw := range r.TopFeatures {
+		fmt.Fprintf(&b, "  %-28s %.4f\n", fw.Name, fw.Weight)
+	}
+	return b.String()
+}

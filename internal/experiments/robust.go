@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sortinghat/internal/core"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+)
+
+// Figure9Result is the Monte-Carlo robustness study (Figure 9 / Table 16):
+// for every held-out test column, the prediction is recomputed under many
+// random re-samplings of the five sample values, and we record the
+// percentage of runs whose prediction matches the unperturbed one.
+type Figure9Result struct {
+	Runs        int
+	Percentiles []float64 // probe percentiles
+	LogReg      []float64 // % unchanged at each percentile (over columns)
+	Forest      []float64
+}
+
+// Figure9 runs the perturbation study for Logistic Regression and Random
+// Forest on the (X_stats, X2_name, X2_sample1) feature set, as in the
+// paper.
+func Figure9(env *Env, runs int) (*Figure9Result, error) {
+	if runs <= 0 {
+		runs = 100
+	}
+	nCols := len(env.TestIdx)
+	if env.Cfg.Quick && nCols > 250 {
+		nCols = 250
+	}
+	testIdx := env.TestIdx[:nCols]
+
+	fs := featurize.FeatureSet{UseStats: true, UseName: true, SampleCount: 1}
+	trainBases, trainLabels := env.TrainBases()
+	lr, err := core.TrainOnBases(trainBases, trainLabels,
+		core.Options{Model: core.LogReg, FeatureSet: fs, Seed: env.Cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure9: %w", err)
+	}
+	rf, err := core.TrainOnBases(trainBases, trainLabels,
+		core.Options{Model: core.RandomForest, FeatureSet: fs, Seed: env.Cfg.Seed,
+			RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure9: %w", err)
+	}
+
+	stableLR := make([]float64, 0, nCols)
+	stableRF := make([]float64, 0, nCols)
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 77))
+	for _, j := range testIdx {
+		col := &env.Corpus[j].Column
+		base := featurize.ExtractFirstN(col, featurize.SampleCount)
+		refLR, _ := lr.PredictBase(&base)
+		refRF, _ := rf.PredictBase(&base)
+		sameLR, sameRF := 0, 0
+		for r := 0; r < runs; r++ {
+			perturbed := featurize.Extract(col, rng)
+			if p, _ := lr.PredictBase(&perturbed); p == refLR {
+				sameLR++
+			}
+			if p, _ := rf.PredictBase(&perturbed); p == refRF {
+				sameRF++
+			}
+		}
+		stableLR = append(stableLR, 100*float64(sameLR)/float64(runs))
+		stableRF = append(stableRF, 100*float64(sameRF)/float64(runs))
+	}
+
+	res := &Figure9Result{Runs: runs,
+		Percentiles: []float64{50, 20, 10, 5, 1, 0.1, 0.01}}
+	for _, p := range res.Percentiles {
+		res.LogReg = append(res.LogReg, metrics.Percentile(stableLR, p))
+		res.Forest = append(res.Forest, metrics.Percentile(stableRF, p))
+	}
+	return res, nil
+}
+
+// String renders the Table 16 percentile view of the stability CDF.
+func (r *Figure9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 / Table 16: robustness to value re-sampling (%d Monte-Carlo runs per column)\n", r.Runs)
+	b.WriteString("Percentage of runs whose prediction is unchanged, by percentile over test columns:\n\n")
+	t := &table{header: []string{"nth percentile", "Logistic Regression", "Random Forest"}}
+	for i, p := range r.Percentiles {
+		t.addRow(fmt.Sprintf("%g", p),
+			fmt.Sprintf("%.0f", r.LogReg[i]),
+			fmt.Sprintf("%.0f", r.Forest[i]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/tools"
+)
+
+// Table1Result holds the head-to-head comparison of every approach on the
+// held-out test set: Tables 1 (binarized P/R/accuracy), 8 (F1) and 17
+// (confusion matrices) of the paper, plus the 9-class accuracies quoted in
+// Section 4.3 for the rule baseline and Sherlock.
+type Table1Result struct {
+	Approaches []string
+	Confusions map[string]*metrics.ConfusionMatrix
+	NineClass  map[string]float64
+}
+
+// classesShown mirrors the classes the paper reports per-class scores for.
+var classesShown = []ftype.FeatureType{
+	ftype.Numeric, ftype.Categorical, ftype.Datetime, ftype.Sentence,
+	ftype.URL, ftype.EmbeddedNumber, ftype.List,
+	ftype.NotGeneralizable, ftype.ContextSpecific,
+}
+
+// Table1 trains the ML models on the training split and compares them with
+// the industrial tools, the rule baseline and Sherlock on the held-out
+// test set.
+func Table1(env *Env) (*Table1Result, error) {
+	res := &Table1Result{
+		Confusions: map[string]*metrics.ConfusionMatrix{},
+		NineClass:  map[string]float64{},
+	}
+	yTest := env.TestLabels()
+
+	// Rule/syntax approaches run directly on the raw columns.
+	ruleApproaches := []tools.Inferrer{
+		tools.TFDV{}, tools.Pandas{}, tools.TransmogrifAI{},
+		tools.AutoGluon{}, tools.Sherlock{}, tools.RuleBaseline{},
+	}
+	for _, tool := range ruleApproaches {
+		pred := make([]int, len(env.TestIdx))
+		for i, j := range env.TestIdx {
+			pred[i] = tool.Infer(&env.Corpus[j].Column).Index()
+		}
+		cm := metrics.Confusion(yTest, pred, ftype.NumBaseClasses)
+		res.Approaches = append(res.Approaches, tool.Name())
+		res.Confusions[tool.Name()] = cm
+		res.NineClass[tool.Name()] = cm.MultiAccuracy()
+	}
+
+	// ML models trained on our labeled data. Feature sets follow Section
+	// 3.3: classical models use stats + name and sample bigrams; the CNN
+	// uses raw characters plus stats.
+	trainBases, trainLabels := env.TrainBases()
+	mlModels := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Log Reg", core.Options{Model: core.LogReg, FeatureSet: featurize.FullFeatureSet(), Seed: env.Cfg.Seed}},
+		{"CNN", core.Options{Model: core.CNN,
+			FeatureSet: featurize.FeatureSet{UseStats: true, UseName: true, SampleCount: 1},
+			Seed:       env.Cfg.Seed, CNNEpochs: env.Cfg.CNNEpochs}},
+		{"Rand Forest", core.Options{Model: core.RandomForest, FeatureSet: featurize.DefaultFeatureSet(),
+			Seed: env.Cfg.Seed, RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth}},
+	}
+	for _, m := range mlModels {
+		pipe, err := core.TrainOnBases(trainBases, trainLabels, m.opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1: training %s: %w", m.name, err)
+		}
+		pred := make([]int, len(env.TestIdx))
+		for i, j := range env.TestIdx {
+			t, _ := pipe.PredictBase(&env.Bases[j])
+			pred[i] = t.Index()
+		}
+		cm := metrics.Confusion(yTest, pred, ftype.NumBaseClasses)
+		res.Approaches = append(res.Approaches, m.name)
+		res.Confusions[m.name] = cm
+		res.NineClass[m.name] = cm.MultiAccuracy()
+	}
+	return res, nil
+}
+
+// String renders Table 1 (precision/recall/binarized accuracy per class),
+// Table 8 (F1), the Section 4.3 9-class accuracies, and the Table 17
+// confusion matrices.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: binarized class-specific accuracy on the held-out test set\n\n")
+	for _, cls := range classesShown {
+		fmt.Fprintf(&b, "-- %s --\n", cls)
+		t := &table{header: []string{"Approach", "Precision", "Recall", "Accuracy", "F1"}}
+		for _, a := range r.Approaches {
+			s := r.Confusions[a].Binarized(cls.Index())
+			t.addRow(a, f3(s.Precision), f3(s.Recall), f3(s.Accuracy), f3(s.F1))
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("9-class accuracy (Section 4.3)\n")
+	t := &table{header: []string{"Approach", "9-class accuracy"}}
+	for _, a := range r.Approaches {
+		t.addRow(a, f3(r.NineClass[a]))
+	}
+	b.WriteString(t.String())
+	b.WriteByte('\n')
+	for _, a := range []string{"Rule-based", "Rand Forest", "Sherlock"} {
+		if cm, ok := r.Confusions[a]; ok {
+			fmt.Fprintf(&b, "Table 17 confusion matrix: %s (rows=actual, cols=predicted)\n%s\n", a, cm)
+		}
+	}
+	return b.String()
+}

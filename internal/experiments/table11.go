@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/synth"
+)
+
+// Table11Row is the accuracy of the Random Forest retrained with a tenth
+// class (Country or State) using N extra labeled examples.
+type Table11Row struct {
+	Type      ftype.FeatureType
+	ExtraN    int
+	TenClass  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	Binarized float64
+}
+
+// Table11Result is the vocabulary-extension study (Appendix I.4).
+type Table11Result struct {
+	Rows      []Table11Row
+	NineClass float64 // reference 9-class accuracy with the same feature set
+}
+
+// Table11 extends the vocabulary with Country and State one at a time,
+// with N=100 and N=200 extra training examples, retraining a Random Forest
+// on the (X_stats, X2_sample1) feature set as in the paper.
+func Table11(env *Env) (*Table11Result, error) {
+	fs := featurize.FeatureSet{UseStats: true, SampleCount: 1}
+	res := &Table11Result{}
+
+	// Reference 9-class accuracy with this feature set.
+	trainBases, trainLabels := env.TrainBases()
+	ref, err := core.TrainOnBases(trainBases, trainLabels, core.Options{
+		Model: core.RandomForest, FeatureSet: fs, Seed: env.Cfg.Seed,
+		RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table11: %w", err)
+	}
+	yTest := env.TestLabels()
+	pred := make([]int, len(env.TestIdx))
+	for i, j := range env.TestIdx {
+		t, _ := ref.PredictBase(&env.Bases[j])
+		pred[i] = t.Index()
+	}
+	res.NineClass = metrics.Accuracy(yTest, pred)
+
+	for _, ext := range []ftype.FeatureType{ftype.Country, ftype.State} {
+		for _, n := range []int{100, 200} {
+			extTrain, extTest := synth.GenerateExtension(synth.ExtensionConfig{
+				Type: ext, TrainN: n, TestN: 100, Seed: env.Cfg.Seed + int64(ext)*13 + int64(n),
+			})
+			row, err := runExtension(env, fs, ext, extTrain, extTest)
+			if err != nil {
+				return nil, err
+			}
+			row.ExtraN = n
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runExtension(env *Env, fs featurize.FeatureSet, ext ftype.FeatureType,
+	extTrain, extTest []data.LabeledColumn) (Table11Row, error) {
+
+	extIdx := 9 // the tenth class index
+	// Build training data: the base 9-class training split plus the extra
+	// examples of the extension type.
+	bases, labels := env.TrainBases()
+	for i := range extTrain {
+		b := featurize.ExtractFirstN(&extTrain[i].Column, featurize.SampleCount)
+		bases = append(bases, b)
+		labels = append(labels, extIdx)
+	}
+	pipe, err := core.TrainOnBases(bases, labels, core.Options{
+		Model: core.RandomForest, FeatureSet: fs, Classes: 10,
+		Seed: env.Cfg.Seed, RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth})
+	if err != nil {
+		return Table11Row{}, fmt.Errorf("experiments: table11: training with %s: %w", ext, err)
+	}
+
+	// Test set: the base held-out split plus 100 extension examples.
+	truth := env.TestLabels()
+	pred := make([]int, 0, len(truth)+len(extTest))
+	for _, j := range env.TestIdx {
+		t, _ := pipe.PredictBase(&env.Bases[j])
+		pred = append(pred, t.Index())
+	}
+	for i := range extTest {
+		b := featurize.ExtractFirstN(&extTest[i].Column, featurize.SampleCount)
+		t, _ := pipe.PredictBase(&b)
+		pred = append(pred, t.Index())
+		truth = append(truth, extIdx)
+	}
+	cm := metrics.Confusion(truth, pred, 10)
+	bs := cm.Binarized(extIdx)
+	return Table11Row{
+		Type: ext, TenClass: cm.MultiAccuracy(),
+		Precision: bs.Precision, Recall: bs.Recall, F1: bs.F1, Binarized: bs.Accuracy,
+	}, nil
+}
+
+// String renders the extension study.
+func (r *Table11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 11: extending the vocabulary with Country / State (Random Forest on X_stats, X2_sample1)\n")
+	fmt.Fprintf(&b, "Reference 9-class accuracy with this feature set: %.3f\n\n", r.NineClass)
+	t := &table{header: []string{"Type", "Extra N", "10-class acc", "Precision", "Recall", "F1", "Binarized acc"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Type.String(), fmt.Sprintf("%d", row.ExtraN),
+			f3(row.TenClass), f3(row.Precision), f3(row.Recall), f3(row.F1), f3(row.Binarized))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/linear"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/stats"
+)
+
+// Table12Row is one ablation: a model trained with one of the three
+// type-specific descriptive-statistic features removed.
+type Table12Row struct {
+	Model    string
+	Dropped  string // "", "list", "url", "datetime"
+	NineAcc  float64
+	Datetime metrics.BinaryScores
+	URL      metrics.BinaryScores
+	List     metrics.BinaryScores
+}
+
+// Table12Result is the robustness ablation of the custom type-specific
+// features (Appendix I.4 part B).
+type Table12Result struct{ Rows []Table12Row }
+
+// statFeatureIndex locates a named stats-vector dimension.
+func statFeatureIndex(name string) int {
+	for i, n := range stats.VectorNames() {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table12 drops the list-, URL- and datetime-specific boolean checks from
+// X_stats one at a time and retrains Logistic Regression and Random Forest
+// on [X_stats, X2_name, X2_sample1].
+func Table12(env *Env) (*Table12Result, error) {
+	fs := featurize.FeatureSet{UseStats: true, UseName: true, SampleCount: 1}
+	X := fs.Matrix(env.Bases)
+	drops := map[string][]int{
+		"":         nil,
+		"list":     {statFeatureIndex("sample_has_list"), statFeatureIndex("sample_has_delim_seq")},
+		"url":      {statFeatureIndex("sample_has_url")},
+		"datetime": {statFeatureIndex("sample_has_date")},
+	}
+	trainLabels := modelsel.GatherInts(env.Labels, env.TrainIdx)
+	testLabels := env.TestLabels()
+
+	res := &Table12Result{}
+	for _, model := range []string{"Logistic Regression", "Random Forest"} {
+		for _, dropped := range []string{"", "list", "url", "datetime"} {
+			Xd := X
+			if cols := drops[dropped]; len(cols) > 0 {
+				Xd = zeroColumns(X, cols)
+			}
+			Xtr := modelsel.Gather(Xd, env.TrainIdx)
+			Xte := modelsel.Gather(Xd, env.TestIdx)
+			var pred []int
+			switch model {
+			case "Logistic Regression":
+				sc := featurize.FitScaler(Xtr)
+				Xtr = sc.Transform(cloneMatrix(Xtr))
+				Xte = sc.Transform(cloneMatrix(Xte))
+				m := linear.NewLogisticRegression()
+				m.Seed = env.Cfg.Seed
+				if err := m.Fit(Xtr, trainLabels, ftype.NumBaseClasses); err != nil {
+					return nil, fmt.Errorf("experiments: table12: %w", err)
+				}
+				pred = m.Predict(Xte)
+			default:
+				m := tree.NewClassifier(env.Cfg.RFTrees, env.Cfg.RFDepth)
+				m.Seed = env.Cfg.Seed
+				if err := m.Fit(Xtr, trainLabels, ftype.NumBaseClasses); err != nil {
+					return nil, fmt.Errorf("experiments: table12: %w", err)
+				}
+				pred = m.Predict(Xte)
+			}
+			cm := metrics.Confusion(testLabels, pred, ftype.NumBaseClasses)
+			res.Rows = append(res.Rows, Table12Row{
+				Model: model, Dropped: dropped,
+				NineAcc:  cm.MultiAccuracy(),
+				Datetime: cm.Binarized(ftype.Datetime.Index()),
+				URL:      cm.Binarized(ftype.URL.Index()),
+				List:     cm.Binarized(ftype.List.Index()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// zeroColumns returns a copy of X with the given columns zeroed.
+func zeroColumns(X [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := append([]float64(nil), row...)
+		for _, c := range cols {
+			if c >= 0 && c < len(r) {
+				r[c] = 0
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func cloneMatrix(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// String renders the ablation table.
+func (r *Table12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 12: ablation of type-specific stats features on [X_stats, X2_name, X2_sample1]\n\n")
+	t := &table{header: []string{"Model", "Dropped feature", "9-class acc",
+		"DT P/R/F1", "URL P/R/F1", "List P/R/F1"}}
+	for _, row := range r.Rows {
+		dropped := row.Dropped
+		if dropped == "" {
+			dropped = "(none)"
+		}
+		prf := func(s metrics.BinaryScores) string {
+			return fmt.Sprintf("%.3f/%.3f/%.3f", s.Precision, s.Recall, s.F1)
+		}
+		t.addRow(row.Model, dropped, f3(row.NineAcc), prf(row.Datetime), prf(row.URL), prf(row.List))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

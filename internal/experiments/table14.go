@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/synth"
+	"sortinghat/internal/tools"
+)
+
+// Table14Row is one semantic type in the Sherlock-complementarity study.
+type Table14Row struct {
+	Type               string
+	TestExamples       int
+	SherlockCorrect    int // Sherlock run independently
+	OurRFCategorical   int // columns OurRF routes to Categorical
+	SherlockGivenOurRF int // Sherlock correct among OurRF's Categorical predictions
+}
+
+// Table14Result reproduces Appendix I.4 Part C: Sherlock's semantic type
+// detection is complementary to ML feature type inference — running
+// Sherlock on top of OurRF's Categorical predictions recovers the same
+// semantic types as running it alone.
+type Table14Result struct{ Rows []Table14Row }
+
+// semanticProbe generates test columns of one unambiguous semantic type.
+func semanticProbe(kind string, n int, seed int64) []data.Column {
+	switch kind {
+	case "Country":
+		_, test := synth.GenerateExtension(synth.ExtensionConfig{
+			Type: ftype.Country, TrainN: 0, TestN: n, Seed: seed})
+		cols := make([]data.Column, len(test))
+		for i := range test {
+			cols[i] = test[i].Column
+		}
+		return cols
+	case "State":
+		_, test := synth.GenerateExtension(synth.ExtensionConfig{
+			Type: ftype.State, TrainN: 0, TestN: n, Seed: seed})
+		cols := make([]data.Column, len(test))
+		for i := range test {
+			cols[i] = test[i].Column
+		}
+		return cols
+	default: // Gender
+		cols := make([]data.Column, n)
+		for i := range cols {
+			vals := make([]string, 80)
+			for j := range vals {
+				if (i+j)%2 == 0 {
+					vals[j] = "M"
+				} else {
+					vals[j] = "F"
+				}
+			}
+			if i%3 == 0 {
+				for j := range vals {
+					if vals[j] == "M" {
+						vals[j] = "Male"
+					} else {
+						vals[j] = "Female"
+					}
+				}
+			}
+			cols[i] = data.Column{Name: "gender", Values: vals}
+		}
+		return cols
+	}
+}
+
+// sherlockMatches maps a probe kind to the Sherlock semantic types that
+// count as a correct detection.
+var sherlockMatches = map[string][]string{
+	"Country": {"country", "nationality", "origin", "continent"},
+	"State":   {"state", "region", "county"},
+	"Gender":  {"gender", "sex"},
+}
+
+// Table14 runs Sherlock alone and Sherlock-on-top-of-OurRF over probe
+// columns of three unambiguous semantic types.
+func Table14(env *Env) (*Table14Result, error) {
+	ourRF, err := TrainOurRF(env)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table14: %w", err)
+	}
+	sh := tools.Sherlock{}
+	res := &Table14Result{}
+	for i, kind := range []string{"Country", "State", "Gender"} {
+		probes := semanticProbe(kind, 24, env.Cfg.Seed+int64(i)*7)
+		row := Table14Row{Type: kind, TestExamples: len(probes)}
+		accepted := map[string]bool{}
+		for _, m := range sherlockMatches[kind] {
+			accepted[m] = true
+		}
+		for c := range probes {
+			sem := sh.PredictSemantic(&probes[c])
+			correct := accepted[sem]
+			if correct {
+				row.SherlockCorrect++
+			}
+			if ourRF.Infer(&probes[c]) == ftype.Categorical {
+				row.OurRFCategorical++
+				if correct {
+					row.SherlockGivenOurRF++
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the complementarity study.
+func (r *Table14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 14: Sherlock semantic detection, alone and on top of OurRF's Categorical predictions\n\n")
+	t := &table{header: []string{"Semantic type", "#Test", "Sherlock correct", "Recall",
+		"OurRF -> Categorical", "Sherlock correct | OurRF"}}
+	for _, row := range r.Rows {
+		recall := 0.0
+		if row.TestExamples > 0 {
+			recall = float64(row.SherlockCorrect) / float64(row.TestExamples)
+		}
+		t.addRow(row.Type, fmt.Sprintf("%d", row.TestExamples),
+			fmt.Sprintf("%d", row.SherlockCorrect), pct(recall),
+			fmt.Sprintf("%d", row.OurRFCategorical),
+			fmt.Sprintf("%d", row.SherlockGivenOurRF))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n(The paper's takeaway: identical Sherlock recall with and without OurRF in front — the tools are complementary.)\n")
+	return b.String()
+}

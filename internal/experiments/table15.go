@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/downstream"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/synth"
+	"sortinghat/internal/tools"
+)
+
+// Table15Result is the double-representation study (Appendix I.5.2): for
+// the 25 classification datasets, integer columns are routed to both the
+// numeric and one-hot representations. Existing tools double-represent
+// every integer column; "NewRF" is OurRF adapted to double-represent only
+// integer columns whose class confidence falls below 0.4.
+type Table15Result struct {
+	Tools        []string
+	Underperform map[string]int // vs single-representation truth
+	UnderBase    map[string]int // vs the tool's own single-rep baseline
+	OutperfBase  map[string]int
+	Best         map[string]int
+	Datasets     int
+}
+
+// Table15 runs the study. It reuses the environment's OurRF.
+func Table15(env *Env) (*Table15Result, error) {
+	ourRF, err := TrainOurRF(env)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table15: %w", err)
+	}
+	suite := suiteFor(env)
+
+	type entry struct {
+		name   string
+		types  func(d *synth.Downstream) []ftype.FeatureType
+		double func(d *synth.Downstream, types []ftype.FeatureType) []bool
+	}
+	allInt := func(d *synth.Downstream, _ []ftype.FeatureType) []bool {
+		out := make([]bool, d.Data.NumCols()-1)
+		for c := range out {
+			out[c] = downstream.IsIntegerColumn(&d.Data.Columns[c])
+		}
+		return out
+	}
+	entries := []entry{
+		{"Pandas", func(d *synth.Downstream) []ftype.FeatureType { return downstream.InferTypes(d, tools.Pandas{}) }, allInt},
+		{"TFDV", func(d *synth.Downstream) []ftype.FeatureType { return downstream.InferTypes(d, tools.TFDV{}) }, allInt},
+		{"AutoGluon", func(d *synth.Downstream) []ftype.FeatureType { return downstream.InferTypes(d, tools.AutoGluon{}) }, allInt},
+		{"NewRF", func(d *synth.Downstream) []ftype.FeatureType { return downstream.InferTypes(d, ourRF) },
+			func(d *synth.Downstream, types []ftype.FeatureType) []bool {
+				out := make([]bool, d.Data.NumCols()-1)
+				for c := range out {
+					if !downstream.IsIntegerColumn(&d.Data.Columns[c]) {
+						continue
+					}
+					b := featurize.ExtractFirstN(&d.Data.Columns[c], featurize.SampleCount)
+					_, probs := ourRF.PredictBase(&b)
+					best := 0.0
+					for _, p := range probs {
+						if p > best {
+							best = p
+						}
+					}
+					out[c] = best < 0.4 // low-confidence integers get both representations
+				}
+				return out
+			}},
+	}
+
+	res := &Table15Result{
+		Underperform: map[string]int{}, UnderBase: map[string]int{},
+		OutperfBase: map[string]int{}, Best: map[string]int{},
+	}
+	for _, e := range entries {
+		res.Tools = append(res.Tools, e.name)
+	}
+	seed := env.Cfg.Seed + 31
+	for _, d := range suite {
+		if d.IsRegression() {
+			continue
+		}
+		res.Datasets++
+		truth, err := downstream.Evaluate(d, d.TrueTypes, downstream.ForestModel, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table15 truth: %w", err)
+		}
+		best := math.Inf(-1)
+		accs := map[string]float64{}
+		for _, e := range entries {
+			types := e.types(d)
+			// Single-representation baseline.
+			base, err := downstream.Evaluate(d, types, downstream.ForestModel, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table15 base: %w", err)
+			}
+			dbl, err := downstream.EvaluateDouble(d, types, e.double(d, types), downstream.ForestModel, seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table15 double: %w", err)
+			}
+			accs[e.name] = dbl.Acc
+			if dbl.Acc > best {
+				best = dbl.Acc
+			}
+			if dbl.Acc < truth.Acc-accTol {
+				res.Underperform[e.name]++
+			}
+			if dbl.Acc < base.Acc-accTol {
+				res.UnderBase[e.name]++
+			}
+			if dbl.Acc > base.Acc+accTol {
+				res.OutperfBase[e.name]++
+			}
+		}
+		for _, e := range entries {
+			if accs[e.name] >= best-accTol {
+				res.Best[e.name]++
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the Table 15 summary.
+func (r *Table15Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 15: double representation of integer columns (%d classification datasets, downstream Random Forest)\n\n", r.Datasets)
+	t := &table{header: append([]string{""}, r.Tools...)}
+	rows := []struct {
+		label string
+		src   map[string]int
+	}{
+		{"Underperform truth", r.Underperform},
+		{"Underperform tool single-rep baseline", r.UnderBase},
+		{"Outperform tool single-rep baseline", r.OutperfBase},
+		{"Best performing tool for a dataset", r.Best},
+	}
+	for _, row := range rows {
+		cells := []string{row.label}
+		for _, tn := range r.Tools {
+			cells = append(cells, fmt.Sprintf("%d", row.src[tn]))
+		}
+		t.addRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

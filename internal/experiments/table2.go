@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sortinghat/internal/core"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+)
+
+// FeatureSets2 are the nine feature-set columns of Table 2, in paper order.
+func FeatureSets2() []featurize.FeatureSet {
+	fs := func(stats, name bool, samples int) featurize.FeatureSet {
+		return featurize.FeatureSet{UseStats: stats, UseName: name, SampleCount: samples}
+	}
+	return []featurize.FeatureSet{
+		fs(true, false, 0),  // X_stats
+		fs(false, true, 0),  // X*_name
+		fs(false, false, 1), // X*_sample1
+		fs(true, true, 0),   // X_stats, X*_name
+		fs(true, false, 1),  // X_stats, X*_sample1
+		fs(false, true, 1),  // X*_name, X*_sample1
+		fs(false, false, 2), // X*_sample1, X*_sample2
+		fs(true, true, 1),   // X_stats, X*_name, X*_sample1
+		fs(true, true, 2),   // X_stats, X*_name, X*_sample1, X*_sample2
+	}
+}
+
+// Table2Cell holds train/validation/test accuracy for one model and
+// feature set (Table 9 reports all three; Table 2 is the Test column).
+type Table2Cell struct {
+	Train, Val, Test float64
+	Skipped          bool // cell not applicable (paper leaves it blank)
+}
+
+// Table2Result is the model × feature-set accuracy grid.
+type Table2Result struct {
+	Models []string
+	Sets   []featurize.FeatureSet
+	Cells  map[string][]Table2Cell // model -> per-set cells
+}
+
+// knnApplicable mirrors the paper: k-NN runs only on X_stats, X*_name and
+// their combination (the task distance has no sample-value component).
+func knnApplicable(fs featurize.FeatureSet) bool {
+	return fs.SampleCount == 0 && (fs.UseStats || fs.UseName)
+}
+
+// Table2 runs the feature-set ablation of Table 2 / Table 9: five model
+// families across nine feature sets. Models are tuned/fitted on 75% of the
+// training split with the remaining 25% as the validation fold (a
+// single-fold stand-in for the paper's 5-fold nested CV; see DESIGN.md).
+func Table2(env *Env) (*Table2Result, error) {
+	res := &Table2Result{
+		Models: []string{"Logistic Regression", "RBF-SVM", "Random Forest", "CNN", "k-NN"},
+		Sets:   FeatureSets2(),
+		Cells:  map[string][]Table2Cell{},
+	}
+	// Split the training data into subtrain/val once, shared by all cells.
+	trainLabels := modelsel.GatherInts(env.Labels, env.TrainIdx)
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 5))
+	subIdx, valIdx := modelsel.StratifiedSplit(trainLabels, 0.25, rng)
+	sub := gather(env.TrainIdx, subIdx) // corpus indices
+	val := gather(env.TrainIdx, valIdx)
+
+	subBases := gather(env.Bases, sub)
+	subLabels := modelsel.GatherInts(env.Labels, sub)
+	valLabels := modelsel.GatherInts(env.Labels, val)
+	testLabels := env.TestLabels()
+
+	evalPipe := func(p *core.Pipeline, idx []int, y []int) float64 {
+		pred := make([]int, len(idx))
+		for i, j := range idx {
+			t, _ := p.PredictBase(&env.Bases[j])
+			pred[i] = t.Index()
+		}
+		return metrics.Accuracy(y, pred)
+	}
+
+	for _, modelName := range res.Models {
+		cells := make([]Table2Cell, len(res.Sets))
+		for si, fs := range res.Sets {
+			var opts core.Options
+			opts.FeatureSet = fs
+			opts.Seed = env.Cfg.Seed
+			switch modelName {
+			case "Logistic Regression":
+				opts.Model = core.LogReg
+			case "RBF-SVM":
+				opts.Model = core.RBFSVM
+			case "Random Forest":
+				opts.Model = core.RandomForest
+				opts.RFTrees = env.Cfg.RFTrees
+				opts.RFDepth = env.Cfg.RFDepth
+			case "CNN":
+				opts.Model = core.CNN
+				opts.CNNEpochs = env.Cfg.CNNEpochs
+			case "k-NN":
+				opts.Model = core.KNN
+				if !knnApplicable(fs) {
+					cells[si] = Table2Cell{Skipped: true}
+					continue
+				}
+			}
+			pipe, err := core.TrainOnBases(subBases, subLabels, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table2: %s / %s: %w", modelName, fs.Label(), err)
+			}
+			cells[si] = Table2Cell{
+				Train: evalPipe(pipe, sub, subLabels),
+				Val:   evalPipe(pipe, val, valLabels),
+				Test:  evalPipe(pipe, env.TestIdx, testLabels),
+			}
+		}
+		res.Cells[modelName] = cells
+	}
+	return res, nil
+}
+
+// String renders the Table 2 grid (test accuracy) followed by the Table 9
+// train/validation/test breakdown.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: full 9-class test accuracy by model and feature set\n\n")
+	header := []string{"Model"}
+	for _, fs := range r.Sets {
+		header = append(header, fs.Label())
+	}
+	t := &table{header: header}
+	for _, m := range r.Models {
+		row := []string{m}
+		for _, c := range r.Cells[m] {
+			if c.Skipped {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", c.Test))
+			}
+		}
+		t.addRow(row...)
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nTable 9: train / validation / test accuracy by model and feature set\n\n")
+	t9 := &table{header: header}
+	for _, m := range r.Models {
+		row := []string{m}
+		for _, c := range r.Cells[m] {
+			if c.Skipped {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f/%.3f/%.3f", c.Train, c.Val, c.Test))
+			}
+		}
+		t9.addRow(row...)
+	}
+	b.WriteString(t9.String())
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/featurize"
+)
+
+// Table3Error is one misclassified test example, in the shape of the
+// paper's Table 3: attribute name, a sample value, column size, distinct
+// and NaN percentages, the true label and the model's prediction.
+type Table3Error struct {
+	Name        string
+	SampleValue string
+	TotalValues int
+	PctDistinct float64
+	PctNaNs     float64
+	Label       ftype.FeatureType
+	Prediction  ftype.FeatureType
+}
+
+// Table3Result is the Random Forest error analysis: representative errors
+// grouped by (label, prediction) pair plus pair frequencies.
+type Table3Result struct {
+	Examples   []Table3Error
+	PairCounts map[[2]ftype.FeatureType]int
+	TestErrors int
+	TestTotal  int
+}
+
+// Table3 trains the best Random Forest and collects its held-out errors,
+// keeping one representative example per (label, prediction) pair.
+func Table3(env *Env) (*Table3Result, error) {
+	opts := core.Options{Model: core.RandomForest, FeatureSet: featurize.DefaultFeatureSet(),
+		Seed: env.Cfg.Seed, RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth}
+	trainBases, trainLabels := env.TrainBases()
+	pipe, err := core.TrainOnBases(trainBases, trainLabels, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table3: %w", err)
+	}
+	res := &Table3Result{PairCounts: map[[2]ftype.FeatureType]int{}}
+	seen := map[[2]ftype.FeatureType]bool{}
+	for _, j := range env.TestIdx {
+		pred, _ := pipe.PredictBase(&env.Bases[j])
+		truth := env.Corpus[j].Label
+		res.TestTotal++
+		if pred == truth {
+			continue
+		}
+		res.TestErrors++
+		pair := [2]ftype.FeatureType{truth, pred}
+		res.PairCounts[pair]++
+		if seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		b := &env.Bases[j]
+		res.Examples = append(res.Examples, Table3Error{
+			Name:        b.Name,
+			SampleValue: b.Sample(0),
+			TotalValues: b.Stats.TotalVals,
+			PctDistinct: b.Stats.PctUnique,
+			PctNaNs:     b.Stats.PctNaNs,
+			Label:       truth,
+			Prediction:  pred,
+		})
+	}
+	sort.Slice(res.Examples, func(i, k int) bool {
+		a, b := res.Examples[i], res.Examples[k]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Prediction < b.Prediction
+	})
+	return res, nil
+}
+
+// String renders the representative error table and pair frequencies.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: examples of errors made by Random Forest (%d errors / %d test examples)\n\n",
+		r.TestErrors, r.TestTotal)
+	t := &table{header: []string{"Attribute Name", "Sample Value", "Total Values", "%Distinct", "%NaNs", "Label", "RF Prediction"}}
+	for _, e := range r.Examples {
+		sample := e.SampleValue
+		if len(sample) > 28 {
+			sample = sample[:25] + "..."
+		}
+		t.addRow(e.Name, sample, fmt.Sprintf("%d", e.TotalValues),
+			fmt.Sprintf("%.2f", e.PctDistinct), fmt.Sprintf("%.1f", e.PctNaNs),
+			e.Label.Short(), e.Prediction.Short())
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nError pair frequencies (label -> prediction):\n")
+	type pc struct {
+		pair  [2]ftype.FeatureType
+		count int
+	}
+	pairs := make([]pc, 0, len(r.PairCounts))
+	for p, c := range r.PairCounts {
+		pairs = append(pairs, pc{p, c})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].count > pairs[j].count })
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "  %-18s -> %-18s %d\n", p.pair[0], p.pair[1], p.count)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sortinghat/internal/core"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/ml/modelsel"
+)
+
+// Table7Row is the leave-datafile-out accuracy of one model on the
+// (X_stats, X2_name) feature set.
+type Table7Row struct {
+	Model            string
+	Train, Val, Test float64
+}
+
+// Table7Result reproduces the leave-datafile-out stress test (Appendix
+// I.2): files are split 60:20:20 so every column of a file lands in the
+// same partition, and the test partition contains only unseen files.
+type Table7Result struct{ Rows []Table7Row }
+
+// Table7 runs the grouped-split evaluation for the four classical models.
+func Table7(env *Env) (*Table7Result, error) {
+	groups := make([]int, len(env.Corpus))
+	for i := range env.Corpus {
+		groups[i] = env.Corpus[i].FileID
+	}
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 17))
+	trainIdx, valIdx, testIdx := modelsel.GroupedSplit(groups, 0.6, 0.2, rng)
+
+	fs := featurize.DefaultFeatureSet() // X_stats, X2_name
+	trainBases := gather(env.Bases, trainIdx)
+	trainLabels := modelsel.GatherInts(env.Labels, trainIdx)
+	evalOn := func(p *core.Pipeline, idx []int) float64 {
+		pred := make([]int, len(idx))
+		for i, j := range idx {
+			t, _ := p.PredictBase(&env.Bases[j])
+			pred[i] = t.Index()
+		}
+		return metrics.Accuracy(modelsel.GatherInts(env.Labels, idx), pred)
+	}
+
+	models := []struct {
+		name string
+		opts core.Options
+	}{
+		{"Logistic Regression", core.Options{Model: core.LogReg, FeatureSet: fs, Seed: env.Cfg.Seed}},
+		{"RBF-SVM", core.Options{Model: core.RBFSVM, FeatureSet: fs, Seed: env.Cfg.Seed}},
+		{"Random Forest", core.Options{Model: core.RandomForest, FeatureSet: fs, Seed: env.Cfg.Seed,
+			RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth}},
+		{"k-NN", core.Options{Model: core.KNN, FeatureSet: fs, Seed: env.Cfg.Seed}},
+	}
+	res := &Table7Result{}
+	for _, m := range models {
+		pipe, err := core.TrainOnBases(trainBases, trainLabels, m.opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table7: training %s: %w", m.name, err)
+		}
+		row := Table7Row{Model: m.name, Val: evalOn(pipe, valIdx), Test: evalOn(pipe, testIdx)}
+		if m.opts.Model != core.KNN { // train accuracy is vacuous for k-NN
+			row.Train = evalOn(pipe, trainIdx)
+		} else {
+			row.Train = -1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the leave-datafile-out table.
+func (r *Table7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 7: leave-datafile-out accuracy on [X_stats, X2_name]\n\n")
+	t := &table{header: []string{"Model", "Train", "Validation", "Test"}}
+	for _, row := range r.Rows {
+		tr := "-"
+		if row.Train >= 0 {
+			tr = f3(row.Train)
+		}
+		t.addRow(row.Model, tr, f3(row.Val), f3(row.Test))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

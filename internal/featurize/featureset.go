@@ -1,0 +1,106 @@
+package featurize
+
+// FeatureSet selects which base-featurization signals feed a classical ML
+// model and how they are vectorized. It reproduces the feature-set ablation
+// axis of Table 2 in the paper: descriptive stats (X_stats), attribute-name
+// bigrams (X2_name), and bigrams of the first/second sampled value
+// (X2_sample1, X2_sample2).
+type FeatureSet struct {
+	UseStats    bool
+	UseName     bool
+	SampleCount int // number of sampled values to bigram-hash (0, 1 or 2)
+
+	NameDim   int // hash dimensionality for name bigrams
+	SampleDim int // hash dimensionality per sampled value
+}
+
+// DefaultFeatureSet is the paper's best-performing configuration for the
+// Random Forest: descriptive stats plus attribute-name bigrams.
+func DefaultFeatureSet() FeatureSet {
+	return FeatureSet{UseStats: true, UseName: true, SampleCount: 0,
+		NameDim: 256, SampleDim: 128}
+}
+
+// FullFeatureSet enables stats, name bigrams and two sample-value bigrams.
+func FullFeatureSet() FeatureSet {
+	return FeatureSet{UseStats: true, UseName: true, SampleCount: 2,
+		NameDim: 256, SampleDim: 128}
+}
+
+// normalized fills in default hash dimensions.
+func (fs FeatureSet) normalized() FeatureSet {
+	if fs.NameDim == 0 {
+		fs.NameDim = 256
+	}
+	if fs.SampleDim == 0 {
+		fs.SampleDim = 128
+	}
+	return fs
+}
+
+// Dim returns the dimensionality of vectors produced by Vector.
+func (fs FeatureSet) Dim() int {
+	fs = fs.normalized()
+	d := 0
+	if fs.UseStats {
+		d += len((&Base{}).Stats.Vector())
+	}
+	if fs.UseName {
+		d += fs.NameDim
+	}
+	d += fs.SampleCount * fs.SampleDim
+	return d
+}
+
+// Vector encodes a base-featurized column under this feature set. Name and
+// sample values are encoded as hashed character bigrams; stats use the
+// canonical Stats vector.
+func (fs FeatureSet) Vector(b *Base) []float64 {
+	fs = fs.normalized()
+	out := make([]float64, 0, fs.Dim())
+	if fs.UseStats {
+		out = append(out, b.Stats.Vector()...)
+	}
+	if fs.UseName {
+		out = append(out, HashNgrams(b.Name, 2, fs.NameDim)...)
+	}
+	for i := 0; i < fs.SampleCount; i++ {
+		out = append(out, HashNgrams(b.Sample(i), 2, fs.SampleDim)...)
+	}
+	return out
+}
+
+// Matrix vectorizes a slice of base features under this feature set.
+func (fs FeatureSet) Matrix(bases []Base) [][]float64 {
+	X := make([][]float64, len(bases))
+	for i := range bases {
+		X[i] = fs.Vector(&bases[i])
+	}
+	return X
+}
+
+// Label describes the feature set using the paper's notation, e.g.
+// "X_stats, X2_name, X2_sample1".
+func (fs FeatureSet) Label() string {
+	parts := []string{}
+	if fs.UseStats {
+		parts = append(parts, "X_stats")
+	}
+	if fs.UseName {
+		parts = append(parts, "X2_name")
+	}
+	if fs.SampleCount >= 1 {
+		parts = append(parts, "X2_sample1")
+	}
+	if fs.SampleCount >= 2 {
+		parts = append(parts, "X2_sample2")
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	s := parts[0]
+	for _, p := range parts[1:] {
+		s += ", " + p
+	}
+	return s
+}

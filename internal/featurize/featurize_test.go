@@ -1,0 +1,280 @@
+package featurize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sortinghat/internal/data"
+)
+
+func TestExtractSamplesDistinctNonMissing(t *testing.T) {
+	col := &data.Column{Name: "c", Values: []string{"a", "a", "", "b", "NA", "c", "d", "e", "f", "g"}}
+	rng := rand.New(rand.NewSource(1))
+	b := Extract(col, rng)
+	if b.Name != "c" {
+		t.Errorf("Name = %q", b.Name)
+	}
+	if len(b.Samples) != SampleCount {
+		t.Fatalf("samples = %d, want %d", len(b.Samples), SampleCount)
+	}
+	seen := map[string]bool{}
+	for _, s := range b.Samples {
+		if data.IsMissing(s) {
+			t.Errorf("missing value sampled: %q", s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate sample %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestExtractFewDistinct(t *testing.T) {
+	col := &data.Column{Name: "c", Values: []string{"x", "x", "y"}}
+	b := Extract(col, rand.New(rand.NewSource(1)))
+	if len(b.Samples) != 2 {
+		t.Fatalf("samples = %v", b.Samples)
+	}
+}
+
+func TestExtractFirstNDeterministic(t *testing.T) {
+	col := &data.Column{Name: "c", Values: []string{"v3", "v1", "v3", "v2", "v4"}}
+	b := ExtractFirstN(col, 3)
+	want := []string{"v3", "v1", "v2"}
+	for i, w := range want {
+		if b.Samples[i] != w {
+			t.Errorf("sample[%d] = %q, want %q", i, b.Samples[i], w)
+		}
+	}
+	if b.Sample(99) != "" {
+		t.Error("out-of-range Sample must return empty string")
+	}
+}
+
+func TestHashNgramsProperties(t *testing.T) {
+	v1 := HashNgrams("zipcode", 2, 64)
+	v2 := HashNgrams("zipcode", 2, 64)
+	if len(v1) != 64 {
+		t.Fatalf("dim = %d", len(v1))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("hashing must be deterministic")
+		}
+	}
+	// Same string in different case hashes identically (lowercased).
+	v3 := HashNgrams("ZipCode", 2, 64)
+	for i := range v1 {
+		if v1[i] != v3[i] {
+			t.Fatal("hashing must be case-insensitive")
+		}
+	}
+	// Empty string still gets boundary bigram mass.
+	if sum(HashNgrams("", 2, 16)) == 0 {
+		t.Error("empty string should hash its boundary markers")
+	}
+}
+
+func TestHashNgramsNonNegativeAndFinite(t *testing.T) {
+	f := func(s string) bool {
+		for _, v := range HashNgrams(s, 2, 32) {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashWordBigrams(t *testing.T) {
+	a := HashWordBigrams("red green blue", 32)
+	b := HashWordBigrams("red green blue", 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("word bigrams must be deterministic")
+		}
+	}
+	if sum(HashWordBigrams("", 32)) != 0 {
+		t.Error("empty doc should produce a zero vector")
+	}
+}
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	sc := FitScaler(X)
+	Xc := make([][]float64, len(X))
+	for i := range X {
+		Xc[i] = append([]float64(nil), X[i]...)
+	}
+	sc.Transform(Xc)
+	for j := 0; j < 2; j++ {
+		var mean, ss float64
+		for i := range Xc {
+			mean += Xc[i][j]
+		}
+		mean /= float64(len(Xc))
+		for i := range Xc {
+			ss += (Xc[i][j] - mean) * (Xc[i][j] - mean)
+		}
+		std := math.Sqrt(ss / float64(len(Xc)))
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+			t.Errorf("dim %d: mean=%f std=%f after scaling", j, mean, std)
+		}
+	}
+}
+
+func TestScalerConstantDim(t *testing.T) {
+	X := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	sc := FitScaler(X)
+	row := sc.TransformRow([]float64{5, 2})
+	if math.IsNaN(row[0]) || math.IsInf(row[0], 0) {
+		t.Error("constant dimension must not divide by zero")
+	}
+	empty := FitScaler(nil)
+	if out := empty.TransformRow([]float64{1}); out[0] != 1 {
+		t.Error("unfitted scaler must be identity")
+	}
+}
+
+func TestOneHotEncoder(t *testing.T) {
+	enc := FitOneHot([]string{"a", "b", "a", "c", "a", "b"}, 2)
+	if enc.Dim != 3 { // top-2 categories + other
+		t.Fatalf("Dim = %d", enc.Dim)
+	}
+	va := enc.Transform("a")
+	if sum(va) != 1 || va[0] != 1 {
+		t.Errorf("Transform(a) = %v (a is most frequent)", va)
+	}
+	vz := enc.Transform("zzz")
+	if vz[enc.Dim-1] != 1 {
+		t.Errorf("unseen category must hit the other slot: %v", vz)
+	}
+	// "c" was truncated by the cap: also other.
+	vc := enc.Transform("c")
+	if vc[enc.Dim-1] != 1 {
+		t.Errorf("capped category must hit the other slot: %v", vc)
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	docs := []string{
+		"great product great value",
+		"terrible product broke",
+		"average product okay",
+	}
+	tf := FitTFIDF(docs, 10)
+	if tf.Dim() == 0 || tf.Dim() > 10 {
+		t.Fatalf("Dim = %d", tf.Dim())
+	}
+	v := tf.Transform("great great product")
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("vector not L2-normalised: %f", norm)
+	}
+	if sum(tf.Transform("unseen words only zq")) != 0 {
+		t.Error("OOV doc should be a zero vector")
+	}
+}
+
+func TestFeatureSetDimMatchesVector(t *testing.T) {
+	col := &data.Column{Name: "salary", Values: []string{"1", "2", "3", "4", "5", "6"}}
+	b := ExtractFirstN(col, SampleCount)
+	sets := []FeatureSet{
+		{UseStats: true},
+		{UseName: true},
+		{SampleCount: 1},
+		{UseStats: true, UseName: true, SampleCount: 2},
+		DefaultFeatureSet(),
+		FullFeatureSet(),
+	}
+	for _, fs := range sets {
+		v := fs.Vector(&b)
+		if len(v) != fs.Dim() {
+			t.Errorf("%s: len(Vector)=%d, Dim()=%d", fs.Label(), len(v), fs.Dim())
+		}
+	}
+}
+
+func TestFeatureSetLabels(t *testing.T) {
+	if got := (FeatureSet{UseStats: true, UseName: true}).Label(); got != "X_stats, X2_name" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := (FeatureSet{}).Label(); got != "(empty)" {
+		t.Errorf("empty Label = %q", got)
+	}
+	if got := (FeatureSet{SampleCount: 2}).Label(); got != "X2_sample1, X2_sample2" {
+		t.Errorf("samples Label = %q", got)
+	}
+}
+
+func TestFeatureSetMatrix(t *testing.T) {
+	cols := []data.Column{
+		{Name: "a", Values: []string{"1", "2"}},
+		{Name: "b", Values: []string{"x", "y"}},
+	}
+	bases := make([]Base, len(cols))
+	for i := range cols {
+		bases[i] = ExtractFirstN(&cols[i], SampleCount)
+	}
+	fs := DefaultFeatureSet()
+	X := fs.Matrix(bases)
+	if len(X) != 2 || len(X[0]) != fs.Dim() {
+		t.Fatalf("matrix shape %dx%d", len(X), len(X[0]))
+	}
+}
+
+func TestAddHashNgramsWeight(t *testing.T) {
+	a := make([]float64, 32)
+	AddHashNgrams(a, "abc", 2, 1)
+	b := make([]float64, 32)
+	AddHashNgrams(b, "abc", 2, 2.5)
+	for i := range a {
+		if math.Abs(b[i]-2.5*a[i]) > 1e-12 {
+			t.Fatalf("weight scaling broken at %d: %f vs %f", i, b[i], a[i])
+		}
+	}
+	// n longer than the padded string contributes nothing.
+	c := make([]float64, 8)
+	AddHashNgrams(c, "", 10, 1)
+	if sum(c) != 0 {
+		t.Error("oversized n should add nothing")
+	}
+}
+
+func TestHashNgramsDimensionIsolation(t *testing.T) {
+	// Different dims produce different layouts but same total mass
+	// (sqrt-damped counts aside, mass is preserved per n-gram).
+	small := HashNgrams("abcdef", 2, 4)
+	large := HashNgrams("abcdef", 2, 4096)
+	var sm, lg float64
+	for _, v := range small {
+		sm += v * v
+	}
+	for _, v := range large {
+		lg += v * v
+	}
+	if sm == 0 || lg == 0 {
+		t.Fatal("empty hash vectors")
+	}
+	// With 4096 buckets, collisions are rare: squared mass equals the
+	// number of distinct bigrams (each count 1 -> sqrt(1)^2).
+	if lg < 6.5 || lg > 7.5 { // "^abcdef$" has 7 bigrams, all distinct
+		t.Errorf("large-dim mass = %f, want 7", lg)
+	}
+}

@@ -1,0 +1,122 @@
+package featurize
+
+import (
+	"math"
+	"sort"
+)
+
+// OneHotEncoder maps categorical string values to one-hot vectors over the
+// most frequent categories seen at fit time, with a shared "other" slot for
+// everything else. The domain cap keeps pathological high-cardinality
+// columns (e.g. primary keys wrongly inferred as Categorical) from exploding
+// the downstream design matrix, mirroring practical AutoML featurizers.
+type OneHotEncoder struct {
+	Index map[string]int // category -> slot
+	Dim   int            // total output width (len(Index)+1 for "other")
+}
+
+// FitOneHot learns the encoding from values, keeping at most maxDomain
+// categories (most frequent first, ties broken lexicographically).
+func FitOneHot(values []string, maxDomain int) *OneHotEncoder {
+	counts := map[string]int{}
+	for _, v := range values {
+		counts[v]++
+	}
+	cats := make([]string, 0, len(counts))
+	for c := range counts {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if counts[cats[i]] != counts[cats[j]] {
+			return counts[cats[i]] > counts[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	if maxDomain > 0 && len(cats) > maxDomain {
+		cats = cats[:maxDomain]
+	}
+	enc := &OneHotEncoder{Index: make(map[string]int, len(cats))}
+	for i, c := range cats {
+		enc.Index[c] = i
+	}
+	enc.Dim = len(cats) + 1
+	return enc
+}
+
+// Transform encodes one value as a one-hot vector.
+func (e *OneHotEncoder) Transform(v string) []float64 {
+	out := make([]float64, e.Dim)
+	if i, ok := e.Index[v]; ok {
+		out[i] = 1
+	} else {
+		out[e.Dim-1] = 1
+	}
+	return out
+}
+
+// TFIDF is a word-level TF-IDF vectorizer over a capped vocabulary, used to
+// route Sentence columns in the downstream benchmark (Section 5.3).
+type TFIDF struct {
+	Vocab map[string]int
+	IDF   []float64
+}
+
+// FitTFIDF builds the vocabulary (top maxVocab terms by document frequency)
+// and inverse document frequencies from the given documents.
+func FitTFIDF(docs []string, maxVocab int) *TFIDF {
+	df := map[string]int{}
+	for _, d := range docs {
+		seen := map[string]bool{}
+		for _, w := range tokenize(d) {
+			if !seen[w] {
+				seen[w] = true
+				df[w]++
+			}
+		}
+	}
+	terms := make([]string, 0, len(df))
+	for t := range df {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if df[terms[i]] != df[terms[j]] {
+			return df[terms[i]] > df[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if maxVocab > 0 && len(terms) > maxVocab {
+		terms = terms[:maxVocab]
+	}
+	tf := &TFIDF{Vocab: make(map[string]int, len(terms)), IDF: make([]float64, len(terms))}
+	n := float64(len(docs))
+	for i, t := range terms {
+		tf.Vocab[t] = i
+		tf.IDF[i] = math.Log((1+n)/(1+float64(df[t]))) + 1
+	}
+	return tf
+}
+
+// Dim returns the width of transformed vectors.
+func (t *TFIDF) Dim() int { return len(t.IDF) }
+
+// Transform encodes one document as an L2-normalised TF-IDF vector.
+func (t *TFIDF) Transform(doc string) []float64 {
+	out := make([]float64, len(t.IDF))
+	for _, w := range tokenize(doc) {
+		if i, ok := t.Vocab[w]; ok {
+			out[i]++
+		}
+	}
+	var norm float64
+	for i := range out {
+		out[i] *= t.IDF[i]
+		norm += out[i] * out[i]
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range out {
+			out[i] /= norm
+		}
+	}
+	return out
+}

@@ -1,0 +1,497 @@
+// Package cnn implements the paper's character-level convolutional network
+// (Appendix F) from scratch: each text input (attribute name, sample
+// values) flows through an embedding layer and a CNN module of two 1-D
+// convolutions followed by global max pooling; the pooled features are
+// concatenated with the descriptive statistics and fed to a two-hidden-layer
+// MLP with a softmax output. Training is end-to-end backpropagation with
+// the Adam optimizer and dropout regularization.
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config holds the architecture and training hyper-parameters. The tunable
+// fields mirror the paper's grid: EmbedDim, NumFilters, FilterSize, Neurons
+// (MLP hidden width), and Dropout.
+type Config struct {
+	SeqLen     int // characters kept per text input (pad/truncate)
+	EmbedDim   int
+	NumFilters int
+	FilterSize int
+	Neurons    int     // width of each of the two MLP hidden layers
+	Dropout    float64 // drop probability on hidden activations
+	Epochs     int
+	LR         float64 // Adam step size
+	Seed       int64
+
+	TextInputs int // number of text heads (1=name, 2=+sample1, 3=+sample2)
+	StatsDim   int // descriptive-stats vector width (0 to disable)
+	Classes    int
+}
+
+// DefaultConfig returns a compact configuration suitable for the benchmark
+// corpus on a small machine.
+func DefaultConfig() Config {
+	return Config{
+		SeqLen: 24, EmbedDim: 32, NumFilters: 32, FilterSize: 2,
+		Neurons: 250, Dropout: 0.25, Epochs: 6, LR: 1e-3, Seed: 1,
+		TextInputs: 1, StatsDim: 0, Classes: 2,
+	}
+}
+
+// vocabSize covers printable ASCII plus an out-of-range bucket and padding.
+const vocabSize = 98
+
+// encodeChar maps a byte to an embedding row: 0 is padding, 1..95 printable
+// ASCII, 96 everything else.
+func encodeChar(b byte) int {
+	if b >= 32 && b < 127 {
+		return int(b-32) + 1
+	}
+	return vocabSize - 1
+}
+
+// head is the per-text-input module: embedding + 2 conv layers.
+type head struct {
+	embed *tensor // vocabSize × embedDim
+	w1    *tensor // filters × (filterSize*embedDim)
+	b1    *tensor // filters
+	w2    *tensor // filters × (filterSize*filters)
+	b2    *tensor // filters
+}
+
+// Model is the trained network.
+type Model struct {
+	Cfg   Config
+	heads []*head
+	// MLP: concat(heads..., stats) -> h1 -> h2 -> classes
+	w3, b3 *tensor
+	w4, b4 *tensor
+	w5, b5 *tensor
+
+	params []*tensor
+	rng    *rand.Rand
+}
+
+// tensor is a flat float64 buffer with Adam state.
+type tensor struct {
+	v, g, m, u []float64
+	rows, cols int
+}
+
+func newTensor(rows, cols int, scale float64, rng *rand.Rand) *tensor {
+	t := &tensor{
+		v: make([]float64, rows*cols), g: make([]float64, rows*cols),
+		m: make([]float64, rows*cols), u: make([]float64, rows*cols),
+		rows: rows, cols: cols,
+	}
+	for i := range t.v {
+		t.v[i] = rng.NormFloat64() * scale
+	}
+	return t
+}
+
+// New builds an untrained model from the configuration.
+func New(cfg Config) *Model {
+	if cfg.SeqLen <= 0 {
+		cfg.SeqLen = 24
+	}
+	if cfg.FilterSize <= 0 {
+		cfg.FilterSize = 2
+	}
+	if cfg.TextInputs <= 0 {
+		cfg.TextInputs = 1
+	}
+	m := &Model{Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	ed, nf, fs := cfg.EmbedDim, cfg.NumFilters, cfg.FilterSize
+	for i := 0; i < cfg.TextInputs; i++ {
+		h := &head{
+			embed: newTensor(vocabSize, ed, 0.1, m.rng),
+			w1:    newTensor(nf, fs*ed, math.Sqrt(2/float64(fs*ed)), m.rng),
+			b1:    newTensor(1, nf, 0, m.rng),
+			w2:    newTensor(nf, fs*nf, math.Sqrt(2/float64(fs*nf)), m.rng),
+			b2:    newTensor(1, nf, 0, m.rng),
+		}
+		m.heads = append(m.heads, h)
+		m.params = append(m.params, h.embed, h.w1, h.b1, h.w2, h.b2)
+	}
+	concat := cfg.TextInputs*nf + cfg.StatsDim
+	m.w3 = newTensor(cfg.Neurons, concat, math.Sqrt(2/float64(concat)), m.rng)
+	m.b3 = newTensor(1, cfg.Neurons, 0, m.rng)
+	m.w4 = newTensor(cfg.Neurons, cfg.Neurons, math.Sqrt(2/float64(cfg.Neurons)), m.rng)
+	m.b4 = newTensor(1, cfg.Neurons, 0, m.rng)
+	m.w5 = newTensor(cfg.Classes, cfg.Neurons, math.Sqrt(2/float64(cfg.Neurons)), m.rng)
+	m.b5 = newTensor(1, cfg.Classes, 0, m.rng)
+	m.params = append(m.params, m.w3, m.b3, m.w4, m.b4, m.w5, m.b5)
+	return m
+}
+
+// Example is one training/inference input: up to TextInputs strings and an
+// optional stats vector of width StatsDim.
+type Example struct {
+	Texts []string
+	Stats []float64
+}
+
+// headState caches the forward pass of one head for backprop.
+type headState struct {
+	ids          []int
+	conv1, conv2 [][]float64 // pre-pool activations (post-ReLU)
+	pooledIdx    []int       // argmax positions per filter
+	pooled       []float64
+}
+
+func (m *Model) forwardHead(h *head, text string) *headState {
+	cfg := m.Cfg
+	L, ed, nf, fs := cfg.SeqLen, cfg.EmbedDim, cfg.NumFilters, cfg.FilterSize
+	st := &headState{ids: make([]int, L)}
+	for i := 0; i < L; i++ {
+		if i < len(text) {
+			st.ids[i] = encodeChar(text[i])
+		}
+	}
+	// conv1 over embeddings
+	l1 := L - fs + 1
+	st.conv1 = make([][]float64, l1)
+	for t := 0; t < l1; t++ {
+		row := make([]float64, nf)
+		for f := 0; f < nf; f++ {
+			s := h.b1.v[f]
+			w := h.w1.v[f*fs*ed : (f+1)*fs*ed]
+			for k := 0; k < fs; k++ {
+				ev := h.embed.v[st.ids[t+k]*ed : st.ids[t+k]*ed+ed]
+				wk := w[k*ed : k*ed+ed]
+				for c := 0; c < ed; c++ {
+					s += wk[c] * ev[c]
+				}
+			}
+			if s < 0 {
+				s = 0
+			}
+			row[f] = s
+		}
+		st.conv1[t] = row
+	}
+	// conv2 over conv1
+	l2 := l1 - fs + 1
+	st.conv2 = make([][]float64, l2)
+	for t := 0; t < l2; t++ {
+		row := make([]float64, nf)
+		for g := 0; g < nf; g++ {
+			s := h.b2.v[g]
+			w := h.w2.v[g*fs*nf : (g+1)*fs*nf]
+			for k := 0; k < fs; k++ {
+				cv := st.conv1[t+k]
+				wk := w[k*nf : k*nf+nf]
+				for f := 0; f < nf; f++ {
+					s += wk[f] * cv[f]
+				}
+			}
+			if s < 0 {
+				s = 0
+			}
+			row[g] = s
+		}
+		st.conv2[t] = row
+	}
+	// global max pool
+	st.pooled = make([]float64, nf)
+	st.pooledIdx = make([]int, nf)
+	for g := 0; g < nf; g++ {
+		best, bi := st.conv2[0][g], 0
+		for t := 1; t < l2; t++ {
+			if st.conv2[t][g] > best {
+				best, bi = st.conv2[t][g], t
+			}
+		}
+		st.pooled[g] = best
+		st.pooledIdx[g] = bi
+	}
+	return st
+}
+
+func (m *Model) backwardHead(h *head, st *headState, gradPooled []float64) {
+	cfg := m.Cfg
+	ed, nf, fs := cfg.EmbedDim, cfg.NumFilters, cfg.FilterSize
+	l1 := len(st.conv1)
+	// Route pooled grads to argmax rows of conv2, then through conv2 to
+	// conv1 and parameters.
+	gradConv1 := make([][]float64, l1)
+	for g := 0; g < nf; g++ {
+		gp := gradPooled[g]
+		if gp == 0 {
+			continue
+		}
+		t := st.pooledIdx[g]
+		if st.conv2[t][g] <= 0 {
+			continue // ReLU gate
+		}
+		h.b2.g[g] += gp
+		w := h.w2.v[g*fs*nf : (g+1)*fs*nf]
+		wg := h.w2.g[g*fs*nf : (g+1)*fs*nf]
+		for k := 0; k < fs; k++ {
+			cv := st.conv1[t+k]
+			if gradConv1[t+k] == nil {
+				gradConv1[t+k] = make([]float64, nf)
+			}
+			gc := gradConv1[t+k]
+			wk := w[k*nf : k*nf+nf]
+			wgk := wg[k*nf : k*nf+nf]
+			for f := 0; f < nf; f++ {
+				wgk[f] += gp * cv[f]
+				gc[f] += gp * wk[f]
+			}
+		}
+	}
+	// conv1 -> embeddings and parameters.
+	for t := 0; t < l1; t++ {
+		gc := gradConv1[t]
+		if gc == nil {
+			continue
+		}
+		for f := 0; f < nf; f++ {
+			g := gc[f]
+			if g == 0 || st.conv1[t][f] <= 0 {
+				continue
+			}
+			h.b1.g[f] += g
+			w := h.w1.v[f*fs*ed : (f+1)*fs*ed]
+			wg := h.w1.g[f*fs*ed : (f+1)*fs*ed]
+			for k := 0; k < fs; k++ {
+				id := st.ids[t+k]
+				ev := h.embed.v[id*ed : id*ed+ed]
+				eg := h.embed.g[id*ed : id*ed+ed]
+				wk := w[k*ed : k*ed+ed]
+				wgk := wg[k*ed : k*ed+ed]
+				for c := 0; c < ed; c++ {
+					wgk[c] += g * ev[c]
+					eg[c] += g * wk[c]
+				}
+			}
+		}
+	}
+}
+
+// forward runs the full network; when train is true, dropout masks are
+// sampled and returned for backprop.
+type fwdState struct {
+	heads  []*headState
+	concat []float64
+	h1, h2 []float64
+	mask1  []bool
+	mask2  []bool
+	probs  []float64
+}
+
+func (m *Model) forward(ex *Example, train bool) *fwdState {
+	cfg := m.Cfg
+	st := &fwdState{}
+	for i, h := range m.heads {
+		text := ""
+		if i < len(ex.Texts) {
+			text = ex.Texts[i]
+		}
+		st.heads = append(st.heads, m.forwardHead(h, text))
+	}
+	st.concat = make([]float64, 0, cfg.TextInputs*cfg.NumFilters+cfg.StatsDim)
+	for _, hs := range st.heads {
+		st.concat = append(st.concat, hs.pooled...)
+	}
+	if cfg.StatsDim > 0 {
+		stats := ex.Stats
+		if len(stats) < cfg.StatsDim {
+			padded := make([]float64, cfg.StatsDim)
+			copy(padded, stats)
+			stats = padded
+		}
+		st.concat = append(st.concat, stats[:cfg.StatsDim]...)
+	}
+	dense := func(w, b *tensor, in []float64) []float64 {
+		out := make([]float64, w.rows)
+		for r := 0; r < w.rows; r++ {
+			s := b.v[r]
+			wr := w.v[r*w.cols : (r+1)*w.cols]
+			for c, x := range in {
+				if x != 0 {
+					s += wr[c] * x
+				}
+			}
+			out[r] = s
+		}
+		return out
+	}
+	relu := func(v []float64) {
+		for i := range v {
+			if v[i] < 0 {
+				v[i] = 0
+			}
+		}
+	}
+	st.h1 = dense(m.w3, m.b3, st.concat)
+	relu(st.h1)
+	st.mask1 = m.dropout(st.h1, train)
+	st.h2 = dense(m.w4, m.b4, st.h1)
+	relu(st.h2)
+	st.mask2 = m.dropout(st.h2, train)
+	logits := dense(m.w5, m.b5, st.h2)
+	// softmax
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i := range logits {
+		logits[i] = math.Exp(logits[i] - max)
+		sum += logits[i]
+	}
+	for i := range logits {
+		logits[i] /= sum
+	}
+	st.probs = logits
+	return st
+}
+
+// dropout zeroes activations in place with probability p during training and
+// scales survivors by 1/(1-p) (inverted dropout). Returns the keep mask.
+func (m *Model) dropout(v []float64, train bool) []bool {
+	p := m.Cfg.Dropout
+	if !train || p <= 0 {
+		return nil
+	}
+	mask := make([]bool, len(v))
+	scale := 1 / (1 - p)
+	for i := range v {
+		if m.rng.Float64() < p {
+			v[i] = 0
+		} else {
+			mask[i] = true
+			v[i] *= scale
+		}
+	}
+	return mask
+}
+
+func (m *Model) backward(ex *Example, st *fwdState, label int) {
+	cfg := m.Cfg
+	// dLogits = probs - onehot(label)
+	dOut := append([]float64(nil), st.probs...)
+	dOut[label] -= 1
+
+	denseBack := func(w, b *tensor, in, dOut []float64) []float64 {
+		dIn := make([]float64, len(in))
+		for r := 0; r < w.rows; r++ {
+			g := dOut[r]
+			if g == 0 {
+				continue
+			}
+			b.g[r] += g
+			wr := w.v[r*w.cols : (r+1)*w.cols]
+			wgr := w.g[r*w.cols : (r+1)*w.cols]
+			for c, x := range in {
+				wgr[c] += g * x
+				dIn[c] += g * wr[c]
+			}
+		}
+		return dIn
+	}
+	dh2 := denseBack(m.w5, m.b5, st.h2, dOut)
+	for i := range dh2 {
+		if st.h2[i] <= 0 {
+			dh2[i] = 0
+		}
+		if st.mask2 != nil && !st.mask2[i] {
+			dh2[i] = 0
+		}
+	}
+	dh1 := denseBack(m.w4, m.b4, st.h1, dh2)
+	for i := range dh1 {
+		if st.h1[i] <= 0 {
+			dh1[i] = 0
+		}
+		if st.mask1 != nil && !st.mask1[i] {
+			dh1[i] = 0
+		}
+	}
+	dConcat := denseBack(m.w3, m.b3, st.concat, dh1)
+	off := 0
+	for i, h := range m.heads {
+		m.backwardHead(h, st.heads[i], dConcat[off:off+cfg.NumFilters])
+		off += cfg.NumFilters
+	}
+	// Stats input has no parameters upstream; its gradient is discarded.
+}
+
+// adamStep applies one Adam update to all parameters and zeroes gradients.
+func (m *Model) adamStep(step int) {
+	lr := m.Cfg.LR
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(b1, float64(step))
+	bc2 := 1 - math.Pow(b2, float64(step))
+	for _, p := range m.params {
+		for i, g := range p.g {
+			if g == 0 {
+				continue
+			}
+			p.m[i] = b1*p.m[i] + (1-b1)*g
+			p.u[i] = b2*p.u[i] + (1-b2)*g*g
+			mh := p.m[i] / bc1
+			uh := p.u[i] / bc2
+			p.v[i] -= lr * mh / (math.Sqrt(uh) + eps)
+			p.g[i] = 0
+		}
+	}
+}
+
+// Fit trains the network on the examples with integer labels in
+// [0, Cfg.Classes).
+func (m *Model) Fit(examples []Example, labels []int) error {
+	if len(examples) == 0 {
+		return fmt.Errorf("cnn: empty training set")
+	}
+	if len(examples) != len(labels) {
+		return fmt.Errorf("cnn: examples and labels size mismatch: %d vs %d", len(examples), len(labels))
+	}
+	order := m.rng.Perm(len(examples))
+	step := 0
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			st := m.forward(&examples[i], true)
+			m.backward(&examples[i], st, labels[i])
+			step++
+			m.adamStep(step)
+		}
+	}
+	return nil
+}
+
+// PredictProba returns class probabilities for one example.
+func (m *Model) PredictProba(ex *Example) []float64 {
+	return m.forward(ex, false).probs
+}
+
+// PredictOne returns the most probable class for one example.
+func (m *Model) PredictOne(ex *Example) int {
+	probs := m.PredictProba(ex)
+	best := 0
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Predict classifies a batch of examples.
+func (m *Model) Predict(examples []Example) []int {
+	out := make([]int, len(examples))
+	for i := range examples {
+		out[i] = m.PredictOne(&examples[i])
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package cnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// prefixTask builds a toy char-classification problem: class is determined
+// by the string prefix, which the conv filters must learn.
+func prefixTask(n int, seed int64) ([]Example, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	prefixes := []string{"date_", "url_", "num_"}
+	examples := make([]Example, n)
+	labels := make([]int, n)
+	for i := range examples {
+		c := rng.Intn(3)
+		labels[i] = c
+		examples[i] = Example{Texts: []string{fmt.Sprintf("%sfield%d", prefixes[c], rng.Intn(1000))}}
+	}
+	return examples, labels
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.EmbedDim = 16
+	cfg.NumFilters = 16
+	cfg.Neurons = 32
+	cfg.Epochs = 8
+	cfg.Classes = 3
+	cfg.Dropout = 0.1
+	return cfg
+}
+
+func TestCNNLearnsPrefixes(t *testing.T) {
+	examples, labels := prefixTask(300, 1)
+	m := New(smallConfig())
+	if err := m.Fit(examples, labels); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	test, testLabels := prefixTask(150, 2)
+	pred := m.Predict(test)
+	hits := 0
+	for i := range pred {
+		if pred[i] == testLabels[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(pred)); acc < 0.9 {
+		t.Errorf("prefix accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestCNNUsesStatsInput(t *testing.T) {
+	// Signal lives only in the stats vector; text is uninformative.
+	rng := rand.New(rand.NewSource(3))
+	cfg := smallConfig()
+	cfg.Classes = 2
+	cfg.StatsDim = 2
+	cfg.Epochs = 10
+	n := 300
+	examples := make([]Example, n)
+	labels := make([]int, n)
+	for i := range examples {
+		c := rng.Intn(2)
+		labels[i] = c
+		examples[i] = Example{
+			Texts: []string{"constant"},
+			Stats: []float64{float64(c)*2 - 1 + rng.NormFloat64()*0.2, rng.NormFloat64()},
+		}
+	}
+	m := New(cfg)
+	if err := m.Fit(examples, labels); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range examples {
+		if m.PredictOne(&examples[i]) == labels[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(n); acc < 0.9 {
+		t.Errorf("stats-only accuracy = %.3f", acc)
+	}
+}
+
+func TestCNNMultiHead(t *testing.T) {
+	// Class signal in the second text head.
+	rng := rand.New(rand.NewSource(5))
+	cfg := smallConfig()
+	cfg.TextInputs = 2
+	cfg.Classes = 2
+	cfg.Epochs = 10
+	n := 240
+	examples := make([]Example, n)
+	labels := make([]int, n)
+	for i := range examples {
+		c := rng.Intn(2)
+		labels[i] = c
+		second := "xxxx"
+		if c == 1 {
+			second = "2020-01-02"
+		}
+		examples[i] = Example{Texts: []string{"name", second}}
+	}
+	m := New(cfg)
+	if err := m.Fit(examples, labels); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := range examples {
+		if m.PredictOne(&examples[i]) == labels[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(n); acc < 0.9 {
+		t.Errorf("second-head accuracy = %.3f", acc)
+	}
+}
+
+func TestCNNProbabilities(t *testing.T) {
+	examples, labels := prefixTask(60, 7)
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m := New(cfg)
+	if err := m.Fit(examples, labels); err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range []Example{{Texts: []string{"anything"}}, {Texts: []string{""}}, {}} {
+		p := m.PredictProba(&ex)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("bad probability vector %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("probabilities sum to %f", sum)
+		}
+	}
+}
+
+func TestCNNGobRoundTrip(t *testing.T) {
+	examples, labels := prefixTask(120, 9)
+	cfg := smallConfig()
+	cfg.Epochs = 3
+	m := New(cfg)
+	if err := m.Fit(examples, labels); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Model
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range examples {
+		if m.PredictOne(&examples[i]) != back.PredictOne(&examples[i]) {
+			t.Fatal("gob round-trip changed predictions")
+		}
+	}
+}
+
+func TestCNNErrors(t *testing.T) {
+	m := New(smallConfig())
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit must error")
+	}
+	if err := m.Fit([]Example{{}}, []int{0, 1}); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestEncodeChar(t *testing.T) {
+	if encodeChar(' ') != 1 {
+		t.Error("space should be the first printable slot")
+	}
+	if encodeChar(0) != vocabSize-1 {
+		t.Error("non-printable bytes map to the overflow slot")
+	}
+	if encodeChar('~') != 95 {
+		t.Errorf("'~' -> %d", encodeChar('~'))
+	}
+}

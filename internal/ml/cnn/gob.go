@@ -1,0 +1,56 @@
+package cnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// cnnWire is the exported serialization mirror of Model: the configuration
+// plus the value buffers of every parameter tensor in registration order.
+// Adam moments are not persisted; a loaded model is for inference or a
+// fresh optimizer run.
+type cnnWire struct {
+	Cfg    Config
+	Values [][]float64
+	Rows   []int
+	Cols   []int
+}
+
+// GobEncode implements gob.GobEncoder for trained networks.
+func (m *Model) GobEncode() ([]byte, error) {
+	w := cnnWire{Cfg: m.Cfg}
+	for _, p := range m.params {
+		w.Values = append(w.Values, p.v)
+		w.Rows = append(w.Rows, p.rows)
+		w.Cols = append(w.Cols, p.cols)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(b []byte) error {
+	var w cnnWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	fresh := New(w.Cfg)
+	if len(fresh.params) != len(w.Values) {
+		return fmt.Errorf("cnn: decode: parameter count mismatch: %d vs %d",
+			len(fresh.params), len(w.Values))
+	}
+	for i, p := range fresh.params {
+		if p.rows != w.Rows[i] || p.cols != w.Cols[i] {
+			return fmt.Errorf("cnn: decode: tensor %d shape mismatch", i)
+		}
+		copy(p.v, w.Values[i])
+	}
+	*m = *fresh
+	m.rng = rand.New(rand.NewSource(w.Cfg.Seed))
+	return nil
+}

@@ -1,0 +1,104 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGradientCheck verifies the analytic backpropagation gradients against
+// central finite differences on a tiny network. This covers every layer:
+// embeddings, both convolutions, max pooling routing, and the MLP.
+func TestGradientCheck(t *testing.T) {
+	cfg := Config{
+		SeqLen: 8, EmbedDim: 5, NumFilters: 4, FilterSize: 2,
+		Neurons: 6, Dropout: 0, Epochs: 1, LR: 1e-3, Seed: 3,
+		TextInputs: 2, StatsDim: 3, Classes: 3,
+	}
+	m := New(cfg)
+	ex := Example{Texts: []string{"zip_code", "92092"}, Stats: []float64{0.5, -1.2, 2.0}}
+	label := 1
+
+	loss := func() float64 {
+		st := m.forward(&ex, false)
+		return -math.Log(st.probs[label] + 1e-300)
+	}
+
+	// Analytic gradients.
+	st := m.forward(&ex, false)
+	m.backward(&ex, st, label)
+
+	rng := rand.New(rand.NewSource(9))
+	const eps = 1e-5
+	checked, failures := 0, 0
+	for pi, p := range m.params {
+		// Probe a handful of random coordinates per tensor.
+		for probe := 0; probe < 6; probe++ {
+			i := rng.Intn(len(p.v))
+			analytic := p.g[i]
+			orig := p.v[i]
+			p.v[i] = orig + eps
+			up := loss()
+			p.v[i] = orig - eps
+			down := loss()
+			p.v[i] = orig
+			numeric := (up - down) / (2 * eps)
+			checked++
+			diff := math.Abs(analytic - numeric)
+			scale := math.Max(1e-4, math.Abs(analytic)+math.Abs(numeric))
+			if diff/scale > 0.02 {
+				// Max-pool argmax ties can flip under perturbation; allow a
+				// small number of such discontinuities but not systematic
+				// mismatch.
+				failures++
+				t.Logf("tensor %d coord %d: analytic %.6g numeric %.6g", pi, i, analytic, numeric)
+			}
+		}
+	}
+	if failures > checked/10 {
+		t.Errorf("gradient check failed on %d/%d probes", failures, checked)
+	}
+}
+
+// TestGradientAccumulationZeroedByAdam ensures adamStep consumes and clears
+// gradients so successive steps do not double-count.
+func TestGradientAccumulationZeroedByAdam(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EmbedDim, cfg.NumFilters, cfg.Neurons, cfg.Classes = 4, 4, 4, 2
+	m := New(cfg)
+	ex := Example{Texts: []string{"abc"}}
+	st := m.forward(&ex, true)
+	m.backward(&ex, st, 0)
+	m.adamStep(1)
+	for pi, p := range m.params {
+		for i, g := range p.g {
+			if g != 0 {
+				t.Fatalf("tensor %d grad[%d] = %g after adamStep", pi, i, g)
+			}
+		}
+	}
+}
+
+// TestCNNLossDecreases trains briefly and checks the training loss drops.
+func TestCNNLossDecreases(t *testing.T) {
+	examples, labels := prefixTask(120, 11)
+	cfg := smallConfig()
+	cfg.Epochs = 1
+	m := New(cfg)
+	avgLoss := func() float64 {
+		var sum float64
+		for i := range examples {
+			p := m.PredictProba(&examples[i])
+			sum += -math.Log(p[labels[i]] + 1e-300)
+		}
+		return sum / float64(len(examples))
+	}
+	before := avgLoss()
+	if err := m.Fit(examples, labels); err != nil {
+		t.Fatal(err)
+	}
+	after := avgLoss()
+	if after >= before {
+		t.Errorf("training did not reduce loss: %.4f -> %.4f", before, after)
+	}
+}

@@ -1,0 +1,50 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// knnWire is the exported serialization mirror of KNN.
+type knnWire struct {
+	K        int
+	Gamma    float64
+	UseName  bool
+	UseStats bool
+	Names    []string
+	Stats    [][]float64
+	Labels   []int
+	Classes  int
+}
+
+// GobEncode implements gob.GobEncoder for trained models.
+func (m *KNN) GobEncode() ([]byte, error) {
+	w := knnWire{
+		K: m.K, Gamma: m.Gamma, UseName: m.UseName, UseStats: m.UseStats,
+		Stats: m.stats, Labels: m.labels, Classes: m.classes,
+	}
+	w.Names = make([]string, len(m.names))
+	for i, r := range m.names {
+		w.Names[i] = string(r)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *KNN) GobDecode(b []byte) error {
+	var w knnWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	m.K, m.Gamma, m.UseName, m.UseStats = w.K, w.Gamma, w.UseName, w.UseStats
+	m.stats, m.labels, m.classes = w.Stats, w.Labels, w.Classes
+	m.names = make([][]rune, len(w.Names))
+	for i, s := range w.Names {
+		m.names[i] = []rune(s)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package knn implements the benchmark's nearest-neighbour model with the
+// paper's task-adapted distance (Section 3.3.3):
+//
+//	d = ED(X_name) + γ·EC(X_stats)
+//
+// where ED is the Levenshtein edit distance between attribute names and EC
+// the Euclidean distance between descriptive-stat vectors; γ is tuned on a
+// validation split.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour classifier over (name, stats) examples.
+type KNN struct {
+	K     int
+	Gamma float64 // weight of the Euclidean stats distance
+	// UseName/UseStats toggle the two distance components, enabling the
+	// Table-2 ablations (edit distance only, Euclidean only, weighted).
+	UseName  bool
+	UseStats bool
+
+	names   [][]rune
+	stats   [][]float64
+	labels  []int
+	classes int
+}
+
+// New returns a KNN with the defaults used in the benchmark (k=5, γ=1,
+// both distance components active).
+func New() *KNN {
+	return &KNN{K: 5, Gamma: 1, UseName: true, UseStats: true}
+}
+
+// Fit memorizes the training examples. names and statsVecs must be aligned
+// with labels; either may be nil when the corresponding component is
+// disabled.
+func (m *KNN) Fit(names []string, statsVecs [][]float64, labels []int, k int) error {
+	if len(labels) == 0 {
+		return fmt.Errorf("knn: empty training set")
+	}
+	if m.UseName && len(names) != len(labels) {
+		return fmt.Errorf("knn: names and labels size mismatch: %d vs %d", len(names), len(labels))
+	}
+	if m.UseStats && len(statsVecs) != len(labels) {
+		return fmt.Errorf("knn: stats and labels size mismatch: %d vs %d", len(statsVecs), len(labels))
+	}
+	if !m.UseName && !m.UseStats {
+		return fmt.Errorf("knn: at least one distance component must be enabled")
+	}
+	if m.K <= 0 {
+		m.K = 5
+	}
+	m.classes = k
+	m.labels = labels
+	m.stats = statsVecs
+	m.names = make([][]rune, len(names))
+	for i, n := range names {
+		m.names[i] = []rune(n)
+	}
+	return nil
+}
+
+// distance computes the weighted task distance to training example i.
+func (m *KNN) distance(name []rune, stats []float64, i int) float64 {
+	var d float64
+	if m.UseName {
+		d += float64(Levenshtein(name, m.names[i]))
+	}
+	if m.UseStats {
+		d += m.Gamma * euclid(stats, m.stats[i])
+	}
+	return d
+}
+
+// PredictOne classifies a single example by majority vote among the K
+// nearest training examples (distance-weighted to break ties).
+func (m *KNN) PredictOne(name string, stats []float64) int {
+	probs := m.PredictProba(name, stats)
+	best := 0
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictProba returns the neighbour-vote distribution over classes.
+func (m *KNN) PredictProba(name string, stats []float64) []float64 {
+	nr := []rune(name)
+	type cand struct {
+		dist  float64
+		label int
+	}
+	cands := make([]cand, len(m.labels))
+	for i := range m.labels {
+		cands[i] = cand{m.distance(nr, stats, i), m.labels[i]}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	k := m.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := make([]float64, m.classes)
+	var total float64
+	for _, c := range cands[:k] {
+		w := 1 / (1 + c.dist)
+		votes[c.label] += w
+		total += w
+	}
+	if total > 0 {
+		for c := range votes {
+			votes[c] /= total
+		}
+	}
+	return votes
+}
+
+// Predict classifies a batch of examples.
+func (m *KNN) Predict(names []string, statsVecs [][]float64) []int {
+	n := len(names)
+	if n == 0 {
+		n = len(statsVecs)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		var nm string
+		var st []float64
+		if i < len(names) {
+			nm = names[i]
+		}
+		if i < len(statsVecs) {
+			st = statsVecs[i]
+		}
+		out[i] = m.PredictOne(nm, st)
+	}
+	return out
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Levenshtein computes the edit distance between two rune slices with the
+// standard two-row dynamic program.
+func Levenshtein(a, b []rune) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,171 @@
+package knn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"zipcode", "zip_code", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein([]rune(c.a), []rune(c.b)); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties: symmetry, identity, and the length bounds of edit distance.
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		ra, rb := []rune(a), []rune(b)
+		d := Levenshtein(ra, rb)
+		if d != Levenshtein(rb, ra) {
+			return false
+		}
+		if a == b && d != 0 {
+			return false
+		}
+		diff := len(ra) - len(rb)
+		if diff < 0 {
+			diff = -diff
+		}
+		max := len(ra)
+		if len(rb) > max {
+			max = len(rb)
+		}
+		return d >= diff && d <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKNNNameDistance(t *testing.T) {
+	m := New()
+	m.UseStats = false
+	m.K = 1
+	names := []string{"salary", "zipcode", "hire_date"}
+	labels := []int{0, 1, 2}
+	if err := m.Fit(names, nil, labels, 3); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.PredictOne("salaries", nil); got != 0 {
+		t.Errorf("salaries -> %d, want 0", got)
+	}
+	if got := m.PredictOne("zip_code", nil); got != 1 {
+		t.Errorf("zip_code -> %d, want 1", got)
+	}
+	if got := m.PredictOne("hire_dt", nil); got != 2 {
+		t.Errorf("hire_dt -> %d, want 2", got)
+	}
+}
+
+func TestKNNStatsDistance(t *testing.T) {
+	m := New()
+	m.UseName = false
+	m.K = 3
+	stats := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {5, 5}, {5.1, 5}, {5, 5.1}}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	if err := m.Fit(nil, stats, labels, 2); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.PredictOne("", []float64{0.05, 0.05}); got != 0 {
+		t.Errorf("near-origin -> %d", got)
+	}
+	if got := m.PredictOne("", []float64{4.9, 5.2}); got != 1 {
+		t.Errorf("near-(5,5) -> %d", got)
+	}
+}
+
+func TestKNNWeightedCombination(t *testing.T) {
+	// Name says class 0, stats say class 1; gamma controls who wins.
+	names := []string{"alpha", "omega"}
+	stats := [][]float64{{10, 10}, {0, 0}}
+	labels := []int{0, 1}
+	query := "alphz" // near "alpha"
+	qstats := []float64{0.5, 0.5}
+
+	nameHeavy := New()
+	nameHeavy.K = 1
+	nameHeavy.Gamma = 0.001
+	if err := nameHeavy.Fit(names, stats, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := nameHeavy.PredictOne(query, qstats); got != 0 {
+		t.Errorf("tiny gamma should let the name dominate, got %d", got)
+	}
+
+	statsHeavy := New()
+	statsHeavy.K = 1
+	statsHeavy.Gamma = 100
+	if err := statsHeavy.Fit(names, stats, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := statsHeavy.PredictOne(query, qstats); got != 1 {
+		t.Errorf("large gamma should let the stats dominate, got %d", got)
+	}
+}
+
+func TestKNNProbaDistribution(t *testing.T) {
+	m := New()
+	if err := m.Fit([]string{"a", "b", "c"}, [][]float64{{0}, {1}, {2}}, []int{0, 1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba("b", []float64{1})
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("bad proba %v", p)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("proba sums to %f", sum)
+	}
+}
+
+func TestKNNGobRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.Fit([]string{"salary", "zip"}, [][]float64{{1, 2}, {3, 4}}, []int{0, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back KNN
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.PredictOne("salaries", []float64{1, 2}) != m.PredictOne("salaries", []float64{1, 2}) {
+		t.Error("gob round-trip changed predictions")
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	m := New()
+	if err := m.Fit(nil, nil, nil, 2); err == nil {
+		t.Error("empty fit must error")
+	}
+	if err := m.Fit([]string{"a"}, nil, []int{0, 1}, 2); err == nil {
+		t.Error("name/label mismatch must error")
+	}
+	bad := New()
+	bad.UseName, bad.UseStats = false, false
+	if err := bad.Fit([]string{"a"}, [][]float64{{1}}, []int{0}, 2); err == nil {
+		t.Error("no distance component must error")
+	}
+}

@@ -1,0 +1,241 @@
+package linear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k well-separated Gaussian clusters.
+func blobs(n, k, d int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := rng.Intn(k)
+		y[i] = c
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()*0.4 + float64(c)*3
+		}
+		// make dimensions differ by class direction
+		row[c%d] += 2
+		X[i] = row
+	}
+	return X, y
+}
+
+func TestLogisticRegressionLearnsBlobs(t *testing.T) {
+	X, y := blobs(600, 3, 4, 1)
+	m := NewLogisticRegression()
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	Xte, yte := blobs(300, 3, 4, 2)
+	hits := 0
+	for i := range Xte {
+		if m.PredictOne(Xte[i]) == yte[i] {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(len(Xte))
+	if acc < 0.95 {
+		t.Errorf("accuracy on separable blobs = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestLogisticRegressionProbabilities(t *testing.T) {
+	X, y := blobs(200, 2, 3, 3)
+	m := NewLogisticRegression()
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		x := []float64{clamp(a), clamp(b), clamp(c)}
+		p := m.PredictProba(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1e6 {
+		return 1e6
+	}
+	if v < -1e6 {
+		return -1e6
+	}
+	return v
+}
+
+func TestLogisticRegressionRegularization(t *testing.T) {
+	X, y := blobs(300, 2, 3, 5)
+	strong := NewLogisticRegression()
+	strong.C = 1e-4 // heavy regularization -> small weights
+	if err := strong.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	weak := NewLogisticRegression()
+	weak.C = 1e4
+	if err := weak.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if norm(strong.W) >= norm(weak.W) {
+		t.Errorf("stronger L2 should shrink weights: %f vs %f", norm(strong.W), norm(weak.W))
+	}
+}
+
+func norm(W [][]float64) float64 {
+	var s float64
+	for _, row := range W {
+		for _, v := range row[:len(row)-1] { // bias excluded
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func TestLogisticRegressionErrors(t *testing.T) {
+	m := NewLogisticRegression()
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Error("empty training set must error")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, d := 400, 3
+	wTrue := []float64{2, -1, 0.5}
+	const bias = 4.0
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = bias
+		for j := range row {
+			y[i] += wTrue[j] * row[j]
+		}
+		y[i] += rng.NormFloat64() * 0.01
+	}
+	m := NewRidge(1e-6)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for j := range wTrue {
+		if math.Abs(m.W[j]-wTrue[j]) > 0.05 {
+			t.Errorf("W[%d] = %f, want %f", j, m.W[j], wTrue[j])
+		}
+	}
+	if math.Abs(m.Bias-bias) > 0.05 {
+		t.Errorf("Bias = %f, want %f", m.Bias, bias)
+	}
+	// Predictions close to targets.
+	pred := m.Predict(X[:10])
+	for i := range pred {
+		if math.Abs(pred[i]-y[i]) > 0.1 {
+			t.Errorf("pred[%d] = %f, want %f", i, pred[i], y[i])
+		}
+	}
+}
+
+func TestRidgeShrinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64()}
+		y[i] = 3 * X[i][0]
+	}
+	small := NewRidge(1e-9)
+	big := NewRidge(1e6)
+	if err := small.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big.W[0]) >= math.Abs(small.W[0]) {
+		t.Errorf("large lambda should shrink: %f vs %f", big.W[0], small.W[0])
+	}
+}
+
+func TestRidgeCollinearColumns(t *testing.T) {
+	// Perfectly collinear features: solvable only thanks to the L2 term.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := NewRidge(0.1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit on collinear data: %v", err)
+	}
+	if p := m.PredictOne([]float64{5, 5}); math.Abs(p-10) > 0.5 {
+		t.Errorf("prediction = %f, want ~10", p)
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	m := NewRidge(1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty fit must error")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	// Huge logits must not overflow to NaN.
+	v := []float64{1000, -1000, 999}
+	softmaxInPlace(v)
+	var sum float64
+	for _, x := range v {
+		if math.IsNaN(x) || x < 0 || x > 1 {
+			t.Fatalf("softmax unstable: %v", v)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %f", sum)
+	}
+}
+
+func TestLogisticRegressionDeterministicSeed(t *testing.T) {
+	X, y := blobs(200, 2, 3, 21)
+	a := NewLogisticRegression()
+	b := NewLogisticRegression()
+	if err := a.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.W {
+		for j := range a.W[c] {
+			if a.W[c][j] != b.W[c][j] {
+				t.Fatal("same seed must reproduce weights")
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package linear implements the linear models of the benchmark from
+// scratch: L2-regularized multinomial logistic regression (used both as a
+// type-inference model and as the high-bias downstream classifier) and
+// L2-regularized (ridge) linear regression (the downstream regressor).
+package linear
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogisticRegression is a multinomial (softmax) logistic regression trained
+// by mini-batch SGD with an L2 penalty. C is the inverse regularization
+// strength, matching scikit-learn's parameterization used in the paper's
+// grid (Appendix B): larger C, weaker regularization.
+type LogisticRegression struct {
+	C         float64 // inverse regularization strength
+	Epochs    int     // passes over the training set
+	BatchSize int
+	LR        float64 // initial learning rate
+	Seed      int64
+
+	W       [][]float64 // classes × (features+1); last column is the bias
+	Classes int
+}
+
+// NewLogisticRegression returns a model with the defaults used throughout
+// the benchmark (C=1, 30 epochs, batch 32).
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{C: 1, Epochs: 30, BatchSize: 32, LR: 0.1, Seed: 1}
+}
+
+// Fit trains on X (n×d) with integer labels y in [0,k).
+func (m *LogisticRegression) Fit(X [][]float64, y []int, k int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("linear: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("linear: X and y size mismatch: %d vs %d", len(X), len(y))
+	}
+	d := len(X[0])
+	m.Classes = k
+	m.W = make([][]float64, k)
+	for c := range m.W {
+		m.W[c] = make([]float64, d+1)
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 32
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 30
+	}
+	if m.LR <= 0 {
+		m.LR = 0.1
+	}
+	if m.C <= 0 {
+		m.C = 1
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	n := len(X)
+	order := rng.Perm(n)
+	lambda := 1 / (m.C * float64(n))
+	probs := make([]float64, k)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		lr := m.LR / (1 + 0.1*float64(epoch))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > n {
+				end = n
+			}
+			scale := lr / float64(end-start)
+			for _, i := range order[start:end] {
+				m.scores(X[i], probs)
+				softmaxInPlace(probs)
+				for c := 0; c < k; c++ {
+					g := probs[c]
+					if c == y[i] {
+						g -= 1
+					}
+					g *= scale
+					w := m.W[c]
+					for j, xj := range X[i] {
+						if xj != 0 {
+							w[j] -= g * xj
+						}
+					}
+					w[d] -= g
+				}
+			}
+			// L2 shrink once per batch (bias excluded).
+			shrink := 1 - lr*lambda*float64(end-start)
+			if shrink < 0 {
+				shrink = 0
+			}
+			for c := 0; c < k; c++ {
+				w := m.W[c]
+				for j := 0; j < d; j++ {
+					w[j] *= shrink
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scores fills out with the raw class scores for x.
+func (m *LogisticRegression) scores(x []float64, out []float64) {
+	d := len(x)
+	for c := range m.W {
+		w := m.W[c]
+		s := w[d]
+		for j, xj := range x {
+			if xj != 0 {
+				s += w[j] * xj
+			}
+		}
+		out[c] = s
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i := range v {
+		v[i] = math.Exp(v[i] - max)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// PredictProba returns the class probability vector for x.
+func (m *LogisticRegression) PredictProba(x []float64) []float64 {
+	out := make([]float64, m.Classes)
+	m.scores(x, out)
+	softmaxInPlace(out)
+	return out
+}
+
+// PredictOne returns the most probable class for x.
+func (m *LogisticRegression) PredictOne(x []float64) int {
+	out := make([]float64, m.Classes)
+	m.scores(x, out)
+	best := 0
+	for c := 1; c < len(out); c++ {
+		if out[c] > out[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Predict returns the most probable class for every row of X.
+func (m *LogisticRegression) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i := range X {
+		out[i] = m.PredictOne(X[i])
+	}
+	return out
+}

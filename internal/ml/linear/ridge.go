@@ -1,0 +1,170 @@
+package linear
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ridge is L2-regularized linear regression solved in closed form via the
+// normal equations with a Cholesky factorization: (XᵀX + λI)w = Xᵀy.
+// It is the paper's downstream "Linear Regression – L2 Regularization".
+type Ridge struct {
+	Lambda float64 // L2 penalty strength
+
+	W    []float64 // learned weights
+	Bias float64
+}
+
+// NewRidge returns a ridge regressor with penalty lambda (1.0 default if
+// lambda <= 0 at fit time).
+func NewRidge(lambda float64) *Ridge { return &Ridge{Lambda: lambda} }
+
+// Fit solves the regularized least squares problem on X (n×d), y (n).
+func (m *Ridge) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("linear: ridge: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("linear: ridge: X and y size mismatch: %d vs %d", len(X), len(y))
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1
+	}
+	n, d := len(X), len(X[0])
+
+	// Center y and X so the bias can be recovered without regularizing it.
+	xMean := make([]float64, d)
+	var yMean float64
+	for i := 0; i < n; i++ {
+		yMean += y[i]
+		for j, v := range X[i] {
+			xMean[j] += v
+		}
+	}
+	yMean /= float64(n)
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+
+	// A = XcᵀXc + λI, b = Xcᵀyc
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			row[j] = X[i][j] - xMean[j]
+		}
+		yc := y[i] - yMean
+		for j := 0; j < d; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			b[j] += row[j] * yc
+			aj := A[j]
+			rj := row[j]
+			for k := j; k < d; k++ {
+				aj[k] += rj * row[k]
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			A[j][k] = A[k][j]
+		}
+		A[j][j] += m.Lambda
+	}
+
+	w, err := solveCholesky(A, b)
+	if err != nil {
+		return fmt.Errorf("linear: ridge: %w", err)
+	}
+	m.W = w
+	m.Bias = yMean
+	for j := 0; j < d; j++ {
+		m.Bias -= w[j] * xMean[j]
+	}
+	return nil
+}
+
+// PredictOne returns the regression estimate for x.
+func (m *Ridge) PredictOne(x []float64) float64 {
+	s := m.Bias
+	for j, v := range x {
+		if v != 0 {
+			s += m.W[j] * v
+		}
+	}
+	return s
+}
+
+// Predict returns estimates for every row of X.
+func (m *Ridge) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i := range X {
+		out[i] = m.PredictOne(X[i])
+	}
+	return out
+}
+
+// solveCholesky solves Aw = b for symmetric positive-definite A, with a
+// diagonal jitter retry if the factorization stalls numerically.
+func solveCholesky(A [][]float64, b []float64) ([]float64, error) {
+	d := len(A)
+	L := make([][]float64, d)
+	for i := range L {
+		L[i] = make([]float64, d)
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		ok := true
+		for i := 0; i < d && ok; i++ {
+			for j := 0; j <= i; j++ {
+				sum := A[i][j]
+				if i == j {
+					sum += jitter
+				}
+				for k := 0; k < j; k++ {
+					sum -= L[i][k] * L[j][k]
+				}
+				if i == j {
+					if sum <= 0 || math.IsNaN(sum) {
+						ok = false
+						break
+					}
+					L[i][i] = math.Sqrt(sum)
+				} else {
+					L[i][j] = sum / L[j][j]
+				}
+			}
+		}
+		if ok {
+			// Forward solve Lz = b, back solve Lᵀw = z.
+			z := make([]float64, d)
+			for i := 0; i < d; i++ {
+				s := b[i]
+				for k := 0; k < i; k++ {
+					s -= L[i][k] * z[k]
+				}
+				z[i] = s / L[i][i]
+			}
+			w := make([]float64, d)
+			for i := d - 1; i >= 0; i-- {
+				s := z[i]
+				for k := i + 1; k < d; k++ {
+					s -= L[k][i] * w[k]
+				}
+				w[i] = s / L[i][i]
+			}
+			return w, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-6
+		} else {
+			jitter *= 1000
+		}
+	}
+	return nil, fmt.Errorf("cholesky factorization failed (matrix not positive definite)")
+}

@@ -1,0 +1,198 @@
+// Package metrics implements the evaluation metrics of the benchmark:
+// multi-class accuracy, confusion matrices, per-class binarized precision /
+// recall / F1 / accuracy (Table 1 and Table 8 of the paper), RMSE for the
+// regression tasks, and empirical CDF helpers for the Figure-8/9 plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of predictions equal to the truth.
+// It returns 0 for empty input.
+func Accuracy(truth, pred []int) float64 {
+	if len(truth) == 0 || len(truth) != len(pred) {
+		return 0
+	}
+	hits := 0
+	for i := range truth {
+		if truth[i] == pred[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// ConfusionMatrix computes an k×k confusion matrix; rows are actual classes,
+// columns predicted classes. Predictions outside [0,k) (e.g. a tool's
+// "no coverage" answer) are counted in the per-row Uncovered tally instead.
+type ConfusionMatrix struct {
+	K         int
+	Counts    [][]int
+	Uncovered []int
+}
+
+// Confusion builds the confusion matrix for k classes.
+func Confusion(truth, pred []int, k int) *ConfusionMatrix {
+	cm := &ConfusionMatrix{K: k, Counts: make([][]int, k), Uncovered: make([]int, k)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, k)
+	}
+	for i := range truth {
+		t := truth[i]
+		if t < 0 || t >= k {
+			continue
+		}
+		p := pred[i]
+		if p < 0 || p >= k {
+			cm.Uncovered[t]++
+			continue
+		}
+		cm.Counts[t][p]++
+	}
+	return cm
+}
+
+// Total returns the number of examples tallied (including uncovered).
+func (cm *ConfusionMatrix) Total() int {
+	n := 0
+	for i := range cm.Counts {
+		n += cm.Uncovered[i]
+		for j := range cm.Counts[i] {
+			n += cm.Counts[i][j]
+		}
+	}
+	return n
+}
+
+// BinaryScores are the one-vs-rest scores for one class, as reported in the
+// paper's Table 1 (precision, recall, binarized 2x2 diagonal accuracy) and
+// Table 8 (F1).
+type BinaryScores struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Accuracy  float64
+	Support   int // number of true examples of the class
+	Predicted int // number of predictions of the class
+}
+
+// Binarized computes the one-vs-rest scores for class c. Uncovered
+// predictions count as negative predictions (they are never class c), which
+// matches how the paper scores tools without full vocabulary coverage.
+func (cm *ConfusionMatrix) Binarized(c int) BinaryScores {
+	var tp, fp, fn, tn int
+	for t := 0; t < cm.K; t++ {
+		for p := 0; p < cm.K; p++ {
+			n := cm.Counts[t][p]
+			switch {
+			case t == c && p == c:
+				tp += n
+			case t == c && p != c:
+				fn += n
+			case t != c && p == c:
+				fp += n
+			default:
+				tn += n
+			}
+		}
+		if t == c {
+			fn += cm.Uncovered[t]
+		} else {
+			tn += cm.Uncovered[t]
+		}
+	}
+	var s BinaryScores
+	s.Support = tp + fn
+	s.Predicted = tp + fp
+	if tp+fp > 0 {
+		s.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		s.Recall = float64(tp) / float64(tp+fn)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	total := tp + fp + fn + tn
+	if total > 0 {
+		s.Accuracy = float64(tp+tn) / float64(total)
+	}
+	return s
+}
+
+// MultiAccuracy returns the k-class accuracy implied by the matrix, counting
+// uncovered predictions as wrong.
+func (cm *ConfusionMatrix) MultiAccuracy() float64 {
+	total := cm.Total()
+	if total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := 0; i < cm.K; i++ {
+		diag += cm.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// String renders the matrix with class indices, actual on rows.
+func (cm *ConfusionMatrix) String() string {
+	s := "actual\\pred"
+	for j := 0; j < cm.K; j++ {
+		s += fmt.Sprintf("\t%d", j)
+	}
+	s += "\tn/a\n"
+	for i := 0; i < cm.K; i++ {
+		s += fmt.Sprintf("%d", i)
+		for j := 0; j < cm.K; j++ {
+			s += fmt.Sprintf("\t%d", cm.Counts[i][j])
+		}
+		s += fmt.Sprintf("\t%d\n", cm.Uncovered[i])
+	}
+	return s
+}
+
+// RMSE returns the root mean squared error between truth and predictions.
+func RMSE(truth, pred []float64) float64 {
+	if len(truth) == 0 || len(truth) != len(pred) {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range truth {
+		d := truth[i] - pred[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(truth)))
+}
+
+// CDF computes the empirical CDF of values at the given probe points:
+// result[i] = P(X <= probes[i]).
+func CDF(values, probes []float64) []float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(probes))
+	for i, p := range probes {
+		out[i] = float64(sort.SearchFloat64s(sorted, math.Nextafter(p, math.Inf(1)))) / float64(len(sorted))
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of values using
+// nearest-rank on a sorted copy. It returns NaN for empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("Accuracy = %f", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("mismatched lengths should be 0")
+	}
+}
+
+func TestConfusionAndBinarized(t *testing.T) {
+	// 2 classes: truth [0,0,1,1,1], pred [0,1,1,1,0]
+	cm := Confusion([]int{0, 0, 1, 1, 1}, []int{0, 1, 1, 1, 0}, 2)
+	if cm.Total() != 5 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+	s := cm.Binarized(1)
+	// class 1: tp=2, fp=1, fn=1, tn=1
+	if math.Abs(s.Precision-2.0/3) > 1e-9 {
+		t.Errorf("precision = %f", s.Precision)
+	}
+	if math.Abs(s.Recall-2.0/3) > 1e-9 {
+		t.Errorf("recall = %f", s.Recall)
+	}
+	if math.Abs(s.Accuracy-3.0/5) > 1e-9 {
+		t.Errorf("binarized accuracy = %f", s.Accuracy)
+	}
+	if math.Abs(s.F1-2.0/3) > 1e-9 {
+		t.Errorf("f1 = %f", s.F1)
+	}
+	if s.Support != 3 || s.Predicted != 3 {
+		t.Errorf("support/predicted = %d/%d", s.Support, s.Predicted)
+	}
+	if math.Abs(cm.MultiAccuracy()-3.0/5) > 1e-9 {
+		t.Errorf("MultiAccuracy = %f", cm.MultiAccuracy())
+	}
+}
+
+func TestConfusionUncovered(t *testing.T) {
+	// A tool that answers Unknown (-1) for one class-0 example.
+	cm := Confusion([]int{0, 0, 1}, []int{0, -1, 1}, 2)
+	if cm.Uncovered[0] != 1 {
+		t.Fatalf("Uncovered = %v", cm.Uncovered)
+	}
+	s := cm.Binarized(0)
+	// tp=1, fn=1 (uncovered counts as miss), fp=0, tn=1
+	if math.Abs(s.Recall-0.5) > 1e-9 {
+		t.Errorf("recall with uncovered = %f", s.Recall)
+	}
+	if math.Abs(cm.MultiAccuracy()-2.0/3) > 1e-9 {
+		t.Errorf("MultiAccuracy with uncovered = %f", cm.MultiAccuracy())
+	}
+	if cm.String() == "" {
+		t.Error("String() should render")
+	}
+}
+
+// TestBinarizedBounds is a property test: precision, recall, F1 and
+// accuracy are always within [0,1] and consistent with each other.
+func TestBinarizedBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		k := rng.Intn(5) + 2
+		truth := make([]int, n)
+		pred := make([]int, n)
+		for i := range truth {
+			truth[i] = rng.Intn(k)
+			pred[i] = rng.Intn(k+1) - 1 // sometimes uncovered
+		}
+		cm := Confusion(truth, pred, k)
+		for c := 0; c < k; c++ {
+			s := cm.Binarized(c)
+			for _, v := range []float64{s.Precision, s.Recall, s.F1, s.Accuracy} {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+			}
+			if s.F1 > s.Precision+s.Recall {
+				return false
+			}
+		}
+		acc := cm.MultiAccuracy()
+		return acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 5})
+	want := math.Sqrt(4.0 / 3)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("RMSE = %f, want %f", got, want)
+	}
+	if !math.IsNaN(RMSE(nil, nil)) {
+		t.Error("empty RMSE should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := []float64{1, 2, 2, 3}
+	got := CDF(vals, []float64{0, 1, 2, 3, 4})
+	want := []float64{0, 0.25, 0.75, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("CDF[%d] = %f, want %f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := Percentile(vals, 50); got != 50 {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := Percentile(vals, 100); got != 100 {
+		t.Errorf("p100 = %f", got)
+	}
+	if got := Percentile(vals, 0.1); got != 10 {
+		t.Errorf("p0.1 = %f", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}

@@ -1,0 +1,187 @@
+// Package modelsel provides data-splitting and model-selection utilities:
+// stratified train/test splits, k-fold cross-validation, grouped
+// (leave-datafile-out) cross-validation, and grid search scaffolding,
+// following the methodology of Section 4.1 of the paper.
+package modelsel
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// StratifiedSplit partitions example indices into train and test sets with
+// approximately testFrac of each class in the test set. Order within each
+// split is shuffled by rng.
+func StratifiedSplit(y []int, testFrac float64, rng *rand.Rand) (train, test []int) {
+	byClass := map[int][]int{}
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		nTest := int(float64(len(idx))*testFrac + 0.5)
+		if nTest >= len(idx) {
+			// Keep at least one example of every class in the training set.
+			nTest = len(idx) - 1
+		}
+		test = append(test, idx[:nTest]...)
+		train = append(train, idx[nTest:]...)
+	}
+	rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	rng.Shuffle(len(test), func(i, j int) { test[i], test[j] = test[j], test[i] })
+	return train, test
+}
+
+// Fold is one cross-validation fold: indices to train on and to validate on.
+type Fold struct {
+	Train []int
+	Val   []int
+}
+
+// KFold produces k stratified folds over the labels.
+func KFold(y []int, k int, rng *rand.Rand) []Fold {
+	byClass := map[int][]int{}
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	assign := make([]int, len(y)) // example -> fold
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for j, e := range idx {
+			assign[e] = j % k
+		}
+	}
+	folds := make([]Fold, k)
+	for e, f := range assign {
+		for g := range folds {
+			if g == f {
+				folds[g].Val = append(folds[g].Val, e)
+			} else {
+				folds[g].Train = append(folds[g].Train, e)
+			}
+		}
+	}
+	return folds
+}
+
+// GroupedSplit partitions indices by group (e.g. source data file) into
+// train/val/test with the given fractions of groups, reproducing the
+// paper's leave-datafile-out methodology where every column of a file lands
+// in the same partition.
+func GroupedSplit(groups []int, trainFrac, valFrac float64, rng *rand.Rand) (train, val, test []int) {
+	uniq := map[int]bool{}
+	for _, g := range groups {
+		uniq[g] = true
+	}
+	ids := make([]int, 0, len(uniq))
+	for g := range uniq {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	nTrain := int(float64(len(ids)) * trainFrac)
+	nVal := int(float64(len(ids)) * valFrac)
+	part := map[int]int{} // group -> 0 train, 1 val, 2 test
+	for i, g := range ids {
+		switch {
+		case i < nTrain:
+			part[g] = 0
+		case i < nTrain+nVal:
+			part[g] = 1
+		default:
+			part[g] = 2
+		}
+	}
+	for i, g := range groups {
+		switch part[g] {
+		case 0:
+			train = append(train, i)
+		case 1:
+			val = append(val, i)
+		default:
+			test = append(test, i)
+		}
+	}
+	return train, val, test
+}
+
+// Gather selects rows of a float matrix by index.
+func Gather(X [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = X[j]
+	}
+	return out
+}
+
+// GatherInts selects elements of an int slice by index.
+func GatherInts(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// GatherFloats selects elements of a float slice by index.
+func GatherFloats(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// GridPoint is one hyper-parameter assignment.
+type GridPoint map[string]float64
+
+// Grid expands a named grid specification into the cross product of all
+// parameter values, in deterministic order.
+func Grid(params map[string][]float64) []GridPoint {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	points := []GridPoint{{}}
+	for _, n := range names {
+		var next []GridPoint
+		for _, p := range points {
+			for _, v := range params[n] {
+				q := GridPoint{}
+				for k, w := range p {
+					q[k] = w
+				}
+				q[n] = v
+				next = append(next, q)
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// BestGridPoint runs evaluate for every grid point and returns the point
+// with the highest score (ties resolved toward the earlier point).
+func BestGridPoint(points []GridPoint, evaluate func(GridPoint) float64) (GridPoint, float64) {
+	best := points[0]
+	bestScore := evaluate(points[0])
+	for _, p := range points[1:] {
+		if s := evaluate(p); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best, bestScore
+}

@@ -1,0 +1,168 @@
+package modelsel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func labelsFixture(n, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(k)
+	}
+	return y
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	y := labelsFixture(1000, 4, 1)
+	train, test := StratifiedSplit(y, 0.2, rand.New(rand.NewSource(2)))
+	if len(train)+len(test) != len(y) {
+		t.Fatalf("split sizes %d+%d != %d", len(train), len(test), len(y))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	// Class proportions in test within 5 points of 20%.
+	counts := map[int]int{}
+	totals := map[int]int{}
+	for _, i := range test {
+		counts[y[i]]++
+	}
+	for _, c := range y {
+		totals[c]++
+	}
+	for c, total := range totals {
+		frac := float64(counts[c]) / float64(total)
+		if frac < 0.15 || frac > 0.25 {
+			t.Errorf("class %d test fraction = %f", c, frac)
+		}
+	}
+}
+
+func TestStratifiedSplitTinyClass(t *testing.T) {
+	// A class with a single example must stay in train.
+	y := []int{0, 0, 0, 0, 1}
+	train, test := StratifiedSplit(y, 0.5, rand.New(rand.NewSource(1)))
+	for _, i := range test {
+		if y[i] == 1 {
+			t.Error("singleton class leaked into test")
+		}
+	}
+	if len(train)+len(test) != 5 {
+		t.Error("split dropped examples")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	y := labelsFixture(100, 3, 5)
+	folds := KFold(y, 5, rand.New(rand.NewSource(7)))
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	valSeen := map[int]int{}
+	for _, f := range folds {
+		if len(f.Train)+len(f.Val) != len(y) {
+			t.Errorf("fold covers %d examples", len(f.Train)+len(f.Val))
+		}
+		inVal := map[int]bool{}
+		for _, i := range f.Val {
+			valSeen[i]++
+			inVal[i] = true
+		}
+		for _, i := range f.Train {
+			if inVal[i] {
+				t.Error("index in both train and val of the same fold")
+			}
+		}
+	}
+	for i := range y {
+		if valSeen[i] != 1 {
+			t.Errorf("index %d is in %d validation folds, want exactly 1", i, valSeen[i])
+		}
+	}
+}
+
+func TestGroupedSplit(t *testing.T) {
+	groups := make([]int, 300)
+	for i := range groups {
+		groups[i] = i / 6 // 50 groups of 6
+	}
+	train, val, test := GroupedSplit(groups, 0.6, 0.2, rand.New(rand.NewSource(3)))
+	if len(train)+len(val)+len(test) != len(groups) {
+		t.Fatalf("partition sizes %d+%d+%d", len(train), len(val), len(test))
+	}
+	part := map[int]string{}
+	record := func(idx []int, name string) {
+		for _, i := range idx {
+			g := groups[i]
+			if prev, ok := part[g]; ok && prev != name {
+				t.Fatalf("group %d split across %s and %s", g, prev, name)
+			}
+			part[g] = name
+		}
+	}
+	record(train, "train")
+	record(val, "val")
+	record(test, "test")
+}
+
+func TestGatherHelpers(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	if got := Gather(X, []int{2, 0}); got[0][0] != 3 || got[1][0] != 1 {
+		t.Error("Gather wrong")
+	}
+	if got := GatherInts([]int{5, 6, 7}, []int{1}); got[0] != 6 {
+		t.Error("GatherInts wrong")
+	}
+	if got := GatherFloats([]float64{5, 6, 7}, []int{2}); got[0] != 7 {
+		t.Error("GatherFloats wrong")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	points := Grid(map[string][]float64{"a": {1, 2}, "b": {10, 20, 30}})
+	if len(points) != 6 {
+		t.Fatalf("grid size = %d", len(points))
+	}
+	seen := map[[2]float64]bool{}
+	for _, p := range points {
+		seen[[2]float64{p["a"], p["b"]}] = true
+	}
+	if len(seen) != 6 {
+		t.Error("grid points not distinct")
+	}
+	best, score := BestGridPoint(points, func(p GridPoint) float64 { return p["a"] + p["b"] })
+	if best["a"] != 2 || best["b"] != 30 || score != 32 {
+		t.Errorf("best = %v score = %f", best, score)
+	}
+}
+
+// Property: every stratified split is a permutation-free partition.
+func TestStratifiedSplitPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80) + 5
+		y := labelsFixture(n, rng.Intn(4)+2, seed+1)
+		train, test := StratifiedSplit(y, 0.3, rng)
+		if len(train)+len(test) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, i := range append(append([]int{}, train...), test...) {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

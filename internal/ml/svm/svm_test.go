@@ -1,0 +1,126 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rings generates two concentric rings: linearly inseparable, trivially
+// separable with an RBF kernel — the case the random Fourier features must
+// preserve.
+func rings(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := rng.Intn(2)
+		radius := 1.0
+		if c == 1 {
+			radius = 4.0
+		}
+		angle := rng.Float64() * 2 * math.Pi
+		r := radius + rng.NormFloat64()*0.2
+		X[i] = []float64{r * math.Cos(angle), r * math.Sin(angle)}
+		y[i] = c
+	}
+	return X, y
+}
+
+func TestRBFSVMSeparatesRings(t *testing.T) {
+	X, y := rings(500, 1)
+	m := NewRBFSVM()
+	m.Gamma = 0.5
+	m.Epochs = 30
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	Xte, yte := rings(300, 2)
+	hits := 0
+	for i := range Xte {
+		if m.PredictOne(Xte[i]) == yte[i] {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(len(Xte))
+	if acc < 0.9 {
+		t.Errorf("ring accuracy = %.3f, want >= 0.9 (RBF should separate rings)", acc)
+	}
+}
+
+func TestRBFSVMMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {6, 0}, {0, 6}}
+	for i := 0; i < 450; i++ {
+		c := rng.Intn(3)
+		X = append(X, []float64{centers[c][0] + rng.NormFloat64()*0.5, centers[c][1] + rng.NormFloat64()*0.5})
+		y = append(y, c)
+	}
+	m := NewRBFSVM()
+	m.Gamma = 0.2
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	pred := m.Predict(X)
+	hits := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(y)); acc < 0.95 {
+		t.Errorf("3-class blob accuracy = %.3f", acc)
+	}
+}
+
+func TestRBFSVMProbabilities(t *testing.T) {
+	X, y := rings(200, 5)
+	m := NewRBFSVM()
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba(X[0])
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("bad probability %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %f", sum)
+	}
+	df := m.DecisionFunction(X[0])
+	if len(df) != 2 {
+		t.Errorf("decision function size %d", len(df))
+	}
+}
+
+func TestRBFSVMDeterministicWithSeed(t *testing.T) {
+	X, y := rings(150, 7)
+	a := NewRBFSVM()
+	b := NewRBFSVM()
+	if err := a.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if a.PredictOne(X[i]) != b.PredictOne(X[i]) {
+			t.Fatal("same seed must give identical predictions")
+		}
+	}
+}
+
+func TestRBFSVMErrors(t *testing.T) {
+	m := NewRBFSVM()
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Error("empty training set must error")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Error("size mismatch must error")
+	}
+}

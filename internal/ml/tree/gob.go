@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// treeWire is the exported serialization mirror of Tree.
+type treeWire struct {
+	Features   []int
+	Thresholds []float64
+	Left       []int32
+	Right      []int32
+	Leaf       []bool
+	Probs      [][]float64
+	Values     []float64
+	Classes    int
+	Regression bool
+	Gains      []float64
+}
+
+// GobEncode implements gob.GobEncoder for trained trees.
+func (t *Tree) GobEncode() ([]byte, error) {
+	w := treeWire{
+		Features:   make([]int, len(t.nodes)),
+		Thresholds: make([]float64, len(t.nodes)),
+		Left:       make([]int32, len(t.nodes)),
+		Right:      make([]int32, len(t.nodes)),
+		Leaf:       make([]bool, len(t.nodes)),
+		Probs:      make([][]float64, len(t.nodes)),
+		Values:     make([]float64, len(t.nodes)),
+		Classes:    t.classes,
+		Regression: t.regression,
+		Gains:      t.gains,
+	}
+	for i, n := range t.nodes {
+		w.Features[i] = n.feature
+		w.Thresholds[i] = n.threshold
+		w.Left[i] = n.left
+		w.Right[i] = n.right
+		w.Leaf[i] = n.leaf
+		w.Probs[i] = n.probs
+		w.Values[i] = n.value
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(b []byte) error {
+	var w treeWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	t.nodes = make([]node, len(w.Features))
+	for i := range t.nodes {
+		t.nodes[i] = node{
+			feature:   w.Features[i],
+			threshold: w.Thresholds[i],
+			left:      w.Left[i],
+			right:     w.Right[i],
+			leaf:      w.Leaf[i],
+			probs:     w.Probs[i],
+			value:     w.Values[i],
+		}
+	}
+	t.classes = w.Classes
+	t.regression = w.Regression
+	t.gains = w.Gains
+	return nil
+}

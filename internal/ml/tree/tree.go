@@ -1,0 +1,322 @@
+// Package tree implements CART decision trees and Random Forests from
+// scratch, for both classification (Gini impurity) and regression (variance
+// reduction). Random Forest is the benchmark's best-performing model for
+// feature type inference and its low-bias downstream model; the
+// NumEstimator/MaxDepth hyper-parameter grid follows Appendix B.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// node is one tree node. Leaves carry class counts (classification) or a
+// mean target value (regression); internal nodes carry a split.
+type node struct {
+	feature   int
+	threshold float64
+	left      int32
+	right     int32
+	leaf      bool
+	probs     []float64 // classification: class distribution at the leaf
+	value     float64   // regression: mean target at the leaf
+}
+
+// Tree is a single CART tree.
+type Tree struct {
+	nodes      []node
+	classes    int // 0 for regression trees
+	regression bool
+	gains      []float64 // per-feature impurity decrease accumulated at fit
+}
+
+// Params configure tree induction.
+type Params struct {
+	MaxDepth        int // 0 means unlimited
+	MinSamplesSplit int // minimum node size to attempt a split
+	MaxFeatures     int // features considered per split; 0 = heuristic
+	Classes         int // number of classes (classification only)
+	Regression      bool
+}
+
+type builder struct {
+	X       [][]float64
+	yc      []int
+	yf      []float64
+	p       Params
+	rng     *rand.Rand
+	nodes   []node
+	gains   []float64 // per-feature accumulated impurity decrease
+	scratch []int
+}
+
+// growClassifier builds a classification tree on the given row indices.
+func growTree(X [][]float64, yc []int, yf []float64, idx []int, p Params, rng *rand.Rand) *Tree {
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	d := len(X[0])
+	if p.MaxFeatures <= 0 || p.MaxFeatures > d {
+		if p.Regression {
+			p.MaxFeatures = (d + 2) / 3
+		} else {
+			p.MaxFeatures = int(math.Sqrt(float64(d))) + 1
+		}
+		if p.MaxFeatures > d {
+			p.MaxFeatures = d
+		}
+	}
+	b := &builder{X: X, yc: yc, yf: yf, p: p, rng: rng, gains: make([]float64, d)}
+	b.build(idx, 0)
+	return &Tree{nodes: b.nodes, classes: p.Classes, regression: p.Regression, gains: b.gains}
+}
+
+// build recursively grows the subtree for idx and returns its node index.
+func (b *builder) build(idx []int, depth int) int32 {
+	self := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{})
+
+	stop := len(idx) < b.p.MinSamplesSplit ||
+		(b.p.MaxDepth > 0 && depth >= b.p.MaxDepth) || b.pure(idx)
+	if !stop {
+		feat, thr, gain, ok := b.bestSplit(idx)
+		if ok {
+			lo, hi := partition(b.X, idx, feat, thr)
+			if len(lo) > 0 && len(hi) > 0 {
+				b.gains[feat] += gain * float64(len(idx))
+				n := node{feature: feat, threshold: thr}
+				b.nodes[self] = n
+				left := b.build(lo, depth+1)
+				right := b.build(hi, depth+1)
+				b.nodes[self].left = left
+				b.nodes[self].right = right
+				return self
+			}
+		}
+	}
+	b.nodes[self] = b.makeLeaf(idx)
+	return self
+}
+
+func (b *builder) pure(idx []int) bool {
+	if b.p.Regression {
+		first := b.yf[idx[0]]
+		for _, i := range idx[1:] {
+			if b.yf[i] != first {
+				return false
+			}
+		}
+		return true
+	}
+	first := b.yc[idx[0]]
+	for _, i := range idx[1:] {
+		if b.yc[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *builder) makeLeaf(idx []int) node {
+	if b.p.Regression {
+		var sum float64
+		for _, i := range idx {
+			sum += b.yf[i]
+		}
+		return node{leaf: true, value: sum / float64(len(idx))}
+	}
+	probs := make([]float64, b.p.Classes)
+	for _, i := range idx {
+		probs[b.yc[i]]++
+	}
+	for c := range probs {
+		probs[c] /= float64(len(idx))
+	}
+	return node{leaf: true, probs: probs}
+}
+
+// bestSplit searches MaxFeatures random features for the best threshold.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, bestGain float64, ok bool) {
+	d := len(b.X[0])
+	bestGain = 1e-12
+	// Sample features without replacement.
+	feats := b.sampleFeatures(d)
+	sorted := append([]int(nil), idx...)
+	for _, f := range feats {
+		sort.Slice(sorted, func(i, j int) bool { return b.X[sorted[i]][f] < b.X[sorted[j]][f] })
+		var gain, thr float64
+		var found bool
+		if b.p.Regression {
+			gain, thr, found = b.sweepRegression(sorted, f)
+		} else {
+			gain, thr, found = b.sweepClassification(sorted, f)
+		}
+		if found && gain > bestGain {
+			bestGain, feature, threshold, ok = gain, f, thr, true
+		}
+	}
+	return feature, threshold, bestGain, ok
+}
+
+func (b *builder) sampleFeatures(d int) []int {
+	if b.p.MaxFeatures >= d {
+		out := make([]int, d)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return b.rng.Perm(d)[:b.p.MaxFeatures]
+}
+
+// sweepClassification scans thresholds on feature f over pre-sorted indices,
+// maximizing the Gini impurity decrease.
+func (b *builder) sweepClassification(sorted []int, f int) (bestGain, bestThr float64, ok bool) {
+	n := len(sorted)
+	k := b.p.Classes
+	total := make([]float64, k)
+	for _, i := range sorted {
+		total[b.yc[i]]++
+	}
+	parentGini := gini(total, float64(n))
+	left := make([]float64, k)
+	nl := 0.0
+	for i := 0; i < n-1; i++ {
+		left[b.yc[sorted[i]]]++
+		nl++
+		xi, xj := b.X[sorted[i]][f], b.X[sorted[i+1]][f]
+		if xi == xj {
+			continue
+		}
+		nr := float64(n) - nl
+		gl := giniDiff(total, left, nl, nr)
+		gain := parentGini - (nl*gl.l+nr*gl.r)/float64(n)
+		if gain > bestGain {
+			bestGain, bestThr, ok = gain, (xi+xj)/2, true
+		}
+	}
+	return bestGain, bestThr, ok
+}
+
+type lrGini struct{ l, r float64 }
+
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := c / n
+		s -= p * p
+	}
+	return s
+}
+
+func giniDiff(total, left []float64, nl, nr float64) lrGini {
+	var sl, sr float64
+	for c := range total {
+		pl := left[c] / nl
+		pr := (total[c] - left[c]) / nr
+		sl += pl * pl
+		sr += pr * pr
+	}
+	return lrGini{1 - sl, 1 - sr}
+}
+
+// sweepRegression scans thresholds on feature f over pre-sorted indices,
+// maximizing the variance (SSE) reduction.
+func (b *builder) sweepRegression(sorted []int, f int) (bestGain, bestThr float64, ok bool) {
+	n := len(sorted)
+	var sum, sumsq float64
+	for _, i := range sorted {
+		v := b.yf[i]
+		sum += v
+		sumsq += v * v
+	}
+	parentSSE := sumsq - sum*sum/float64(n)
+	var ls, lss, nl float64
+	for i := 0; i < n-1; i++ {
+		v := b.yf[sorted[i]]
+		ls += v
+		lss += v * v
+		nl++
+		xi, xj := b.X[sorted[i]][f], b.X[sorted[i+1]][f]
+		if xi == xj {
+			continue
+		}
+		nr := float64(n) - nl
+		rs := sum - ls
+		rss := sumsq - lss
+		sse := (lss - ls*ls/nl) + (rss - rs*rs/nr)
+		gain := parentSSE - sse
+		if gain > bestGain {
+			bestGain, bestThr, ok = gain, (xi+xj)/2, true
+		}
+	}
+	return bestGain, bestThr, ok
+}
+
+// partition splits idx into values <= thr and > thr on feature f.
+func partition(X [][]float64, idx []int, f int, thr float64) (lo, hi []int) {
+	lo = make([]int, 0, len(idx))
+	hi = make([]int, 0, len(idx))
+	for _, i := range idx {
+		if X[i][f] <= thr {
+			lo = append(lo, i)
+		} else {
+			hi = append(hi, i)
+		}
+	}
+	return lo, hi
+}
+
+// predictNode walks x down the tree and returns the reached leaf.
+func (t *Tree) predictNode(x []float64) *node {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.leaf {
+			return n
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// PredictProba returns the leaf class distribution for x.
+func (t *Tree) PredictProba(x []float64) []float64 { return t.predictNode(x).probs }
+
+// PredictValue returns the leaf mean target for x (regression trees).
+func (t *Tree) PredictValue(x []float64) float64 { return t.predictNode(x).value }
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the tree (root = depth 0).
+func (t *Tree) Depth() int {
+	var walk func(i int32, d int) int
+	walk = func(i int32, d int) int {
+		n := &t.nodes[i]
+		if n.leaf {
+			return d
+		}
+		l := walk(n.left, d+1)
+		r := walk(n.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}
+
+// errEmpty is returned when fitting on no data.
+var errEmpty = fmt.Errorf("tree: empty training set")

@@ -1,0 +1,308 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func blobs(n, k int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := rng.Intn(k)
+		y[i] = c
+		X[i] = []float64{float64(c)*4 + rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func TestForestLearnsBlobs(t *testing.T) {
+	X, y := blobs(600, 3, 1)
+	f := NewClassifier(25, 10)
+	if err := f.Fit(X, y, 3); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	Xte, yte := blobs(300, 3, 2)
+	pred := f.Predict(Xte)
+	hits := 0
+	for i := range pred {
+		if pred[i] == yte[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(yte)); acc < 0.95 {
+		t.Errorf("blob accuracy = %.3f", acc)
+	}
+}
+
+func TestForestLearnsXOR(t *testing.T) {
+	// XOR: impossible for a linear model, easy for trees.
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 600; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b})
+		if (a > 0.5) != (b > 0.5) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	f := NewClassifier(30, 12)
+	f.MaxFeatures = 2
+	if err := f.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	pred := f.Predict(X)
+	hits := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(y)); acc < 0.95 {
+		t.Errorf("XOR accuracy = %.3f", acc)
+	}
+}
+
+func TestForestProbabilities(t *testing.T) {
+	X, y := blobs(200, 2, 5)
+	f := NewClassifier(10, 8)
+	if err := f.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := f.PredictProba(X[0])
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("bad proba %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %f", sum)
+	}
+}
+
+func TestRegressionForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 800
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := rng.Float64() * 10
+		X[i] = []float64{x}
+		y[i] = math.Sin(x) + rng.NormFloat64()*0.05
+	}
+	f := NewRegressor(30, 12)
+	f.MaxFeatures = 1
+	if err := f.FitRegression(X, y); err != nil {
+		t.Fatalf("FitRegression: %v", err)
+	}
+	var sse, n2 float64
+	for i := 0; i < n; i += 4 {
+		d := f.PredictValueOne(X[i]) - math.Sin(X[i][0])
+		sse += d * d
+		n2++
+	}
+	if rmse := math.Sqrt(sse / n2); rmse > 0.2 {
+		t.Errorf("regression RMSE = %.3f", rmse)
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	X, y := blobs(500, 3, 9)
+	rng := rand.New(rand.NewSource(1))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	tr := growTree(X, y, nil, idx, Params{MaxDepth: 3, MinSamplesSplit: 2, MaxFeatures: 2, Classes: 3}, rng)
+	if d := tr.Depth(); d > 3 {
+		t.Errorf("depth = %d, want <= 3", d)
+	}
+	if tr.NumNodes() == 0 {
+		t.Error("tree has no nodes")
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	rng := rand.New(rand.NewSource(1))
+	tr := growTree(X, y, nil, []int{0, 1, 2}, Params{MinSamplesSplit: 2, MaxFeatures: 1, Classes: 2}, rng)
+	if tr.NumNodes() != 1 {
+		t.Errorf("pure node should be a single leaf, got %d nodes", tr.NumNodes())
+	}
+	if p := tr.PredictProba([]float64{9}); p[1] != 1 {
+		t.Errorf("leaf proba = %v", p)
+	}
+}
+
+func TestForestDeterminism(t *testing.T) {
+	X, y := blobs(300, 3, 4)
+	a := NewClassifier(10, 10)
+	b := NewClassifier(10, 10)
+	if err := a.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		pa, pb := a.PredictProba(X[i]), b.PredictProba(X[i])
+		for c := range pa {
+			if pa[c] != pb[c] {
+				t.Fatal("same seed must reproduce the same forest")
+			}
+		}
+	}
+}
+
+func TestForestGobRoundTrip(t *testing.T) {
+	X, y := blobs(200, 2, 6)
+	f := NewClassifier(8, 8)
+	if err := f.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Forest
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range X {
+		if f.PredictOne(X[i]) != back.PredictOne(X[i]) {
+			t.Fatal("gob round-trip changed predictions")
+		}
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	f := NewClassifier(5, 5)
+	if err := f.Fit(nil, nil, 2); err == nil {
+		t.Error("empty fit must error")
+	}
+	if err := f.Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Error("size mismatch must error")
+	}
+	if err := f.FitRegression([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("FitRegression on classifier must error")
+	}
+	r := NewRegressor(5, 5)
+	if err := r.Fit([][]float64{{1}}, []int{0}, 2); err == nil {
+		t.Error("Fit on regressor must error")
+	}
+	if err := r.FitRegression([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("regression size mismatch must error")
+	}
+}
+
+// Property: leaf probabilities always form a distribution.
+func TestLeafDistributionProperty(t *testing.T) {
+	X, y := blobs(300, 4, 8)
+	f := NewClassifier(6, 6)
+	if err := f.Fit(X, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		p := f.PredictProba([]float64{a, b})
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureImportances(t *testing.T) {
+	// Only feature 0 carries signal; its importance must dominate.
+	rng := rand.New(rand.NewSource(17))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := rng.Intn(2)
+		y[i] = c
+		X[i] = []float64{float64(c)*4 + rng.NormFloat64()*0.3, rng.NormFloat64(), rng.NormFloat64()}
+	}
+	f := NewClassifier(15, 8)
+	f.MaxFeatures = 3
+	if err := f.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportances()
+	if len(imp) != 3 {
+		t.Fatalf("importances = %v", imp)
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Errorf("negative importance %v", imp)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %f", sum)
+	}
+	if imp[0] < 0.7 {
+		t.Errorf("signal feature importance = %f, want dominant", imp[0])
+	}
+	if (&Forest{}).FeatureImportances() != nil {
+		t.Error("untrained forest should return nil")
+	}
+}
+
+func TestOOBScore(t *testing.T) {
+	X, y := blobs(500, 3, 23)
+	f := NewClassifier(20, 10)
+	f.TrackOOB = true
+	if err := f.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	oob, ok := f.OOBScore()
+	if !ok {
+		t.Fatal("OOB score unavailable despite TrackOOB")
+	}
+	if oob < 0.9 {
+		t.Errorf("OOB accuracy = %.3f on separable blobs", oob)
+	}
+	// OOB should roughly agree with held-out accuracy.
+	Xte, yte := blobs(300, 3, 24)
+	pred := f.Predict(Xte)
+	hits := 0
+	for i := range pred {
+		if pred[i] == yte[i] {
+			hits++
+		}
+	}
+	holdout := float64(hits) / float64(len(yte))
+	if diff := oob - holdout; diff > 0.08 || diff < -0.08 {
+		t.Errorf("OOB (%.3f) far from held-out accuracy (%.3f)", oob, holdout)
+	}
+	// Without tracking, unavailable.
+	g := NewClassifier(5, 5)
+	if err := g.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.OOBScore(); ok {
+		t.Error("OOB should be unavailable without TrackOOB")
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import "testing"
+
+func TestParseFloat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"45", 45, true},
+		{" -3.25 ", -3.25, true},
+		{"1e3", 1000, true},
+		{"005", 5, true},
+		{"", 0, false},
+		{"USD 45", 0, false},
+		{"1,234", 0, false},
+		{"abc", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseFloat(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseFloat(%q) = %v,%v; want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIsInt(t *testing.T) {
+	yes := []string{"0", "005", "-12", "+7", " 42 "}
+	for _, v := range yes {
+		if !IsInt(v) {
+			t.Errorf("IsInt(%q) = false", v)
+		}
+	}
+	no := []string{"", "1.5", "1e3", "abc", "-", "+", "1 2"}
+	for _, v := range no {
+		if IsInt(v) {
+			t.Errorf("IsInt(%q) = true", v)
+		}
+	}
+	if !IsFloatNotInt("3.14") || IsFloatNotInt("3") || IsFloatNotInt("x") {
+		t.Error("IsFloatNotInt wrong")
+	}
+}
+
+func TestIsURL(t *testing.T) {
+	yes := []string{
+		"https://www.example.com",
+		"http://example.org/path/to/file",
+		"ftp://files.example.net/a.zip",
+		"https://cdn.acme.io/img/1.png",
+	}
+	for _, v := range yes {
+		if !IsURL(v) {
+			t.Errorf("IsURL(%q) = false", v)
+		}
+	}
+	no := []string{"www.example.com", "example", "http://", "just text", "http//x.com"}
+	for _, v := range no {
+		if IsURL(v) {
+			t.Errorf("IsURL(%q) = true", v)
+		}
+	}
+}
+
+func TestIsEmail(t *testing.T) {
+	if !IsEmail("a.b+c@example.co.uk") {
+		t.Error("valid email rejected")
+	}
+	for _, v := range []string{"a@b", "plain", "@x.com", "a b@c.com"} {
+		if IsEmail(v) {
+			t.Errorf("IsEmail(%q) = true", v)
+		}
+	}
+}
+
+func TestIsList(t *testing.T) {
+	yes := []string{"ru; uk; mx", "rock|pop|jazz", "a, b, c", "one;two"}
+	for _, v := range yes {
+		if !IsList(v) {
+			t.Errorf("IsList(%q) = false", v)
+		}
+	}
+	no := []string{"", "plain value", "a sentence, with a comma inside it somewhere long"}
+	for _, v := range no {
+		if IsList(v) {
+			t.Errorf("IsList(%q) = true", v)
+		}
+	}
+}
+
+func TestLooksEmbeddedNumber(t *testing.T) {
+	yes := []string{"USD 45", "30 Mhz", "18.90%", "5,00,000", "1,846", "$1234", "95 lbs."}
+	for _, v := range yes {
+		if !LooksEmbeddedNumber(v) {
+			t.Errorf("LooksEmbeddedNumber(%q) = false", v)
+		}
+	}
+	no := []string{"45", "-3.2", "plain text", "", "a very long string with numbers 123 inside but way too much prose around them"}
+	for _, v := range no {
+		if LooksEmbeddedNumber(v) {
+			t.Errorf("LooksEmbeddedNumber(%q) = true", v)
+		}
+	}
+}
+
+func TestIsDate(t *testing.T) {
+	yes := []string{
+		"2018-07-11", "7/11/2018", "Jan 2, 2006", "2006-01-02 15:04:05",
+		"15:04:05", "21hrs:15min:3sec", "March 4, 1797", "2-Jan-06",
+	}
+	for _, v := range yes {
+		if !IsDate(v) {
+			t.Errorf("IsDate(%q) = false", v)
+		}
+	}
+	// Bare digit runs deliberately do not parse (pandas-style behaviour the
+	// paper leans on for the BirthDate example).
+	no := []string{"19980112", "12345", "hello", "", "99.5"}
+	for _, v := range no {
+		if IsDate(v) {
+			t.Errorf("IsDate(%q) = true", v)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	if CountWords("a b  c") != 3 || CountWords("") != 0 {
+		t.Error("CountWords wrong")
+	}
+	if CountStopwords("The cat and the hat") != 3 {
+		t.Errorf("CountStopwords = %d", CountStopwords("The cat and the hat"))
+	}
+	if CountWhitespace("a b\tc") != 2 {
+		t.Error("CountWhitespace wrong")
+	}
+	if CountDelimiters("a,b;c|d") != 3 {
+		t.Error("CountDelimiters wrong")
+	}
+}
+
+func TestIsDateRejectsImpossibleDates(t *testing.T) {
+	bad := []string{"2020-13-40", "32/13/2020", "99:99:99", "Jan 45, 2006"}
+	for _, v := range bad {
+		if IsDate(v) {
+			t.Errorf("IsDate(%q) = true", v)
+		}
+	}
+}
+
+func TestIsDateLongStringsRejectedFast(t *testing.T) {
+	long := "2020-01-02 " + string(make([]byte, 60))
+	if IsDate(long) {
+		t.Error("overlong strings must be rejected")
+	}
+}
+
+func TestGroupedNumberNotPlainFloat(t *testing.T) {
+	// Regression guard: grouped digits must never parse as plain numbers,
+	// or the Embedded Number class would collapse into Numeric.
+	for _, v := range []string{"1,846", "5,00,000", "76,125"} {
+		if _, ok := ParseFloat(v); ok {
+			t.Errorf("ParseFloat(%q) accepted a grouped number", v)
+		}
+		if !LooksEmbeddedNumber(v) {
+			t.Errorf("LooksEmbeddedNumber(%q) = false", v)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+
+	"sortinghat/internal/data"
+)
+
+// Stats holds the descriptive statistics extracted from one raw column
+// during base featurization. The field set follows Appendix E of the paper:
+// counts of values/NaNs/distincts, moments of the numeric casts, moments of
+// per-value character/word/stopword/whitespace/delimiter counts, min/max,
+// and sample-based boolean checks for URL, email, delimiter sequences,
+// lists, and timestamps.
+type Stats struct {
+	TotalVals int // total number of cells
+
+	NumNaNs int     // absolute number of missing cells
+	PctNaNs float64 // percentage of missing cells (0..100)
+
+	NumUnique int     // distinct non-missing values
+	PctUnique float64 // distinct as a percentage of total cells (0..100)
+
+	// Moments and range of the values castable to a plain number.
+	MeanVal, StdVal float64
+	MinVal, MaxVal  float64
+
+	// Fraction (0..1) of non-missing values castable to float / plain int.
+	CastableFloatPct float64
+	CastableIntPct   float64
+
+	// Moments of per-value character counts.
+	MeanCharCount, StdCharCount float64
+	// Moments of per-value whitespace-separated word counts.
+	MeanWordCount, StdWordCount float64
+	// Moments of per-value stopword counts.
+	MeanStopwordCount, StdStopwordCount float64
+	// Moments of per-value whitespace-character counts.
+	MeanWhitespaceCount, StdWhitespaceCount float64
+	// Moments of per-value delimiter-character counts.
+	MeanDelimCount, StdDelimCount float64
+
+	// Regular-expression and parser checks on the sampled values
+	// (true when the majority of the non-missing samples match).
+	SampleHasURL      bool
+	SampleHasEmail    bool
+	SampleHasDelimSeq bool
+	SampleHasList     bool
+	SampleHasDate     bool
+}
+
+// VectorDim is the dimensionality of the numeric encoding of Stats.
+const VectorDim = 27
+
+// Vector encodes the stats as a fixed-length float vector for ML models.
+// Large magnitudes (means over raw values) are log-compressed to keep
+// scale-sensitive models stable; booleans map to {0,1}.
+func (s *Stats) Vector() []float64 {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return []float64{
+		logCompress(float64(s.TotalVals)),
+		logCompress(float64(s.NumNaNs)),
+		s.PctNaNs,
+		logCompress(float64(s.NumUnique)),
+		s.PctUnique,
+		logCompress(s.MeanVal),
+		logCompress(s.StdVal),
+		logCompress(s.MinVal),
+		logCompress(s.MaxVal),
+		s.CastableFloatPct,
+		s.CastableIntPct,
+		s.MeanCharCount,
+		s.StdCharCount,
+		s.MeanWordCount,
+		s.StdWordCount,
+		s.MeanStopwordCount,
+		s.StdStopwordCount,
+		s.MeanWhitespaceCount,
+		s.StdWhitespaceCount,
+		s.MeanDelimCount,
+		s.StdDelimCount,
+		b(s.SampleHasURL),
+		b(s.SampleHasEmail),
+		b(s.SampleHasDelimSeq),
+		b(s.SampleHasList),
+		b(s.SampleHasDate),
+		b(s.NumUnique == 1), // single-valued column indicator
+	}
+}
+
+// VectorNames returns the human-readable names of the Vector dimensions, in
+// order. Useful for feature-importance reporting and ablations.
+func VectorNames() []string {
+	return []string{
+		"log_total_vals", "log_num_nans", "pct_nans", "log_num_unique",
+		"pct_unique", "log_mean_val", "log_std_val", "log_min_val",
+		"log_max_val", "castable_float_pct", "castable_int_pct",
+		"mean_char_count", "std_char_count", "mean_word_count",
+		"std_word_count", "mean_stopword_count", "std_stopword_count",
+		"mean_whitespace_count", "std_whitespace_count", "mean_delim_count",
+		"std_delim_count", "sample_has_url", "sample_has_email",
+		"sample_has_delim_seq", "sample_has_list", "sample_has_date",
+		"is_constant",
+	}
+}
+
+// logCompress maps a possibly huge magnitude to a compact signed log scale.
+func logCompress(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Copysign(math.Log1p(math.Abs(v)), v)
+}
+
+// Compute extracts the full descriptive statistics for a column, using the
+// provided sample values (typically the 5 randomly sampled distinct values
+// from base featurization) for the regex/timestamp checks.
+func Compute(col *data.Column, samples []string) Stats {
+	var s Stats
+	s.TotalVals = len(col.Values)
+
+	var (
+		numVals                          []float64
+		charC, wordC, stopC, wsC, delimC []float64
+		nInt, nFloat, nonMissing         int
+	)
+	seen := make(map[string]struct{}, len(col.Values))
+	for _, v := range col.Values {
+		if data.IsMissing(v) {
+			s.NumNaNs++
+			continue
+		}
+		nonMissing++
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+		}
+		if f, ok := ParseFloat(v); ok {
+			numVals = append(numVals, f)
+			nFloat++
+			if IsInt(v) {
+				nInt++
+			}
+		}
+		charC = append(charC, float64(len(v)))
+		wordC = append(wordC, float64(CountWords(v)))
+		stopC = append(stopC, float64(CountStopwords(v)))
+		wsC = append(wsC, float64(CountWhitespace(v)))
+		delimC = append(delimC, float64(CountDelimiters(v)))
+	}
+	s.NumUnique = len(seen)
+	if s.TotalVals > 0 {
+		s.PctNaNs = 100 * float64(s.NumNaNs) / float64(s.TotalVals)
+		s.PctUnique = 100 * float64(s.NumUnique) / float64(s.TotalVals)
+	}
+	if nonMissing > 0 {
+		s.CastableFloatPct = float64(nFloat) / float64(nonMissing)
+		s.CastableIntPct = float64(nInt) / float64(nonMissing)
+	}
+	s.MeanVal, s.StdVal = meanStd(numVals)
+	s.MinVal, s.MaxVal = minMax(numVals)
+	s.MeanCharCount, s.StdCharCount = meanStd(charC)
+	s.MeanWordCount, s.StdWordCount = meanStd(wordC)
+	s.MeanStopwordCount, s.StdStopwordCount = meanStd(stopC)
+	s.MeanWhitespaceCount, s.StdWhitespaceCount = meanStd(wsC)
+	s.MeanDelimCount, s.StdDelimCount = meanStd(delimC)
+
+	s.SampleHasURL = majority(samples, IsURL)
+	s.SampleHasEmail = majority(samples, IsEmail)
+	s.SampleHasDelimSeq = majority(samples, HasDelimiterSequence)
+	s.SampleHasList = majority(samples, IsList)
+	s.SampleHasDate = majority(samples, IsDate)
+	return s
+}
+
+// majority reports whether pred holds for more than half of the non-missing
+// sample values (and for at least one).
+func majority(samples []string, pred func(string) bool) bool {
+	n, hits := 0, 0
+	for _, v := range samples {
+		if data.IsMissing(v) {
+			continue
+		}
+		n++
+		if pred(v) {
+			hits++
+		}
+	}
+	return n > 0 && hits*2 > n
+}
+
+func meanStd(vals []float64) (mean, std float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if len(vals) == 1 {
+		return mean, 0
+	}
+	for _, v := range vals {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,235 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// Cluster-mode target generation for multi-class downstream datasets.
+//
+// Quantile-bucketing a weighted latent sum (the score mode in
+// downstream.go) works well for binary and small-|Y| tasks, but for tasks
+// like Mfeat (10 digit classes) or Kropt (18 chess endgames) the real
+// datasets are *class-conditional*: each class induces its own distribution
+// over the columns. Cluster mode reproduces that: a class is drawn first,
+// and every informative column samples its value from a class-conditional
+// distribution, so the class is recoverable by any model that can read the
+// column under its correct featurization.
+
+// clusterThreshold: classification tasks with at least this many classes
+// use cluster-mode generation.
+const clusterThreshold = 5
+
+// condState holds the class-conditional sampler for one column.
+type condState struct {
+	spec ColSpec
+	// For discrete kinds: per-class cumulative distributions over the
+	// category/topic/month/domain index.
+	cond [][]float64
+	// For numeric kinds: per-class centroids, plus the within-class spread.
+	centroids []float64
+	spread    float64
+
+	perm   []int
+	domain []string
+	layout string
+	scale  float64 // per-column value scale (KindNumIntSmall)
+	offset float64
+	max    int
+}
+
+// softmaxDist builds a sharpened distribution over n items for one class.
+func softmaxDist(rng *rand.Rand, n int, sharp float64) []float64 {
+	w := make([]float64, n)
+	var max float64
+	for i := range w {
+		w[i] = rng.NormFloat64() * sharp
+		if i == 0 || w[i] > max {
+			max = w[i]
+		}
+	}
+	var sum float64
+	for i := range w {
+		w[i] = math.Exp(w[i] - max)
+		sum += w[i]
+	}
+	cum := 0.0
+	for i := range w {
+		cum += w[i] / sum
+		w[i] = cum
+	}
+	return w
+}
+
+func sampleCum(rng *rand.Rand, cum []float64) int {
+	r := rng.Float64()
+	for i, c := range cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// newCondState builds the class-conditional sampler for a column. Weight
+// scales how informative the column is: 0 means class-independent.
+func newCondState(spec ColSpec, classes int, rng *rand.Rand) *condState {
+	st := &condState{spec: spec, spread: 0.55}
+	card := spec.Card
+	if card <= 0 {
+		card = 6
+	}
+	sharp := 1.6 * spec.Weight
+	discrete := func(n int) {
+		st.cond = make([][]float64, classes)
+		for c := range st.cond {
+			st.cond[c] = softmaxDist(rng, n, sharp)
+		}
+	}
+	switch spec.Kind {
+	case KindCatInt:
+		st.perm = rng.Perm(card * 7)
+		discrete(card)
+	case KindCatStr:
+		st.domain = make([]string, card)
+		pools := [][]string{colorList, statusList, genreList, stateList, countryList}
+		pool := pools[rng.Intn(len(pools))]
+		used := map[string]bool{}
+		for i := range st.domain {
+			v := pick(rng, pool)
+			for used[v] {
+				v = pick(rng, pool) + fmt.Sprintf("_%d", rng.Intn(90))
+			}
+			used[v] = true
+			st.domain[i] = v
+		}
+		discrete(card)
+	case KindCatOrd, KindCatBin:
+		if spec.Kind == KindCatBin {
+			card = 2
+		}
+		discrete(card)
+	case KindDate:
+		st.layout = easyDateFormats[rng.Intn(len(easyDateFormats))]
+		discrete(12)
+	case KindSentence:
+		discrete(len(sentenceTopics))
+	case KindURL:
+		discrete(6)
+	case KindList:
+		discrete(2)
+	case KindNumFloat, KindNumInt, KindNumIntSmall, KindEmbedNum:
+		st.centroids = make([]float64, classes)
+		for c := range st.centroids {
+			st.centroids[c] = rng.NormFloat64() * spec.Weight
+		}
+		if spec.Kind == KindNumIntSmall {
+			if rng.Float64() < 0.15 {
+				st.scale, st.offset, st.max = 5, 16, 35
+			} else {
+				st.scale, st.offset, st.max = 16, 55, 120
+			}
+		}
+	}
+	return st
+}
+
+// sampleCond generates one cell conditioned on the class.
+func (st *condState) sampleCond(rng *rand.Rand, row, class int) string {
+	switch st.spec.Kind {
+	case KindNumFloat:
+		z := st.centroids[class] + rng.NormFloat64()*st.spread
+		return fmt.Sprintf("%.3f", z*37.5+110)
+	case KindNumInt:
+		z := st.centroids[class] + rng.NormFloat64()*st.spread
+		return fmt.Sprintf("%d", int(z*250+1000))
+	case KindNumIntSmall:
+		z := st.centroids[class] + rng.NormFloat64()*st.spread
+		return fmt.Sprintf("%d", clampInt(int(z*st.scale+st.offset), 0, st.max))
+	case KindEmbedNum:
+		z := st.centroids[class] + rng.NormFloat64()*st.spread
+		return fmt.Sprintf("USD %s", group(int64(z*800+4000)))
+	case KindCatInt:
+		return fmt.Sprintf("%d", st.perm[sampleCum(rng, st.cond[class])])
+	case KindCatStr:
+		return st.domain[sampleCum(rng, st.cond[class])]
+	case KindCatOrd, KindCatBin:
+		return fmt.Sprintf("%d", sampleCum(rng, st.cond[class]))
+	case KindDate:
+		month := sampleCum(rng, st.cond[class])
+		day := rng.Intn(28) + 1
+		year := 2000 + rng.Intn(20)
+		t := time.Date(year, time.Month(month+1), day, 0, 0, 0, 0, time.UTC)
+		return t.Format(st.layout)
+	case KindSentence:
+		topic := sampleCum(rng, st.cond[class])
+		return sentence(rng, rng.Intn(12)+5, topic)
+	case KindURL:
+		d := sampleCum(rng, st.cond[class])
+		return fmt.Sprintf("https://www.%s.com/%s/%d", domainWords[d], pick(rng, wordBank), rng.Intn(9999))
+	case KindList:
+		has := sampleCum(rng, st.cond[class])
+		n := rng.Intn(3) + 2
+		items := make([]string, n)
+		for j := range items {
+			items[j] = pick(rng, genreList)
+			if items[j] == "jazz" {
+				items[j] = "rock"
+			}
+		}
+		if has == 1 {
+			items[rng.Intn(len(items))] = "jazz"
+		}
+		out := items[0]
+		for _, it := range items[1:] {
+			out += "; " + it
+		}
+		return out
+	case KindPK:
+		return fmt.Sprintf("%d", 10000+row)
+	case KindConst:
+		return "batch_a"
+	case KindCSJunk:
+		return fmt.Sprintf(`{"k":%d,"t":"%s"}`, rng.Intn(999), pick(rng, wordBank))
+	default: // KindCSCode
+		return []string{"-99", "0", "1", "7"}[rng.Intn(4)]
+	}
+}
+
+// generateCluster builds a cluster-mode classification dataset.
+func generateCluster(spec DatasetSpec, rng *rand.Rand) *Downstream {
+	states := make([]*condState, len(spec.Cols))
+	for i, cs := range spec.Cols {
+		states[i] = newCondState(cs, spec.Classes, rng)
+	}
+	cols := make([]data.Column, len(spec.Cols))
+	types := make([]ftype.FeatureType, len(spec.Cols))
+	for i, cs := range spec.Cols {
+		cols[i] = data.Column{Name: cs.Name, Values: make([]string, spec.Rows)}
+		types[i] = cs.Kind.TrueType()
+	}
+	// Balanced, shuffled class assignment.
+	classes := make([]int, spec.Rows)
+	for r := range classes {
+		classes[r] = r % spec.Classes
+	}
+	rng.Shuffle(len(classes), func(i, j int) { classes[i], classes[j] = classes[j], classes[i] })
+
+	for r := 0; r < spec.Rows; r++ {
+		for i := range spec.Cols {
+			cols[i].Values[r] = states[i].sampleCond(rng, r, classes[r])
+		}
+	}
+	down := &Downstream{Spec: spec, TrueTypes: types, TargetCls: classes}
+	target := data.Column{Name: "target", Values: make([]string, spec.Rows)}
+	for r, c := range classes {
+		target.Values[r] = fmt.Sprintf("class_%d", c)
+	}
+	down.Data = &data.Dataset{Name: spec.Name, Columns: append(cols, target)}
+	return down
+}

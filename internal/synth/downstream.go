@@ -1,0 +1,353 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// ColKind selects a downstream column generator. Every kind produces both a
+// cell value and a latent signal; the dataset target is a function of the
+// weighted latents, so recovering a column's signal requires the
+// featurization its true type routes to (one-hot for nominal categories,
+// TF-IDF for text, etc.). This reproduces the mechanism behind the paper's
+// Table 5: wrong type inference breaks the routing and costs accuracy.
+type ColKind int
+
+// Downstream column kinds.
+const (
+	KindNumFloat    ColKind = iota // float measurements (Numeric)
+	KindNumInt                     // integer measurements (Numeric)
+	KindNumIntSmall                // low-domain integer measurements (Numeric; the paper's Mfeat trap)
+	KindCatInt                     // nominal categories coded as integers (Categorical)
+	KindCatStr                     // nominal string categories (Categorical)
+	KindCatOrd                     // ordinal integer categories (Categorical)
+	KindCatBin                     // binary integer flags (Categorical)
+	KindDate                       // dates; signal in the month (Datetime)
+	KindSentence                   // free text; signal in topic keywords (Sentence)
+	KindURL                        // URLs; signal in the domain (URL)
+	KindEmbedNum                   // decorated numbers, e.g. "USD 45" (Embedded Number)
+	KindList                       // item lists; signal = key item presence (List)
+	KindPK                         // primary key (Not-Generalizable)
+	KindConst                      // constant column (Not-Generalizable)
+	KindCSJunk                     // junk strings, no signal (Context-Specific)
+	KindCSCode                     // cryptic integer codes, no signal (Context-Specific)
+)
+
+// TrueType returns the ground-truth feature type of a column kind.
+func (k ColKind) TrueType() ftype.FeatureType {
+	switch k {
+	case KindNumFloat, KindNumInt, KindNumIntSmall:
+		return ftype.Numeric
+	case KindCatInt, KindCatStr, KindCatOrd, KindCatBin:
+		return ftype.Categorical
+	case KindDate:
+		return ftype.Datetime
+	case KindSentence:
+		return ftype.Sentence
+	case KindURL:
+		return ftype.URL
+	case KindEmbedNum:
+		return ftype.EmbeddedNumber
+	case KindList:
+		return ftype.List
+	case KindPK, KindConst:
+		return ftype.NotGeneralizable
+	default:
+		return ftype.ContextSpecific
+	}
+}
+
+// ColSpec describes one downstream column.
+type ColSpec struct {
+	Name   string
+	Kind   ColKind
+	Weight float64 // contribution of the column's latent to the target
+	Card   int     // category cardinality where applicable (default 6)
+}
+
+// DatasetSpec describes one downstream dataset.
+type DatasetSpec struct {
+	Name    string
+	Rows    int
+	Classes int     // 0 = regression
+	Noise   float64 // target noise level
+	Cols    []ColSpec
+	Seed    int64
+}
+
+// Downstream holds a generated downstream dataset: the table (last column
+// is the prediction target), ground-truth feature types for the feature
+// columns, and the task type.
+type Downstream struct {
+	Spec      DatasetSpec
+	Data      *data.Dataset // feature columns + final "target" column
+	TrueTypes []ftype.FeatureType
+	TargetCls []int     // classification labels (nil for regression)
+	TargetReg []float64 // regression targets (nil for classification)
+}
+
+// IsRegression reports whether the dataset is a regression task.
+func (d *Downstream) IsRegression() bool { return d.Spec.Classes == 0 }
+
+// colState is the per-column generation state: category effects, etc.
+type colState struct {
+	spec    ColSpec
+	effects []float64 // per-category / per-month / per-topic latent effects
+	perm    []int     // category code shuffling (non-monotone encodings)
+	domain  []string  // string category names
+	layout  string
+	base    int64
+	scale   float64 // per-column value scale (KindNumIntSmall)
+	offset  float64
+	max     int
+}
+
+func newColState(spec ColSpec, rng *rand.Rand) *colState {
+	st := &colState{spec: spec}
+	card := spec.Card
+	if card <= 0 {
+		card = 6
+	}
+	mkEffects := func(n int) {
+		st.effects = make([]float64, n)
+		for i := range st.effects {
+			st.effects[i] = rng.NormFloat64()
+		}
+	}
+	switch spec.Kind {
+	case KindCatInt:
+		mkEffects(card)
+		st.perm = rng.Perm(card * 7) // sparse, shuffled integer codes
+		if card >= 3 {
+			// Remove the linear-in-code component of the effects so a
+			// Numeric routing of this column retains (near) zero signal
+			// while one-hot recovers it fully — the nominal-categorical
+			// mechanism of Table 5. (Binary domains are deliberately left
+			// alone: there a numeric encoding is equivalent to one-hot,
+			// the paper's Supreme/Flags observation.)
+			var sx, sy, sxx, sxy float64
+			n := float64(card)
+			for c := 0; c < card; c++ {
+				x := float64(st.perm[c])
+				sx += x
+				sy += st.effects[c]
+				sxx += x * x
+				sxy += x * st.effects[c]
+			}
+			denom := n*sxx - sx*sx
+			if denom != 0 {
+				b := (n*sxy - sx*sy) / denom
+				a := (sy - b*sx) / n
+				var ss float64
+				for c := 0; c < card; c++ {
+					st.effects[c] -= a + b*float64(st.perm[c])
+					ss += st.effects[c] * st.effects[c]
+				}
+				if variance := ss / n; variance > 1e-12 {
+					scale := 1 / math.Sqrt(variance)
+					for c := range st.effects {
+						st.effects[c] *= scale
+					}
+				}
+			}
+		}
+	case KindCatStr:
+		mkEffects(card)
+		st.domain = make([]string, card)
+		pools := [][]string{colorList, statusList, genreList, stateList, countryList}
+		pool := pools[rng.Intn(len(pools))]
+		used := map[string]bool{}
+		for i := range st.domain {
+			v := pick(rng, pool)
+			for used[v] {
+				v = pick(rng, pool) + fmt.Sprintf("_%d", rng.Intn(90))
+			}
+			used[v] = true
+			st.domain[i] = v
+		}
+	case KindCatOrd:
+		// Ordinal: effects monotone in the code, so even a Numeric routing
+		// retains signal (the paper's Supreme/Vineyard observation).
+		st.effects = make([]float64, card)
+		for i := range st.effects {
+			st.effects[i] = float64(i)/float64(card-1)*2 - 1
+		}
+	case KindCatBin:
+		st.effects = []float64{-1, 1}
+	case KindNumIntSmall:
+		// Per-column scale: most columns realize 50+ distinct values and
+		// read numeric; a minority are genuinely tiny-domain and flip the
+		// trained model toward Categorical, as the paper observed on Mfeat.
+		if rng.Float64() < 0.15 {
+			st.scale, st.offset, st.max = 5, 16, 35
+		} else {
+			st.scale, st.offset, st.max = 16, 55, 120
+		}
+	case KindDate:
+		mkEffects(12) // month effects
+		st.layout = easyDateFormats[rng.Intn(len(easyDateFormats))]
+		st.base = int64(1.0e9 * (0.5 + rng.Float64()))
+	case KindSentence:
+		mkEffects(len(sentenceTopics))
+	case KindURL:
+		mkEffects(6)
+	case KindList:
+		st.effects = []float64{-1, 1}
+	}
+	return st
+}
+
+// sample generates one cell and its latent contribution.
+func (st *colState) sample(rng *rand.Rand, row int) (cell string, latent float64) {
+	card := len(st.effects)
+	switch st.spec.Kind {
+	case KindNumFloat:
+		z := rng.NormFloat64()
+		return fmt.Sprintf("%.3f", z*37.5+110), z
+	case KindNumInt:
+		z := rng.NormFloat64()
+		return fmt.Sprintf("%d", int(z*250+1000)), z
+	case KindNumIntSmall:
+		// Genuinely numeric, but the small integer domain makes the column
+		// look like an integer-coded categorical — the ambiguity behind the
+		// paper's OurRF errors on Mfeat/Auto-MPG/Diggle.
+		z := rng.NormFloat64()
+		return fmt.Sprintf("%d", clampInt(int(z*st.scale+st.offset), 0, st.max)), z
+	case KindCatInt:
+		c := rng.Intn(card)
+		return fmt.Sprintf("%d", st.perm[c]), st.effects[c]
+	case KindCatStr:
+		c := rng.Intn(card)
+		return st.domain[c], st.effects[c]
+	case KindCatOrd, KindCatBin:
+		c := rng.Intn(card)
+		return fmt.Sprintf("%d", c), st.effects[c]
+	case KindDate:
+		month := rng.Intn(12)
+		day := rng.Intn(28) + 1
+		year := 2000 + rng.Intn(20)
+		t := time.Date(year, time.Month(month+1), day, 0, 0, 0, 0, time.UTC)
+		return t.Format(st.layout), st.effects[month]
+	case KindSentence:
+		topic := rng.Intn(card)
+		return sentence(rng, rng.Intn(12)+5, topic), st.effects[topic]
+	case KindURL:
+		d := rng.Intn(card)
+		return fmt.Sprintf("https://www.%s.com/%s/%d", domainWords[d], pick(rng, wordBank), rng.Intn(9999)), st.effects[d]
+	case KindEmbedNum:
+		z := rng.NormFloat64()
+		return fmt.Sprintf("USD %s", group(int64(z*800+4000))), z
+	case KindList:
+		has := rng.Intn(2)
+		n := rng.Intn(3) + 2
+		items := make([]string, 0, n+1)
+		for j := 0; j < n; j++ {
+			items = append(items, pick(rng, genreList))
+		}
+		if has == 1 {
+			items[rng.Intn(len(items))] = "jazz"
+		} else {
+			for j := range items {
+				if items[j] == "jazz" {
+					items[j] = "rock"
+				}
+			}
+		}
+		out := items[0]
+		for _, it := range items[1:] {
+			out += "; " + it
+		}
+		return out, st.effects[has]
+	case KindPK:
+		return fmt.Sprintf("%d", 10000+row), 0
+	case KindConst:
+		return "batch_a", 0
+	case KindCSJunk:
+		return fmt.Sprintf(`{"k":%d,"t":"%s"}`, rng.Intn(999), pick(rng, wordBank)), 0
+	default: // KindCSCode
+		return []string{"-99", "0", "1", "7"}[rng.Intn(4)], 0
+	}
+}
+
+// Generate builds the downstream dataset from its spec. Classification
+// tasks with clusterThreshold or more classes use class-conditional
+// (cluster-mode) generation; everything else uses the weighted-latent score
+// mode.
+func Generate(spec DatasetSpec) *Downstream {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Classes >= clusterThreshold {
+		return generateCluster(spec, rng)
+	}
+	states := make([]*colState, len(spec.Cols))
+	for i, cs := range spec.Cols {
+		states[i] = newColState(cs, rng)
+	}
+	cols := make([]data.Column, len(spec.Cols))
+	types := make([]ftype.FeatureType, len(spec.Cols))
+	for i, cs := range spec.Cols {
+		cols[i] = data.Column{Name: cs.Name, Values: make([]string, spec.Rows)}
+		types[i] = cs.Kind.TrueType()
+	}
+	scores := make([]float64, spec.Rows)
+	for r := 0; r < spec.Rows; r++ {
+		var score float64
+		for i := range spec.Cols {
+			cell, latent := states[i].sample(rng, r)
+			cols[i].Values[r] = cell
+			score += spec.Cols[i].Weight * latent
+		}
+		scores[r] = score + rng.NormFloat64()*spec.Noise
+	}
+
+	down := &Downstream{Spec: spec, TrueTypes: types}
+	target := data.Column{Name: "target", Values: make([]string, spec.Rows)}
+	if spec.Classes > 0 {
+		down.TargetCls = bucketize(scores, spec.Classes)
+		for r, c := range down.TargetCls {
+			target.Values[r] = fmt.Sprintf("class_%d", c)
+		}
+	} else {
+		down.TargetReg = scores
+		for r, v := range scores {
+			target.Values[r] = fmt.Sprintf("%.4f", v)
+		}
+	}
+	down.Data = &data.Dataset{Name: spec.Name, Columns: append(cols, target)}
+	return down
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// bucketize assigns each score to one of k quantile buckets.
+func bucketize(scores []float64, k int) []int {
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	cuts := make([]float64, k-1)
+	for i := 1; i < k; i++ {
+		cuts[i-1] = sorted[i*len(sorted)/k]
+	}
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		c := 0
+		for c < k-1 && s >= cuts[c] {
+			c++
+		}
+		out[i] = c
+	}
+	return out
+}

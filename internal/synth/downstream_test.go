@@ -1,0 +1,208 @@
+package synth
+
+import (
+	"testing"
+
+	"sortinghat/ftype"
+)
+
+func TestGenerateDownstreamShape(t *testing.T) {
+	spec := DatasetSpec{
+		Name: "t", Rows: 200, Classes: 3, Noise: 0.2, Seed: 1,
+		Cols: []ColSpec{
+			{Name: "x", Kind: KindNumFloat, Weight: 1},
+			{Name: "zip", Kind: KindCatInt, Weight: 1, Card: 5},
+			{Name: "id", Kind: KindPK},
+		},
+	}
+	d := Generate(spec)
+	if d.Data.NumRows() != 200 {
+		t.Fatalf("rows = %d", d.Data.NumRows())
+	}
+	if d.Data.NumCols() != 4 { // 3 features + target
+		t.Fatalf("cols = %d", d.Data.NumCols())
+	}
+	if d.IsRegression() {
+		t.Fatal("classes=3 should be classification")
+	}
+	if len(d.TargetCls) != 200 || d.TargetReg != nil {
+		t.Fatal("classification targets wrong")
+	}
+	want := []ftype.FeatureType{ftype.Numeric, ftype.Categorical, ftype.NotGeneralizable}
+	for i, w := range want {
+		if d.TrueTypes[i] != w {
+			t.Errorf("TrueTypes[%d] = %v, want %v", i, d.TrueTypes[i], w)
+		}
+	}
+	// Quantile bucketing: classes roughly balanced.
+	counts := map[int]int{}
+	for _, c := range d.TargetCls {
+		counts[c]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] < 40 || counts[c] > 100 {
+			t.Errorf("class %d count = %d, want roughly balanced", c, counts[c])
+		}
+	}
+}
+
+func TestGenerateRegression(t *testing.T) {
+	spec := DatasetSpec{
+		Name: "r", Rows: 100, Classes: 0, Noise: 0.1, Seed: 2,
+		Cols: []ColSpec{{Name: "x", Kind: KindNumInt, Weight: 1}},
+	}
+	d := Generate(spec)
+	if !d.IsRegression() {
+		t.Fatal("classes=0 must be regression")
+	}
+	if len(d.TargetReg) != 100 || d.TargetCls != nil {
+		t.Fatal("regression targets wrong")
+	}
+}
+
+func TestPKColumnIsUnique(t *testing.T) {
+	spec := DatasetSpec{Name: "p", Rows: 150, Classes: 2, Seed: 3,
+		Cols: []ColSpec{{Name: "id", Kind: KindPK}, {Name: "x", Kind: KindNumFloat, Weight: 1}}}
+	d := Generate(spec)
+	if got := len(d.Data.Columns[0].DistinctNonMissing()); got != 150 {
+		t.Errorf("PK distinct = %d, want 150", got)
+	}
+	if got := len(d.Data.Columns[1].DistinctNonMissing()); got < 100 {
+		t.Errorf("float column distinct = %d", got)
+	}
+}
+
+func TestKindTrueTypesComplete(t *testing.T) {
+	kinds := []ColKind{KindNumFloat, KindNumInt, KindNumIntSmall, KindCatInt, KindCatStr,
+		KindCatOrd, KindCatBin, KindDate, KindSentence, KindURL,
+		KindEmbedNum, KindList, KindPK, KindConst, KindCSJunk, KindCSCode}
+	for _, k := range kinds {
+		if tt := k.TrueType(); !tt.Valid() {
+			t.Errorf("kind %d has invalid true type %v", k, tt)
+		}
+	}
+}
+
+func TestSuiteSpecsShape(t *testing.T) {
+	specs := SuiteSpecs(9)
+	if len(specs) != 30 {
+		t.Fatalf("suite has %d datasets, want 30", len(specs))
+	}
+	if got := SuiteColumnCount(specs); got != 566 {
+		t.Errorf("total columns = %d, want the paper's 566", got)
+	}
+	reg := 0
+	names := map[string]bool{}
+	for _, sp := range specs {
+		if names[sp.Name] {
+			t.Errorf("duplicate dataset name %q", sp.Name)
+		}
+		names[sp.Name] = true
+		if sp.Classes == 0 {
+			reg++
+		}
+		if sp.Rows < 100 {
+			t.Errorf("%s has too few rows", sp.Name)
+		}
+	}
+	if reg != 5 {
+		t.Errorf("regression datasets = %d, want 5", reg)
+	}
+	// Spot-check signature datasets from Table 5.
+	byName := map[string]DatasetSpec{}
+	for _, sp := range specs {
+		byName[sp.Name] = sp
+	}
+	if len(byName["Mfeat"].Cols) != 216 {
+		t.Errorf("Mfeat |A| = %d, want 216", len(byName["Mfeat"].Cols))
+	}
+	if byName["Mfeat"].Classes != 10 {
+		t.Errorf("Mfeat |Y| = %d", byName["Mfeat"].Classes)
+	}
+	if len(byName["BBC"].Cols) != 1 || byName["BBC"].Cols[0].Kind != KindSentence {
+		t.Error("BBC should be a single Sentence column")
+	}
+	if len(byName["President"].Cols) != 26 || byName["President"].Classes != 57 {
+		t.Error("President shape wrong")
+	}
+}
+
+func TestGenerateSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation is moderately slow")
+	}
+	suite := GenerateSuite(4)
+	if len(suite) != 30 {
+		t.Fatalf("generated %d datasets", len(suite))
+	}
+	for _, d := range suite {
+		if d.Data.NumRows() != d.Spec.Rows {
+			t.Errorf("%s rows %d != %d", d.Spec.Name, d.Data.NumRows(), d.Spec.Rows)
+		}
+		if d.Data.NumCols()-1 != len(d.Spec.Cols) {
+			t.Errorf("%s cols mismatch", d.Spec.Name)
+		}
+	}
+}
+
+func TestClusterModeCarriesSignal(t *testing.T) {
+	// In cluster mode, an informative categorical column's distribution
+	// must differ across classes; a zero-weight junk column must not.
+	spec := DatasetSpec{
+		Name: "cl", Rows: 2000, Classes: 6, Seed: 11,
+		Cols: []ColSpec{
+			{Name: "seg", Kind: KindCatStr, Weight: 1.2, Card: 6},
+			{Name: "junk", Kind: KindCSCode, Weight: 0},
+		},
+	}
+	d := Generate(spec)
+	if len(d.TargetCls) != 2000 {
+		t.Fatal("cluster mode should produce classification targets")
+	}
+	// Class balance from round-robin assignment.
+	counts := map[int]int{}
+	for _, c := range d.TargetCls {
+		counts[c]++
+	}
+	for c := 0; c < 6; c++ {
+		if counts[c] < 300 || counts[c] > 370 {
+			t.Errorf("class %d count = %d, want ~333", c, counts[c])
+		}
+	}
+	// Mutual information proxy: the majority category per class should
+	// differ for at least two classes for the informative column.
+	major := func(col int, class int) string {
+		freq := map[string]int{}
+		for r, c := range d.TargetCls {
+			if c == class {
+				freq[d.Data.Columns[col].Values[r]]++
+			}
+		}
+		best, bn := "", -1
+		for v, n := range freq {
+			if n > bn {
+				best, bn = v, n
+			}
+		}
+		return best
+	}
+	distinctMajors := map[string]bool{}
+	for c := 0; c < 6; c++ {
+		distinctMajors[major(0, c)] = true
+	}
+	if len(distinctMajors) < 2 {
+		t.Error("informative column has identical majority category across classes")
+	}
+}
+
+func TestNumIntSmallDomain(t *testing.T) {
+	spec := DatasetSpec{
+		Name: "sm", Rows: 700, Classes: 2, Seed: 4,
+		Cols: []ColSpec{{Name: "pix", Kind: KindNumIntSmall, Weight: 1}},
+	}
+	d := Generate(spec)
+	distinct := len(d.Data.Columns[0].DistinctNonMissing())
+	if distinct < 5 || distinct > 130 {
+		t.Errorf("small-int distinct = %d, want a modest integer domain", distinct)
+	}
+}

@@ -1,0 +1,250 @@
+// Package synth generates the benchmark's labeled corpus and downstream
+// datasets. It stands in for the paper's 1,240 hand-labeled Kaggle/UCI CSV
+// files (see DESIGN.md, "Substitutions"): a deterministic generator emits
+// columns whose names, values and descriptive-statistic profiles match the
+// per-class characteristics reported in the paper (Section 2.5 and Appendix
+// Table 18), including the cross-class ambiguities that make the task hard
+// for rule- and syntax-based tools.
+package synth
+
+// Name pools per class. Pools deliberately overlap across classes (e.g.
+// "code", "year", "area", "rank" appear in several) so attribute names are
+// a strong but imperfect signal, as in real data.
+
+var numericNames = []string{
+	"salary", "price", "age", "height", "weight", "temperature", "score",
+	"amount", "balance", "total_sales", "revenue", "quantity", "distance",
+	"duration_sec", "num_children", "avg_rating", "pct_change", "income",
+	"petal_length", "petal_width", "sepal_length", "blood_pressure",
+	"cholesterol", "glucose", "bmi", "area_sqft", "population", "gdp",
+	"elevation", "speed", "horsepower", "mpg", "displacement", "acceleration",
+	"loan_amount", "credit_limit", "interest_rate", "tax", "discount",
+	"profit", "cost", "expenses", "budget", "units_sold", "clicks",
+	"impressions", "views", "likes", "followers", "points", "goals",
+	"assists", "rebounds", "at_bats", "hits", "runs", "errors_count",
+	"depth_m", "rainfall_mm", "humidity", "wind_speed", "pressure_hpa",
+	"voltage", "current_ma", "frequency", "capacity_l", "volume",
+	"density", "mass_kg", "length_cm", "width_cm", "radius", "perimeter",
+	"median_value", "mean_value", "std_dev", "variance", "total", "subtotal",
+	"count", "freq", "measurement", "reading", "level", "concentration",
+	"dose_mg", "heart_rate", "steps", "calories", "protein_g", "fat_g",
+}
+
+// numericNameTemplates produce composite numeric names like
+// "temperature_jan" or "sales_q3".
+var numericSuffixes = []string{
+	"_jan", "_feb", "_mar", "_apr", "_may", "_jun", "_jul", "_aug",
+	"_q1", "_q2", "_q3", "_q4", "_2018", "_2019", "_2020", "_avg", "_min",
+	"_max", "_total", "_per_capita", "_rate", "1", "2", "3",
+}
+
+var categoricalNames = []string{
+	"gender", "zipcode", "zip_code", "state_code", "country", "item_code",
+	"status", "grade", "category", "type", "class", "color", "day_of_week",
+	"year", "blood_type", "marital_status", "education", "region",
+	"product_code", "rank", "quality", "size", "brand", "department",
+	"league", "division", "position", "team", "species", "genre", "format",
+	"language", "currency", "payment_method", "shipping_mode", "segment",
+	"priority", "severity", "outcome", "result", "flag", "is_active",
+	"smoker", "churn", "approved", "tier", "plan", "level_code", "race",
+	"ethnicity", "religion", "occupation", "industry", "sector", "month",
+	"quarter", "season", "weekday", "age_group", "income_bracket",
+	"vehicle_type", "fuel_type", "transmission", "body_style", "route",
+	"store_id_code", "warehouse", "shift", "job_family", "union_member",
+	"tenure_status", "visa_type", "citizenship", "continent", "timezone",
+	"county_code", "district", "precinct", "ward", "survey_answer",
+	"satisfaction", "likelihood", "agreement_level", "credit_class",
+}
+
+var datetimeNames = []string{
+	"date", "hire_date", "created_at", "updated_at", "timestamp", "dob",
+	"birth_date", "birthdate", "start_date", "end_date", "last_login",
+	"order_date", "ship_date", "delivery_date", "event_time", "arrival",
+	"departure", "checkin", "checkout", "published", "release_date",
+	"expiry_date", "due_date", "registered_on", "modified", "time",
+	"start", "end", "opened", "closed", "observed_at", "recorded",
+	"first_seen", "last_seen", "admission_date", "discharge_date",
+}
+
+var sentenceNames = []string{
+	"description", "review", "comment", "text", "summary", "notes",
+	"abstract", "body", "message", "feedback", "remarks", "details",
+	"synopsis", "caption", "bio", "about", "answer", "question_text",
+	"headline", "content", "transcript", "instructions", "explanation",
+	"requirement", "observation", "diagnosis_notes", "complaint",
+}
+
+var urlNames = []string{
+	"url", "link", "website", "homepage", "image_url", "href", "source_url",
+	"profile_url", "thumbnail", "photo_link", "video_url", "download_link",
+	"repo_url", "docs_link", "api_endpoint", "reference_url", "site",
+}
+
+var embeddedNames = []string{
+	"price", "cost", "salary_range", "income", "pct_white", "%white",
+	"weight", "duration", "file_size", "capacity", "plays", "sales",
+	"range", "rank_str", "market_cap", "budget", "revenue", "fee",
+	"donation", "prize_money", "bandwidth", "storage", "memory",
+	"screen_size", "engine", "mileage", "fuel_economy", "power",
+	"torque", "download_speed", "attendance", "transfer_fee",
+	"net_worth", "valuation", "funding", "grant_amount",
+}
+
+var listNames = []string{
+	"genres", "tags", "countries", "languages", "collection", "items",
+	"categories", "keywords", "skills", "ingredients", "authors",
+	"cast", "platforms", "features", "amenities", "topics", "colors",
+	"sizes", "teams", "members", "stops", "aliases", "symptoms",
+	"medications", "hobbies", "interests", "toppings",
+}
+
+var notGenNames = []string{
+	"id", "cust_id", "customer_id", "uuid", "index", "row_id", "case_number",
+	"record_id", "key", "serial_no", "order_id", "transaction_id",
+	"session_id", "user_id", "account_no", "policy_number", "ticket_no",
+	"invoice_id", "tracking_number", "isbn", "vin", "ssn_hash", "ref",
+	"seq", "line_number", "unnamed_0", "objectid", "pk", "guid",
+	"q19TalToolResumeScreen", "q7ReviewPanel", "constant_field",
+	"batch_ref", "entry_id",
+}
+
+var contextNames = []string{
+	"xyz", "ad744", "ad7125", "col_17", "x1", "v23", "q19x", "abc123",
+	"field_7", "livshrmd", "s1p1c2val", "kdqpr", "zzz9", "tmp_col",
+	"var_41", "m3x", "aux2", "wq_7", "hh12", "bnr3", "ftq", "xx_1",
+	"name", "address", "location", "person", "artist", "company",
+	"product", "creator", "owner", "jockey", "team_name", "publisher",
+	"director", "organisation", "birth_place", "album", "venue",
+	"full_name", "street", "geo", "coordinates", "raw_json", "payload",
+	"metadata", "extra", "misc", "blob",
+}
+
+// wordBank supplies vocabulary for generated sentences.
+var wordBank = []string{
+	"the", "a", "of", "and", "to", "in", "is", "was", "with", "for",
+	"customer", "service", "product", "quality", "delivery", "great",
+	"excellent", "poor", "average", "fast", "slow", "arrived", "ordered",
+	"recommend", "experience", "staff", "friendly", "helpful", "clean",
+	"room", "location", "price", "value", "time", "day", "night", "food",
+	"taste", "fresh", "cold", "warm", "package", "damaged", "perfect",
+	"works", "well", "battery", "screen", "sound", "quality", "easy",
+	"difficult", "setup", "install", "return", "refund", "support",
+	"team", "played", "match", "season", "goal", "score", "win", "loss",
+	"patient", "treatment", "symptoms", "improved", "condition", "doctor",
+	"study", "results", "data", "analysis", "model", "report", "shows",
+	"increase", "decrease", "significant", "annual", "growth", "market",
+	"company", "announced", "launch", "new", "version", "update", "users",
+	"movie", "plot", "acting", "story", "characters", "ending", "scenes",
+	"book", "chapter", "author", "writing", "pages", "journey", "history",
+	"beautiful", "amazing", "terrible", "disappointing", "wonderful",
+	"house", "garden", "view", "walk", "beach", "city", "quiet", "noisy",
+}
+
+// sentenceTopics are keyword clusters used to plant recoverable signal in
+// downstream Sentence columns.
+var sentenceTopics = [][]string{
+	{"excellent", "great", "perfect", "wonderful", "amazing", "recommend"},
+	{"terrible", "poor", "damaged", "disappointing", "refund", "slow"},
+	{"average", "okay", "fine", "acceptable", "decent", "expected"},
+	{"match", "season", "goal", "played", "team", "win"},
+	{"patient", "treatment", "doctor", "symptoms", "condition", "improved"},
+}
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "carlos", "maria", "wei", "yuki",
+	"ahmed", "fatima", "ivan", "olga", "pierre", "claire", "raj", "priya",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"kim", "nguyen", "chen", "patel", "singh", "kumar", "ali", "khan",
+}
+
+var streetNames = []string{
+	"main st", "oak ave", "park rd", "maple dr", "cedar ln", "elm st",
+	"washington blvd", "lake view dr", "hill rd", "river st", "sunset ave",
+	"broadway", "2nd ave", "5th st", "highland ave", "church st",
+}
+
+var cityNames = []string{
+	"springfield", "riverton", "fairview", "kingston", "ashland",
+	"georgetown", "salem", "clinton", "arlington", "burlington",
+	"centerville", "dayton", "franklin", "greenville", "jackson",
+	"lebanon", "madison", "milton", "newport", "oxford",
+}
+
+// countryList backs both the Categorical generator and the Country
+// extension class.
+var countryList = []string{
+	"United States", "Canada", "Mexico", "Brazil", "Argentina", "Chile",
+	"United Kingdom", "France", "Germany", "Spain", "Italy", "Portugal",
+	"Netherlands", "Belgium", "Sweden", "Norway", "Denmark", "Finland",
+	"Poland", "Austria", "Switzerland", "Greece", "Turkey", "Russia",
+	"China", "Japan", "South Korea", "India", "Indonesia", "Thailand",
+	"Vietnam", "Philippines", "Australia", "New Zealand", "South Africa",
+	"Egypt", "Nigeria", "Kenya", "Morocco", "Israel", "Saudi Arabia",
+}
+
+var countryCodes = []string{
+	"USA", "CAN", "MEX", "BRA", "ARG", "CHL", "GBR", "FRA", "DEU", "ESP",
+	"ITA", "PRT", "NLD", "BEL", "SWE", "NOR", "DNK", "FIN", "POL", "AUT",
+	"CHE", "GRC", "TUR", "RUS", "CHN", "JPN", "KOR", "IND", "IDN", "THA",
+}
+
+// stateList backs both the Categorical generator and the State extension.
+var stateList = []string{
+	"California", "Texas", "Florida", "New York", "Pennsylvania",
+	"Illinois", "Ohio", "Georgia", "North Carolina", "Michigan",
+	"New Jersey", "Virginia", "Washington", "Arizona", "Massachusetts",
+	"Tennessee", "Indiana", "Missouri", "Maryland", "Wisconsin",
+	"Ontario", "Quebec", "British Columbia", "Bavaria", "Catalonia",
+	"Queensland", "Victoria", "Maharashtra", "Punjab", "Hokkaido",
+}
+
+var stateAbbrevs = []string{
+	"CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI",
+	"NJ", "VA", "WA", "AZ", "MA", "TN", "IN", "MO", "MD", "WI",
+	"ON", "QC", "BC", "AL", "AK", "AR", "CO", "CT", "DE", "HI",
+}
+
+var colorList = []string{
+	"red", "blue", "green", "yellow", "black", "white", "orange",
+	"purple", "brown", "pink", "gray", "silver", "gold",
+}
+
+var statusList = []string{
+	"active", "inactive", "pending", "closed", "open", "cancelled",
+	"approved", "rejected", "on hold", "in progress", "completed",
+}
+
+var genreList = []string{
+	"rock", "pop", "jazz", "classical", "hiphop", "country", "blues",
+	"metal", "folk", "electronic", "reggae", "soul", "punk", "indie",
+}
+
+var domainWords = []string{
+	"example", "acme", "widgets", "datahub", "mystore", "bestbuyers",
+	"cloudapi", "fastcdn", "openstats", "mediafiles", "newsfeed",
+	"sportsline", "healthinfo", "traveldeals", "gamezone", "musicbox",
+}
+
+var tlds = []string{"com", "org", "net", "io", "co", "edu", "gov"}
+
+var unitsList = []string{
+	"kg", "lbs", "lbs.", "Mhz", "GHz", "GB", "MB", "km", "mi", "cm",
+	"mm", "in", "ft", "hrs", "min", "sec", "kwh", "mpg", "ml", "oz",
+}
+
+var currencyPrefixes = []string{"USD", "$", "EUR", "€", "GBP", "£", "INR", "Rs"}
+
+// genericNames are uninformative attribute names occasionally substituted
+// onto columns of any class, bounding how far name signal alone can go.
+var genericNames = []string{
+	"value", "data", "field", "info", "column", "attr", "item", "record",
+	"entry", "measure", "detail", "var", "feature", "input", "output",
+}

@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"math/rand"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// genCountry emits a Country column for the vocabulary-extension study
+// (Appendix I.4): country names or ISO-style abbreviations. The
+// abbreviation sub-kind is the hard case the paper reports Random Forest
+// struggling with.
+func genCountry(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, []string{"country", "nation", "country_name", "origin_country", "cntry"})
+	pool := countryList
+	if rng.Float64() < 0.35 { // abbreviations: AFG, ALB, ...
+		pool = countryCodes
+		name = pick(rng, []string{"country_code", "iso3", "cc", "nation_code"})
+	}
+	domain := append([]string(nil), pool...)
+	rng.Shuffle(len(domain), func(i, j int) { domain[i], domain[j] = domain[j], domain[i] })
+	n := rng.Intn(len(domain)-3) + 3
+	domain = domain[:n]
+	vals := make([]string, rows)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+}
+
+// genState emits a State column for the vocabulary-extension study: state /
+// province names or two-letter abbreviations, mixing US and non-US regions
+// as the paper notes its State domain does.
+func genState(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, []string{"state", "province", "state_name", "region_state", "st"})
+	pool := stateList
+	if rng.Float64() < 0.4 { // abbreviations: CA, AL, ...
+		pool = stateAbbrevs
+		name = pick(rng, []string{"state_abbr", "st", "state_code_2", "prov"})
+	}
+	domain := append([]string(nil), pool...)
+	rng.Shuffle(len(domain), func(i, j int) { domain[i], domain[j] = domain[j], domain[i] })
+	n := rng.Intn(len(domain)-3) + 3
+	domain = domain[:n]
+	vals := make([]string, rows)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+}
+
+// ExtensionConfig controls generation of the extra labeled examples used to
+// extend the 9-class vocabulary with a semantic type (Appendix I.4).
+type ExtensionConfig struct {
+	Type    ftype.FeatureType // Country or State
+	TrainN  int               // extra training examples (paper: 100 or 200)
+	TestN   int               // extra held-out examples (paper: 100)
+	Seed    int64
+	MinRows int
+	MaxRows int
+}
+
+// GenerateExtension emits labeled train and test examples of the extension
+// type, standing in for the (weakly labeled) Sherlock data repository
+// columns the paper imports.
+func GenerateExtension(cfg ExtensionConfig) (train, test []data.LabeledColumn) {
+	if cfg.MinRows <= 0 {
+		cfg.MinRows = 40
+	}
+	if cfg.MaxRows < cfg.MinRows {
+		cfg.MaxRows = cfg.MinRows + 400
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := Generator(cfg.Type)
+	emit := func(n int, fileBase int) []data.LabeledColumn {
+		out := make([]data.LabeledColumn, n)
+		for i := range out {
+			rows := cfg.MinRows + rng.Intn(cfg.MaxRows-cfg.MinRows+1)
+			out[i] = data.LabeledColumn{
+				Column: gen(rng, rows),
+				Label:  cfg.Type,
+				FileID: fileBase + i,
+			}
+		}
+		return out
+	}
+	return emit(cfg.TrainN, 1_000_000), emit(cfg.TestN, 2_000_000)
+}

@@ -1,0 +1,201 @@
+package synth
+
+import "fmt"
+
+// The downstream benchmark suite: 30 generated datasets named and shaped
+// after Table 5 of the paper — same column counts, target-class counts,
+// task types, and feature-type compositions (including primary keys,
+// integer-coded categoricals, dates, free text, URLs, lists and junk).
+
+// kindNamePools assigns realistic attribute names per column kind so that
+// a trained type-inference model sees the same name signal it saw in the
+// labeled corpus.
+func kindName(k ColKind, i int) string {
+	at := func(pool []string) string { return pool[i%len(pool)] }
+	switch k {
+	case KindNumFloat, KindNumInt:
+		return at(numericNames)
+	case KindNumIntSmall:
+		return at(numericNames)
+	case KindCatInt:
+		return at([]string{"zipcode", "item_code", "state_code", "product_code", "county_code", "region_code", "dept_code", "route_code"})
+	case KindCatStr:
+		return at([]string{"color", "status", "category", "brand", "region", "type", "segment", "grade", "genre", "language"})
+	case KindCatOrd:
+		return at([]string{"rating", "grade_level", "tier", "severity", "priority", "stage"})
+	case KindCatBin:
+		return at([]string{"flag", "is_active", "smoker", "approved", "union_member", "churn_flag"})
+	case KindDate:
+		return at(datetimeNames)
+	case KindSentence:
+		return at(sentenceNames)
+	case KindURL:
+		return at(urlNames)
+	case KindEmbedNum:
+		return at([]string{"income_str", "price_usd", "engine_power", "fuel_consumption", "budget_str", "size_str"})
+	case KindPK:
+		return at([]string{"id", "case_number", "record_id", "row_id"})
+	case KindConst:
+		return "batch"
+	case KindCSJunk:
+		return at([]string{"payload", "extra", "raw_json", "metadata"})
+	default:
+		return at([]string{"xq7", "ad119", "v42", "kplr3"})
+	}
+}
+
+// block appends n columns of one kind with uniform weight.
+func block(cols []ColSpec, k ColKind, n int, w float64, card int) []ColSpec {
+	start := 0
+	for _, c := range cols {
+		if c.Kind == k {
+			start++
+		}
+	}
+	for j := 0; j < n; j++ {
+		name := kindName(k, start+j)
+		if start+j >= poolLen(k) {
+			name = fmt.Sprintf("%s_%d", name, (start+j)/poolLen(k))
+		}
+		cols = append(cols, ColSpec{Name: name, Kind: k, Weight: w, Card: card})
+	}
+	return cols
+}
+
+func poolLen(k ColKind) int {
+	switch k {
+	case KindNumFloat, KindNumInt:
+		return len(numericNames)
+	case KindNumIntSmall:
+		return len(numericNames)
+	case KindCatInt:
+		return 8
+	case KindCatStr:
+		return 10
+	case KindCatOrd:
+		return 6
+	case KindCatBin:
+		return 6
+	case KindDate:
+		return len(datetimeNames)
+	case KindSentence:
+		return len(sentenceNames)
+	case KindURL:
+		return len(urlNames)
+	case KindEmbedNum:
+		return 6
+	case KindPK:
+		return 4
+	case KindCSJunk:
+		return 4
+	case KindConst:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// SuiteSpecs returns the 30 downstream dataset specifications. Column
+// counts per dataset match Table 5 (|A|, excluding the target), summing to
+// the paper's 566 columns.
+func SuiteSpecs(seed int64) []DatasetSpec {
+	b := func(parts ...[]ColSpec) []ColSpec {
+		var out []ColSpec
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	c := func(k ColKind, n int, w float64, card int) []ColSpec {
+		return block(nil, k, n, w, card)
+	}
+	specs := []DatasetSpec{
+		// --- Classification (25 datasets) ---
+		{Name: "Cancer", Rows: 500, Classes: 2, Noise: 1.2,
+			Cols: b(c(KindNumFloat, 5, 0.8, 0), c(KindNumInt, 4, 0.6, 0))},
+		{Name: "Mfeat", Rows: 700, Classes: 10, Noise: 0.5,
+			Cols: b(c(KindNumIntSmall, 60, 0.55, 0), c(KindNumIntSmall, 156, 0.08, 0))},
+		{Name: "Nursery", Rows: 900, Classes: 5, Noise: 0.35,
+			Cols: c(KindCatStr, 8, 0.9, 4)},
+		{Name: "Audiology", Rows: 800, Classes: 24, Noise: 0.15,
+			Cols: b(c(KindCatStr, 24, 0.8, 4), c(KindCatStr, 45, 0.05, 3))},
+		{Name: "Hayes", Rows: 400, Classes: 3, Noise: 0.5,
+			Cols: c(KindCatInt, 4, 1.0, 4)},
+		{Name: "Supreme", Rows: 800, Classes: 2, Noise: 0.4,
+			Cols: b(c(KindCatOrd, 4, 1.0, 5), c(KindCatBin, 3, 0.8, 0))},
+		{Name: "Flares", Rows: 600, Classes: 2, Noise: 1.0,
+			Cols: b(c(KindCatInt, 6, 0.7, 4), c(KindCatStr, 4, 0.7, 4))},
+		{Name: "Kropt", Rows: 1000, Classes: 18, Noise: 0.12,
+			Cols: b(c(KindCatInt, 3, 1.0, 8), c(KindCatStr, 3, 1.0, 8))},
+		{Name: "Boxing", Rows: 350, Classes: 2, Noise: 0.55,
+			Cols: b(c(KindCatInt, 2, 1.0, 5), c(KindCatStr, 1, 1.0, 4))},
+		{Name: "Flags", Rows: 500, Classes: 2, Noise: 0.9,
+			Cols: b(c(KindCatInt, 10, 0.5, 5), c(KindCatStr, 14, 0.4, 5), c(KindCatBin, 4, 0.5, 0))},
+		{Name: "Diggle", Rows: 600, Classes: 2, Noise: 0.3,
+			Cols: b(c(KindNumFloat, 4, 1.0, 0), c(KindNumIntSmall, 1, 0.9, 0), c(KindCatInt, 3, 0.8, 4))},
+		{Name: "Hearts", Rows: 600, Classes: 2, Noise: 1.1,
+			Cols: b(c(KindNumFloat, 4, 0.7, 0), c(KindNumInt, 4, 0.6, 0), c(KindCatInt, 5, 0.7, 4))},
+		{Name: "Sleuth", Rows: 500, Classes: 2, Noise: 1.3,
+			Cols: b(c(KindNumInt, 6, 0.6, 0), c(KindCatOrd, 4, 0.7, 4))},
+		{Name: "Apnea2", Rows: 500, Classes: 2, Noise: 0.7,
+			Cols: b(c(KindCatStr, 2, 1.0, 4), c(KindPK, 1, 0, 0))},
+		{Name: "Auto-MPG", Rows: 450, Classes: 3, Noise: 0.5,
+			Cols: b(c(KindNumFloat, 3, 0.8, 0), c(KindNumIntSmall, 2, 0.6, 0), c(KindCatInt, 2, 0.9, 4), c(KindSentence, 1, 0.8, 0))},
+		{Name: "Churn", Rows: 800, Classes: 2, Noise: 1.2,
+			Cols: b(c(KindNumFloat, 6, 0.5, 0), c(KindNumInt, 4, 0.4, 0), c(KindCatStr, 4, 0.5, 4), c(KindCatInt, 3, 0.5, 5), c(KindEmbedNum, 2, 0.5, 0))},
+		{Name: "NYC", Rows: 900, Classes: 15, Noise: 0.25,
+			Cols: b(c(KindNumFloat, 2, 0.9, 0), c(KindDate, 2, 0.9, 0), c(KindEmbedNum, 2, 0.9, 0))},
+		{Name: "BBC", Rows: 600, Classes: 5, Noise: 0.25,
+			Cols: c(KindSentence, 1, 1.6, 5)},
+		{Name: "Articles", Rows: 500, Classes: 2, Noise: 0.4,
+			Cols: b(c(KindDate, 2, 0.7, 0), c(KindSentence, 1, 1.2, 3))},
+		{Name: "Clothing", Rows: 700, Classes: 5, Noise: 0.8,
+			Cols: b(c(KindNumFloat, 3, 0.6, 0), c(KindCatStr, 4, 0.6, 5), c(KindSentence, 2, 0.7, 3), c(KindPK, 1, 0, 0))},
+		{Name: "IOT", Rows: 800, Classes: 2, Noise: 0.6,
+			Cols: b(c(KindNumFloat, 2, 0.9, 0), c(KindDate, 1, 0.8, 0), c(KindPK, 1, 0, 0))},
+		{Name: "Zoo", Rows: 500, Classes: 5, Noise: 0.5,
+			Cols: b(c(KindCatBin, 13, 0.55, 0), c(KindPK, 2, 0, 0), c(KindConst, 1, 0, 0), c(KindCSJunk, 1, 0, 0))},
+		{Name: "PBCseq", Rows: 700, Classes: 2, Noise: 1.2,
+			Cols: b(c(KindNumFloat, 5, 0.5, 0), c(KindNumInt, 3, 0.4, 0), c(KindCatInt, 4, 0.5, 4), c(KindCatBin, 2, 0.5, 0), c(KindEmbedNum, 2, 0.5, 0), c(KindPK, 1, 0, 0), c(KindConst, 1, 0, 0))},
+		{Name: "Pokemon", Rows: 900, Classes: 36, Noise: 0.1,
+			Cols: b(c(KindNumFloat, 12, 0.45, 0), c(KindNumInt, 8, 0.4, 0), c(KindCatStr, 6, 0.5, 6), c(KindCatInt, 4, 0.5, 5), c(KindList, 2, 0.6, 0), c(KindPK, 2, 0, 0), c(KindConst, 2, 0, 0), c(KindCSJunk, 2, 0, 0), c(KindCSCode, 2, 0, 0))},
+		{Name: "President", Rows: 1100, Classes: 57, Noise: 0.08,
+			Cols: b(c(KindNumFloat, 4, 0.5, 0), c(KindNumInt, 2, 0.45, 0), c(KindCatStr, 5, 0.55, 6), c(KindCatInt, 3, 0.5, 6), c(KindDate, 4, 0.45, 0), c(KindURL, 2, 0.5, 0), c(KindPK, 2, 0, 0), c(KindConst, 1, 0, 0), c(KindCSJunk, 2, 0, 0), c(KindCSCode, 1, 0, 0))},
+
+		// --- Regression (5 datasets) ---
+		{Name: "MBA", Rows: 500, Classes: 0, Noise: 0.35,
+			Cols: c(KindCatInt, 2, 1.0, 5)},
+		{Name: "Vineyard", Rows: 400, Classes: 0, Noise: 0.5,
+			Cols: b(c(KindNumInt, 2, 0.8, 0), c(KindCatOrd, 1, 0.9, 5))},
+		{Name: "Apnea", Rows: 500, Classes: 0, Noise: 0.5,
+			Cols: b(c(KindNumInt, 1, 0.9, 0), c(KindCatStr, 1, 0.9, 4), c(KindCatInt, 1, 0.9, 4))},
+		{Name: "Accident", Rows: 600, Classes: 0, Noise: 0.45,
+			Cols: c(KindDate, 1, 1.2, 0)},
+		{Name: "Car Fuel", Rows: 600, Classes: 0, Noise: 0.6,
+			Cols: b(c(KindNumFloat, 3, 0.6, 0), c(KindNumInt, 1, 0.5, 0), c(KindCatStr, 2, 0.6, 4), c(KindCatInt, 1, 0.6, 4), c(KindEmbedNum, 2, 0.7, 0), c(KindPK, 1, 0, 0), c(KindConst, 1, 0, 0))},
+	}
+	for i := range specs {
+		specs[i].Seed = seed + int64(i)*101
+	}
+	return specs
+}
+
+// GenerateSuite builds the full 30-dataset downstream benchmark.
+func GenerateSuite(seed int64) []*Downstream {
+	specs := SuiteSpecs(seed)
+	out := make([]*Downstream, len(specs))
+	for i, sp := range specs {
+		out[i] = Generate(sp)
+	}
+	return out
+}
+
+// SuiteColumnCount returns the total feature-column count across the suite
+// (the paper reports 566).
+func SuiteColumnCount(specs []DatasetSpec) int {
+	n := 0
+	for _, sp := range specs {
+		n += len(sp.Cols)
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/stats"
+)
+
+func TestCorpusQuotasAndGrouping(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.N = 2000
+	corpus := GenerateCorpus(cfg)
+	if len(corpus) != 2000 {
+		t.Fatalf("corpus size = %d", len(corpus))
+	}
+	counts := map[ftype.FeatureType]int{}
+	files := map[int]int{}
+	for _, c := range corpus {
+		counts[c.Label]++
+		files[c.FileID]++
+		if len(c.Values) == 0 {
+			t.Fatalf("column %q has no values", c.Name)
+		}
+	}
+	dist := PaperDistribution()
+	for _, cls := range ftype.BaseClasses() {
+		want := int(float64(cfg.N) * dist[cls])
+		got := counts[cls]
+		slack := want / 10
+		if slack < 5 {
+			slack = 5
+		}
+		if got < want-slack || got > want+slack+cfg.N/50 {
+			t.Errorf("class %v count = %d, want ≈ %d", cls, got, want)
+		}
+	}
+	for id, n := range files {
+		if n < 1 || n > cfg.ColsPerFileMax {
+			t.Errorf("file %d has %d columns", id, n)
+		}
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	cfg := DefaultCorpusConfig()
+	cfg.N = 300
+	a := GenerateCorpus(cfg)
+	b := GenerateCorpus(cfg)
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Label != b[i].Label || len(a[i].Values) != len(b[i].Values) {
+			t.Fatalf("example %d differs between runs", i)
+		}
+		for j := range a[i].Values {
+			if a[i].Values[j] != b[i].Values[j] {
+				t.Fatalf("example %d cell %d differs", i, j)
+			}
+		}
+	}
+	cfg.Seed = 99
+	c := GenerateCorpus(cfg)
+	same := true
+	for i := range a {
+		if a[i].Name != c[i].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// classSample collects generated columns of one class.
+func classSample(t *testing.T, cls ftype.FeatureType, n int) []data.Column {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	gen := Generator(cls)
+	if gen == nil {
+		t.Fatalf("no generator for %v", cls)
+	}
+	out := make([]data.Column, n)
+	for i := range out {
+		out[i] = gen(rng, 120)
+	}
+	return out
+}
+
+func castableFrac(col *data.Column) float64 {
+	n, c := 0, 0
+	for _, v := range col.Values {
+		if data.IsMissing(v) {
+			continue
+		}
+		n++
+		if _, ok := stats.ParseFloat(v); ok {
+			c++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(c) / float64(n)
+}
+
+func TestNumericColumnsAreCastable(t *testing.T) {
+	for _, col := range classSample(t, ftype.Numeric, 40) {
+		if castableFrac(&col) < 0.999 {
+			t.Errorf("numeric column %q has non-castable values", col.Name)
+		}
+	}
+}
+
+func TestURLColumnsMatchURLSyntax(t *testing.T) {
+	for _, col := range classSample(t, ftype.URL, 25) {
+		bad := 0
+		for _, v := range col.NonMissing() {
+			if !stats.IsURL(v) {
+				bad++
+			}
+		}
+		if bad > 0 {
+			t.Errorf("URL column %q has %d non-URL values", col.Name, bad)
+		}
+	}
+}
+
+func TestListColumnsAreDelimited(t *testing.T) {
+	for _, col := range classSample(t, ftype.List, 25) {
+		hits := 0
+		nm := col.NonMissing()
+		for _, v := range nm {
+			if stats.IsList(v) {
+				hits++
+			}
+		}
+		if len(nm) > 0 && float64(hits)/float64(len(nm)) < 0.9 {
+			t.Errorf("list column %q: only %d/%d values look like lists", col.Name, hits, len(nm))
+		}
+	}
+}
+
+func TestCategoricalLowCardinality(t *testing.T) {
+	for _, col := range classSample(t, ftype.Categorical, 40) {
+		distinct := len(col.DistinctNonMissing())
+		if distinct > 250 {
+			t.Errorf("categorical column %q has %d distinct values", col.Name, distinct)
+		}
+	}
+}
+
+func TestDatetimeColumnsConsistentFormat(t *testing.T) {
+	// At least the easy-format datetime columns must parse as dates.
+	cols := classSample(t, ftype.Datetime, 60)
+	parseable := 0
+	for _, col := range cols {
+		nm := col.NonMissing()
+		if len(nm) == 0 {
+			continue
+		}
+		hits := 0
+		for _, v := range nm[:minI(len(nm), 10)] {
+			if stats.IsDate(v) {
+				hits++
+			}
+		}
+		if hits >= 8 {
+			parseable++
+		}
+	}
+	if parseable < len(cols)/2 {
+		t.Errorf("only %d/%d datetime columns parse under the broad parser; generator likely broken", parseable, len(cols))
+	}
+}
+
+func TestNotGeneralizableShapes(t *testing.T) {
+	sawConstant, sawAllNaN, sawUnique := false, false, false
+	for _, col := range classSample(t, ftype.NotGeneralizable, 80) {
+		distinct := len(col.DistinctNonMissing())
+		nm := len(col.NonMissing())
+		switch {
+		case nm == 0 || nm <= 3:
+			sawAllNaN = true
+		case distinct == 1:
+			sawConstant = true
+		case distinct == nm:
+			sawUnique = true
+		}
+	}
+	if !sawConstant || !sawAllNaN || !sawUnique {
+		t.Errorf("NG generator missing shapes: constant=%v allNaN=%v unique=%v",
+			sawConstant, sawAllNaN, sawUnique)
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestExtensionGenerators(t *testing.T) {
+	train, test := GenerateExtension(ExtensionConfig{Type: ftype.Country, TrainN: 20, TestN: 10, Seed: 1})
+	if len(train) != 20 || len(test) != 10 {
+		t.Fatalf("sizes %d/%d", len(train), len(test))
+	}
+	for _, c := range train {
+		if c.Label != ftype.Country {
+			t.Fatal("wrong label")
+		}
+		if len(c.DistinctNonMissing()) < 2 {
+			t.Errorf("country column %q nearly constant", c.Name)
+		}
+	}
+	_, st := GenerateExtension(ExtensionConfig{Type: ftype.State, TrainN: 5, TestN: 5, Seed: 2})
+	if st[0].Label != ftype.State {
+		t.Error("state label wrong")
+	}
+}

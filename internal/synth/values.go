@@ -1,0 +1,618 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// pick returns a uniformly random element of pool.
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+// cryptic builds a meaningless attribute name like "ad744" or "s1p1c2x".
+func cryptic(rng *rand.Rand) string {
+	consonants := "bcdfghklmnpqrstvwxz"
+	switch rng.Intn(4) {
+	case 0: // letters + number: ad744
+		return fmt.Sprintf("%c%c%d", consonants[rng.Intn(len(consonants))],
+			"aeiou"[rng.Intn(5)], rng.Intn(9000)+10)
+	case 1: // vN style: v23
+		return fmt.Sprintf("%c%d", "vxqmz"[rng.Intn(5)], rng.Intn(99)+1)
+	case 2: // segment code: s1p1c2area
+		tails := []string{"area", "val", "cnt", "idx", "x", "q", "resp"}
+		return fmt.Sprintf("s%dp%dc%d%s", rng.Intn(4)+1, rng.Intn(4)+1,
+			rng.Intn(4)+1, tails[rng.Intn(len(tails))])
+	default: // consonant soup: livshrmd
+		n := rng.Intn(4) + 5
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(consonants[rng.Intn(len(consonants))])
+		}
+		return b.String()
+	}
+}
+
+// withNaNs replaces approximately frac of values with a missing token.
+func withNaNs(rng *rand.Rand, vals []string, frac float64) []string {
+	if frac <= 0 {
+		return vals
+	}
+	tokens := []string{"", "NA", "NaN", "null", "?"}
+	tok := tokens[rng.Intn(len(tokens))]
+	for i := range vals {
+		if rng.Float64() < frac {
+			vals[i] = tok
+		}
+	}
+	return vals
+}
+
+// maybeNaNFrac draws a typical missing-value fraction: zero half the time,
+// otherwise up to maxFrac.
+func maybeNaNFrac(rng *rand.Rand, maxFrac float64) float64 {
+	if rng.Float64() < 0.5 {
+		return 0
+	}
+	return rng.Float64() * maxFrac
+}
+
+// --- Numeric -------------------------------------------------------------
+
+// genNumeric emits a Numeric column: floats or wide-range integers, with a
+// deliberate hard tail of low-domain integers and cryptically named integer
+// columns that collide with Categorical and Context-Specific.
+func genNumeric(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, numericNames)
+	if rng.Float64() < 0.3 {
+		name += pick(rng, numericSuffixes)
+	}
+	vals := make([]string, rows)
+	kind := rng.Float64()
+	switch {
+	case kind < 0.45: // floats
+		mean := rng.Float64()*1000 - 200
+		std := rng.Float64()*200 + 1
+		dec := rng.Intn(4) + 1
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%.*f", dec, rng.NormFloat64()*std+mean)
+		}
+	case kind < 0.75: // wide-range integers
+		lo := rng.Intn(2000) - 500
+		span := rng.Intn(100000) + 100
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%d", lo+rng.Intn(span))
+		}
+	case kind < 0.85: // low-domain integers (hard vs Categorical)
+		span := rng.Intn(70) + 8
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%d", rng.Intn(span))
+		}
+	default: // cryptic name + integers (irreducibly hard vs Context-Specific)
+		name = cryptic(rng)
+		crypticIntValues(rng, vals)
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.45))}
+}
+
+// crypticIntValues fills vals with integer codes whose distribution is
+// shared between the Numeric and Context-Specific generators: without a
+// meaningful attribute name, nothing in the values distinguishes a genuine
+// measurement from an opaque survey code. This is the irreducible ambiguity
+// behind the paper's Numeric↔Context-Specific confusion (Table 3 examples
+// A and H).
+func crypticIntValues(rng *rand.Rand, vals []string) {
+	if rng.Float64() < 0.5 { // wide-range integers
+		span := rng.Intn(5000) + 50
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%d", rng.Intn(span))
+		}
+	} else { // low-domain codes, possibly with a sentinel
+		domain := []string{}
+		if rng.Float64() < 0.5 {
+			domain = append(domain, "-99")
+		}
+		n := rng.Intn(12) + 2
+		for k := 0; k < n; k++ {
+			domain = append(domain, fmt.Sprintf("%d", rng.Intn(500)))
+		}
+		for i := range vals {
+			vals[i] = domain[rng.Intn(len(domain))]
+		}
+	}
+}
+
+// --- Categorical ----------------------------------------------------------
+
+// stringDomains are the themed value domains for string categoricals.
+func stringDomain(rng *rand.Rand) []string {
+	switch rng.Intn(9) {
+	case 0:
+		return []string{"M", "F"}
+	case 1:
+		return colorList
+	case 2:
+		return statusList
+	case 3:
+		return countryList[:rng.Intn(20)+5]
+	case 4:
+		return stateList[:rng.Intn(20)+5]
+	case 5:
+		return []string{"A", "B", "C", "D", "E", "F"}[:rng.Intn(4)+2]
+	case 6:
+		return genreList[:rng.Intn(8)+3]
+	case 7:
+		return []string{"yes", "no"}
+	default:
+		return stateAbbrevs[:rng.Intn(15)+4]
+	}
+}
+
+// genCategorical emits a Categorical column. Roughly 40% are integer-coded
+// categories (zip codes, item codes, years, ratings, binary flags), which
+// is the central failure mode of syntax-based tools; the rest are string
+// categories, including a hard tail of multi-token phrases.
+func genCategorical(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, categoricalNames)
+	vals := make([]string, rows)
+	kind := rng.Float64()
+	switch {
+	case kind < 0.40: // integer-coded categories
+		var domain []string
+		switch rng.Intn(5) {
+		case 0: // zip codes
+			name = []string{"zipcode", "zip_code", "zip", "postal_code"}[rng.Intn(4)]
+			n := rng.Intn(40) + 8
+			domain = make([]string, n)
+			for i := range domain {
+				domain[i] = fmt.Sprintf("%05d", rng.Intn(90000)+10000)
+			}
+		case 1: // small item/state codes
+			n := rng.Intn(18) + 3
+			domain = make([]string, n)
+			for i := range domain {
+				domain[i] = fmt.Sprintf("%d", rng.Intn(100))
+			}
+		case 2: // years (ordinal)
+			name = []string{"year", "model_year", "season", "cohort"}[rng.Intn(4)]
+			base := 1950 + rng.Intn(50)
+			n := rng.Intn(40) + 5
+			domain = make([]string, n)
+			for i := range domain {
+				domain[i] = fmt.Sprintf("%d", base+i)
+			}
+		case 3: // ratings 1..k (ordinal)
+			k := rng.Intn(8) + 2
+			domain = make([]string, k)
+			for i := range domain {
+				domain[i] = fmt.Sprintf("%d", i+1)
+			}
+		default: // binary flags
+			domain = []string{"0", "1"}
+		}
+		for i := range vals {
+			vals[i] = domain[rng.Intn(len(domain))]
+		}
+	case kind < 0.82: // string categories
+		domain := stringDomain(rng)
+		for i := range vals {
+			vals[i] = domain[rng.Intn(len(domain))]
+		}
+	case kind < 0.92: // multi-token phrases (hard vs Sentence)
+		// Generated phrase domains like "Own house, rent lot": a handful of
+		// distinct multi-word strings. Names deliberately overlap with the
+		// Sentence name pool part of the time.
+		n := rng.Intn(18) + 3
+		domain := make([]string, n)
+		for i := range domain {
+			domain[i] = title(sentence(rng, rng.Intn(4)+2, -1))
+			domain[i] = strings.TrimSuffix(domain[i], ".")
+		}
+		if rng.Float64() < 0.4 {
+			name = pick(rng, []string{"tenure_status", "employment", "survey_answer", "education", "answer", "response"})
+		} else {
+			name = pick(rng, sentenceNames)
+		}
+		for i := range vals {
+			vals[i] = domain[rng.Intn(len(domain))]
+		}
+	default: // high-domain string categories (hard vs Not-Generalizable)
+		n := rng.Intn(150) + 50
+		domain := make([]string, n)
+		for i := range domain {
+			domain[i] = fmt.Sprintf("%s-%d", strings.ToUpper(pick(rng, genreList)[:3]), rng.Intn(900)+100)
+		}
+		name = []string{"product_code", "route", "precinct", "store_id_code"}[rng.Intn(4)]
+		for i := range vals {
+			vals[i] = domain[rng.Intn(len(domain))]
+		}
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.3))}
+}
+
+// --- Datetime ---------------------------------------------------------------
+
+// dateFormats are the per-column output formats. Formats are grouped by how
+// hard they are for syntax-driven parsers: "easy" ones are ISO-like, "hard"
+// ones (bare digit runs, duration-style strings, verbose month names) defeat
+// most tools' rules but leave name/stat signal for ML models.
+var easyDateFormats = []string{
+	"2006-01-02", "2006/01/02", "2006-01-02 15:04:05", "2006-01-02T15:04:05",
+}
+var midDateFormats = []string{
+	"01/02/2006", "1/2/2006", "01-02-2006", "Jan 2, 2006", "02-Jan-2006",
+	"15:04:05", "01/02/2006 15:04",
+}
+var hardDateFormats = []string{
+	"20060102", "January 2, 2006", "2-Jan-06", "hms",
+}
+
+// genDatetime emits a Datetime column in one consistent format.
+func genDatetime(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, datetimeNames)
+	var layout string
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		layout = easyDateFormats[rng.Intn(len(easyDateFormats))]
+	case r < 0.80:
+		layout = midDateFormats[rng.Intn(len(midDateFormats))]
+	default:
+		layout = hardDateFormats[rng.Intn(len(hardDateFormats))]
+		if layout == "20060102" {
+			name = []string{"birthdate", "dob", "obs_date", "yyyymmdd"}[rng.Intn(4)]
+		}
+	}
+	base := int64(1.0e9 * (0.2 + rng.Float64()*1.4)) // ~1976..2020 in epoch seconds
+	span := int64(rng.Intn(20)+1) * 365 * 86400
+	vals := make([]string, rows)
+	for i := range vals {
+		t := base + rng.Int63n(span)
+		if layout == "hms" {
+			vals[i] = fmt.Sprintf("%dhrs:%dmin:%dsec", t%24, t%60, (t/7)%60)
+		} else {
+			vals[i] = timeFormat(t, layout)
+		}
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+}
+
+// --- Sentence ----------------------------------------------------------------
+
+// sentence builds a pseudo-natural sentence of n words; topic >= 0 injects
+// topic keywords for downstream signal.
+func sentence(rng *rand.Rand, n, topic int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = pick(rng, wordBank)
+	}
+	if topic >= 0 {
+		k := 1 + rng.Intn(2)
+		for j := 0; j < k; j++ {
+			words[rng.Intn(n)] = pick(rng, sentenceTopics[topic])
+		}
+	}
+	s := strings.Join(words, " ")
+	return strings.ToUpper(s[:1]) + s[1:] + "."
+}
+
+// genSentence emits a Sentence column of free text. A hard tail of short,
+// partially repeating answers overlaps with the phrase-valued Categorical
+// generator (the paper's Table 3 example B confusion).
+func genSentence(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, sentenceNames)
+	vals := make([]string, rows)
+	if rng.Float64() < 0.25 { // short free-text answers, partially repeated
+		pool := make([]string, rng.Intn(14)+6)
+		for i := range pool {
+			pool[i] = sentence(rng, rng.Intn(5)+2, -1)
+		}
+		for i := range vals {
+			if rng.Float64() < 0.75 {
+				vals[i] = pool[rng.Intn(len(pool))]
+			} else {
+				vals[i] = sentence(rng, rng.Intn(5)+2, -1)
+			}
+		}
+		return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.25))}
+	}
+	minW := 4 + rng.Intn(6)
+	spanW := 5 + rng.Intn(25)
+	for i := range vals {
+		vals[i] = sentence(rng, minW+rng.Intn(spanW), -1)
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.25))}
+}
+
+// --- URL ---------------------------------------------------------------------
+
+func genOneURL(rng *rand.Rand) string {
+	proto := []string{"http", "https", "https", "https"}[rng.Intn(4)]
+	sub := []string{"www.", "", "cdn.", "api."}[rng.Intn(4)]
+	dom := pick(rng, domainWords)
+	tld := pick(rng, tlds)
+	path := ""
+	if rng.Float64() < 0.7 {
+		segs := rng.Intn(3) + 1
+		for s := 0; s < segs; s++ {
+			path += "/" + pick(rng, wordBank)
+		}
+		if rng.Float64() < 0.4 {
+			path += fmt.Sprintf("/%d", rng.Intn(100000))
+		}
+	}
+	return fmt.Sprintf("%s://%s%s.%s%s", proto, sub, dom, tld, path)
+}
+
+// genURL emits a URL column.
+func genURL(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, urlNames)
+	vals := make([]string, rows)
+	for i := range vals {
+		vals[i] = genOneURL(rng)
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+}
+
+// --- Embedded Number ------------------------------------------------------------
+
+// genEmbedded emits an Embedded Number column: numbers wrapped in units,
+// currencies, percents, grouped digits, or rank decorations.
+func genEmbedded(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, embeddedNames)
+	vals := make([]string, rows)
+	kind := rng.Intn(5)
+	unit := pick(rng, unitsList)
+	cur := pick(rng, currencyPrefixes)
+	for i := range vals {
+		n := rng.Float64() * 100000
+		switch kind {
+		case 0: // currency: "USD 45", "$1,234.56"
+			if strings.HasSuffix(cur, "$") || cur == "€" || cur == "£" {
+				vals[i] = fmt.Sprintf("%s%s", cur, group(int64(n)))
+			} else {
+				vals[i] = fmt.Sprintf("%s %d", cur, int64(n))
+			}
+		case 1: // units: "30 Mhz", "95 lbs."
+			vals[i] = fmt.Sprintf("%d %s", int64(math.Mod(n, 500)), unit)
+		case 2: // percent: "18.90%"
+			vals[i] = fmt.Sprintf("%.2f%%", math.Mod(n, 100))
+		case 3: // grouped digits: "1,846" / "5,00,000"
+			if rng.Float64() < 0.3 {
+				vals[i] = indianGroup(int64(n))
+			} else {
+				vals[i] = group(int64(n))
+			}
+		default: // decorated rank: "RB - #3"
+			vals[i] = fmt.Sprintf("%s - #%d", strings.ToUpper(pick(rng, genreList)[:2]), rng.Intn(99)+1)
+		}
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+}
+
+// group formats n with comma thousand separators.
+func group(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// indianGroup formats n in the Indian lakh/crore grouping, e.g. "5,00,000".
+func indianGroup(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	head := s[:len(s)-3]
+	tail := s[len(s)-3:]
+	var out []byte
+	for i, c := range []byte(head) {
+		if i > 0 && (len(head)-i)%2 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out) + "," + tail
+}
+
+// --- List -------------------------------------------------------------------
+
+// genList emits a List column: delimiter-separated item collections.
+func genList(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, listNames)
+	sep := []string{"; ", " | ", ", ", ";"}[rng.Intn(4)]
+	pools := [][]string{genreList, colorList, countryCodes, stateAbbrevs, wordBank}
+	pool := pools[rng.Intn(len(pools))]
+	numeric := rng.Float64() < 0.2 // numeric item lists like "1, 5, 8" (hard vs Embedded Number)
+	maxItems := rng.Intn(20) + 3
+	if numeric {
+		maxItems = rng.Intn(4) + 2
+		sep = ", "
+	}
+	minItems := 2
+	if strings.Contains(sep, ",") {
+		// Comma lists need 3+ items to be unambiguous (two comma-separated
+		// tokens read as ordinary prose).
+		minItems = 3
+	}
+	vals := make([]string, rows)
+	for i := range vals {
+		n := rng.Intn(maxItems) + minItems
+		items := make([]string, n)
+		for j := range items {
+			if numeric {
+				items[j] = fmt.Sprintf("%d", rng.Intn(900)+1)
+			} else {
+				items[j] = pick(rng, pool)
+			}
+		}
+		vals[i] = strings.Join(items, sep)
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.3))}
+}
+
+// --- Not-Generalizable ---------------------------------------------------------
+
+// genNotGen emits a Not-Generalizable column: primary keys, uuid-like
+// hashes, constants, all-NaN columns, and degenerate two-value columns.
+func genNotGen(rng *rand.Rand, rows int) data.Column {
+	name := pick(rng, notGenNames)
+	vals := make([]string, rows)
+	switch r := rng.Float64(); {
+	case r < 0.35: // integer primary keys
+		start := rng.Intn(100000)
+		if rng.Float64() < 0.5 { // sequential
+			for i := range vals {
+				vals[i] = fmt.Sprintf("%d", start+i)
+			}
+		} else { // random unique
+			seen := map[int]bool{}
+			for i := range vals {
+				v := rng.Intn(rows * 100)
+				for seen[v] {
+					v = rng.Intn(rows * 100)
+				}
+				seen[v] = true
+				vals[i] = fmt.Sprintf("%d", v)
+			}
+		}
+	case r < 0.47: // uuid-ish strings
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%08x-%04x-%04x", rng.Uint32(), rng.Intn(1<<16), rng.Intn(1<<16))
+		}
+	case r < 0.62: // constant column
+		c := pick(rng, append(append([]string{}, colorList...), "0", "1", "unknown", "2020"))
+		for i := range vals {
+			vals[i] = c
+		}
+	case r < 0.70: // (almost) all NaN
+		fill := []string{"", "NA", "NaN"}[rng.Intn(3)]
+		for i := range vals {
+			vals[i] = fill
+		}
+		for k := 0; k < rng.Intn(3); k++ { // a stray value or two
+			vals[rng.Intn(rows)] = fmt.Sprintf("%d", rng.Intn(10))
+		}
+	case r < 0.80: // degenerate two-value with an error token
+		other := pick(rng, wordBank)
+		for i := range vals {
+			if rng.Float64() < 0.97 {
+				vals[i] = "#NULL!"
+			} else {
+				vals[i] = other
+			}
+		}
+		name = pick(rng, []string{"q19TalToolResumeScreen", "q7ReviewPanel", "survey_q3_flag"})
+		return data.Column{Name: name, Values: vals}
+	default: // near-unique string codes (hard vs high-domain Categorical)
+		domain := rows/3 + rng.Intn(rows) + 2
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%s-%06d", strings.ToUpper(pick(rng, tlds)), rng.Intn(domain)+100000)
+		}
+	}
+	return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.5))}
+}
+
+// --- Context-Specific -----------------------------------------------------------
+
+// genContext emits a Context-Specific column: cryptically named survey-style
+// integer codes, free-form entity names, addresses, JSON blobs, and
+// geo-coordinates — all requiring human judgement.
+func genContext(rng *rand.Rand, rows int) data.Column {
+	vals := make([]string, rows)
+	switch r := rng.Float64(); {
+	case r < 0.50: // cryptic integer codes (irreducibly hard vs Numeric)
+		name := cryptic(rng)
+		if rng.Float64() < 0.25 {
+			// A tail of fixed real-world-style opaque names (xyz, ad744, ...).
+			name = pick(rng, contextNames[:22])
+		}
+		crypticIntValues(rng, vals)
+		return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.55))}
+	case r < 0.65: // entity names (people, companies, products)
+		name := pick(rng, []string{"name", "person", "artist", "company", "product", "owner", "creator", "jockey", "team_name", "publisher", "director"})
+		if rng.Float64() < 0.5 {
+			// Repeating entity pool: low uniqueness, which collides with
+			// high-domain Categorical columns (the paper's CS↔CA confusion).
+			pool := make([]string, rng.Intn(40)+10)
+			for i := range pool {
+				pool[i] = title(pick(rng, firstNames)) + " " + title(pick(rng, lastNames))
+			}
+			for i := range vals {
+				vals[i] = pool[rng.Intn(len(pool))]
+			}
+		} else {
+			for i := range vals {
+				vals[i] = title(pick(rng, firstNames)) + " " + title(pick(rng, lastNames))
+			}
+		}
+		return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+	case r < 0.77: // street addresses
+		name := pick(rng, []string{"address", "location", "street", "venue"})
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%d %s", rng.Intn(9000)+1, title(pick(rng, streetNames)))
+			if rng.Float64() < 0.4 {
+				vals[i] += ", " + title(pick(rng, cityNames))
+			}
+		}
+		return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+	case r < 0.89: // JSON blobs
+		name := pick(rng, []string{"raw_json", "payload", "metadata", "extra", "blob"})
+		for i := range vals {
+			vals[i] = fmt.Sprintf(`{"id":%d,"tag":"%s","v":%0.2f}`, rng.Intn(10000), pick(rng, wordBank), rng.Float64()*100)
+		}
+		return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+	default: // geo coordinates
+		name := pick(rng, []string{"geo", "coordinates", "lat_long", "position"})
+		for i := range vals {
+			vals[i] = fmt.Sprintf("(%.4f, %.4f)", rng.Float64()*180-90, rng.Float64()*360-180)
+		}
+		return data.Column{Name: name, Values: withNaNs(rng, vals, maybeNaNFrac(rng, 0.2))}
+	}
+}
+
+// timeFormat renders epoch seconds under a Go layout without importing the
+// time package at every call site.
+func timeFormat(epoch int64, layout string) string {
+	return timeUnix(epoch).Format(layout)
+}
+
+// Generator returns the column generator for a feature type.
+func Generator(t ftype.FeatureType) func(*rand.Rand, int) data.Column {
+	switch t {
+	case ftype.Numeric:
+		return genNumeric
+	case ftype.Categorical:
+		return genCategorical
+	case ftype.Datetime:
+		return genDatetime
+	case ftype.Sentence:
+		return genSentence
+	case ftype.URL:
+		return genURL
+	case ftype.EmbeddedNumber:
+		return genEmbedded
+	case ftype.List:
+		return genList
+	case ftype.NotGeneralizable:
+		return genNotGen
+	case ftype.ContextSpecific:
+		return genContext
+	case ftype.Country:
+		return genCountry
+	case ftype.State:
+		return genState
+	default:
+		return nil
+	}
+}

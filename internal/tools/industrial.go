@@ -1,0 +1,120 @@
+package tools
+
+import (
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// Pandas emulates pandas' dtype sniffing (read_csv inference plus the
+// to_datetime utility check the paper applies): columns fully castable to
+// int64/float64 become Numeric, columns that parse under pandas' flexible
+// datetime parser become Datetime, and everything else is dtype object,
+// which Figure 3 maps to Context-Specific.
+type Pandas struct{}
+
+// Name implements Inferrer.
+func (Pandas) Name() string { return "Pandas" }
+
+// Infer implements Inferrer.
+func (Pandas) Infer(col *data.Column) ftype.FeatureType {
+	p := buildProfile(col)
+	if p.nonMissing == 0 {
+		return ftype.Unknown
+	}
+	if p.castFloatAll {
+		return ftype.Numeric
+	}
+	if p.datePandasFrac >= 0.9 {
+		return ftype.Datetime
+	}
+	return ftype.ContextSpecific
+}
+
+// TransmogrifAI emulates Salesforce TransmogrifAI's primitive type
+// inference: Integer/Long/Double map to Numeric, Timestamp (strict
+// ISO-style parsing only) to Datetime, and String to Text, which Figure 3
+// maps to Context-Specific. Its richer vocabulary (email, phone, zip) is
+// user-declared, not inferred, so it never fires here — exactly the
+// limitation the paper calls out.
+type TransmogrifAI struct{}
+
+// Name implements Inferrer.
+func (TransmogrifAI) Name() string { return "TransmogrifAI" }
+
+// Infer implements Inferrer.
+func (TransmogrifAI) Infer(col *data.Column) ftype.FeatureType {
+	p := buildProfile(col)
+	if p.nonMissing == 0 {
+		return ftype.Unknown
+	}
+	if p.castFloatAll {
+		return ftype.Numeric
+	}
+	if p.dateEasyFrac >= 0.9 {
+		return ftype.Datetime
+	}
+	return ftype.ContextSpecific
+}
+
+// TFDV emulates TensorFlow Data Validation's schema inference heuristics
+// over column statistics: numeric dtypes become INT/FLOAT (Numeric),
+// string columns become a time/date domain when they parse under TFDV's
+// (ISO-leaning) formats, NATURAL_LANGUAGE when values are long multi-word
+// strings, and BYTES/Categorical otherwise.
+type TFDV struct{}
+
+// Name implements Inferrer.
+func (TFDV) Name() string { return "TFDV" }
+
+// Infer implements Inferrer.
+func (TFDV) Infer(col *data.Column) ftype.FeatureType {
+	p := buildProfile(col)
+	if p.nonMissing == 0 {
+		return ftype.Unknown
+	}
+	if p.castFloatAll {
+		return ftype.Numeric
+	}
+	if p.dateEasyFrac >= 0.9 {
+		return ftype.Datetime
+	}
+	// TFDV's natural-language heuristic keys on long, wordy values.
+	if p.meanWords >= 10 {
+		return ftype.Sentence
+	}
+	return ftype.Categorical
+}
+
+// AutoGluon emulates AutoGluon-Tabular's column type classification:
+// unusable columns are discarded (Not-Generalizable), numeric dtypes stay
+// numeric, dates are detected fairly broadly, short-word-count text columns
+// become text aggressively (the paper notes its low Sentence precision),
+// remaining low-cardinality strings become categorical, and high-
+// cardinality strings are dropped as unusable.
+type AutoGluon struct{}
+
+// Name implements Inferrer.
+func (AutoGluon) Name() string { return "AutoGluon" }
+
+// Infer implements Inferrer.
+func (AutoGluon) Infer(col *data.Column) ftype.FeatureType {
+	p := buildProfile(col)
+	if p.nonMissing == 0 || p.st.NumUnique <= 1 {
+		return ftype.NotGeneralizable // discarded
+	}
+	if p.castFloatAll {
+		return ftype.Numeric
+	}
+	if p.dateMidFrac >= 0.9 {
+		return ftype.Datetime
+	}
+	if p.meanWords >= 3 {
+		return ftype.Sentence
+	}
+	// Near-unique string columns carry no repeated categories; AutoGluon
+	// drops them as unusable identifiers.
+	if p.st.PctUnique > 95 {
+		return ftype.NotGeneralizable
+	}
+	return ftype.Categorical
+}

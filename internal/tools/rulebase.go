@@ -1,0 +1,71 @@
+package tools
+
+import (
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// RuleBaseline is the paper's hand-written 11-rule flowchart baseline
+// (Section 3.2 and Appendix G). The rules fire in a fixed order; each is a
+// check on the column profile, ending in one of the nine classes. Its known
+// weaknesses are intentional and reproduce the paper's findings: categories
+// encoded as numbers fall through to Numeric, and the aggressive
+// uniqueness/NaN rule swallows fully distinct Datetime, Sentence and URL
+// columns into Not-Generalizable.
+type RuleBaseline struct{}
+
+// Name implements Inferrer.
+func (RuleBaseline) Name() string { return "Rule-based" }
+
+// Infer implements Inferrer.
+func (RuleBaseline) Infer(col *data.Column) ftype.FeatureType {
+	p := buildProfile(col)
+
+	// Rule 1: no informative values at all.
+	if p.nonMissing == 0 || p.st.NumUnique <= 1 {
+		return ftype.NotGeneralizable
+	}
+	// Rule 2: columns that are (almost) entirely NaN or whose non-missing
+	// values are all distinct offer nothing generalizable. This fires
+	// before the syntactic checks, which is what makes the baseline misfile
+	// distinct-valued Datetime, Sentence and URL columns, as the paper's
+	// confusion matrix (Table 17A) shows.
+	if p.st.PctNaNs > 99.99 || p.st.NumUnique >= p.nonMissing {
+		return ftype.NotGeneralizable
+	}
+	// Rule 3: URL syntax on the sampled values.
+	if p.urlFrac > 0.5 {
+		return ftype.URL
+	}
+	// Rule 4: delimiter-separated series of items.
+	if p.listFrac > 0.5 {
+		return ftype.List
+	}
+	// Rule 5: parseable dates or timestamps.
+	if p.datePandasFrac > 0.5 {
+		return ftype.Datetime
+	}
+	// Rule 6: castable numbers with a tiny domain read as categories...
+	if p.castFloatAll && p.st.NumUnique <= 5 {
+		return ftype.Categorical
+	}
+	// Rule 7: ...all other castable numbers read as Numeric (this is where
+	// zip codes and integer-coded categories go wrong).
+	if p.castFloatAll {
+		return ftype.Numeric
+	}
+	// Rule 8: numbers embedded in messy syntax.
+	if p.enFrac > 0.5 {
+		return ftype.EmbeddedNumber
+	}
+	// Rule 9: long, wordy values read as natural language.
+	if p.meanWords > 3 {
+		return ftype.Sentence
+	}
+	// Rule 10: low-cardinality strings read as categories.
+	if p.st.PctUnique < 10 {
+		return ftype.Categorical
+	}
+	// Rule 11: everything else needs a human.
+	return ftype.ContextSpecific
+}

@@ -1,0 +1,168 @@
+package tools
+
+import (
+	"fmt"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+func TestSemanticMapCoversAllTypes(t *testing.T) {
+	if len(SemanticTypes) != 78 {
+		t.Fatalf("Sherlock vocabulary has %d types, want 78", len(SemanticTypes))
+	}
+	for _, st := range SemanticTypes {
+		cands, ok := semanticMap[st]
+		if !ok {
+			t.Errorf("semantic type %q has no mapping", st)
+			continue
+		}
+		if len(cands) == 0 {
+			t.Errorf("semantic type %q maps to nothing", st)
+		}
+		for _, c := range cands {
+			if !c.Valid() {
+				t.Errorf("semantic type %q maps to invalid %v", st, c)
+			}
+		}
+	}
+	for st := range semanticMap {
+		found := false
+		for _, name := range SemanticTypes {
+			if name == st {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("mapping contains unknown semantic type %q", st)
+		}
+	}
+}
+
+func TestSemanticMapMultiplicityDistribution(t *testing.T) {
+	// The paper: 55 single-mapped, 18 double, 3 triple, 2 quadruple.
+	counts := map[int]int{}
+	for _, cands := range semanticMap {
+		counts[len(cands)]++
+	}
+	if counts[1] < 50 {
+		t.Errorf("single-mapped types = %d, want ≈55", counts[1])
+	}
+	if counts[4] == 0 {
+		t.Error("the vocabulary should contain 4-way ambiguous types (capacity, duration)")
+	}
+}
+
+func TestMapSemanticRules(t *testing.T) {
+	small := &data.Column{Name: "x", Values: []string{"1", "2", "3", "1", "2"}}
+	if got := MapSemantic("age", small); got != ftype.Categorical {
+		t.Errorf("age with <20 unique -> %v, want Categorical (rule 1)", got)
+	}
+	wide := &data.Column{Name: "x", Values: make([]string, 100)}
+	for i := range wide.Values {
+		wide.Values[i] = fmt.Sprintf("%d", i*13)
+	}
+	if got := MapSemantic("age", wide); got != ftype.Numeric {
+		t.Errorf("castable wide age -> %v, want Numeric (rule 2)", got)
+	}
+	en := &data.Column{Name: "x", Values: make([]string, 60)}
+	for i := range en.Values {
+		en.Values[i] = fmt.Sprintf("%d,%03d kb", i+1, i*7%1000)
+	}
+	if got := MapSemantic("capacity", en); got != ftype.EmbeddedNumber {
+		t.Errorf("capacity with decorated numbers -> %v, want Embedded-Number", got)
+	}
+	if got := MapSemantic("name", small); got != ftype.ContextSpecific {
+		t.Errorf("single-mapped 'name' -> %v", got)
+	}
+	if got := MapSemantic("not-a-type", small); got != ftype.Unknown {
+		t.Errorf("unknown semantic type -> %v, want Unknown", got)
+	}
+}
+
+func TestSherlockDeterministic(t *testing.T) {
+	s := Sherlock{}
+	col := intCol("v", 0, 50000, 150, 21)
+	first := s.PredictSemantic(col)
+	for i := 0; i < 5; i++ {
+		if got := s.PredictSemantic(col); got != first {
+			t.Fatal("Sherlock emulation must be deterministic per column")
+		}
+	}
+	if _, ok := semanticMap[first]; !ok {
+		t.Fatalf("predicted semantic type %q not in vocabulary", first)
+	}
+}
+
+func TestSherlockDateDetection(t *testing.T) {
+	s := Sherlock{}
+	// The paper notes Sherlock's high precision on Datetime.
+	hits := 0
+	for i := 0; i < 10; i++ {
+		col := isoDates(60 + i)
+		col.Name = fmt.Sprintf("d%d", i)
+		if s.Infer(col) == ftype.Datetime {
+			hits++
+		}
+	}
+	if hits < 6 {
+		t.Errorf("Sherlock mapped only %d/10 date columns to Datetime", hits)
+	}
+}
+
+func TestSherlockConfusesIntegersWithCategorical(t *testing.T) {
+	// The paper's key finding: integer Numeric columns are frequently
+	// mapped to discrete-set semantic types (Credit, Class) and hence
+	// Categorical. Over many columns, a large minority must be confused.
+	s := Sherlock{}
+	cat := 0
+	total := 60
+	for i := 0; i < total; i++ {
+		col := intCol("m", 0, 90000, 200, int64(100+i))
+		col.Name = fmt.Sprintf("m%d", i)
+		if s.Infer(col) == ftype.Categorical {
+			cat++
+		}
+	}
+	frac := float64(cat) / float64(total)
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("integer->Categorical confusion rate = %.2f, want the paper's ~0.45 band", frac)
+	}
+}
+
+func TestSherlockRecognisesDistinctiveDomains(t *testing.T) {
+	s := Sherlock{}
+	hits := func(domain []string, accepted map[string]bool, name string) int {
+		n := 0
+		for i := 0; i < 20; i++ {
+			vals := make([]string, 60)
+			for j := range vals {
+				vals[j] = domain[(i+j)%len(domain)]
+			}
+			col := &data.Column{Name: fmt.Sprintf("%s%d", name, i), Values: vals}
+			if accepted[s.PredictSemantic(col)] {
+				n++
+			}
+		}
+		return n
+	}
+	countries := []string{"France", "Japan", "Brazil", "Kenya", "Canada", "Spain"}
+	if n := hits(countries, map[string]bool{"country": true}, "c"); n < 8 {
+		t.Errorf("country detection %d/20, want most", n)
+	}
+	states := []string{"California", "Texas", "Ohio", "Georgia", "Virginia"}
+	if n := hits(states, map[string]bool{"state": true}, "s"); n < 8 {
+		t.Errorf("state detection %d/20", n)
+	}
+	genders := []string{"M", "F"}
+	if n := hits(genders, map[string]bool{"gender": true, "sex": true}, "g"); n < 10 {
+		t.Errorf("gender detection %d/20", n)
+	}
+	// Abbreviations are the documented weak spot: lower, not zero-or-all.
+	codes := []string{"USA", "CAN", "MEX", "BRA", "FRA", "DEU"}
+	if n := hits(codes, map[string]bool{"country": true}, "cc"); n > 15 {
+		t.Errorf("abbreviation detection %d/20, should be weaker than full names", n)
+	}
+}

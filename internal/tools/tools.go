@@ -1,0 +1,166 @@
+// Package tools re-implements the feature type inference logic of the
+// open-source industrial tools the paper benchmarks — TFDV, Pandas,
+// TransmogrifAI and AutoGluon — plus the paper's own rule-based baseline
+// (Appendix G) and a Sherlock-style semantic type detector with the
+// Appendix-H mapping onto the 9-class vocabulary.
+//
+// Each tool is an Inferrer whose output is already mapped through the
+// paper's Figure-3 vocabulary mapping, so predictions land directly in the
+// ftype label space (or ftype.Unknown when the tool has no answer at all).
+package tools
+
+import (
+	"strings"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/stats"
+)
+
+// Inferrer is a feature type inference approach under benchmark.
+type Inferrer interface {
+	// Name returns the display name used in result tables.
+	Name() string
+	// Infer predicts the ML feature type of a raw column, or ftype.Unknown
+	// when the approach cannot produce a prediction for it.
+	Infer(col *data.Column) ftype.FeatureType
+}
+
+// CoverageSet returns the classes a tool's own vocabulary genuinely covers
+// (Figure 3 of the paper), used by the downstream suite's coverage
+// accounting (Table 4A). Catch-all mappings (e.g. Pandas object →
+// Context-Specific) do not count as coverage.
+func CoverageSet(toolName string) map[ftype.FeatureType]bool {
+	set := func(ts ...ftype.FeatureType) map[ftype.FeatureType]bool {
+		m := map[ftype.FeatureType]bool{}
+		for _, t := range ts {
+			m[t] = true
+		}
+		return m
+	}
+	switch toolName {
+	case "Pandas":
+		return set(ftype.Numeric, ftype.Datetime)
+	case "TransmogrifAI":
+		return set(ftype.Numeric, ftype.Datetime)
+	case "TFDV":
+		return set(ftype.Numeric, ftype.Categorical, ftype.Datetime, ftype.Sentence)
+	case "AutoGluon":
+		return set(ftype.Numeric, ftype.Categorical, ftype.Datetime, ftype.Sentence, ftype.NotGeneralizable)
+	default:
+		return set(ftype.BaseClasses()...)
+	}
+}
+
+// profile is the per-column evidence every rule-based tool inspects. It is
+// computed once from the whole column (tools scan full columns, unlike the
+// sample-bounded ML featurization).
+type profile struct {
+	st         stats.Stats
+	samples    []string // up to maxProbe non-missing values in column order
+	nonMissing int
+
+	castFloatAll bool // every non-missing value parses as a number
+	castIntAll   bool // every non-missing value parses as a plain integer
+
+	dateEasyFrac   float64 // ISO-style layouts only (weak parsers)
+	dateMidFrac    float64 // ISO + common slash/dash/abbreviated layouts
+	datePandasFrac float64 // everything a pandas-style parser accepts
+
+	meanWords float64
+	urlFrac   float64
+	listFrac  float64
+	enFrac    float64 // embedded-number looking values
+}
+
+const maxProbe = 60
+
+var easyLayouts = []string{
+	"2006-01-02", "2006/01/02", "2006-01-02 15:04:05", "2006-01-02T15:04:05",
+	"2006-01-02T15:04:05Z07:00",
+}
+
+var midLayouts = []string{
+	"01/02/2006", "1/2/2006", "01-02-2006", "Jan 2, 2006", "02-Jan-2006",
+	"15:04:05", "01/02/2006 15:04", "15:04",
+}
+
+var verboseLayouts = []string{
+	"January 2, 2006", "2-Jan-06", "2 January 2006", "Jan 2006", "Jan-06",
+}
+
+func parsesAny(v string, layouts []string) bool {
+	v = strings.TrimSpace(v)
+	if v == "" || len(v) > 40 || !strings.ContainsAny(v, "0123456789") {
+		return false
+	}
+	for _, l := range layouts {
+		if _, err := time.Parse(l, v); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// buildProfile computes the shared evidence for one column.
+func buildProfile(col *data.Column) profile {
+	var p profile
+	probe := make([]string, 0, maxProbe)
+	nFloat, nInt := 0, 0
+	var words float64
+	var easy, mid, pandas, urls, lists, ens int
+	for _, v := range col.Values {
+		if data.IsMissing(v) {
+			continue
+		}
+		p.nonMissing++
+		if _, ok := stats.ParseFloat(v); ok {
+			nFloat++
+			if stats.IsInt(v) {
+				nInt++
+			}
+		}
+		if len(probe) < maxProbe {
+			probe = append(probe, v)
+			words += float64(stats.CountWords(v))
+			isEasy := parsesAny(v, easyLayouts)
+			isMid := isEasy || parsesAny(v, midLayouts)
+			isPandas := isMid || parsesAny(v, verboseLayouts)
+			if isEasy {
+				easy++
+			}
+			if isMid {
+				mid++
+			}
+			if isPandas {
+				pandas++
+			}
+			if stats.IsURL(v) {
+				urls++
+			}
+			if stats.IsList(v) {
+				lists++
+			}
+			if stats.LooksEmbeddedNumber(v) {
+				ens++
+			}
+		}
+	}
+	p.samples = probe
+	p.castFloatAll = p.nonMissing > 0 && nFloat == p.nonMissing
+	p.castIntAll = p.nonMissing > 0 && nInt == p.nonMissing
+	if n := float64(len(probe)); n > 0 {
+		p.dateEasyFrac = float64(easy) / n
+		p.dateMidFrac = float64(mid) / n
+		p.datePandasFrac = float64(pandas) / n
+		p.meanWords = words / n
+		p.urlFrac = float64(urls) / n
+		p.listFrac = float64(lists) / n
+		p.enFrac = float64(ens) / n
+	}
+	// Unique and NaN percentages come from the full-column stats; the
+	// regex checks there are irrelevant here (tools use the probe counts).
+	p.st = stats.Compute(col, nil)
+	return p
+}

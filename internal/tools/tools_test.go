@@ -1,0 +1,222 @@
+package tools
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// column builders for crafted cases.
+func intCol(name string, lo, span, n int, seed int64) *data.Column {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", lo+rng.Intn(span))
+	}
+	return &data.Column{Name: name, Values: vals}
+}
+
+func strCol(name string, domain []string, n int, seed int64) *data.Column {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = domain[rng.Intn(len(domain))]
+	}
+	return &data.Column{Name: name, Values: vals}
+}
+
+func isoDates(n int) *data.Column {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("20%02d-%02d-%02d", i%20, i%12+1, i%28+1)
+	}
+	return &data.Column{Name: "date", Values: vals}
+}
+
+func verboseDates(n int) *data.Column {
+	months := []string{"January", "February", "March", "April"}
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%s %d, %d", months[i%4], i%28+1, 1990+i%30)
+	}
+	return &data.Column{Name: "start", Values: vals}
+}
+
+func sentences(n, words int) *data.Column {
+	vals := make([]string, n)
+	for i := range vals {
+		s := ""
+		for w := 0; w < words; w++ {
+			s += fmt.Sprintf("word%d ", (i+w)%50)
+		}
+		vals[i] = s
+	}
+	return &data.Column{Name: "review", Values: vals}
+}
+
+// TestIntCodedCategoricalTrap: every syntax-based tool must call an
+// integer-coded categorical column Numeric — the paper's central failure
+// mode (ZipCode in Figure 2).
+func TestIntCodedCategoricalTrap(t *testing.T) {
+	zip := intCol("zipcode", 10000, 15, 300, 1)
+	for _, tool := range []Inferrer{Pandas{}, TFDV{}, TransmogrifAI{}, AutoGluon{}} {
+		if got := tool.Infer(zip); got != ftype.Numeric {
+			t.Errorf("%s(zipcode ints) = %v, want Numeric (the documented trap)", tool.Name(), got)
+		}
+	}
+}
+
+func TestPandas(t *testing.T) {
+	p := Pandas{}
+	if got := p.Infer(intCol("x", 0, 10000, 200, 2)); got != ftype.Numeric {
+		t.Errorf("ints -> %v", got)
+	}
+	if got := p.Infer(isoDates(100)); got != ftype.Datetime {
+		t.Errorf("iso dates -> %v", got)
+	}
+	if got := p.Infer(verboseDates(100)); got != ftype.Datetime {
+		t.Errorf("verbose dates -> %v (pandas parses these)", got)
+	}
+	if got := p.Infer(strCol("s", []string{"a", "b"}, 100, 3)); got != ftype.ContextSpecific {
+		t.Errorf("object -> %v, want Context-Specific per Figure 3", got)
+	}
+	empty := &data.Column{Name: "e", Values: []string{"", "NA"}}
+	if got := p.Infer(empty); got != ftype.Unknown {
+		t.Errorf("all-missing -> %v, want Unknown", got)
+	}
+	// Bare digit dates are swallowed as integers (the BirthDate example).
+	digits := &data.Column{Name: "birthdate", Values: []string{"19980112", "20011231", "19870605"}}
+	if got := p.Infer(digits); got != ftype.Numeric {
+		t.Errorf("digit dates -> %v, want Numeric (pandas casts them)", got)
+	}
+}
+
+func TestTFDV(t *testing.T) {
+	tool := TFDV{}
+	if got := tool.Infer(isoDates(100)); got != ftype.Datetime {
+		t.Errorf("iso dates -> %v", got)
+	}
+	if got := tool.Infer(verboseDates(100)); got == ftype.Datetime {
+		t.Error("TFDV's weak parser should miss verbose dates")
+	}
+	if got := tool.Infer(sentences(50, 14)); got != ftype.Sentence {
+		t.Errorf("long text -> %v", got)
+	}
+	if got := tool.Infer(sentences(50, 4)); got != ftype.Categorical {
+		t.Errorf("short phrases -> %v, want Categorical (below word threshold)", got)
+	}
+	if got := tool.Infer(strCol("c", []string{"red", "blue"}, 100, 5)); got != ftype.Categorical {
+		t.Errorf("string cats -> %v", got)
+	}
+}
+
+func TestTransmogrifAI(t *testing.T) {
+	tool := TransmogrifAI{}
+	if got := tool.Infer(intCol("x", 0, 100, 50, 7)); got != ftype.Numeric {
+		t.Errorf("ints -> %v", got)
+	}
+	if got := tool.Infer(verboseDates(60)); got != ftype.ContextSpecific {
+		t.Errorf("verbose dates -> %v, want Text/CS (weakest date parser)", got)
+	}
+	if got := tool.Infer(strCol("s", []string{"x", "y"}, 60, 8)); got != ftype.ContextSpecific {
+		t.Errorf("strings -> %v", got)
+	}
+}
+
+func TestAutoGluon(t *testing.T) {
+	tool := AutoGluon{}
+	if got := tool.Infer(sentences(60, 4)); got != ftype.Sentence {
+		t.Errorf("AutoGluon is text-aggressive; 4-word strings -> %v", got)
+	}
+	constant := strCol("k", []string{"same"}, 80, 9)
+	if got := tool.Infer(constant); got != ftype.NotGeneralizable {
+		t.Errorf("constant column -> %v, want discarded/NG", got)
+	}
+	unique := &data.Column{Name: "u", Values: make([]string, 100)}
+	for i := range unique.Values {
+		unique.Values[i] = fmt.Sprintf("id-%06d", i)
+	}
+	if got := tool.Infer(unique); got != ftype.NotGeneralizable {
+		t.Errorf("near-unique strings -> %v, want NG", got)
+	}
+	if got := tool.Infer(strCol("c", []string{"a", "b", "c"}, 100, 10)); got != ftype.Categorical {
+		t.Errorf("string cats -> %v", got)
+	}
+}
+
+func TestRuleBaseline(t *testing.T) {
+	tool := RuleBaseline{}
+	urls := &data.Column{Name: "u", Values: []string{
+		"https://a.com/x", "https://b.org", "https://c.net/y", "https://a.com/x",
+	}}
+	if got := tool.Infer(urls); got != ftype.URL {
+		t.Errorf("urls -> %v", got)
+	}
+	lists := strCol("l", []string{"a; b; c", "x; y", "p; q; r"}, 60, 11)
+	if got := tool.Infer(lists); got != ftype.List {
+		t.Errorf("lists -> %v", got)
+	}
+	en := strCol("p", []string{"USD 45", "USD 99", "USD 12"}, 60, 12)
+	if got := tool.Infer(en); got != ftype.EmbeddedNumber {
+		t.Errorf("embedded -> %v", got)
+	}
+	// All-distinct values fall into NG before anything else (rule 2), the
+	// baseline's documented weakness on Datetime/Sentence.
+	uniqueDates := isoDates(80) // 80 distinct dates
+	if got := tool.Infer(uniqueDates); got != ftype.NotGeneralizable {
+		t.Errorf("all-distinct dates -> %v, want NG (rule order)", got)
+	}
+	smallCat := &data.Column{Name: "g", Values: []string{"1", "2", "1", "2", "3", "1"}}
+	if got := tool.Infer(smallCat); got != ftype.Categorical {
+		t.Errorf("tiny int domain -> %v", got)
+	}
+	wideInts := intCol("x", 0, 150, 400, 13) // wide-ish domain with repeats
+	if got := tool.Infer(wideInts); got != ftype.Numeric {
+		t.Errorf("wide ints -> %v", got)
+	}
+	// Fully distinct integers (a primary key) hit the all-distinct rule.
+	pk := &data.Column{Name: "id", Values: make([]string, 100)}
+	for i := range pk.Values {
+		pk.Values[i] = fmt.Sprintf("%d", i)
+	}
+	if got := tool.Infer(pk); got != ftype.NotGeneralizable {
+		t.Errorf("sequential ids -> %v, want NG", got)
+	}
+	empty := &data.Column{Name: "e", Values: []string{"", ""}}
+	if got := tool.Infer(empty); got != ftype.NotGeneralizable {
+		t.Errorf("empty -> %v", got)
+	}
+}
+
+func TestCoverageSets(t *testing.T) {
+	if CoverageSet("Pandas")[ftype.Categorical] {
+		t.Error("Pandas does not cover Categorical")
+	}
+	if !CoverageSet("TFDV")[ftype.Sentence] {
+		t.Error("TFDV covers Sentence")
+	}
+	if !CoverageSet("AutoGluon")[ftype.NotGeneralizable] {
+		t.Error("AutoGluon covers NG (discard)")
+	}
+	if !CoverageSet("OurRF")[ftype.ContextSpecific] {
+		t.Error("ML models cover the full vocabulary")
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	col := &data.Column{Name: "m", Values: []string{"1", "2", "", "x"}}
+	p := buildProfile(col)
+	if p.nonMissing != 3 {
+		t.Errorf("nonMissing = %d", p.nonMissing)
+	}
+	if p.castFloatAll {
+		t.Error("castFloatAll should be false with 'x' present")
+	}
+	p2 := buildProfile(intCol("i", 0, 5, 50, 14))
+	if !p2.castFloatAll || !p2.castIntAll {
+		t.Error("all-int column flags wrong")
+	}
+}

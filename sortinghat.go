@@ -1,0 +1,224 @@
+// Package sortinghat is a Go implementation of the SortingHat benchmark for
+// ML feature type inference ("Towards Benchmarking Feature Type Inference
+// for AutoML Platforms", SIGMOD 2021).
+//
+// The central task: given a raw column from a CSV file — its attribute name
+// and string cell values — predict its ML feature type (Numeric,
+// Categorical, Datetime, Sentence, URL, Embedded Number, List,
+// Not-Generalizable, or Context-Specific), bridging the semantic gap
+// between syntactic attribute types and how a downstream model should
+// consume the column.
+//
+// A minimal use:
+//
+//	model, err := sortinghat.TrainDefault(nil)
+//	...
+//	preds, err := model.InferCSVFile("customers.csv")
+//	for _, p := range preds {
+//		fmt.Println(p.Column, p.Type, p.Confidence)
+//	}
+//
+// The package also exposes the benchmark itself: the labeled-corpus
+// generator, the competing industrial-tool emulations, and the evaluation
+// harness live under internal/ and are driven by cmd/benchmark.
+package sortinghat
+
+import (
+	"fmt"
+	"io"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/synth"
+)
+
+// FeatureType is the ML feature type vocabulary (re-exported from ftype).
+type FeatureType = ftype.FeatureType
+
+// The nine-class label vocabulary.
+const (
+	Numeric          = ftype.Numeric
+	Categorical      = ftype.Categorical
+	Datetime         = ftype.Datetime
+	Sentence         = ftype.Sentence
+	URL              = ftype.URL
+	EmbeddedNumber   = ftype.EmbeddedNumber
+	List             = ftype.List
+	NotGeneralizable = ftype.NotGeneralizable
+	ContextSpecific  = ftype.ContextSpecific
+)
+
+// Example is one labeled training example: a raw column and its feature
+// type.
+type Example struct {
+	Name   string
+	Values []string
+	Label  FeatureType
+}
+
+// Prediction is the inference result for one column.
+type Prediction struct {
+	Column     string
+	Type       FeatureType
+	Confidence float64   // probability of the predicted class
+	Probs      []float64 // per-class probabilities, indexed by class index
+}
+
+// Options re-exports the training options of the inference pipeline.
+type Options = core.Options
+
+// ModelKind selects a model family for training.
+type ModelKind = core.ModelKind
+
+// Model families available for TrainWith.
+const (
+	LogReg       = core.LogReg
+	RBFSVM       = core.RBFSVM
+	RandomForest = core.RandomForest
+	KNN          = core.KNN
+	CNN          = core.CNN
+)
+
+// DefaultOptions returns the paper's best configuration (Random Forest on
+// descriptive stats + attribute-name bigrams).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Model is a trained feature type inference model.
+type Model struct {
+	pipe *core.Pipeline
+}
+
+// Train fits a model on labeled examples with the given options. A zero
+// Options value selects the default Random Forest configuration.
+func Train(examples []Example, opts Options) (*Model, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("sortinghat: no training examples")
+	}
+	cols := make([]data.LabeledColumn, len(examples))
+	for i, ex := range examples {
+		if !ex.Label.Valid() && ex.Label != ftype.Country && ex.Label != ftype.State {
+			return nil, fmt.Errorf("sortinghat: example %d (%q): invalid label %v", i, ex.Name, ex.Label)
+		}
+		cols[i] = data.LabeledColumn{
+			Column: data.Column{Name: ex.Name, Values: ex.Values},
+			Label:  ex.Label,
+		}
+	}
+	if opts.Model == "" {
+		opts.Model = RandomForest
+	}
+	if opts.FeatureSet == (featurize.FeatureSet{}) {
+		opts.FeatureSet = featurize.DefaultFeatureSet()
+	}
+	if opts.Model == RandomForest && opts.RFTrees == 0 {
+		opts.RFTrees, opts.RFDepth = 100, 25
+	}
+	pipe, err := core.Train(cols, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sortinghat: %w", err)
+	}
+	return &Model{pipe: pipe}, nil
+}
+
+// TrainDefault trains the default Random Forest on the built-in synthetic
+// benchmark corpus (the repository's stand-in for the paper's labeled
+// dataset). Pass nil to use the default corpus configuration, or customize
+// size and seed via cfg.
+func TrainDefault(cfg *CorpusConfig) (*Model, error) {
+	ccfg := synth.DefaultCorpusConfig()
+	if cfg != nil {
+		if cfg.N > 0 {
+			ccfg.N = cfg.N
+		}
+		if cfg.Seed != 0 {
+			ccfg.Seed = cfg.Seed
+		}
+	}
+	corpus := synth.GenerateCorpus(ccfg)
+	opts := core.DefaultOptions()
+	pipe, err := core.Train(corpus, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sortinghat: %w", err)
+	}
+	return &Model{pipe: pipe}, nil
+}
+
+// CorpusConfig customizes the built-in training corpus for TrainDefault.
+type CorpusConfig struct {
+	N    int   // number of labeled columns (default 9,921)
+	Seed int64 // generator seed
+}
+
+// InferColumn predicts the feature type of one raw column.
+func (m *Model) InferColumn(name string, values []string) Prediction {
+	col := data.Column{Name: name, Values: values}
+	t, probs := m.pipe.Predict(&col)
+	return prediction(name, t, probs)
+}
+
+// InferDataset predicts feature types for every column of a CSV stream
+// (with a header row).
+func (m *Model) InferDataset(name string, r io.Reader) ([]Prediction, error) {
+	ds, err := data.ReadCSV(name, r)
+	if err != nil {
+		return nil, fmt.Errorf("sortinghat: %w", err)
+	}
+	out := make([]Prediction, ds.NumCols())
+	for i := range ds.Columns {
+		t, probs := m.pipe.Predict(&ds.Columns[i])
+		out[i] = prediction(ds.Columns[i].Name, t, probs)
+	}
+	return out, nil
+}
+
+// InferCSVFile predicts feature types for every column of a CSV file.
+func (m *Model) InferCSVFile(path string) ([]Prediction, error) {
+	ds, err := data.ReadCSVFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sortinghat: %w", err)
+	}
+	out := make([]Prediction, ds.NumCols())
+	for i := range ds.Columns {
+		t, probs := m.pipe.Predict(&ds.Columns[i])
+		out[i] = prediction(ds.Columns[i].Name, t, probs)
+	}
+	return out, nil
+}
+
+func prediction(name string, t FeatureType, probs []float64) Prediction {
+	conf := 0.0
+	if i := t.Index(); i >= 0 && i < len(probs) {
+		conf = probs[i]
+	}
+	return Prediction{Column: name, Type: t, Confidence: conf, Probs: probs}
+}
+
+// Save serialises the model (encoding/gob).
+func (m *Model) Save(w io.Writer) error { return m.pipe.Save(w) }
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error { return m.pipe.SaveFile(path) }
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	pipe, err := core.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("sortinghat: %w", err)
+	}
+	return &Model{pipe: pipe}, nil
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	pipe, err := core.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sortinghat: %w", err)
+	}
+	return &Model{pipe: pipe}, nil
+}
+
+// SampleCount is the number of distinct values inspected per column during
+// base featurization (five, as in the paper).
+const SampleCount = featurize.SampleCount

@@ -1,0 +1,187 @@
+package sortinghat
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sortinghat/ftype"
+)
+
+// testModel trains one small shared model for the public API tests.
+var testModelCache *Model
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	if testModelCache == nil {
+		m, err := TrainDefault(&CorpusConfig{N: 1200, Seed: 7})
+		if err != nil {
+			t.Fatalf("TrainDefault: %v", err)
+		}
+		testModelCache = m
+	}
+	return testModelCache
+}
+
+func TestInferColumnObviousCases(t *testing.T) {
+	m := testModel(t)
+	cases := []struct {
+		name   string
+		values []string
+		want   FeatureType
+	}{
+		{"salary", []string{"1500.50", "2750.25", "3100.00", "990.75", "1210.40", "2215.10"}, Numeric},
+		{"gender", []string{"M", "F", "F", "M", "F", "M", "M", "F", "M", "F"}, Categorical},
+		{"hire_date", []string{"2019-04-01", "2020-08-15", "2018-01-30", "2021-11-05"}, Datetime},
+		{"homepage", []string{"https://www.example.com", "https://acme.org/a", "http://foo.net/x"}, URL},
+	}
+	for _, c := range cases {
+		p := m.InferColumn(c.name, c.values)
+		if p.Type != c.want {
+			t.Errorf("InferColumn(%s) = %v, want %v", c.name, p.Type, c.want)
+		}
+		if p.Confidence <= 0 || p.Confidence > 1 {
+			t.Errorf("%s: confidence = %f", c.name, p.Confidence)
+		}
+		if len(p.Probs) != ftype.NumBaseClasses {
+			t.Errorf("%s: probs len = %d", c.name, len(p.Probs))
+		}
+	}
+}
+
+func TestInferDataset(t *testing.T) {
+	m := testModel(t)
+	csv := "id,amount,city\n1,10.5,Springfield\n2,20.25,Riverton\n3,11.75,Springfield\n4,19.25,Riverton\n5,14.00,Salem\n"
+	preds, err := m.InferDataset("t.csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("InferDataset: %v", err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("preds = %d", len(preds))
+	}
+	if preds[1].Column != "amount" || preds[1].Type != Numeric {
+		t.Errorf("amount -> %v", preds[1].Type)
+	}
+	if _, err := m.InferDataset("bad", strings.NewReader("")); err == nil {
+		t.Error("empty CSV must error")
+	}
+}
+
+func TestInferCSVFile(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	content := "score,flag\n1.5,0\n2.5,1\n3.5,0\n4.5,1\n2.1,1\n3.3,0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.InferCSVFile(path)
+	if err != nil {
+		t.Fatalf("InferCSVFile: %v", err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("preds = %d", len(preds))
+	}
+	if _, err := m.InferCSVFile(path + ".nope"); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestTrainCustomExamplesAndSaveLoad(t *testing.T) {
+	examples := GenerateBenchmark(800, 3)
+	m, err := Train(examples, Options{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	vals := []string{"92092", "78712", "92092", "60614", "78712", "92092", "10001"}
+	a := m.InferColumn("zipcode", vals)
+	b := back.InferColumn("zipcode", vals)
+	if a.Type != b.Type {
+		t.Errorf("save/load changed prediction %v -> %v", a.Type, b.Type)
+	}
+}
+
+func TestTrainErrorsPublic(t *testing.T) {
+	if _, err := Train(nil, Options{}); err == nil {
+		t.Error("no examples must error")
+	}
+	bad := []Example{{Name: "x", Values: []string{"1"}, Label: ftype.Unknown}}
+	if _, err := Train(bad, Options{}); err == nil {
+		t.Error("invalid label must error")
+	}
+}
+
+func TestGenerateBenchmarkAndEvaluate(t *testing.T) {
+	examples := GenerateBenchmark(600, 5)
+	if len(examples) != 600 {
+		t.Fatalf("examples = %d", len(examples))
+	}
+	// Oracle scores 1.0.
+	byKey := map[string]FeatureType{}
+	keyOf := func(e Example) string {
+		k := e.Name + "|"
+		if len(e.Values) > 0 {
+			k += e.Values[0]
+		}
+		return k
+	}
+	ambiguous := map[string]bool{}
+	for _, e := range examples {
+		k := keyOf(e)
+		if prev, ok := byKey[k]; ok && prev != e.Label {
+			ambiguous[k] = true
+		}
+		byKey[k] = e.Label
+	}
+	var clean []Example
+	for _, e := range examples {
+		if !ambiguous[keyOf(e)] {
+			clean = append(clean, e)
+		}
+	}
+	oracle := Evaluate(clean, func(name string, values []string) FeatureType {
+		k := name + "|"
+		if len(values) > 0 {
+			k += values[0]
+		}
+		return byKey[k]
+	})
+	if oracle.NineClassAccuracy < 0.999 {
+		t.Errorf("oracle accuracy = %f", oracle.NineClassAccuracy)
+	}
+	// A constant guesser scores the majority-class rate, well below 0.5.
+	constant := Evaluate(examples, func(string, []string) FeatureType { return Numeric })
+	if constant.NineClassAccuracy > 0.5 {
+		t.Errorf("constant guesser accuracy = %f", constant.NineClassAccuracy)
+	}
+	if len(constant.PerClass) != ftype.NumBaseClasses {
+		t.Errorf("per-class reports = %d", len(constant.PerClass))
+	}
+}
+
+func TestEvaluateModelBeatsBaseline(t *testing.T) {
+	m := testModel(t)
+	heldOut := GenerateBenchmark(500, 31)
+	rep := EvaluateModel(heldOut, m)
+	if rep.NineClassAccuracy < 0.75 {
+		t.Errorf("model accuracy on held-out corpus = %.3f", rep.NineClassAccuracy)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Evaluate(GenerateBenchmark(200, 9), func(string, []string) FeatureType { return Numeric })
+	s := rep.String()
+	if !strings.Contains(s, "9-class accuracy") || !strings.Contains(s, "Numeric") {
+		t.Errorf("report rendering missing parts:\n%s", s)
+	}
+}
