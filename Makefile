@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is what CI runs; it must pass
+# before any change lands.
+
+GO ?= go
+
+.PHONY: build test race vet shvet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The forest trains on a goroutine pool; every change runs under the race
+# detector so scheduling hazards surface before they corrupt results.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific determinism & correctness analyzers (internal/analysis).
+# Exits non-zero on any unsuppressed finding; see README "Static analysis
+# & determinism policy" for the suppression directive.
+shvet:
+	$(GO) run ./cmd/shvet ./...
+
+check: build vet shvet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

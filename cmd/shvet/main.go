@@ -1,0 +1,151 @@
+// Command shvet runs the repository's determinism & correctness analyzer
+// suite (internal/analysis) over the module and exits non-zero when any
+// unsuppressed finding remains, so it can gate CI.
+//
+// Usage:
+//
+//	shvet [flags] [pattern ...]
+//
+// Patterns follow the go tool's shape: "./..." (the default) analyzes the
+// whole module, "./internal/experiments" one package, "./internal/..." a
+// subtree. Flags:
+//
+//	-list             print the analyzers and exit
+//	-only a,b         run only the named analyzers
+//	-show-suppressed  also print findings silenced by //shvet:ignore
+//
+// Findings print as file:line:col: [analyzer] message. Suppress one with
+// an end-of-line directive: //shvet:ignore <analyzer> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sortinghat/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("shvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = nil
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analysis.All() {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "shvet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "shvet: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "shvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintf(stderr, "shvet: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs = filterPackages(pkgs, patterns, cwd)
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "shvet: no packages match %v\n", patterns)
+		return 2
+	}
+
+	findings := analysis.Analyze(pkgs, analyzers)
+	bad := 0
+	for _, f := range findings {
+		if f.Suppressed && !*showSuppressed {
+			continue
+		}
+		rel := f
+		if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		suffix := ""
+		if f.Suppressed {
+			suffix = fmt.Sprintf(" (suppressed: %s)", f.Reason)
+		} else {
+			bad++
+		}
+		fmt.Fprintf(stdout, "%s%s\n", rel, suffix)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "shvet: %d unsuppressed finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages whose directory matches any pattern,
+// resolved relative to cwd.
+func filterPackages(pkgs []*analysis.Package, patterns []string, cwd string) []*analysis.Package {
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		subtree := false
+		if p == "..." || strings.HasSuffix(p, "/...") {
+			subtree = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+			if p == "" {
+				p = "."
+			}
+		}
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(cwd, p)
+		}
+		rules = append(rules, rule{dir: filepath.Clean(p), subtree: subtree})
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		for _, r := range rules {
+			if pkg.Dir == r.dir || (r.subtree && strings.HasPrefix(pkg.Dir+string(filepath.Separator), r.dir+string(filepath.Separator))) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}

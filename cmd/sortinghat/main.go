@@ -45,7 +45,7 @@ func cmdTrain(args []string) {
 	out := fs.String("out", "sortinghat-model.gob", "output model path")
 	n := fs.Int("n", 0, "training corpus size (default: paper-scale 9,921)")
 	seed := fs.Int64("seed", 7, "corpus seed")
-	fs.Parse(args)
+	fs.Parse(args) //shvet:ignore unchecked-err ExitOnError FlagSet exits on parse failure
 
 	fmt.Fprintf(os.Stderr, "training Random Forest on the benchmark corpus...\n")
 	model, err := sortinghat.TrainDefault(&sortinghat.CorpusConfig{N: *n, Seed: *seed})
@@ -63,7 +63,7 @@ func cmdTrain(args []string) {
 func cmdInfer(args []string) {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	modelPath := fs.String("model", "", "trained model file (optional; trains a small model when omitted)")
-	fs.Parse(args)
+	fs.Parse(args) //shvet:ignore unchecked-err ExitOnError FlagSet exits on parse failure
 	files := fs.Args()
 	if len(files) == 0 {
 		usage()

@@ -1,0 +1,165 @@
+// Package analysis implements shvet, a small static-analysis framework
+// built entirely on the standard library (go/parser, go/ast, go/types,
+// go/token). It exists because this repository's value as a benchmark
+// reproduction rests on bit-reproducible results: the analyzers are tuned
+// to the failure modes that silently break determinism or correctness in
+// numeric Go code.
+//
+// The five analyzers:
+//
+//   - global-rand: uses of top-level math/rand functions (rand.Float64,
+//     rand.Shuffle, ...) that draw from the process-global source instead
+//     of an injected, seeded *rand.Rand.
+//   - map-order: range over a map whose body appends to a slice, writes to
+//     an io.Writer, or calls a fmt print function, letting map iteration
+//     order escape into results. Collecting keys and sorting them after
+//     the loop is recognised and not flagged.
+//   - float-eq: == or != on floating-point operands outside test files.
+//     Comparisons against an exact-zero constant and self-comparisons
+//     (the x != x NaN idiom) are exempt.
+//   - unchecked-err: expression statements that discard an error result
+//     from a non-fmt call. Deferred calls, go statements, fmt.*, and the
+//     always-nil writers (strings.Builder, bytes.Buffer) are exempt;
+//     assign to _ to discard explicitly.
+//   - sync-copy: function signatures that pass or return sync.Mutex,
+//     sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond, sync.Map or
+//     sync.Pool by value (directly or embedded in a struct/array).
+//
+// Findings can be suppressed with a directive comment:
+//
+//	//shvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// An end-of-line directive suppresses findings on its own line; a
+// directive alone on a line suppresses findings on the following line.
+// The analyzer list may be "all". A reason is required.
+//
+// To add an analyzer: create a file in this package defining an
+// *Analyzer with a unique Name and a Run func that walks pass.Files and
+// calls pass.Reportf, then append it to All. Add a fixture package under
+// testdata/fixtures/<name>/ with "// want <name>" markers and it is
+// picked up by the fixture test automatically.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool   // true when a //shvet:ignore directive covers it
+	Reason     string // suppression reason, when Suppressed
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	Name string // short kebab-case identifier used in reports and directives
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+
+	analyzer string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// TypeOf returns the type of e, or nil when untyped.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// All returns the full analyzer suite in report order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerGlobalRand,
+		AnalyzerMapOrder,
+		AnalyzerFloatEq,
+		AnalyzerUncheckedErr,
+		AnalyzerSyncCopy,
+	}
+}
+
+// Analyze runs every analyzer over every package and returns all findings
+// (suppressed ones included, marked) sorted by position.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Files:    pkg.Files,
+				analyzer: a.Name,
+				findings: &out,
+			}
+			start := len(out)
+			a.Run(pass)
+			for i := start; i < len(out); i++ {
+				if reason, ok := sup.match(out[i].Pos, a.Name); ok {
+					out[i].Suppressed = true
+					out[i].Reason = reason
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// Unsuppressed filters findings down to the ones not covered by a
+// directive; these are the ones that fail CI.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	fixtureOnce     sync.Once
+	fixtureFindings []Finding
+	fixtureErr      error
+)
+
+// loadFixtures type-checks the testdata/fixtures module once per test
+// binary and runs the full suite over it.
+func loadFixtures(t *testing.T) []Finding {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("testdata", "fixtures"))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		loader, err := NewLoader(root)
+		if err != nil {
+			fixtureErr = fmt.Errorf("NewLoader: %w", err)
+			return
+		}
+		if loader.ModPath != "fixtures" {
+			fixtureErr = fmt.Errorf("fixture module path = %q, want fixtures", loader.ModPath)
+			return
+		}
+		pkgs, err := loader.Load()
+		if err != nil {
+			fixtureErr = fmt.Errorf("Load: %w", err)
+			return
+		}
+		if len(pkgs) == 0 {
+			fixtureErr = fmt.Errorf("no fixture packages loaded")
+			return
+		}
+		fixtureFindings = Analyze(pkgs, All())
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureFindings
+}
+
+// expectation is a (file, line, analyzer) triple a fixture declares with a
+// "// want <analyzer>..." end-of-line marker or a "// want-above
+// <analyzer>..." marker on the following line.
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func (e expectation) String() string {
+	return fmt.Sprintf("%s:%d: [%s]", e.file, e.line, e.analyzer)
+}
+
+func collectExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var out []expectation
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if idx := strings.Index(line, "// want-above "); idx >= 0 {
+				for _, name := range strings.Fields(line[idx+len("// want-above "):]) {
+					out = append(out, expectation{file: path, line: i, analyzer: name})
+				}
+			} else if idx := strings.Index(line, "// want "); idx >= 0 {
+				for _, name := range strings.Fields(line[idx+len("// want "):]) {
+					out = append(out, expectation{file: path, line: i + 1, analyzer: name})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFixtures asserts that, for every fixture package, the unsuppressed
+// findings match the "// want" markers exactly — every analyzer has
+// positive hits, near-misses stay silent, and suppressions hide findings.
+func TestFixtures(t *testing.T) {
+	findings := loadFixtures(t)
+
+	fixtureDir, err := filepath.Abs(filepath.Join("testdata", "fixtures"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectExpectations(t, fixtureDir)
+
+	got := map[expectation]int{}
+	for _, f := range Unsuppressed(findings) {
+		got[expectation{file: f.Pos.Filename, line: f.Pos.Line, analyzer: f.Analyzer}]++
+	}
+	for _, e := range want {
+		if got[e] == 0 {
+			t.Errorf("expected finding missing: %s", e)
+		} else {
+			got[e]--
+			if got[e] == 0 {
+				delete(got, e)
+			}
+		}
+	}
+	var extra []string
+	for e, n := range got {
+		for i := 0; i < n; i++ {
+			extra = append(extra, e.String())
+		}
+	}
+	sort.Strings(extra)
+	for _, e := range extra {
+		t.Errorf("unexpected finding: %s", e)
+	}
+}
+
+// TestEachAnalyzerFires is the explicit per-analyzer guarantee from the
+// acceptance criteria: every analyzer in the suite produces at least one
+// finding on its fixture package.
+func TestEachAnalyzerFires(t *testing.T) {
+	findings := loadFixtures(t)
+	fired := map[string]bool{}
+	for _, f := range Unsuppressed(findings) {
+		fired[f.Analyzer] = true
+	}
+	for _, a := range All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s produced no unsuppressed finding on its fixtures", a.Name)
+		}
+	}
+}
+
+// TestSuppressions asserts the directive machinery: the suppress fixture
+// carries exactly three suppressed findings, each with the reason text
+// from its directive.
+func TestSuppressions(t *testing.T) {
+	findings := loadFixtures(t)
+	var suppressed []Finding
+	for _, f := range findings {
+		if strings.Contains(f.Pos.Filename, "suppress") && f.Suppressed {
+			suppressed = append(suppressed, f)
+		}
+	}
+	if len(suppressed) != 3 {
+		t.Fatalf("suppress fixture: got %d suppressed findings, want 3:\n%v", len(suppressed), suppressed)
+	}
+	for _, f := range suppressed {
+		if !strings.HasPrefix(f.Reason, "fixture:") {
+			t.Errorf("%s: suppression reason %q does not carry the directive text", f.Pos, f.Reason)
+		}
+	}
+}
+
+// TestFindingString pins the report format CI greps for.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "float-eq", Message: "boom"}
+	f.Pos.Filename = "a/b.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "a/b.go:3:7: [float-eq] boom"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}

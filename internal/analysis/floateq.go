@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq flags == and != between floating-point operands outside
+// test files. Accumulated rounding error makes exact float equality a
+// correctness trap in numeric code; compare against a tolerance instead.
+//
+// Two idioms are exempt because they are exact by construction:
+//   - comparison against a constant zero (x == 0 after "does this feature
+//     ever fire" style guards — zero is exactly representable and these
+//     sentinels are assigned, not computed);
+//   - self-comparison (x != x), the standard NaN test.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc:  "exact ==/!= on floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Package) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+				return true
+			}
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true // x != x NaN idiom
+			}
+			pass.Reportf(bin.OpPos,
+				"%s on float operands; compare with a tolerance (math.Abs(a-b) < eps) or justify with //shvet:ignore float-eq", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	f, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	return ok && f == 0
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGlobalRand flags any use of a top-level math/rand (or
+// math/rand/v2) function that draws from the process-global source —
+// rand.Float64, rand.Intn, rand.Shuffle, rand.Perm, rand.Seed and
+// friends. The global source couples every caller to shared hidden state,
+// so two experiments in one process perturb each other's streams and a
+// fixed seed no longer pins results. Constructors that build an
+// explicitly-seeded generator (rand.New, rand.NewSource, rand.NewZipf,
+// rand.NewPCG, rand.NewChaCha8) are allowed; methods on *rand.Rand are
+// allowed.
+var AnalyzerGlobalRand = &Analyzer{
+	Name: "global-rand",
+	Doc:  "use of top-level math/rand functions instead of an injected *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods on *rand.Rand are fine
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the global math/rand source; inject a seeded *rand.Rand instead", fn.Name())
+			return true
+		})
+	}
+}

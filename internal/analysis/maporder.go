@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapOrder flags a range over a map whose body lets the (random)
+// iteration order escape: appending to a slice, writing to an io.Writer,
+// or calling a fmt print function. Each of these turns map order into
+// observable output — the exact failure mode that makes results files
+// differ between identical runs.
+//
+// The canonical fix — collect the keys, sort them, then range the sorted
+// slice — is recognised: an append inside the loop is not flagged when
+// the destination slice is passed to a sort.* or slices.Sort* call later
+// in the same function.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "map iteration order escaping into slices, writers, or printed output",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		// Examine each function body independently so "sorted later in the
+		// same function" has a well-defined scope.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	sorted := sortedTargets(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions get their own pass
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportEscapes(pass, rng, sorted)
+		return true
+	})
+}
+
+// sortedTargets collects the expression strings passed as the first
+// argument to sort.* / slices.Sort* calls anywhere in the function, with
+// the position of each call, so appends can be matched against a sort
+// that happens after the loop.
+func sortedTargets(pass *Pass, body *ast.BlockStmt) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			// sort.Strings, sort.Ints, sort.Float64s, sort.Slice, ...
+		case "slices":
+			if !strings.HasPrefix(fn.Name(), "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		key := types.ExprString(call.Args[0])
+		if prev, ok := out[key]; !ok || call.Pos() > prev {
+			out[key] = call.Pos()
+		}
+		return true
+	})
+	return out
+}
+
+func reportEscapes(pass *Pass, rng *ast.RangeStmt, sorted map[string]token.Pos) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, ...) — nondeterministic element order unless dst is
+		// sorted after the loop.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && obj.Name() == "append" {
+				dst := appendTarget(call)
+				if pos, ok := sorted[dst]; ok && pos > rng.End() {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"append inside map iteration leaks map order into %s; sort the map keys first (or sort %s after the loop)", dst, dst)
+				return true
+			}
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		// fmt print family.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.Contains(fn.Name(), "rint") {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside map iteration emits in map order; sort the keys and range the sorted slice", fn.Name())
+			return true
+		}
+		// Writes to an io.Writer (covers strings.Builder, bytes.Buffer,
+		// bufio.Writer, files, ...).
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			strings.HasPrefix(fn.Name(), "Write") && implementsWriter(sig.Recv().Type()) {
+			pass.Reportf(call.Pos(),
+				"%s to an io.Writer inside map iteration emits in map order; sort the keys first", fn.Name())
+		}
+		return true
+	})
+}
+
+// appendTarget renders the slice being grown: the assignment LHS for
+// dst = append(dst, ...), falling back to append's first argument.
+func appendTarget(call *ast.CallExpr) string {
+	return types.ExprString(call.Args[0])
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// ioWriter is the io.Writer interface, constructed once so the analyzer
+// does not depend on the inspected package importing io.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func implementsWriter(t types.Type) bool {
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriter)
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the smoke test from the issue: the analyzer suite
+// must run clean over this repository itself — zero unsuppressed findings
+// across every package, test files included. A failure here means either
+// new code introduced a determinism/correctness hazard or a suppression
+// lost its directive; fix the code or add //shvet:ignore with a reason.
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModPath != "sortinghat" {
+		t.Fatalf("module path = %q, want sortinghat", loader.ModPath)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Sanity: the loader saw the whole module, not a corner of it.
+	byPath := map[string]bool{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = true
+	}
+	for _, want := range []string{
+		"sortinghat",
+		"sortinghat/internal/analysis",
+		"sortinghat/internal/experiments",
+		"sortinghat/internal/ml/tree",
+		"sortinghat/cmd/shvet",
+	} {
+		if !byPath[want] {
+			t.Errorf("loader missed package %s", want)
+		}
+	}
+
+	findings := Analyze(pkgs, All())
+	bad := Unsuppressed(findings)
+	for _, f := range bad {
+		t.Errorf("%s", f)
+	}
+	if len(bad) > 0 {
+		t.Fatalf("shvet found %d unsuppressed finding(s) in the repository", len(bad))
+	}
+
+	// Every suppression that made it into the tree must carry a reason;
+	// the directive parser enforces this, so an empty reason here means a
+	// parser regression, not a policy violation.
+	for _, f := range findings {
+		if f.Suppressed && strings.TrimSpace(f.Reason) == "" {
+			t.Errorf("%s: suppressed without a reason", f.Pos)
+		}
+	}
+}

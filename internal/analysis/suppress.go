@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //shvet:ignore directive.
+type suppression struct {
+	analyzers []string // analyzer names, or ["all"]
+	reason    string
+}
+
+func (s suppression) covers(analyzer string) bool {
+	for _, a := range s.analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions indexes directives by filename and the line they apply to.
+type suppressions map[string]map[int][]suppression
+
+func (s suppressions) match(pos token.Position, analyzer string) (reason string, ok bool) {
+	for _, sup := range s[pos.Filename][pos.Line] {
+		if sup.covers(analyzer) {
+			return sup.reason, true
+		}
+	}
+	return "", false
+}
+
+const directive = "shvet:ignore"
+
+// collectSuppressions scans every comment in the package for
+// //shvet:ignore directives. A directive at the end of a code line applies
+// to that line; a directive alone on its line applies to the next line.
+func collectSuppressions(pkg *Package) suppressions {
+	out := suppressions{}
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Package).Filename
+		src := pkg.Src[filename]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directive) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, directive))
+				if len(fields) < 2 {
+					// Malformed: a reason is required. Leave it unmatched so
+					// the finding it meant to hide still fails the build.
+					continue
+				}
+				sup := suppression{
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				line := pos.Line
+				if standalone(src, pos) {
+					line++
+				}
+				if out[filename] == nil {
+					out[filename] = map[int][]suppression{}
+				}
+				out[filename][line] = append(out[filename][line], sup)
+			}
+		}
+	}
+	return out
+}
+
+// standalone reports whether the comment starting at pos is the first
+// non-blank content on its line.
+func standalone(src []byte, pos token.Position) bool {
+	if pos.Column == 1 {
+		return true
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}

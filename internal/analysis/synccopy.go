@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSyncCopy flags function signatures that pass or return a
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond,
+// sync.Map or sync.Pool by value — directly, or buried inside a struct or
+// array. A copied lock guards nothing: the copy and the original
+// synchronise independently, which is a silent data race. Pointers,
+// slices, maps and channels of lock-bearing types are fine.
+var AnalyzerSyncCopy = &Analyzer{
+	Name: "sync-copy",
+	Doc:  "sync primitives passed or returned by value",
+	Run:  runSyncCopy,
+}
+
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+func runSyncCopy(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var recv *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, recv = fn.Type, fn.Recv
+			case *ast.FuncLit:
+				ft = fn.Type
+			default:
+				return true
+			}
+			checkFieldList(pass, recv, "receiver")
+			checkFieldList(pass, ft.Params, "parameter")
+			checkFieldList(pass, ft.Results, "result")
+			return true
+		})
+	}
+}
+
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if name, ok := carriesLock(t, map[types.Type]bool{}); ok {
+			pass.Reportf(field.Type.Pos(),
+				"%s copies sync.%s by value; pass a pointer so both sides share one %s", kind, name, name)
+		}
+	}
+}
+
+// carriesLock reports whether copying a value of type t copies a sync
+// primitive, and which one. seen guards against recursive types.
+func carriesLock(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && syncNoCopy[u.Obj().Name()] {
+			return u.Obj().Name(), true
+		}
+		return carriesLock(u.Underlying(), seen)
+	case *types.Alias:
+		return carriesLock(types.Unalias(u), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := carriesLock(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return carriesLock(u.Elem(), seen)
+	}
+	return "", false
+}

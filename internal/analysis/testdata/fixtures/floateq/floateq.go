@@ -1,0 +1,32 @@
+// Package floateq exercises the float-eq analyzer: exact float equality
+// is a finding; zero-constant comparisons, the NaN self-compare idiom,
+// integer comparisons and test files are near-misses.
+package floateq
+
+// Bad compares computed floats exactly.
+func Bad(a, b float64) bool {
+	if a == b { // want float-eq
+		return true
+	}
+	return a != b+1 // want float-eq
+}
+
+// BadFloat32 fires on float32 too.
+func BadFloat32(a, b float32) bool {
+	return a == b // want float-eq
+}
+
+// GoodZero compares against the exactly-representable zero sentinel.
+func GoodZero(a float64) bool {
+	return a == 0 || a != 0.0
+}
+
+// GoodNaN is the standard self-comparison NaN test.
+func GoodNaN(a float64) bool {
+	return a != a
+}
+
+// GoodInt is not a float comparison at all.
+func GoodInt(a, b int) bool {
+	return a == b
+}

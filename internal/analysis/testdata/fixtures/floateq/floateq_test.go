@@ -1,0 +1,12 @@
+package floateq
+
+import "testing"
+
+// Exact float comparison in a _test.go file is exempt by design: tests
+// assert exact expected values on purpose.
+func TestExactCompareAllowed(t *testing.T) {
+	a, b := 0.5, 0.25+0.25
+	if a != b {
+		t.Fatal("expected exact equality")
+	}
+}

@@ -1,0 +1,28 @@
+// Package globalrand exercises the global-rand analyzer: top-level
+// math/rand functions are findings, constructors and *rand.Rand methods
+// are near-misses.
+package globalrand
+
+import "math/rand"
+
+func Bad(n int) {
+	_ = rand.Float64()               // want global-rand
+	_ = rand.Intn(n)                 // want global-rand
+	rand.Shuffle(n, func(i, j int) { // want global-rand
+	})
+	_ = rand.Perm(n) // want global-rand
+}
+
+// BadReference passes a global-source function as a value.
+func BadReference() func() float64 {
+	return rand.Float64 // want global-rand
+}
+
+// Good uses an explicitly seeded generator: constructors and methods on
+// *rand.Rand must not fire.
+func Good(seed int64, n int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {})
+	_ = rng.Intn(n)
+	return rng.Float64()
+}

@@ -1,0 +1,73 @@
+// Package maporder exercises the map-order analyzer: map iteration
+// leaking into appends, writers and fmt output is a finding; the
+// collect-keys-then-sort idiom and slice iteration are near-misses.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend grows a slice in map order and never sorts it.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want map-order
+	}
+	return keys
+}
+
+// BadPrint emits rows in map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want map-order
+	}
+}
+
+// BadWrite streams map entries into an io.Writer implementation.
+func BadWrite(m map[string]float64) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want map-order
+	}
+	return b.String()
+}
+
+// GoodSortedAfter is the canonical fix: collect, sort, then use.
+func GoodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSliceSortAfter sorts with sort.Slice instead of sort.Strings.
+func GoodSliceSortAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GoodAggregate reduces over a map without exposing order.
+func GoodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceRange ranges a slice, not a map.
+func GoodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

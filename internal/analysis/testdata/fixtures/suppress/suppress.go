@@ -1,0 +1,35 @@
+// Package suppress exercises //shvet:ignore handling: end-of-line and
+// standalone directives silence the named analyzer with a reason;
+// directives without a reason, or naming a different analyzer, do not.
+package suppress
+
+import "math/rand"
+
+// SuppressedEndOfLine is silenced by an end-of-line directive.
+func SuppressedEndOfLine() float64 {
+	return rand.Float64() //shvet:ignore global-rand fixture: demonstrating end-of-line suppression
+}
+
+// SuppressedStandalone is silenced by a directive on its own line.
+func SuppressedStandalone() float64 {
+	//shvet:ignore global-rand fixture: demonstrating standalone suppression
+	return rand.Float64()
+}
+
+// SuppressedAll uses the "all" analyzer list.
+func SuppressedAll(a, b float64) bool {
+	return a == b //shvet:ignore all fixture: demonstrating the all form
+}
+
+// WrongAnalyzer names an analyzer that did not fire on its line, so the
+// real finding survives.
+func WrongAnalyzer() float64 {
+	return rand.Float64() //shvet:ignore float-eq fixture: wrong analyzer, must not suppress
+	// want-above global-rand
+}
+
+// MissingReason is malformed (no reason given), so it must not suppress.
+func MissingReason() float64 {
+	return rand.Float64() //shvet:ignore global-rand
+	// want-above global-rand
+}

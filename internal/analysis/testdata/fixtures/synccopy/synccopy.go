@@ -1,0 +1,54 @@
+// Package synccopy exercises the sync-copy analyzer: sync primitives in
+// by-value signatures are findings — directly, or embedded in structs and
+// arrays; pointers and lock-free structs are near-misses.
+package synccopy
+
+import "sync"
+
+// Guarded embeds a mutex by value, so copying Guarded copies the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Plain carries no locks and may be copied freely.
+type Plain struct {
+	n int
+}
+
+func BadParam(mu sync.Mutex) { // want sync-copy
+	mu.Lock()
+}
+
+func BadStructParam(g Guarded) { // want sync-copy
+	_ = g.n
+}
+
+func BadResult() sync.WaitGroup { // want sync-copy
+	var wg sync.WaitGroup
+	return wg
+}
+
+func BadArrayParam(gs [2]Guarded) { // want sync-copy
+	_ = gs[0].n
+}
+
+func (g Guarded) BadValueReceiver() int { // want sync-copy
+	return g.n
+}
+
+func GoodPointer(mu *sync.Mutex, g *Guarded) {
+	mu.Lock()
+	defer mu.Unlock()
+	g.n++
+}
+
+func (g *Guarded) GoodPointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func GoodPlain(p Plain, gs []Guarded) int {
+	return p.n + len(gs)
+}

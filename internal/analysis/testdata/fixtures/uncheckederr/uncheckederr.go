@@ -1,0 +1,41 @@
+// Package uncheckederr exercises the unchecked-err analyzer: discarded
+// error results are findings; fmt calls, Builder/Buffer writes, explicit
+// blank assigns and defer/go statements are near-misses.
+package uncheckederr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bad drops errors from I/O calls.
+func Bad(f *os.File, p []byte) {
+	f.Close()           // want unchecked-err
+	f.Write(p)          // want unchecked-err
+	os.Remove(f.Name()) // want unchecked-err
+}
+
+// Good handles, explicitly discards, or calls exempt functions.
+func Good(f *os.File, p []byte) error {
+	fmt.Println("fmt is exempt by policy")
+	fmt.Fprintf(os.Stderr, "also exempt\n")
+	_ = f.Close() // explicit discard states intent
+
+	var sb strings.Builder
+	sb.WriteString("Builder errors are always nil")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+
+	defer f.Close() // defer is exempt by design
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodNoError calls something that cannot fail.
+func GoodNoError(xs []int) int {
+	return len(xs)
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerUncheckedErr flags expression statements that call a function
+// returning an error and silently drop it. Swallowed errors from
+// persistence, I/O and training calls turn real failures into wrong
+// numbers. Exemptions, by design:
+//
+//   - fmt.* (per policy; terminal print errors are not actionable here);
+//   - methods on strings.Builder and bytes.Buffer, whose errors are
+//     documented to always be nil;
+//   - defer and go statements (the value is intentionally fire-and-forget
+//     at that point; reviewers handle those case by case);
+//   - explicit discards: "_ = f()" states intent and is not flagged.
+var AnalyzerUncheckedErr = &Analyzer{
+	Name: "unchecked-err",
+	Doc:  "discarded error results from non-fmt calls",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call, errType) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s includes an error that is discarded; handle it or assign to _ explicitly",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+func returnsError(pass *Pass, call *ast.CallExpr, errType types.Type) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return true // builtins, conversions, func-typed variables
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}

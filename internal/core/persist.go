@@ -22,7 +22,7 @@ func (p *Pipeline) SaveFile(path string) error {
 		return fmt.Errorf("core: creating %s: %w", path, err)
 	}
 	if err := p.Save(f); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error takes precedence
 		return err
 	}
 	return f.Close()

@@ -78,7 +78,7 @@ func WriteCSVFile(path string, ds *Dataset) error {
 		return fmt.Errorf("data: creating %s: %w", path, err)
 	}
 	if err := WriteCSV(f, ds); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,52 @@
+package downstream
+
+import "testing"
+
+// The downstream benchmark is only meaningful if a fixed seed pins its
+// numbers: Section 5's lift tables compare accuracies whose differences
+// are fractions of a point, so run-to-run jitter would drown the signal.
+// Both model families must be bit-reproducible — the forest in particular,
+// because its trees are trained by a goroutine pool and any dependence on
+// scheduling order would show up here as a flaky diff.
+
+func TestEvaluateDeterministicLinear(t *testing.T) {
+	d := demoDataset()
+	a, err := Evaluate(d, d.TrueTypes, LinearModel, 7)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	b, err := Evaluate(d, d.TrueTypes, LinearModel, 7)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if a != b {
+		t.Errorf("same seed, different linear evals: %+v vs %+v", a, b)
+	}
+}
+
+func TestEvaluateDeterministicForest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	d := demoDataset()
+	a, err := Evaluate(d, d.TrueTypes, ForestModel, 7)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	b, err := Evaluate(d, d.TrueTypes, ForestModel, 7)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if a != b {
+		t.Errorf("same seed, different forest evals: %+v vs %+v", a, b)
+	}
+	// A different seed must actually change the stream (the generator is
+	// injected, not global): identical results would mean the seed is dead.
+	c, err := Evaluate(d, d.TrueTypes, ForestModel, 8)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if a == c {
+		t.Logf("note: seeds 7 and 8 produced identical evals %+v; suspicious but not impossible", a)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/ml/metrics"
+)
+
+// Report writers must be byte-stable: results_all.txt is diffed across
+// runs to confirm reproducibility, so a renderer that leaks map iteration
+// order (or breaks sort ties by it) would make identical experiments look
+// different. Rendering the same result repeatedly in one process gives
+// Go's per-range map order randomization a chance to expose any leak.
+
+const renderTrials = 20
+
+func assertStableRender(t *testing.T, name string, render func() string) {
+	t.Helper()
+	first := render()
+	for i := 1; i < renderTrials; i++ {
+		if got := render(); got != first {
+			t.Fatalf("%s: render %d differs from render 0\n--- first ---\n%s\n--- got ---\n%s",
+				name, i, first, got)
+		}
+	}
+}
+
+func TestTable3StringByteStable(t *testing.T) {
+	// Deliberately tie the counts: the regression this guards is a
+	// count-only sort comparator whose ties fell back to map order.
+	res := &Table3Result{
+		TestErrors: 9,
+		TestTotal:  100,
+		PairCounts: map[[2]ftype.FeatureType]int{
+			{ftype.Numeric, ftype.Categorical}:     2,
+			{ftype.Categorical, ftype.Numeric}:     2,
+			{ftype.Datetime, ftype.Sentence}:       2,
+			{ftype.Sentence, ftype.Datetime}:       1,
+			{ftype.URL, ftype.Sentence}:            1,
+			{ftype.List, ftype.Categorical}:        1,
+			{ftype.EmbeddedNumber, ftype.Numeric}:  0,
+			{ftype.ContextSpecific, ftype.Numeric}: 0,
+		},
+		Examples: []Table3Error{
+			{Name: "zip", SampleValue: "92093", TotalValues: 100,
+				PctDistinct: 8, PctNaNs: 0, Label: ftype.Categorical, Prediction: ftype.Numeric},
+		},
+	}
+	assertStableRender(t, "Table3Result", res.String)
+}
+
+func TestTable1StringByteStable(t *testing.T) {
+	y := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 0, 1, 2}
+	predA := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 1, 1, 0}
+	predB := []int{0, 0, 2, 2, 4, 4, 6, 6, 8, 8, 1, 2}
+	res := &Table1Result{
+		Approaches: []string{"Rule-based", "Rand Forest"},
+		Confusions: map[string]*metrics.ConfusionMatrix{
+			"Rule-based":  metrics.Confusion(y, predA, ftype.NumBaseClasses),
+			"Rand Forest": metrics.Confusion(y, predB, ftype.NumBaseClasses),
+		},
+		NineClass: map[string]float64{
+			"Rule-based":  0.75,
+			"Rand Forest": 0.75, // tied on purpose
+		},
+	}
+	assertStableRender(t, "Table1Result", res.String)
+}

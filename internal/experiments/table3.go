@@ -105,7 +105,17 @@ func (r *Table3Result) String() string {
 	for p, c := range r.PairCounts {
 		pairs = append(pairs, pc{p, c})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].count > pairs[j].count })
+	sort.Slice(pairs, func(i, j int) bool {
+		// Count descending, then pair ascending: ties must not fall back
+		// to map iteration order or the report loses byte-stability.
+		if pairs[i].count != pairs[j].count {
+			return pairs[i].count > pairs[j].count
+		}
+		if pairs[i].pair[0] != pairs[j].pair[0] {
+			return pairs[i].pair[0] < pairs[j].pair[0]
+		}
+		return pairs[i].pair[1] < pairs[j].pair[1]
+	})
 	for _, p := range pairs {
 		fmt.Fprintf(&b, "  %-18s -> %-18s %d\n", p.pair[0], p.pair[1], p.count)
 	}

@@ -103,7 +103,7 @@ func AddHashNgrams(vec []float64, s string, n int, weight float64) {
 	h := fnv.New32a()
 	for i := 0; i+n <= len(bytes); i++ {
 		h.Reset()
-		h.Write(bytes[i : i+n])
+		h.Write(bytes[i : i+n]) //shvet:ignore unchecked-err hash.Hash Write never returns an error
 		vec[h.Sum32()%uint32(len(vec))] += weight
 	}
 }
@@ -117,7 +117,7 @@ func HashWordBigrams(s string, dim int) []float64 {
 	h := fnv.New32a()
 	add := func(tok string) {
 		h.Reset()
-		h.Write([]byte(tok))
+		h.Write([]byte(tok)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
 		vec[h.Sum32()%uint32(dim)]++
 	}
 	for i, w := range words {

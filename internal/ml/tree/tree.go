@@ -3,6 +3,29 @@
 // reduction). Random Forest is the benchmark's best-performing model for
 // feature type inference and its low-bias downstream model; the
 // NumEstimator/MaxDepth hyper-parameter grid follows Appendix B.
+//
+// # Concurrency invariants
+//
+// Forest training fans out across a worker pool (see Forest.fit); the
+// code is run under the race detector in CI and relies on these
+// invariants — keep them when changing the training loop:
+//
+//   - Ownership by index: worker t'th job writes only f.Trees[t] and
+//     f.inBag[t]. Both slices are fully allocated before any goroutine
+//     starts, so workers never append, grow, or share an element.
+//   - Read-only inputs: X, yc, yf, the Params value and the seeds slice
+//     are never written after the fan-out begins.
+//   - Seed independence: every tree derives its *rand.Rand from
+//     seeds[t], which is precomputed sequentially from Forest.Seed.
+//     Results therefore depend only on the seed, never on goroutine
+//     scheduling, and a forest trained with N workers is bit-identical
+//     to one trained with 1.
+//   - Synchronisation: the jobs channel plus wg.Wait() form the only
+//     synchronisation; wg.Wait() happens-after every tree write, so the
+//     caller may read f.Trees without further locking once Fit returns.
+//
+// Prediction (PredictProba and friends) only reads the fitted trees and
+// is safe to call concurrently from many goroutines.
 package tree
 
 import (
@@ -104,7 +127,7 @@ func (b *builder) pure(idx []int) bool {
 	if b.p.Regression {
 		first := b.yf[idx[0]]
 		for _, i := range idx[1:] {
-			if b.yf[i] != first {
+			if b.yf[i] != first { //shvet:ignore float-eq purity wants bit-identical targets, not approximate ones
 				return false
 			}
 		}
@@ -187,7 +210,7 @@ func (b *builder) sweepClassification(sorted []int, f int) (bestGain, bestThr fl
 		left[b.yc[sorted[i]]]++
 		nl++
 		xi, xj := b.X[sorted[i]][f], b.X[sorted[i+1]][f]
-		if xi == xj {
+		if xi == xj { //shvet:ignore float-eq duplicate stored values define no split point; exact compare intended
 			continue
 		}
 		nr := float64(n) - nl
@@ -243,7 +266,7 @@ func (b *builder) sweepRegression(sorted []int, f int) (bestGain, bestThr float6
 		lss += v * v
 		nl++
 		xi, xj := b.X[sorted[i]][f], b.X[sorted[i+1]][f]
-		if xi == xj {
+		if xi == xj { //shvet:ignore float-eq duplicate stored values define no split point; exact compare intended
 			continue
 		}
 		nr := float64(n) - nl

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -160,6 +161,33 @@ func TestForestDeterminism(t *testing.T) {
 		for c := range pa {
 			if pa[c] != pb[c] {
 				t.Fatal("same seed must reproduce the same forest")
+			}
+		}
+	}
+}
+
+// TestForestWorkerCountInvariance pins the package's central concurrency
+// invariant (see the package comment): per-tree seeds are derived before
+// the fan-out, so the trained forest is bit-identical no matter how many
+// workers the runtime grants.
+func TestForestWorkerCountInvariance(t *testing.T) {
+	X, y := blobs(300, 3, 4)
+	serial := NewClassifier(12, 10)
+	prev := runtime.GOMAXPROCS(1)
+	err := serial.Fit(X, y, 3)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewClassifier(12, 10)
+	if err := parallel.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		pa, pb := serial.PredictProba(X[i]), parallel.PredictProba(X[i])
+		for c := range pa {
+			if pa[c] != pb[c] {
+				t.Fatalf("row %d class %d: serial %v != parallel %v", i, c, pa[c], pb[c])
 			}
 		}
 	}

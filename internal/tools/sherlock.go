@@ -226,8 +226,8 @@ func matchFrac(samples []string, set map[string]bool) float64 {
 func hash64(parts ...string) uint64 {
 	h := fnv.New64a()
 	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0})
+		h.Write([]byte(p)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+		h.Write([]byte{0}) //shvet:ignore unchecked-err hash.Hash Write never returns an error
 	}
 	return h.Sum64()
 }
