@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet shvet check bench
+.PHONY: build test race vet shvet check bench smoke
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,9 @@ check: build vet shvet test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# End-to-end serving smoke: train a small model, boot sortinghatd, probe
+# /healthz and /v1/infer (twice, to exercise the cache), check /metrics,
+# and shut down gracefully. CI runs this as its own job.
+smoke:
+	sh ./scripts/smoke.sh

@@ -12,16 +12,23 @@ package sortinghat
 // experiment pipeline behind that artifact.
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"sortinghat/ftype"
 	"sortinghat/internal/core"
+	"sortinghat/internal/data"
 	"sortinghat/internal/downstream"
 	"sortinghat/internal/experiments"
 	"sortinghat/internal/featurize"
 	"sortinghat/internal/ml/svm"
 	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/serve"
 	"sortinghat/internal/synth"
 )
 
@@ -286,6 +293,73 @@ func BenchmarkPredictColumn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rf.Infer(&cols[i%len(cols)].Column)
 	}
+}
+
+// BenchmarkServeInfer measures the serving hot path of internal/serve: a
+// 64-column batch through the worker pool, featurization included. The
+// workersN sub-benchmarks demonstrate worker-pool parallelism (featurize
+// latency should drop as workers grow on a multi-core machine); the
+// cached sub-benchmark shows the content-hash LRU skipping featurization
+// entirely; the http sub-benchmark adds JSON decode/encode on top.
+func BenchmarkServeInfer(b *testing.B) {
+	env := benchEnvironment()
+	rf, err := experiments.TrainOurRF(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := make([]data.Column, 64)
+	for i := range cols {
+		cols[i] = env.Corpus[i%len(env.Corpus)].Column
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(sizeName("workers", workers), func(b *testing.B) {
+			s := serve.New(rf, serve.Config{Workers: workers, CacheSize: -1})
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InferBatch(context.Background(), cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		s := serve.New(rf, serve.Config{Workers: 2, CacheSize: 128})
+		defer s.Close()
+		if _, err := s.InferBatch(context.Background(), cols); err != nil {
+			b.Fatal(err) // warm the cache; every timed batch hits it
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.InferBatch(context.Background(), cols); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("http", func(b *testing.B) {
+		s := serve.New(rf, serve.Config{Workers: 4, CacheSize: -1})
+		defer s.Close()
+		h := s.Handler()
+		req := serve.InferRequest{Columns: make([]serve.InferColumn, len(cols))}
+		for i, c := range cols {
+			req.Columns[i] = serve.InferColumn{Name: c.Name, Values: c.Values}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/infer", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	})
 }
 
 func sizeName(prefix string, n int) string {

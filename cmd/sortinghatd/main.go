@@ -1,0 +1,122 @@
+// Command sortinghatd serves batched feature type inference over HTTP:
+// the online form of the SortingHat task, as AutoML platforms consume it.
+//
+// Usage:
+//
+//	sortinghatd -model model.gob [-addr :8080] [-workers N] [-cache 4096] [-timeout 10s]
+//	sortinghatd -train-n 2000        # no saved model: train one at startup
+//
+// Endpoints:
+//
+//	POST /v1/infer   {"columns":[{"name":"age","values":["23","41"]}]}
+//	GET  /healthz    liveness probe with model metadata
+//	GET  /metrics    Prometheus text-format metrics
+//
+// The process drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sortinghat/internal/core"
+	"sortinghat/internal/serve"
+	"sortinghat/internal/synth"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model file (gob, from `sortinghat train`)")
+		trainN    = flag.Int("train-n", 0, "no -model: train a fresh Random Forest on an N-column corpus at startup")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "column worker pool size (default: GOMAXPROCS)")
+		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "prediction cache capacity in columns (negative disables)")
+		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline (negative disables)")
+		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per /v1/infer request")
+		drain     = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
+	)
+	flag.Parse()
+
+	pipe, err := loadPipeline(*modelPath, *trainN)
+	if err != nil {
+		log.Fatalf("sortinghatd: %v", err)
+	}
+
+	srv := serve.New(pipe, serve.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+		MaxBatch:  *maxBatch,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("sortinghatd: serving %s on %s (workers=%d cache=%d timeout=%s)",
+		pipe.Name(), *addr, *workers, *cacheSize, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sortinghatd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("sortinghatd: shutting down, draining in-flight requests (max %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sortinghatd: shutdown: %v", err)
+	}
+	srv.Close() // after Shutdown: no handler is still enqueuing columns
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("sortinghatd: serve: %v", err)
+	}
+	log.Printf("sortinghatd: stopped")
+}
+
+// loadPipeline loads a saved model, or trains a fresh default Random
+// Forest when no model file is given.
+func loadPipeline(path string, trainN int) (*core.Pipeline, error) {
+	if path != "" {
+		pipe, err := core.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return pipe, nil
+	}
+	n := trainN
+	if n <= 0 {
+		n = synth.DefaultCorpusConfig().N
+	}
+	log.Printf("sortinghatd: no -model given; training a %d-column Random Forest (use `sortinghat train` + -model to skip this)", n)
+	start := time.Now()
+	corpus := synth.GenerateCorpus(corpusConfig(n))
+	pipe, err := core.Train(corpus, core.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("training startup model: %w", err)
+	}
+	log.Printf("sortinghatd: trained in %s", time.Since(start).Round(time.Millisecond))
+	return pipe, nil
+}
+
+// corpusConfig sizes the default corpus down to n columns.
+func corpusConfig(n int) synth.CorpusConfig {
+	cfg := synth.DefaultCorpusConfig()
+	cfg.N = n
+	return cfg
+}

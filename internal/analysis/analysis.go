@@ -5,7 +5,7 @@
 // to the failure modes that silently break determinism or correctness in
 // numeric Go code.
 //
-// The five analyzers:
+// The six analyzers:
 //
 //   - global-rand: uses of top-level math/rand functions (rand.Float64,
 //     rand.Shuffle, ...) that draw from the process-global source instead
@@ -24,6 +24,10 @@
 //   - sync-copy: function signatures that pass or return sync.Mutex,
 //     sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond, sync.Map or
 //     sync.Pool by value (directly or embedded in a struct/array).
+//   - doc-comment: exported package-level identifiers without a doc
+//     comment, and packages without a package comment. Group comments,
+//     end-of-line spec comments and methods on unexported receivers are
+//     recognised; _test.go files are exempt.
 //
 // Findings can be suppressed with a directive comment:
 //
@@ -108,6 +112,7 @@ func All() []*Analyzer {
 		AnalyzerFloatEq,
 		AnalyzerUncheckedErr,
 		AnalyzerSyncCopy,
+		AnalyzerDocComment,
 	}
 }
 

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// AnalyzerDocComment flags exported package-level identifiers declared
+// without a doc comment, and packages with no package comment at all.
+// This repository's packages double as the reproduction's documentation —
+// each package comment states which paper section or table it reproduces —
+// so an undocumented export is a hole in the paper map. The godoc
+// conventions are honoured: a comment on a const/var/type group documents
+// every spec in the group, an end-of-line comment on a one-line spec
+// counts, methods on unexported receiver types are not part of the public
+// surface, and _test.go files are exempt.
+var AnalyzerDocComment = &Analyzer{
+	Name: "doc-comment",
+	Doc:  "exported identifiers or packages without a doc comment",
+	Run:  runDocComment,
+}
+
+func runDocComment(pass *Pass) {
+	checkPackageComment(pass)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Package) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+					pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // a group comment documents every spec
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								pass.Reportf(name.Pos(), "exported %s %s has no doc comment", valueKind(d), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkPackageComment reports a package whose non-test files all lack a
+// package comment. The finding lands on the package clause of the first
+// file in filename order so re-runs are deterministic.
+func checkPackageComment(pass *Pass) {
+	var nonTest []*ast.File
+	for _, file := range pass.Files {
+		if !pass.IsTestFile(file.Package) {
+			nonTest = append(nonTest, file)
+		}
+	}
+	if len(nonTest) == 0 {
+		return
+	}
+	for _, file := range nonTest {
+		if file.Doc != nil {
+			return
+		}
+	}
+	sort.Slice(nonTest, func(i, j int) bool {
+		return pass.Fset.Position(nonTest[i].Package).Filename < pass.Fset.Position(nonTest[j].Package).Filename
+	})
+	pass.Reportf(nonTest[0].Name.Pos(), "package %s has no package comment", nonTest[0].Name.Name)
+}
+
+// receiverExported reports whether a function is a plain function or a
+// method whose receiver type is exported; methods on unexported types are
+// internal even when their own name is capitalised (e.g. String() on an
+// unexported helper).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver: T[P]
+			t = x.X
+		case *ast.IndexListExpr: // generic receiver: T[P1, P2]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcKind names the declaration for the report message.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// valueKind names a GenDecl's keyword for the report message.
+func valueKind(d *ast.GenDecl) string {
+	if d.Tok.String() == "const" {
+		return "const"
+	}
+	return "var"
+}

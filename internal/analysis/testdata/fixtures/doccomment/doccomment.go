@@ -1,0 +1,69 @@
+// Package doccomment exercises the doc-comment analyzer: exported
+// package-level identifiers need doc comments; group comments, end-of-line
+// spec comments, unexported identifiers and methods on unexported
+// receivers are all fine. The undocumented type/const/var cases are spread
+// over two lines because a want marker trailing a one-line spec would
+// itself count as the spec's end-of-line comment.
+package doccomment
+
+func Bad() {} // want doc-comment
+
+// Good has a doc comment.
+func Good() {}
+
+func internal() {} // unexported: no doc required
+
+type BadType struct { // want doc-comment
+	X int
+}
+
+// GoodType has a doc comment.
+type GoodType struct{}
+
+func (GoodType) BadMethod() {} // want doc-comment
+
+// Doc returns a constant; documented methods are fine.
+func (GoodType) Doc() int { return 1 }
+
+type helper struct{}
+
+// String is exported by name, but helper is unexported: not flagged.
+func (helper) String() string { return "" }
+
+func (helper) Undoc() {} // unexported receiver: not flagged even without doc
+
+const BadConst = 10 + // want doc-comment
+	1
+
+// GoodConst is documented.
+const GoodConst = 2
+
+// A group comment documents every spec in the group.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var BadVar = 3 + // want doc-comment
+	4
+
+// GoodVar is documented.
+var GoodVar = 5
+
+var (
+	SpecDocOK = 6 // end-of-line spec comments count
+
+	BadGroupedVar = 7 + // want doc-comment
+		8
+)
+
+func Suppressed() {} //shvet:ignore doc-comment suppression works for doc findings too
+
+// use keeps the unexported helpers referenced.
+func use() {
+	internal()
+	helper{}.Undoc()
+}
+
+// init wires use in so it is itself used.
+func init() { use() }

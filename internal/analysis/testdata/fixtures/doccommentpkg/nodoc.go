@@ -1,0 +1,4 @@
+package doccommentpkg // want doc-comment
+
+// Exported is documented; only the missing package comment is flagged.
+func Exported() {}

@@ -5,6 +5,7 @@ package globalrand
 
 import "math/rand"
 
+// Bad draws from the process-global source in several forms.
 func Bad(n int) {
 	_ = rand.Float64()               // want global-rand
 	_ = rand.Intn(n)                 // want global-rand

@@ -16,39 +16,47 @@ type Plain struct {
 	n int
 }
 
+// BadParam copies a bare mutex in.
 func BadParam(mu sync.Mutex) { // want sync-copy
 	mu.Lock()
 }
 
+// BadStructParam copies a lock-bearing struct in.
 func BadStructParam(g Guarded) { // want sync-copy
 	_ = g.n
 }
 
+// BadResult copies a WaitGroup out.
 func BadResult() sync.WaitGroup { // want sync-copy
 	var wg sync.WaitGroup
 	return wg
 }
 
+// BadArrayParam copies locks buried in an array.
 func BadArrayParam(gs [2]Guarded) { // want sync-copy
 	_ = gs[0].n
 }
 
+// BadValueReceiver copies the lock through its value receiver.
 func (g Guarded) BadValueReceiver() int { // want sync-copy
 	return g.n
 }
 
+// GoodPointer shares the locks behind pointers: no findings.
 func GoodPointer(mu *sync.Mutex, g *Guarded) {
 	mu.Lock()
 	defer mu.Unlock()
 	g.n++
 }
 
+// GoodPointerReceiver shares the lock through a pointer receiver.
 func (g *Guarded) GoodPointerReceiver() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.n
 }
 
+// GoodPlain takes a lock-free struct and a slice of lock-bearers: fine.
 func GoodPlain(p Plain, gs []Guarded) int {
 	return p.n + len(gs)
 }

@@ -1,5 +1,9 @@
 // Package data provides the raw tabular data model for the benchmark:
 // columns of string cells, labeled columns, datasets, and CSV input/output.
+// It is the input layer of the paper's task setup (Section 2.1): a raw
+// column is an attribute name plus uninterpreted cell values, and a
+// labeled column adds the ground-truth feature type and source-file
+// identity used by the leave-datafile-out protocol of Table 7.
 //
 // Everything upstream of feature type inference is stringly typed on
 // purpose: the benchmark's entire premise is that files arrive as flat CSVs

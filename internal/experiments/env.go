@@ -1,8 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md section 4 for the experiment index). Each
-// experiment is a function from a shared Env (corpus + split + base
-// features) to a result struct with a formatted String method; cmd/benchmark
-// drives them.
+// evaluation (see DESIGN.md section 4 for the experiment index, and the
+// "Experiment ↔ source ↔ command" table in EXPERIMENTS.md for the
+// file-by-file mapping to paper table numbers). Each experiment is a
+// function from a shared Env (corpus + split + base features) to a result
+// struct with a formatted String method; cmd/benchmark drives them.
 package experiments
 
 import (

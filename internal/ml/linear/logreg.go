@@ -1,7 +1,9 @@
 // Package linear implements the linear models of the benchmark from
-// scratch: L2-regularized multinomial logistic regression (used both as a
-// type-inference model and as the high-bias downstream classifier) and
+// scratch: L2-regularized multinomial logistic regression (one of the five
+// Section 3.3 model families, used both as a type-inference model in
+// Tables 1/2 and as the high-bias downstream classifier of Section 5) and
 // L2-regularized (ridge) linear regression (the downstream regressor).
+// The C grid follows Appendix B.
 package linear
 
 import (

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// cacheKey is the 128-bit FNV-1a content hash of one raw column.
+type cacheKey [16]byte
+
+// columnKey hashes a column's attribute name and cell values. Every string
+// is length-prefixed so concatenations cannot collide ("ab"+"c" vs
+// "a"+"bc"), and the name is hashed first so renamed copies of the same
+// values key differently (the attribute name feeds the model's bigram
+// features, so it must be part of the identity).
+func columnKey(col *data.Column) cacheKey {
+	h := fnv.New128a()
+	var lenBuf [8]byte
+	write := func(s string) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:]) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+		h.Write([]byte(s)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+	}
+	write(col.Name)
+	for _, v := range col.Values {
+		write(v)
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// cachedPrediction is the immutable value stored per column hash. Probs is
+// shared between the cache and every response built from it and must never
+// be mutated after insertion.
+type cachedPrediction struct {
+	Type  ftype.FeatureType
+	Probs []float64
+}
+
+// predCache is a mutex-guarded LRU over column content hashes. A nil
+// *predCache is a valid always-miss cache, which is how caching is
+// disabled.
+type predCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byID map[cacheKey]*list.Element
+}
+
+// lruEntry is the list payload: the key doubles back so eviction can
+// delete from the map.
+type lruEntry struct {
+	key cacheKey
+	val cachedPrediction
+}
+
+// newPredCache returns an LRU holding up to capacity entries, or nil
+// (caching disabled) when capacity is not positive.
+func newPredCache(capacity int) *predCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &predCache{cap: capacity, ll: list.New(), byID: make(map[cacheKey]*list.Element, capacity)}
+}
+
+// get returns the cached prediction for k, promoting it to most recently
+// used on a hit.
+func (c *predCache) get(k cacheKey) (cachedPrediction, bool) {
+	if c == nil {
+		return cachedPrediction{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[k]
+	if !ok {
+		return cachedPrediction{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts (or refreshes) k, evicting the least recently used entry
+// when the cache is full.
+func (c *predCache) put(k cacheKey, v cachedPrediction) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.byID, oldest.Value.(*lruEntry).key)
+		}
+	}
+	c.byID[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+}
+
+// len reports the number of cached entries.
+func (c *predCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

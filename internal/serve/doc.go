@@ -1,0 +1,48 @@
+// Package serve turns a trained inference pipeline into the online
+// component the paper positions SortingHat as: AutoML platforms (TFDV,
+// AutoGluon, TransmogrifAI) call feature type inference per ingested table
+// on their hot path, not as an offline table generator. The server
+// therefore exposes a *batch-of-columns* API — POST /v1/infer takes every
+// column of a table at once — mirroring how platforms ingest whole CSVs
+// and amortising request overhead across a table's columns.
+//
+// The serving hot path is base featurization (descriptive statistics from
+// internal/stats plus attribute-name bigram hashing from
+// internal/featurize; Section 2.3 of the paper) followed by model
+// prediction. A Server parallelises that path across the columns of a
+// request on a bounded worker pool shared by all requests, and skips it
+// entirely for columns it has seen before via an LRU cache keyed by a
+// 128-bit content hash of the column (attribute name + cell values).
+// Caching is sound because serving uses the deterministic featurizer
+// (featurize.ExtractFirstN, the same one Pipeline.Predict uses): equal
+// column content always yields equal features, so a cached prediction is
+// bit-identical to a recomputed one.
+//
+// # Endpoints
+//
+//   - POST /v1/infer — classify a batch of raw columns; returns the
+//     9-class prediction with per-class confidences for each column.
+//   - GET /healthz — liveness/readiness probe with model metadata.
+//   - GET /metrics — Prometheus text-format counters and gauges
+//     (request/column/cache counters, batch-size and latency quantiles),
+//     built on the standard library only.
+//
+// # Concurrency invariants
+//
+// The same discipline as internal/ml/tree's training fan-out (the tree is
+// race-clean under `go test -race` and gated by cmd/shvet):
+//
+//   - Ownership by index: the worker handling column i of a request
+//     writes only results[i]; the results slice is fully allocated before
+//     any task is enqueued, and the handler reads it only after the
+//     request's WaitGroup reaches zero (or abandons it wholesale on
+//     deadline, never reading partial results).
+//   - Read-only model: workers only read the *core.Pipeline; prediction
+//     is safe for concurrent use (see the tree package invariants).
+//   - Cached values are immutable: a cachedPrediction's Probs slice is
+//     never written after insertion; readers share it.
+//   - Deadlines propagate: every per-column task carries the request
+//     context and is skipped (not cancelled mid-compute) once the
+//     deadline passes, so a timed-out request costs at most one in-flight
+//     column per worker.
+package serve

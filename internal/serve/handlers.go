@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+)
+
+// maxRequestBody bounds /v1/infer request bodies (64 MiB covers a
+// 1024-column batch of long text columns with room to spare).
+const maxRequestBody = 64 << 20
+
+// InferRequest is the JSON body of POST /v1/infer: a batch of raw
+// columns, typically every column of one ingested table.
+type InferRequest struct {
+	Columns []InferColumn `json:"columns"`
+}
+
+// InferColumn is one raw column of an inference batch.
+type InferColumn struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// InferResponse is the JSON body answering POST /v1/infer. Predictions
+// are index-aligned with the request's columns.
+type InferResponse struct {
+	Model       string            `json:"model"`
+	Predictions []InferPrediction `json:"predictions"`
+	CacheHits   int               `json:"cache_hits"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+}
+
+// InferPrediction is the inference result for one column.
+type InferPrediction struct {
+	Name       string             `json:"name"`
+	Type       string             `json:"type"`
+	Confidence float64            `json:"confidence"`
+	Probs      map[string]float64 `json:"probs"`
+	CacheHit   bool               `json:"cache_hit"`
+}
+
+// HealthResponse is the JSON body answering GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Model         string  `json:"model"`
+	Classes       int     `json:"classes"`
+	Workers       int     `json:"workers"`
+	CacheEntries  int     `json:"cache_entries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API: POST /v1/infer, GET /healthz,
+// GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON marshals v with the given status. Encoding errors past the
+// header cannot be reported to the client; they surface as a truncated
+// body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError answers with a JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// handleInfer decodes a batch, runs it through the worker pool, and
+// answers with per-column predictions.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	start := time.Now()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	defer s.met.requests.Add(1)
+
+	var req InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		s.met.requestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if len(req.Columns) == 0 {
+		s.met.requestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "empty batch: provide at least one column")
+		return
+	}
+	if len(req.Columns) > s.cfg.MaxBatch {
+		s.met.requestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "batch too large: max "+strconv.Itoa(s.cfg.MaxBatch)+" columns")
+		return
+	}
+
+	cols := make([]data.Column, len(req.Columns))
+	for i, c := range req.Columns {
+		cols[i] = data.Column{Name: c.Name, Values: c.Values}
+	}
+	s.met.columns.Add(int64(len(cols)))
+	s.met.batchSize.observe(float64(len(cols)))
+
+	results, err := s.InferBatch(r.Context(), cols)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.requestTimeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status code is never seen.
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		case errors.Is(err, ErrServerClosed):
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			s.met.requestErrors.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+
+	resp := InferResponse{
+		Model:       s.pipe.Name(),
+		Predictions: make([]InferPrediction, len(results)),
+	}
+	for i, res := range results {
+		if res.CacheHit {
+			resp.CacheHits++
+		}
+		resp.Predictions[i] = InferPrediction{
+			Name:       res.Name,
+			Type:       res.Type.String(),
+			Confidence: res.Confidence,
+			Probs:      probsByClass(res.Probs),
+			CacheHit:   res.CacheHit,
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.met.request.observeSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// probsByClass labels a class-indexed probability vector with the paper's
+// class names. encoding/json emits map keys in sorted order, so the wire
+// form is deterministic.
+func probsByClass(probs []float64) map[string]float64 {
+	out := make(map[string]float64, len(probs))
+	for i, p := range probs {
+		out[ftype.FeatureType(i).String()] = p
+	}
+	return out
+}
+
+// handleHealthz answers liveness probes with model metadata.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Model:         s.pipe.Name(),
+		Classes:       s.pipe.Opts.Classes,
+		Workers:       s.cfg.Workers,
+		CacheEntries:  s.cache.len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics answers Prometheus scrapes in text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}

@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sortinghat/internal/core"
+	"sortinghat/internal/data"
+	"sortinghat/internal/synth"
+)
+
+// testPipeline trains one small Random Forest per test binary; every test
+// shares it read-only (prediction is concurrency-safe).
+var (
+	pipeOnce sync.Once
+	pipe     *core.Pipeline
+	pipeErr  error
+)
+
+func testModel(t testing.TB) *core.Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		cfg := synth.DefaultCorpusConfig()
+		cfg.N = 400
+		opts := core.DefaultOptions()
+		opts.RFTrees, opts.RFDepth = 10, 15
+		pipe, pipeErr = core.Train(synth.GenerateCorpus(cfg), opts)
+	})
+	if pipeErr != nil {
+		t.Fatalf("training test model: %v", pipeErr)
+	}
+	return pipe
+}
+
+// testBatch builds an n-column batch of deterministic synthetic columns.
+func testBatch(n int) InferRequest {
+	req := InferRequest{Columns: make([]InferColumn, n)}
+	for i := range req.Columns {
+		vals := make([]string, 48)
+		for j := range vals {
+			switch i % 3 {
+			case 0:
+				vals[j] = fmt.Sprintf("%d.%02d", j*7+i, j%100) // numeric-ish
+			case 1:
+				vals[j] = fmt.Sprintf("cat_%d", j%5) // categorical-ish
+			default:
+				vals[j] = fmt.Sprintf("2021-0%d-1%d", j%9+1, j%9) // datetime-ish
+			}
+		}
+		req.Columns[i] = InferColumn{Name: fmt.Sprintf("col_%d", i), Values: vals}
+	}
+	return req
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s := New(testModel(t), cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postInfer(t *testing.T, h http.Handler, req InferRequest) (*httptest.ResponseRecorder, InferResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/infer", bytes.NewReader(body)))
+	var resp InferResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding response: %v\nbody: %s", err, rec.Body.Bytes())
+		}
+	}
+	return rec, resp
+}
+
+// TestInfer64ColumnBatch serves a full 64-column table end-to-end and
+// checks the response shape: aligned names, valid types, probabilities
+// that sum to ~1 with the confidence matching the argmax entry.
+func TestInfer64ColumnBatch(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4})
+	rec, resp := postInfer(t, s.Handler(), testBatch(64))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.Bytes())
+	}
+	if len(resp.Predictions) != 64 {
+		t.Fatalf("got %d predictions, want 64", len(resp.Predictions))
+	}
+	if resp.Model != "OurRF" {
+		t.Errorf("model = %q, want OurRF", resp.Model)
+	}
+	for i, p := range resp.Predictions {
+		if want := fmt.Sprintf("col_%d", i); p.Name != want {
+			t.Fatalf("prediction %d: name %q, want %q (results must stay index-aligned)", i, p.Name, want)
+		}
+		if len(p.Probs) == 0 {
+			t.Fatalf("prediction %d: empty probs", i)
+		}
+		sum, best := 0.0, 0.0
+		for _, v := range p.Probs {
+			sum += v
+			if v > best {
+				best = v
+			}
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("prediction %d: probs sum to %g, want ~1", i, sum)
+		}
+		if diff := p.Confidence - best; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("prediction %d: confidence %g != max prob %g", i, p.Confidence, best)
+		}
+		if _, ok := p.Probs[p.Type]; !ok {
+			t.Errorf("prediction %d: predicted type %q missing from probs", i, p.Type)
+		}
+	}
+}
+
+// TestInferMatchesPipeline pins the serving path to the library path: the
+// server must return exactly what Pipeline.Predict returns for the same
+// columns, cache on or off.
+func TestInferMatchesPipeline(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 3})
+	req := testBatch(12)
+	for pass := 0; pass < 2; pass++ { // second pass answers from cache
+		_, resp := postInfer(t, s.Handler(), req)
+		for i, c := range req.Columns {
+			col := data.Column{Name: c.Name, Values: c.Values}
+			wantType, _ := testModel(t).Predict(&col)
+			if resp.Predictions[i].Type != wantType.String() {
+				t.Errorf("pass %d, col %d: served %q, pipeline says %q",
+					pass, i, resp.Predictions[i].Type, wantType)
+			}
+		}
+	}
+}
+
+// TestCacheHitRate repeats one batch and requires the second pass to be
+// answered from the cache, with /metrics reflecting the hits.
+func TestCacheHitRate(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, CacheSize: 256})
+	h := s.Handler()
+	req := testBatch(20)
+
+	_, first := postInfer(t, h, req)
+	if first.CacheHits != 0 {
+		t.Fatalf("first pass: %d cache hits, want 0", first.CacheHits)
+	}
+	_, second := postInfer(t, h, req)
+	if second.CacheHits != 20 {
+		t.Fatalf("second pass: %d cache hits, want 20", second.CacheHits)
+	}
+	for i, p := range second.Predictions {
+		if !p.CacheHit {
+			t.Errorf("second pass, col %d: cache_hit = false", i)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "sortinghatd_cache_hits_total 20\n") {
+		t.Errorf("/metrics: want sortinghatd_cache_hits_total 20, got:\n%s", grepMetric(body, "sortinghatd_cache"))
+	}
+	if !strings.Contains(body, "sortinghatd_cache_misses_total 20\n") {
+		t.Errorf("/metrics: want sortinghatd_cache_misses_total 20, got:\n%s", grepMetric(body, "sortinghatd_cache"))
+	}
+	if !strings.Contains(body, "sortinghatd_cache_entries 20\n") {
+		t.Errorf("/metrics: want sortinghatd_cache_entries 20, got:\n%s", grepMetric(body, "sortinghatd_cache"))
+	}
+}
+
+// grepMetric filters metrics output to lines containing substr, for
+// readable failures.
+func grepMetric(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestCacheDisabled verifies CacheSize<0 turns caching off entirely.
+func TestCacheDisabled(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, CacheSize: -1})
+	h := s.Handler()
+	req := testBatch(4)
+	postInfer(t, h, req)
+	_, second := postInfer(t, h, req)
+	if second.CacheHits != 0 {
+		t.Fatalf("cache disabled but second pass had %d hits", second.CacheHits)
+	}
+}
+
+// TestCacheKeyDistinguishesNameAndContent guards the cache identity: same
+// values under a different attribute name, or a value boundary shift,
+// must not collide.
+func TestCacheKeyDistinguishesNameAndContent(t *testing.T) {
+	a := data.Column{Name: "age", Values: []string{"ab", "c"}}
+	b := data.Column{Name: "age2", Values: []string{"ab", "c"}}
+	c := data.Column{Name: "age", Values: []string{"a", "bc"}}
+	ka, kb, kc := columnKey(&a), columnKey(&b), columnKey(&c)
+	if ka == kb {
+		t.Error("columns differing only by name share a cache key")
+	}
+	if ka == kc {
+		t.Error("columns differing by value boundaries share a cache key")
+	}
+	if ka != columnKey(&data.Column{Name: "age", Values: []string{"ab", "c"}}) {
+		t.Error("identical columns hash differently")
+	}
+}
+
+// TestLRUEviction fills the cache past capacity and checks the oldest
+// entry is evicted while recently used ones survive.
+func TestLRUEviction(t *testing.T) {
+	c := newPredCache(2)
+	k := func(name string) cacheKey { return columnKey(&data.Column{Name: name}) }
+	c.put(k("a"), cachedPrediction{})
+	c.put(k("b"), cachedPrediction{})
+	if _, ok := c.get(k("a")); !ok { // promote a; b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.put(k("c"), cachedPrediction{})
+	if _, ok := c.get(k("b")); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.get(k("a")); !ok {
+		t.Error("a was promoted by get but still evicted")
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d, want 2", got)
+	}
+}
+
+// TestDeadlineExceeded slows the hot path past a tiny request deadline
+// and requires a 504 plus a timeout counter increment.
+func TestDeadlineExceeded(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Timeout: 30 * time.Millisecond, CacheSize: -1})
+	s.featurizeHook = func() { time.Sleep(25 * time.Millisecond) }
+	h := s.Handler()
+
+	rec, _ := postInfer(t, h, testBatch(8)) // 8 columns × 25ms on 1 worker ≫ 30ms
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", rec.Code, rec.Body.Bytes())
+	}
+
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), "sortinghatd_request_timeouts_total 1\n") {
+		t.Errorf("timeout not counted:\n%s", grepMetric(mrec.Body.String(), "timeouts"))
+	}
+}
+
+// TestInferBatchContextCancel covers caller-side cancellation of the
+// library entry point.
+func TestInferBatchContextCancel(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Timeout: -1, CacheSize: -1})
+	s.featurizeHook = func() { time.Sleep(10 * time.Millisecond) }
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	cols := make([]data.Column, 64)
+	for i := range cols {
+		cols[i] = data.Column{Name: fmt.Sprintf("c%d", i), Values: []string{"1", "2"}}
+	}
+	if _, err := s.InferBatch(ctx, cols); err == nil {
+		t.Fatal("InferBatch returned nil error after cancel")
+	}
+}
+
+// TestShutdownDrainsInflight starts a slow request against a real HTTP
+// server, shuts the server down mid-request, and requires the request to
+// complete successfully — Shutdown must drain, not drop.
+func TestShutdownDrainsInflight(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, Timeout: 10 * time.Second, CacheSize: -1})
+	started := make(chan struct{})
+	var once sync.Once
+	s.featurizeHook = func() {
+		once.Do(func() { close(started) })
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	httpSrv := httptest.NewServer(s.Handler())
+	defer httpSrv.Close()
+
+	type result struct {
+		status int
+		preds  int
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		body, err := json.Marshal(testBatch(8))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resp, err := http.Post(httpSrv.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		var ir InferResponse
+		if err := json.Unmarshal(raw, &ir); err != nil {
+			resc <- result{status: resp.StatusCode, err: fmt.Errorf("decoding %q: %w", raw, err)}
+			return
+		}
+		resc <- result{status: resp.StatusCode, preds: len(ir.Predictions)}
+	}()
+
+	<-started // the request is in flight
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Config.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown did not drain the in-flight request: %v", err)
+	}
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.preds != 8 {
+		t.Fatalf("in-flight request: status %d with %d predictions, want 200 with 8", res.status, res.preds)
+	}
+
+	// After Close, late batches are refused instead of deadlocking.
+	s.Close()
+	if _, err := s.InferBatch(context.Background(), []data.Column{{Name: "x", Values: []string{"1"}}}); err != ErrServerClosed {
+		t.Fatalf("post-Close InferBatch error = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestHealthz checks the probe payload.
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 3})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Model != "OurRF" || h.Classes != 9 || h.Workers != 3 {
+		t.Errorf("unexpected health payload: %+v", h)
+	}
+}
+
+// TestBadRequests table-drives the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxBatch: 4})
+	h := s.Handler()
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"infer GET", http.MethodGet, "/v1/infer", "", http.StatusMethodNotAllowed},
+		{"healthz POST", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{"metrics POST", http.MethodPost, "/metrics", "", http.StatusMethodNotAllowed},
+		{"bad json", http.MethodPost, "/v1/infer", "{nope", http.StatusBadRequest},
+		{"empty batch", http.MethodPost, "/v1/infer", `{"columns":[]}`, http.StatusBadRequest},
+		{"oversized batch", http.MethodPost, "/v1/infer",
+			`{"columns":[{"name":"a"},{"name":"b"},{"name":"c"},{"name":"d"},{"name":"e"}]}`,
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body)))
+			if rec.Code != tc.want {
+				t.Errorf("status = %d, want %d (body %s)", rec.Code, tc.want, rec.Body.Bytes())
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Errorf("error responses must carry a JSON error body, got %q", rec.Body.Bytes())
+			}
+		})
+	}
+}
+
+// TestConcurrentBatchesDeterministic hammers one server from many
+// goroutines with overlapping batches and requires every response to
+// agree with the sequential pipeline — the worker pool must not leak
+// state across requests.
+func TestConcurrentBatchesDeterministic(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, CacheSize: 64})
+	h := s.Handler()
+	req := testBatch(16)
+	want := make([]string, len(req.Columns))
+	for i, c := range req.Columns {
+		col := data.Column{Name: c.Name, Values: c.Values}
+		typ, _ := testModel(t).Predict(&col)
+		want[i] = typ.String()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := json.Marshal(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/infer", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.Bytes())
+				return
+			}
+			var resp InferResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				errs <- err
+				return
+			}
+			for i, p := range resp.Predictions {
+				if p.Type != want[i] {
+					errs <- fmt.Errorf("col %d: got %q want %q", i, p.Type, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

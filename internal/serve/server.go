@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/core"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults; negative
+// values disable the corresponding feature where documented.
+type Config struct {
+	// Workers is the size of the column worker pool shared by all
+	// requests. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize is the LRU capacity in columns. 0 means DefaultCacheSize;
+	// negative disables caching entirely.
+	CacheSize int
+	// Timeout is the per-request deadline applied on top of whatever
+	// deadline the caller's context already carries. 0 means
+	// DefaultTimeout; negative disables the server-side deadline.
+	Timeout time.Duration
+	// MaxBatch caps the number of columns per request. 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultCacheSize = 4096
+	DefaultTimeout   = 10 * time.Second
+	DefaultMaxBatch  = 1024
+)
+
+// normalized fills in the documented defaults.
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.Timeout == 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	return c
+}
+
+// Server serves batched feature type inference over a trained pipeline.
+// Create one with New and release its worker pool with Close. All methods
+// are safe for concurrent use.
+type Server struct {
+	pipe  *core.Pipeline
+	cfg   Config
+	cache *predCache
+	met   metrics
+	start time.Time
+
+	tasks    chan task
+	workerWG sync.WaitGroup
+
+	// closeMu guards closed: enqueue holds it shared so Close cannot
+	// close(tasks) between the closed check and the channel send.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// featurizeHook, when non-nil, runs before each column's
+	// featurization. Tests use it to make the hot path observably slow.
+	featurizeHook func()
+}
+
+// task is one column of one request, processed by the worker pool.
+type task struct {
+	ctx  context.Context
+	col  *data.Column
+	out  *Result
+	done *sync.WaitGroup
+}
+
+// Result is the prediction for one column of a batch.
+type Result struct {
+	Name       string
+	Type       ftype.FeatureType
+	Confidence float64
+	Probs      []float64 // per-class probabilities, indexed by class index; read-only
+	CacheHit   bool
+}
+
+// New starts a Server over a trained pipeline. The worker pool spins up
+// immediately; call Close when done.
+func New(pipe *core.Pipeline, cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		pipe:  pipe,
+		cfg:   cfg,
+		cache: newPredCache(cfg.CacheSize),
+		start: time.Now(),
+		tasks: make(chan task, 2*cfg.Workers),
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool and waits for in-flight column tasks to
+// finish. Shut the HTTP server down first (http.Server.Shutdown) so no
+// request is still enqueuing; InferBatch returns ErrServerClosed for
+// batches that arrive later.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.closeMu.Unlock()
+	if already {
+		return
+	}
+	close(s.tasks)
+	s.workerWG.Wait()
+}
+
+// ErrServerClosed is returned by InferBatch after Close.
+var ErrServerClosed = fmt.Errorf("serve: server closed")
+
+// worker processes column tasks until the task channel is closed.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.tasks {
+		s.process(t)
+	}
+}
+
+// process runs the per-column hot path: cache lookup, base featurization,
+// model prediction, cache fill. It writes only *t.out (ownership by
+// index; see the package comment) and always releases t.done.
+func (s *Server) process(t task) {
+	defer t.done.Done()
+	if t.ctx.Err() != nil {
+		return // request already abandoned; don't burn the pool on it
+	}
+	t.out.Name = t.col.Name
+
+	key := columnKey(t.col)
+	if hit, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		t.out.Type = hit.Type
+		t.out.Probs = hit.Probs
+		t.out.Confidence = confidenceOf(hit.Type, hit.Probs)
+		t.out.CacheHit = true
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	if s.featurizeHook != nil {
+		s.featurizeHook()
+	}
+	fStart := time.Now()
+	base := featurize.ExtractFirstN(t.col, featurize.SampleCount)
+	s.met.featurize.observeSince(fStart)
+
+	pStart := time.Now()
+	typ, probs := s.pipe.PredictBase(&base)
+	s.met.predict.observeSince(pStart)
+
+	s.cache.put(key, cachedPrediction{Type: typ, Probs: probs})
+	t.out.Type = typ
+	t.out.Probs = probs
+	t.out.Confidence = confidenceOf(typ, probs)
+}
+
+// confidenceOf picks the predicted class's probability out of probs.
+func confidenceOf(t ftype.FeatureType, probs []float64) float64 {
+	if i := t.Index(); i >= 0 && i < len(probs) {
+		return probs[i]
+	}
+	return 0
+}
+
+// InferBatch classifies a batch of raw columns, fanning featurization and
+// prediction out across the worker pool. Results are index-aligned with
+// cols. It returns ctx.Err() (or context.DeadlineExceeded from the
+// server-side timeout) when the deadline expires before the batch
+// completes, and ErrServerClosed after Close.
+func (s *Server) InferBatch(ctx context.Context, cols []data.Column) ([]Result, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	if len(cols) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d columns exceeds limit %d", len(cols), s.cfg.MaxBatch)
+	}
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	results := make([]Result, len(cols))
+	var pending sync.WaitGroup
+	for i := range cols {
+		pending.Add(1)
+		if err := s.enqueue(task{ctx: ctx, col: &cols[i], out: &results[i], done: &pending}); err != nil {
+			pending.Done()
+			// Tasks already queued keep their slots in results; nobody
+			// reads the slice after an error return, so abandoning it is
+			// safe (workers hold the only remaining references).
+			return nil, err
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { pending.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		// The batch finished but the deadline passed meanwhile; report
+		// the timeout rather than hand back results the caller will
+		// treat as on-time.
+		return nil, err
+	}
+	return results, nil
+}
+
+// enqueue submits one task, failing fast when the server is closed or the
+// request deadline expires while the queue is full.
+func (s *Server) enqueue(t task) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	select {
+	case s.tasks <- t:
+		return nil
+	case <-t.ctx.Done():
+		return t.ctx.Err()
+	}
+}

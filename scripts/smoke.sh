@@ -1,0 +1,74 @@
+#!/bin/sh
+# Serving smoke test: train a small model, boot sortinghatd against it,
+# probe /healthz, run the same /v1/infer batch twice, and require /metrics
+# to show the second batch answered from the cache. `make smoke` runs this
+# locally; CI runs it as the smoke job. POSIX sh + curl only.
+set -eu
+
+GO=${GO:-go}
+PORT=${SMOKE_PORT:-8099}
+DIR=$(mktemp -d)
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: training a small model..."
+$GO run ./cmd/sortinghat train -out "$DIR/model.gob" -n 600 -seed 7
+
+echo "smoke: building sortinghatd..."
+$GO build -o "$DIR/sortinghatd" ./cmd/sortinghatd
+
+echo "smoke: starting sortinghatd on :$PORT..."
+"$DIR/sortinghatd" -model "$DIR/model.gob" -addr "127.0.0.1:$PORT" &
+PID=$!
+
+BASE="http://127.0.0.1:$PORT"
+i=0
+until curl -fsS "$BASE/healthz" >"$DIR/healthz.json" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: FAIL - /healthz never came up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "smoke: healthz: $(cat "$DIR/healthz.json")"
+grep -q '"status":"ok"' "$DIR/healthz.json"
+grep -q '"model":"OurRF"' "$DIR/healthz.json"
+
+BATCH='{"columns":[
+  {"name":"zipcode","values":["92093","92037","92122","92093"]},
+  {"name":"salary","values":["51000","62500","48200","70100"]},
+  {"name":"hire_date","values":["2019-03-01","2020-11-15","2018-07-09","2021-01-30"]},
+  {"name":"homepage","values":["https://a.example.com","https://b.example.org","https://c.example.net","https://d.example.io"]}
+]}'
+
+echo "smoke: first /v1/infer batch..."
+curl -fsS -X POST "$BASE/v1/infer" -d "$BATCH" >"$DIR/infer1.json"
+echo "smoke: infer: $(cat "$DIR/infer1.json")"
+grep -q '"predictions"' "$DIR/infer1.json"
+grep -q '"zipcode"' "$DIR/infer1.json"
+grep -q '"cache_hits":0' "$DIR/infer1.json"
+
+echo "smoke: repeated batch must hit the cache..."
+curl -fsS -X POST "$BASE/v1/infer" -d "$BATCH" >"$DIR/infer2.json"
+grep -q '"cache_hits":4' "$DIR/infer2.json"
+
+curl -fsS "$BASE/metrics" >"$DIR/metrics.txt"
+grep -q '^sortinghatd_requests_total 2$' "$DIR/metrics.txt"
+grep -q '^sortinghatd_cache_hits_total 4$' "$DIR/metrics.txt"
+grep -q '^sortinghatd_columns_total 8$' "$DIR/metrics.txt"
+
+echo "smoke: graceful shutdown..."
+kill "$PID"
+wait "$PID"
+PID=""
+
+echo "smoke: OK"
