@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet shvet check bench smoke
+.PHONY: build test race vet shvet check bench smoke profile
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ check: build vet shvet test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# CPU and heap profiles of the serving hot path: runs BenchmarkServeInfer
+# with the profiler on, writing into ./profiles/ (gitignored). Inspect
+# with `go tool pprof profiles/cpu.out` (or mem.out); for a live process
+# use `sortinghatd -pprof` and go tool pprof's HTTP mode instead.
+profile:
+	mkdir -p profiles
+	$(GO) test -bench=BenchmarkServeInfer -run=^$$ \
+		-cpuprofile=profiles/cpu.out -memprofile=profiles/mem.out \
+		-o profiles/bench.test .
 
 # End-to-end serving smoke: train a small model, boot sortinghatd, probe
 # /healthz and /v1/infer (twice, to exercise the cache), check /metrics,

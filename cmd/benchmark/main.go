@@ -6,13 +6,20 @@
 //	benchmark -run table1         # one experiment
 //	benchmark -run table1 -full   # paper-scale corpus (9,921 columns)
 //	benchmark -list               # list available experiments
+//	benchmark -run all -trace-out bench.jsonl   # phase timings as JSONL traces
 //
 // Experiment ids follow the paper: table1, table2 (incl. table9), table3,
 // table7, table11, table12, table15, table18, downstream (tables 4, 5 and
 // figure 8), figure7, figure9 (incl. table16).
+//
+// With -trace-out, each experiment writes one JSONL line: a span tree
+// rooted at the experiment id (the same ids as -list), with the shared
+// environment setup under an "env" root. See EXPERIMENTS.md for the span
+// name vocabulary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +27,7 @@ import (
 	"time"
 
 	"sortinghat/internal/experiments"
+	"sortinghat/internal/obs"
 )
 
 type runner func(env *experiments.Env) (fmt.Stringer, error)
@@ -53,6 +61,7 @@ func main() {
 	corpusN := flag.Int("n", 0, "override corpus size")
 	seed := flag.Int64("seed", 7, "master random seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	traceOut := flag.String("trace-out", "", "write per-experiment phase traces as JSONL to this file")
 	flag.Parse()
 
 	if *list {
@@ -95,20 +104,53 @@ func main() {
 		ids = []string{*run}
 	}
 
+	// With -trace-out, the environment setup and every experiment become
+	// root spans written as one JSONL line each. A nil tracer keeps every
+	// span call below a no-op.
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		tracer = obs.NewTracer(len(ids) + 1)
+		tracer.SetSink(f)
+	}
+
 	fmt.Printf("# SortingHat benchmark — corpus=%d seed=%d trees=%d\n\n", cfg.CorpusN, cfg.Seed, cfg.RFTrees)
 	start := time.Now()
-	env := experiments.NewEnv(cfg)
+	envCtx, envSpan := tracer.Start(context.Background(), "env")
+	env := experiments.NewEnvCtx(envCtx, cfg)
+	envSpan.End()
 	fmt.Printf("(corpus + base featurization: %.1fs)\n\n", time.Since(start).Seconds())
 
 	for _, id := range ids {
 		fmt.Printf("==================== %s ====================\n", id)
 		t0 := time.Now()
+		ctx, span := tracer.Start(context.Background(), id)
+		env.Ctx = ctx
 		res, err := registry[id](env)
+		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(t0).Seconds())
+	}
+
+	if tracer != nil {
+		if err := tracer.SinkErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: writing traces: %v\n", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark: closing trace file: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(traces written to %s)\n", *traceOut)
 	}
 }

@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	sortinghat train -out model.gob [-n 9921] [-seed 7]
+//	sortinghat train -out model.gob [-n 9921] [-seed 7] [-trace-out train.jsonl]
 //	sortinghat infer -model model.gob file.csv [file2.csv ...]
 //	sortinghat infer file.csv            # trains a small model on the fly
 //
 // The infer subcommand prints one line per column: name, inferred feature
-// type, and confidence.
+// type, and confidence. With -trace-out, train writes its phase timings
+// (corpus, featurize, fit, save) as one JSONL span tree for offline
+// analysis — the same trace format sortinghatd serves at /debug/traces.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"sortinghat"
+	"sortinghat/internal/core"
+	"sortinghat/internal/obs"
+	"sortinghat/internal/synth"
 )
 
 func main() {
@@ -36,8 +43,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sortinghat train -out model.gob [-n N] [-seed S]")
+	fmt.Fprintln(os.Stderr, "usage: sortinghat train -out model.gob [-n N] [-seed S] [-trace-out T.jsonl]")
 	fmt.Fprintln(os.Stderr, "       sortinghat infer [-model model.gob] file.csv ...")
+}
+
+// fatal prints err and exits.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sortinghat: %v\n", err)
+	os.Exit(1)
 }
 
 func cmdTrain(args []string) {
@@ -45,17 +58,62 @@ func cmdTrain(args []string) {
 	out := fs.String("out", "sortinghat-model.gob", "output model path")
 	n := fs.Int("n", 0, "training corpus size (default: paper-scale 9,921)")
 	seed := fs.Int64("seed", 7, "corpus seed")
+	traceOut := fs.String("trace-out", "", "write the training trace as a JSONL span tree to this file")
 	fs.Parse(args) //shvet:ignore unchecked-err ExitOnError FlagSet exits on parse failure
 
-	fmt.Fprintf(os.Stderr, "training Random Forest on the benchmark corpus...\n")
-	model, err := sortinghat.TrainDefault(&sortinghat.CorpusConfig{N: *n, Seed: *seed})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sortinghat: %v\n", err)
-		os.Exit(1)
+	// With -trace-out, every training phase (corpus, featurize, fit, save)
+	// is timed as a span under one root train span, written as one JSONL
+	// line when the root ends. Without it the tracer is nil and every span
+	// call below is a no-op.
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		tracer = obs.NewTracer(1)
+		tracer.SetSink(f)
 	}
-	if err := model.SaveFile(*out); err != nil {
-		fmt.Fprintf(os.Stderr, "sortinghat: %v\n", err)
-		os.Exit(1)
+	ctx, root := tracer.Start(context.Background(), "train")
+
+	fmt.Fprintf(os.Stderr, "training Random Forest on the benchmark corpus...\n")
+	ccfg := synth.DefaultCorpusConfig()
+	if *n > 0 {
+		ccfg.N = *n
+	}
+	if *seed != 0 {
+		ccfg.Seed = *seed
+	}
+	root.SetAttr("seed", strconv.FormatInt(ccfg.Seed, 10))
+
+	_, csp := obs.StartSpan(ctx, "corpus")
+	csp.SetAttr("columns", strconv.Itoa(ccfg.N))
+	corpus := synth.GenerateCorpus(ccfg)
+	csp.End()
+
+	pipe, err := core.TrainCtx(ctx, corpus, core.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+
+	_, ssp := obs.StartSpan(ctx, "save")
+	err = pipe.SaveFile(*out)
+	ssp.End()
+	if err != nil {
+		fatal(err)
+	}
+	root.End()
+
+	if tracer != nil {
+		if err := tracer.SinkErr(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(fmt.Errorf("closing trace file: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 	fmt.Fprintf(os.Stderr, "model written to %s\n", *out)
 }

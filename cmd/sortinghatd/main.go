@@ -5,12 +5,19 @@
 //
 //	sortinghatd -model model.gob [-addr :8080] [-workers N] [-cache 4096] [-timeout 10s]
 //	sortinghatd -train-n 2000        # no saved model: train one at startup
+//	sortinghatd -pprof               # also mount /debug/pprof/
 //
 // Endpoints:
 //
-//	POST /v1/infer   {"columns":[{"name":"age","values":["23","41"]}]}
-//	GET  /healthz    liveness probe with model metadata
-//	GET  /metrics    Prometheus text-format metrics
+//	POST /v1/infer       {"columns":[{"name":"age","values":["23","41"]}]}
+//	GET  /healthz        liveness probe with model metadata
+//	GET  /metrics        Prometheus text-format metrics
+//	GET  /debug/traces   recent request traces as JSON span trees
+//	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// Logs are structured JSON (log/slog), one object per line; each request
+// is logged with the same request ID that appears on its trace span and
+// X-Request-Id response header.
 //
 // The process drains in-flight requests on SIGINT/SIGTERM before exiting.
 package main
@@ -20,7 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"sortinghat/internal/core"
+	"sortinghat/internal/obs"
 	"sortinghat/internal/serve"
 	"sortinghat/internal/synth"
 )
@@ -42,19 +50,27 @@ func main() {
 		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline (negative disables)")
 		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per /v1/infer request")
 		drain     = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
+		traceRing = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
+		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	pipe, err := loadPipeline(*modelPath, *trainN)
+	logger := obs.NewLogger(os.Stderr, slog.LevelInfo)
+
+	pipe, err := loadPipeline(logger, *modelPath, *trainN)
 	if err != nil {
-		log.Fatalf("sortinghatd: %v", err)
+		logger.Error("startup failed", "err", err.Error())
+		os.Exit(1)
 	}
 
 	srv := serve.New(pipe, serve.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Timeout:   *timeout,
-		MaxBatch:  *maxBatch,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		Timeout:     *timeout,
+		MaxBatch:    *maxBatch,
+		TraceRing:   *traceRing,
+		Logger:      logger,
+		EnablePprof: *pprof,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -67,31 +83,37 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("sortinghatd: serving %s on %s (workers=%d cache=%d timeout=%s)",
-		pipe.Name(), *addr, *workers, *cacheSize, *timeout)
+	logger.Info("serving",
+		"model", pipe.Name(),
+		"addr", *addr,
+		"workers", *workers,
+		"cache", *cacheSize,
+		"timeout", timeout.String(),
+		"pprof", *pprof)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("sortinghatd: %v", err)
+		logger.Error("serve failed", "err", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("sortinghatd: shutting down, draining in-flight requests (max %s)", *drain)
+	logger.Info("shutting down, draining in-flight requests", "max_drain", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("sortinghatd: shutdown: %v", err)
+		logger.Error("shutdown", "err", err.Error())
 	}
 	srv.Close() // after Shutdown: no handler is still enqueuing columns
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("sortinghatd: serve: %v", err)
+		logger.Error("serve", "err", err.Error())
 	}
-	log.Printf("sortinghatd: stopped")
+	logger.Info("stopped")
 }
 
 // loadPipeline loads a saved model, or trains a fresh default Random
 // Forest when no model file is given.
-func loadPipeline(path string, trainN int) (*core.Pipeline, error) {
+func loadPipeline(logger *slog.Logger, path string, trainN int) (*core.Pipeline, error) {
 	if path != "" {
 		pipe, err := core.LoadFile(path)
 		if err != nil {
@@ -103,14 +125,14 @@ func loadPipeline(path string, trainN int) (*core.Pipeline, error) {
 	if n <= 0 {
 		n = synth.DefaultCorpusConfig().N
 	}
-	log.Printf("sortinghatd: no -model given; training a %d-column Random Forest (use `sortinghat train` + -model to skip this)", n)
+	logger.Info("no -model given; training a startup Random Forest (use `sortinghat train` + -model to skip this)", "columns", n)
 	start := time.Now()
 	corpus := synth.GenerateCorpus(corpusConfig(n))
 	pipe, err := core.Train(corpus, core.DefaultOptions())
 	if err != nil {
 		return nil, fmt.Errorf("training startup model: %w", err)
 	}
-	log.Printf("sortinghatd: trained in %s", time.Since(start).Round(time.Millisecond))
+	logger.Info("trained", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	return pipe, nil
 }
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -19,6 +20,7 @@ import (
 	"sortinghat/internal/ml/linear"
 	"sortinghat/internal/ml/svm"
 	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/obs"
 )
 
 // ModelKind selects the model family of a Pipeline.
@@ -97,8 +99,24 @@ func ExtractBases(cols []data.LabeledColumn, seed int64) ([]featurize.Base, []in
 
 // Train runs base featurization and fits a pipeline on labeled columns.
 func Train(cols []data.LabeledColumn, opts Options) (*Pipeline, error) {
+	return TrainCtx(context.Background(), cols, opts)
+}
+
+// TrainCtx is Train with tracing: when ctx carries an obs span, the two
+// training stages are timed as child spans "featurize" (base
+// featurization of the corpus) and "fit" (model fitting). With no span
+// in ctx it behaves exactly like Train.
+func TrainCtx(ctx context.Context, cols []data.LabeledColumn, opts Options) (*Pipeline, error) {
+	_, fsp := obs.StartSpan(ctx, "featurize")
+	fsp.SetAttr("columns", fmt.Sprintf("%d", len(cols)))
 	bases, labels := ExtractBases(cols, opts.Seed)
-	return TrainOnBases(bases, labels, opts)
+	fsp.End()
+
+	_, tsp := obs.StartSpan(ctx, "fit")
+	tsp.SetAttr("model", string(opts.Model))
+	p, err := TrainOnBases(bases, labels, opts)
+	tsp.End()
+	return p, err
 }
 
 // TrainOnBases fits a pipeline on pre-extracted base features. Labels are
@@ -318,6 +336,21 @@ func (p *Pipeline) PredictBase(b *featurize.Base) (ftype.FeatureType, []float64)
 func (p *Pipeline) Predict(col *data.Column) (ftype.FeatureType, []float64) {
 	b := featurize.ExtractFirstN(col, featurize.SampleCount)
 	return p.PredictBase(&b)
+}
+
+// PredictCtx is Predict with per-stage tracing: when ctx carries an obs
+// span, the two prediction stages are timed as child spans "featurize"
+// and "predict" — the same per-column cost split the paper's Figure 7
+// reports offline, made observable per request. With no span in ctx it
+// behaves exactly like Predict.
+func (p *Pipeline) PredictCtx(ctx context.Context, col *data.Column) (ftype.FeatureType, []float64) {
+	_, fsp := obs.StartSpan(ctx, "featurize")
+	b := featurize.ExtractFirstN(col, featurize.SampleCount)
+	fsp.End()
+	_, psp := obs.StartSpan(ctx, "predict")
+	t, probs := p.PredictBase(&b)
+	psp.End()
+	return t, probs
 }
 
 // Name implements the tools.Inferrer naming convention so a Pipeline can be

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sortinghat/internal/data"
+	"sortinghat/internal/obs"
+	"sortinghat/internal/synth"
+)
+
+// tracedModel trains one small deterministic Random Forest for the trace
+// tests (seeded corpus, seeded training — same trace every run).
+func tracedModel(t *testing.T) *Pipeline {
+	t.Helper()
+	cfg := synth.DefaultCorpusConfig()
+	cfg.N = 300
+	opts := DefaultOptions()
+	opts.RFTrees, opts.RFDepth = 5, 8
+	p, err := Train(synth.GenerateCorpus(cfg), opts)
+	if err != nil {
+		t.Fatalf("training traced model: %v", err)
+	}
+	return p
+}
+
+// normalizeSpan zeroes the only non-deterministic span fields (monotonic
+// offsets and durations) so trace structure can be compared to a golden.
+func normalizeSpan(s *obs.SpanJSON) {
+	s.StartNS = 0
+	s.DurationNS = 0
+	for i := range s.Children {
+		normalizeSpan(&s.Children[i])
+	}
+}
+
+// TestPredictCtxTraceGoldenJSONL runs a fixed 3-column batch through the
+// traced prediction path with a JSONL sink and compares the emitted
+// trace — names, attributes, tree shape, one line per column — against
+// testdata/trace_golden.jsonl with timings normalized. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/core -run TraceGolden.
+func TestPredictCtxTraceGoldenJSONL(t *testing.T) {
+	p := tracedModel(t)
+
+	var buf bytes.Buffer
+	tr := obs.NewTracer(8)
+	tr.SetSink(&buf)
+
+	cols := []data.Column{
+		{Name: "price", Values: []string{"3.99", "10.00", "7.25", "0.99", "12.50"}},
+		{Name: "country", Values: []string{"US", "DE", "US", "FR", "DE"}},
+		{Name: "created_at", Values: []string{"2021-01-05", "2021-02-11", "2021-03-17", "2021-04-23", "2021-05-29"}},
+	}
+	for i := range cols {
+		ctx, span := tr.Start(context.Background(), "column")
+		span.SetAttr("column", cols[i].Name)
+		typ, _ := p.PredictCtx(ctx, &cols[i])
+		span.SetAttr("type", typ.String())
+		span.End()
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Fatalf("trace sink error: %v", err)
+	}
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(cols) {
+		t.Fatalf("sink holds %d JSONL lines, want %d (one per column)", len(lines), len(cols))
+	}
+	got := make([]string, len(lines))
+	for i, line := range lines {
+		var s obs.SpanJSON
+		if err := json.Unmarshal(line, &s); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\nline: %s", i, err, line)
+		}
+		if s.DurationNS <= 0 {
+			t.Errorf("line %d: root span has no duration", i)
+		}
+		normalizeSpan(&s)
+		norm, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = string(norm)
+	}
+
+	goldenPath := filepath.Join("testdata", "trace_golden.jsonl")
+	joined := []byte(join(got))
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, joined, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(joined, want) {
+		t.Errorf("normalized trace drifted from golden.\ngot:\n%s\nwant:\n%s", joined, want)
+	}
+}
+
+// join concatenates JSONL lines with trailing newline.
+func join(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestTrainCtxSpans checks the traced training path: a root train span
+// grows exactly the two stage children, in order, each with a duration
+// and the documented attributes.
+func TestTrainCtxSpans(t *testing.T) {
+	cfg := synth.DefaultCorpusConfig()
+	cfg.N = 150
+	opts := DefaultOptions()
+	opts.RFTrees, opts.RFDepth = 3, 6
+
+	tr := obs.NewTracer(2)
+	ctx, root := tr.Start(context.Background(), "train")
+	if _, err := TrainCtx(ctx, synth.GenerateCorpus(cfg), opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	traces := tr.Recent()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	spans := traces[0].Children
+	if len(spans) != 2 || spans[0].Name != "featurize" || spans[1].Name != "fit" {
+		t.Fatalf("train children = %v, want [featurize fit]", spanNames(spans))
+	}
+	if got := attrOf(spans[0].Attrs, "columns"); got != fmt.Sprintf("%d", cfg.N) {
+		t.Errorf("featurize columns attr = %q, want %d", got, cfg.N)
+	}
+	if got := attrOf(spans[1].Attrs, "model"); got != string(RandomForest) {
+		t.Errorf("fit model attr = %q, want %q", got, RandomForest)
+	}
+	for _, s := range spans {
+		if s.DurationNS <= 0 {
+			t.Errorf("%s span has no duration", s.Name)
+		}
+	}
+	if spans[0].DurationNS+spans[1].DurationNS > traces[0].DurationNS {
+		t.Errorf("stage spans exceed the train span: %d+%d > %d",
+			spans[0].DurationNS, spans[1].DurationNS, traces[0].DurationNS)
+	}
+}
+
+// spanNames lists child span names for failure messages.
+func spanNames(spans []obs.SpanJSON) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// attrOf finds the first attribute named key.
+func attrOf(attrs []obs.Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestPredictCtxMatchesPredict pins the traced path to the plain path:
+// tracing must never change predictions.
+func TestPredictCtxMatchesPredict(t *testing.T) {
+	p := tracedModel(t)
+	col := data.Column{Name: "zip", Values: []string{"94016", "10001", "60601", "94016", "73301"}}
+
+	wantType, wantProbs := p.Predict(&col)
+	tr := obs.NewTracer(2)
+	ctx, span := tr.Start(context.Background(), "check")
+	gotType, gotProbs := p.PredictCtx(ctx, &col)
+	span.End()
+
+	if gotType != wantType {
+		t.Errorf("PredictCtx type %v, Predict type %v", gotType, wantType)
+	}
+	if len(gotProbs) != len(wantProbs) {
+		t.Fatalf("prob lengths differ: %d vs %d", len(gotProbs), len(wantProbs))
+	}
+	for i := range gotProbs {
+		if gotProbs[i] != wantProbs[i] {
+			t.Errorf("prob %d: %g vs %g", i, gotProbs[i], wantProbs[i])
+		}
+	}
+}

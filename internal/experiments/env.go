@@ -7,14 +7,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"sortinghat/internal/core"
 	"sortinghat/internal/data"
 	"sortinghat/internal/featurize"
 	"sortinghat/internal/ml/modelsel"
+	"sortinghat/internal/obs"
 	"sortinghat/internal/synth"
 )
 
@@ -50,19 +53,49 @@ type Env struct {
 
 	TrainIdx []int
 	TestIdx  []int
+
+	// Ctx, when set by the driver, carries the current experiment's trace
+	// span; experiments hang their phase spans off it via obs.StartSpan.
+	// Nil means tracing off (Context falls back to context.Background()).
+	Ctx context.Context
 }
 
 // NewEnv generates the corpus and split for a configuration.
 func NewEnv(cfg Config) *Env {
+	return NewEnvCtx(context.Background(), cfg)
+}
+
+// NewEnvCtx is NewEnv with tracing: when ctx carries an obs span, the
+// three setup phases become child spans "corpus", "featurize", and
+// "split". The returned Env carries ctx.
+func NewEnvCtx(ctx context.Context, cfg Config) *Env {
 	ccfg := synth.DefaultCorpusConfig()
 	ccfg.N = cfg.CorpusN
 	ccfg.Seed = cfg.Seed
+	_, csp := obs.StartSpan(ctx, "corpus")
+	csp.SetAttr("columns", strconv.Itoa(ccfg.N))
 	corpus := synth.GenerateCorpus(ccfg)
+	csp.End()
+
+	_, fsp := obs.StartSpan(ctx, "featurize")
 	bases, labels := core.ExtractBases(corpus, cfg.Seed+1)
+	fsp.End()
+
+	_, ssp := obs.StartSpan(ctx, "split")
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	train, test := modelsel.StratifiedSplit(labels, 0.2, rng)
+	ssp.End()
 	return &Env{Cfg: cfg, Corpus: corpus, Bases: bases, Labels: labels,
-		TrainIdx: train, TestIdx: test}
+		TrainIdx: train, TestIdx: test, Ctx: ctx}
+}
+
+// Context returns the context the experiment runs under: Ctx when the
+// driver set one, context.Background() otherwise.
+func (e *Env) Context() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // TrainBases returns the training bases and labels.

@@ -7,6 +7,7 @@ import (
 
 	"sortinghat/internal/core"
 	"sortinghat/internal/featurize"
+	"sortinghat/internal/obs"
 )
 
 // Figure7Row is the per-model prediction runtime breakdown: base
@@ -40,9 +41,11 @@ func Figure7(env *Env) (*Figure7Result, error) {
 
 	// Base featurization time (shared by all models).
 	baseStart := time.Now()
+	_, bsp := obs.StartSpan(env.Context(), "featurize")
 	for _, j := range testIdx {
 		featurize.ExtractFirstN(&env.Corpus[j].Column, featurize.SampleCount)
 	}
+	bsp.End()
 	basePer := float64(time.Since(baseStart).Microseconds()) / float64(n)
 
 	models := []struct {
@@ -60,8 +63,13 @@ func Figure7(env *Env) (*Figure7Result, error) {
 	}
 	res := &Figure7Result{Columns: n}
 	for _, m := range models {
+		mctx, msp := obs.StartSpan(env.Context(), "model")
+		msp.SetAttr("model", m.name)
+		_, tsp := obs.StartSpan(mctx, "train")
 		pipe, err := core.TrainOnBases(trainBases, trainLabels, m.opts)
+		tsp.End()
 		if err != nil {
+			msp.End()
 			return nil, fmt.Errorf("experiments: figure7: training %s: %w", m.name, err)
 		}
 		// Model-specific feature extraction (vectorization); only the
@@ -78,9 +86,12 @@ func Figure7(env *Env) (*Figure7Result, error) {
 		// Inference (includes vectorization for classical models; subtract
 		// the measured extraction so the buckets are disjoint).
 		start := time.Now()
+		_, psp := obs.StartSpan(mctx, "predict")
 		for _, j := range testIdx {
 			pipe.PredictBase(&env.Bases[j])
 		}
+		psp.End()
+		msp.End()
 		inferPer := float64(time.Since(start).Microseconds())/float64(n) - extractPer
 		if inferPer < 0 {
 			inferPer = 0

@@ -8,6 +8,7 @@ import (
 	"sortinghat/internal/core"
 	"sortinghat/internal/featurize"
 	"sortinghat/internal/ml/metrics"
+	"sortinghat/internal/obs"
 	"sortinghat/internal/tools"
 )
 
@@ -43,6 +44,7 @@ func Table1(env *Env) (*Table1Result, error) {
 		tools.TFDV{}, tools.Pandas{}, tools.TransmogrifAI{},
 		tools.AutoGluon{}, tools.Sherlock{}, tools.RuleBaseline{},
 	}
+	_, rsp := obs.StartSpan(env.Context(), "tools")
 	for _, tool := range ruleApproaches {
 		pred := make([]int, len(env.TestIdx))
 		for i, j := range env.TestIdx {
@@ -53,6 +55,7 @@ func Table1(env *Env) (*Table1Result, error) {
 		res.Confusions[tool.Name()] = cm
 		res.NineClass[tool.Name()] = cm.MultiAccuracy()
 	}
+	rsp.End()
 
 	// ML models trained on our labeled data. Feature sets follow Section
 	// 3.3: classical models use stats + name and sample bigrams; the CNN
@@ -70,15 +73,21 @@ func Table1(env *Env) (*Table1Result, error) {
 			Seed: env.Cfg.Seed, RFTrees: env.Cfg.RFTrees, RFDepth: env.Cfg.RFDepth}},
 	}
 	for _, m := range mlModels {
+		_, tsp := obs.StartSpan(env.Context(), "train")
+		tsp.SetAttr("model", m.name)
 		pipe, err := core.TrainOnBases(trainBases, trainLabels, m.opts)
+		tsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table1: training %s: %w", m.name, err)
 		}
+		_, esp := obs.StartSpan(env.Context(), "eval")
+		esp.SetAttr("model", m.name)
 		pred := make([]int, len(env.TestIdx))
 		for i, j := range env.TestIdx {
 			t, _ := pipe.PredictBase(&env.Bases[j])
 			pred[i] = t.Index()
 		}
+		esp.End()
 		cm := metrics.Confusion(yTest, pred, ftype.NumBaseClasses)
 		res.Approaches = append(res.Approaches, m.name)
 		res.Confusions[m.name] = cm

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"sortinghat/internal/obs"
 )
 
 // Forest is a Random Forest: bagged CART trees with per-split feature
@@ -28,6 +30,57 @@ type Forest struct {
 	inBag [][]bool // per-tree bootstrap membership (TrackOOB only)
 	oobX  [][]float64
 	oobY  []int
+
+	// met is the optional observability sink (SetObs). Unexported so
+	// encoding/gob never tries to serialise live metric state with a
+	// saved model.
+	met *Metrics
+}
+
+// Metrics is the optional observability sink of a Forest. Attach one
+// with SetObs; a nil sink (the default) costs nothing on the prediction
+// hot path.
+type Metrics struct {
+	// TraversalDepth, when non-nil, receives the per-tree traversal
+	// depth of every tree consulted by a prediction. Deep traversals on
+	// served traffic reveal how far real columns sink into the trees
+	// versus the MaxDepth cap that training paid for.
+	TraversalDepth *obs.Summary
+}
+
+// SetObs attaches (or, with nil, detaches) an observability sink. Not
+// safe to call concurrently with predictions; set it once at startup.
+func (f *Forest) SetObs(m *Metrics) { f.met = m }
+
+// SplitNodes returns the total number of internal (split) nodes across
+// the fitted trees: the training split count the induction committed to.
+func (f *Forest) SplitNodes() int {
+	total := 0
+	for _, t := range f.Trees {
+		total += t.NumSplits()
+	}
+	return total
+}
+
+// LeafNodes returns the total number of leaves across the fitted trees.
+func (f *Forest) LeafNodes() int {
+	total := 0
+	for _, t := range f.Trees {
+		total += t.NumLeaves()
+	}
+	return total
+}
+
+// MaxTreeDepth returns the deepest fitted tree's depth (root = 0), or 0
+// for an unfitted forest.
+func (f *Forest) MaxTreeDepth() int {
+	max := 0
+	for _, t := range f.Trees {
+		if d := t.Depth(); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // NewClassifier returns a classification forest with the benchmark's
@@ -136,9 +189,14 @@ func (f *Forest) fit(X [][]float64, yc []int, yf []float64) error {
 
 // PredictProba averages leaf class distributions over the trees.
 func (f *Forest) PredictProba(x []float64) []float64 {
+	observe := f.met != nil && f.met.TraversalDepth != nil
 	out := make([]float64, f.Classes)
 	for _, t := range f.Trees {
-		for c, p := range t.PredictProba(x) {
+		leaf, depth := t.predictNodeDepth(x)
+		if observe {
+			f.met.TraversalDepth.Observe(float64(depth))
+		}
+		for c, p := range leaf.probs {
 			out[c] += p
 		}
 	}

@@ -297,17 +297,27 @@ func partition(X [][]float64, idx []int, f int, thr float64) (lo, hi []int) {
 
 // predictNode walks x down the tree and returns the reached leaf.
 func (t *Tree) predictNode(x []float64) *node {
+	n, _ := t.predictNodeDepth(x)
+	return n
+}
+
+// predictNodeDepth walks x down the tree, returning the reached leaf and
+// the traversal depth (root = 0). The depth feeds the forest's optional
+// observability sink.
+func (t *Tree) predictNodeDepth(x []float64) (*node, int) {
 	i := int32(0)
+	depth := 0
 	for {
 		n := &t.nodes[i]
 		if n.leaf {
-			return n
+			return n, depth
 		}
 		if x[n.feature] <= n.threshold {
 			i = n.left
 		} else {
 			i = n.right
 		}
+		depth++
 	}
 }
 
@@ -319,6 +329,21 @@ func (t *Tree) PredictValue(x []float64) float64 { return t.predictNode(x).value
 
 // NumNodes returns the number of nodes in the tree.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the number of leaf nodes in the tree.
+func (t *Tree) NumLeaves() int {
+	leaves := 0
+	for i := range t.nodes {
+		if t.nodes[i].leaf {
+			leaves++
+		}
+	}
+	return leaves
+}
+
+// NumSplits returns the number of internal (split) nodes created while
+// fitting the tree — every split the induction committed to.
+func (t *Tree) NumSplits() int { return len(t.nodes) - t.NumLeaves() }
 
 // Depth returns the maximum depth of the tree (root = depth 0).
 func (t *Tree) Depth() int {

@@ -1,0 +1,44 @@
+// Package obs is the repository's unified observability layer: a metrics
+// registry, request-scoped tracing, structured logging, and profiling
+// hooks, built on the standard library only and shared by the serving
+// pipeline (internal/serve, cmd/sortinghatd) and the offline pipelines
+// (internal/core training, internal/experiments, cmd/sortinghat,
+// cmd/benchmark).
+//
+// The paper's evaluation itself argues that per-stage cost matters
+// (Figure 7 splits prediction runtime into featurization vs. inference);
+// this package makes that split observable in production and in every
+// benchmark run rather than only in ad-hoc experiments.
+//
+// # Three pillars
+//
+//   - Metrics: a Registry of counters, gauges, and summaries rendered in
+//     Prometheus text exposition format. Metrics render in registration
+//     order, never by map iteration, so /metrics output is byte-stable
+//     for a given state (the same render-twice discipline the experiment
+//     tables follow). Summaries answer quantile queries over a bounded
+//     window of recent observations using nearest-rank selection.
+//   - Tracing: a Tracer builds trees of Spans propagated through
+//     context.Context. Span identity is purely structural — a name, a
+//     monotonic start offset, a monotonic duration, ordered attributes,
+//     children — with no wall-clock timestamps, so trace output stays
+//     clean under the repository's determinism analyzers (cmd/shvet) and
+//     two runs of the same workload differ only in durations. Finished
+//     root spans land in a bounded in-memory ring (served by
+//     GET /debug/traces in internal/serve) and, when a sink is set, as
+//     one JSON line per trace (the -trace-out flag of cmd/sortinghat and
+//     cmd/benchmark).
+//   - Logging and profiling: NewLogger builds a log/slog JSON logger;
+//     request IDs travel via WithRequestID/RequestIDFrom so access logs,
+//     traces, and metrics windows can be correlated; MountPprof exposes
+//     net/http/pprof behind an explicit opt-in flag.
+//
+// # Concurrency
+//
+// All types are safe for concurrent use. Counters and gauges are
+// lock-free atomics; summaries take a short mutex per observation; a
+// Span's children and attributes are mutex-guarded so worker pools may
+// open child spans of one request concurrently. Registration
+// (Registry.Counter and friends) is expected at startup but is itself
+// mutex-guarded.
+package obs

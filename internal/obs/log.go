@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a structured JSON logger writing to w at the given
+// level. One JSON object per line, so service logs are machine-parseable
+// alongside -trace-out JSONL traces and /metrics scrapes.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// requestIDKey is the context key carrying the request ID.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying id. The serving layer assigns
+// one ID per HTTP request and threads it through the access log, the
+// request's trace span, and the X-Request-Id response header, so the
+// three signals can be joined after the fact.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

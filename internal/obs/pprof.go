@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/. It is explicit — nothing is mounted on the default mux
+// as a side effect of importing this package — so profiling stays an
+// opt-in flag (-pprof in cmd/sortinghatd) rather than an always-on
+// surface.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds metrics and renders them in Prometheus text exposition
+// format. Metrics render in registration order — never by map iteration —
+// so two renders of the same state are byte-identical. Registering the
+// same name twice panics: metric names are part of the public monitoring
+// contract and a silent duplicate would split one series in two.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []prometheusWriter
+	names   map[string]bool
+}
+
+// prometheusWriter is one registered metric; write renders its exposition
+// lines.
+type prometheusWriter interface {
+	write(w io.Writer)
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register appends m under name, panicking on duplicates.
+func (r *Registry) register(name string, m prometheusWriter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every registered metric in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := make([]prometheusWriter, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		m.write(w)
+	}
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) {
+	writeCounterText(w, c.name, c.help, c.v.Load())
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time. Use it to expose a count owned by another component (e.g. cache
+// evictions) without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(name, &counterFunc{name: name, help: help, fn: fn})
+}
+
+// counterFunc is the render-time-sampled counter behind CounterFunc.
+type counterFunc struct {
+	name, help string
+	fn         func() int64
+}
+
+func (c *counterFunc) write(w io.Writer) {
+	writeCounterText(w, c.name, c.help, c.fn())
+}
+
+// Gauge is a settable int64-valued metric rendered as a float.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Add moves the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current gauge value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) {
+	writeGaugeText(w, g.name, g.help, float64(g.v.Load()))
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
+}
+
+// gaugeFunc is the render-time-sampled gauge behind GaugeFunc.
+type gaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+func (g *gaugeFunc) write(w io.Writer) {
+	writeGaugeText(w, g.name, g.help, g.fn())
+}
+
+// SummaryWindow is how many recent observations each Summary keeps for
+// quantile estimates. 2048 comfortably covers a scrape interval at high
+// request rates while keeping the sort in Quantiles cheap.
+const SummaryWindow = 2048
+
+// summaryQuantiles are the quantiles every summary exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Summary keeps a bounded ring of the most recent observations and
+// answers quantile queries over that window, alongside a lifetime count
+// and sum. It is deliberately simple — an exact sort over a small window
+// instead of a streaming sketch — which is accurate for the window and
+// costs O(w log w) only when scraped.
+type Summary struct {
+	name, help string
+
+	mu    sync.Mutex
+	ring  [SummaryWindow]float64
+	next  int
+	size  int
+	count int64 // lifetime observations
+	sum   float64
+}
+
+// Summary registers and returns a new summary.
+func (r *Registry) Summary(name, help string) *Summary {
+	s := &Summary{name: name, help: help}
+	r.register(name, s)
+	return s
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.ring[s.next] = v
+	s.next = (s.next + 1) % SummaryWindow
+	if s.size < SummaryWindow {
+		s.size++
+	}
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (s *Summary) ObserveSince(start time.Time) {
+	s.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the lifetime observation count.
+func (s *Summary) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Quantiles returns the requested quantiles over the current window plus
+// the lifetime count and sum, using nearest-rank selection
+// (round(q·(n−1)) into the sorted window). With no observations the
+// quantiles are 0.
+func (s *Summary) Quantiles(qs []float64) (quantiles []float64, count int64, sum float64) {
+	s.mu.Lock()
+	window := make([]float64, s.size)
+	copy(window, s.ring[:s.size])
+	count, sum = s.count, s.sum
+	s.mu.Unlock()
+
+	quantiles = make([]float64, len(qs))
+	if len(window) == 0 {
+		return quantiles, count, sum
+	}
+	sort.Float64s(window)
+	for i, q := range qs {
+		// Nearest rank: truncation (int(q·(n−1))) biases small-window
+		// quantiles low — with n=10, p99 would land on index 8, not 9.
+		idx := int(q*float64(len(window)-1) + 0.5)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len(window)-1 {
+			idx = len(window) - 1
+		}
+		quantiles[i] = window[idx]
+	}
+	return quantiles, count, sum
+}
+
+func (s *Summary) write(w io.Writer) {
+	quants, count, sum := s.Quantiles(summaryQuantiles)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", s.name, s.help, s.name)
+	for i, q := range summaryQuantiles {
+		fmt.Fprintf(w, "%s{quantile=%q} %g\n", s.name, fmt.Sprintf("%g", q), quants[i])
+	}
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", s.name, sum, s.name, count)
+}
+
+// writeCounterText emits one Prometheus counter with help and type headers.
+func writeCounterText(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// writeGaugeText emits one Prometheus gauge.
+func writeGaugeText(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}

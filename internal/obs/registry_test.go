@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRenderTwiceByteStable renders a populated registry twice with no
+// observations in between and requires byte-identical output — the same
+// discipline the experiment tables follow.
+func TestRenderTwiceByteStable(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "Requests.")
+	g := r.Gauge("t_inflight", "In flight.")
+	r.GaugeFunc("t_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	r.CounterFunc("t_evictions_total", "Evictions.", func() int64 { return 3 })
+	s := r.Summary("t_latency_seconds", "Latency.")
+
+	c.Add(7)
+	g.Set(2)
+	for i := 1; i <= 10; i++ {
+		s.Observe(float64(i))
+	}
+
+	var a, b bytes.Buffer
+	r.WritePrometheus(&a)
+	r.WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Fatalf("render-twice mismatch:\n--- first ---\n%s--- second ---\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{
+		"# TYPE t_requests_total counter\nt_requests_total 7\n",
+		"# TYPE t_inflight gauge\nt_inflight 2\n",
+		"t_uptime_seconds 12.5\n",
+		"t_evictions_total 3\n",
+		"t_latency_seconds_count 10\n",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestRegistrationOrderIsRenderOrder pins that metrics render in the
+// order they were registered, not sorted or map-ordered.
+func TestRegistrationOrderIsRenderOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "Z.")
+	r.Counter("aa_first_total", "A.")
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if strings.Index(out, "zz_last_total") > strings.Index(out, "aa_first_total") {
+		t.Fatalf("metrics rendered out of registration order:\n%s", out)
+	}
+}
+
+// TestDuplicateRegistrationPanics guards the one-series-per-name
+// contract.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second registration of dup_total did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "Second.")
+}
+
+// TestSummaryQuantilesNearestRank table-drives the nearest-rank quantile
+// selection, pinning the fix for the truncation bias that dragged
+// small-window quantiles low (e.g. p99 of 10 samples must be the 10th
+// value, not the 9th).
+func TestSummaryQuantilesNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int // observations: 1, 2, ..., n
+		qs   []float64
+		want []float64
+	}{
+		{"single sample", 1, []float64{0.5, 0.9, 0.99}, []float64{1, 1, 1}},
+		{"two samples median rounds up", 2, []float64{0.5, 0.99}, []float64{2, 2}},
+		{"ten samples", 10, []float64{0.5, 0.9, 0.99}, []float64{6, 9, 10}},
+		{"hundred samples", 100, []float64{0.5, 0.9, 0.99}, []float64{51, 90, 99}},
+		{"zero quantile", 10, []float64{0}, []float64{1}},
+		{"one quantile", 10, []float64{1}, []float64{10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			s := r.Summary(fmt.Sprintf("q_%d_seconds", tc.n), "Quantile fixture.")
+			for i := 1; i <= tc.n; i++ {
+				s.Observe(float64(i))
+			}
+			got, count, sum := s.Quantiles(tc.qs)
+			if count != int64(tc.n) {
+				t.Errorf("count = %d, want %d", count, tc.n)
+			}
+			wantSum := float64(tc.n*(tc.n+1)) / 2
+			if sum != wantSum {
+				t.Errorf("sum = %g, want %g", sum, wantSum)
+			}
+			for i, q := range tc.qs {
+				if got[i] != tc.want[i] {
+					t.Errorf("q=%g: got %g, want %g", q, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSummaryEmpty covers the no-observations render path.
+func TestSummaryEmpty(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("empty_seconds", "Empty.")
+	got, count, sum := s.Quantiles([]float64{0.5})
+	if got[0] != 0 || count != 0 || sum != 0 {
+		t.Fatalf("empty summary: got %v, count %d, sum %g", got, count, sum)
+	}
+}
+
+// TestSummaryWindowBounded fills past the window and checks quantiles
+// only reflect the most recent SummaryWindow observations while the
+// lifetime count keeps growing.
+func TestSummaryWindowBounded(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("windowed_seconds", "Windowed.")
+	total := SummaryWindow + 100
+	for i := 0; i < total; i++ {
+		s.Observe(float64(i))
+	}
+	got, count, _ := s.Quantiles([]float64{0})
+	if count != int64(total) {
+		t.Errorf("lifetime count = %d, want %d", count, total)
+	}
+	// The oldest 100 observations (values 0..99) fell out of the window.
+	if got[0] != 100 {
+		t.Errorf("window minimum = %g, want 100 (old samples must be evicted)", got[0])
+	}
+}
+
+// TestConcurrentObserveAndRender hammers every metric type from many
+// goroutines while rendering concurrently; run under -race this pins the
+// registry's thread-safety.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "C.")
+	g := r.Gauge("conc_gauge", "G.")
+	s := r.Summary("conc_seconds", "S.")
+	r.GaugeFunc("conc_func", "F.", func() float64 { return float64(c.Load()) })
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				s.Observe(float64(i + w))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				r.WritePrometheus(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Load(); got != 8*500 {
+		t.Errorf("counter = %d, want %d", got, 8*500)
+	}
+	if got := s.Count(); got != 8*500 {
+		t.Errorf("summary count = %d, want %d", got, 8*500)
+	}
+}

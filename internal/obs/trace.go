@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceRing is the default capacity of a Tracer's ring of recent
+// finished traces (what GET /debug/traces serves).
+const DefaultTraceRing = 64
+
+// Tracer builds span trees and retains the most recent finished root
+// spans in a bounded ring. A nil *Tracer is a valid disabled tracer:
+// Start on it returns a no-op span, so call sites never need to branch
+// on whether tracing is on.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []*Span // finished root spans, oldest first once full
+	next    int
+	size    int
+	sink    io.Writer // optional JSONL sink for finished traces
+	sinkErr error
+}
+
+// NewTracer returns a tracer retaining up to capacity finished traces
+// (DefaultTraceRing when capacity is not positive).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]*Span, capacity)}
+}
+
+// SetSink directs every finished root span to w as one JSON line per
+// trace (JSONL). The first write or encode error is retained and
+// reported by SinkErr; tracing itself never fails.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.mu.Unlock()
+}
+
+// SinkErr reports the first error encountered writing traces to the
+// sink, or nil.
+func (t *Tracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Start opens a span under ctx. If ctx already carries a span the new
+// span becomes its child; otherwise it is a root span that will be
+// recorded in the tracer's ring (and sink) when ended. The returned
+// context carries the new span for further nesting.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := SpanFromContext(ctx)
+	s := &Span{tracer: t, parent: parent, name: name, start: time.Now()}
+	if parent != nil {
+		parent.addChild(s)
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartSpan opens a child span of the span carried by ctx. When ctx
+// carries no span (tracing off for this call path) it returns ctx and a
+// no-op nil span, so libraries can instrument unconditionally.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	return parent.tracer.Start(ctx, name)
+}
+
+// spanKey is the context key carrying the current span.
+type spanKey struct{}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// record retains a finished root span in the ring and writes it to the
+// sink when one is set.
+func (t *Tracer) record(s *Span) {
+	var sink io.Writer
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	sink = t.sink
+	t.mu.Unlock()
+
+	if sink == nil {
+		return
+	}
+	line, err := json.Marshal(s.JSON())
+	if err == nil {
+		line = append(line, '\n')
+		_, err = sink.Write(line)
+	}
+	if err != nil {
+		t.mu.Lock()
+		if t.sinkErr == nil {
+			t.sinkErr = err
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Recent returns the retained finished traces, oldest first, as
+// serializable span trees.
+func (t *Tracer) Recent() []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, 0, t.size)
+	if t.size < len(t.ring) {
+		spans = append(spans, t.ring[:t.size]...)
+	} else {
+		spans = append(spans, t.ring[t.next:]...)
+		spans = append(spans, t.ring[:t.next]...)
+	}
+	t.mu.Unlock()
+
+	out := make([]SpanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = s.JSON()
+	}
+	return out
+}
+
+// Span is one timed operation in a trace tree. Spans are created by
+// Tracer.Start / StartSpan and finished with End. A nil *Span is a valid
+// no-op span: every method is nil-safe, so instrumented code paths work
+// unchanged with tracing disabled.
+//
+// Span identity is monotonic-only: the start field's wall clock reading
+// is never exposed — JSON() emits offsets and durations computed from
+// the monotonic clock — so traces carry no wall-clock timestamps.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one ordered key/value annotation on a span. Attributes are a
+// slice, not a map, so rendering order is deterministic.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SetAttr appends a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// addChild links a child span; safe for concurrent workers of one
+// request.
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End finishes the span, fixing its monotonic duration. Ending a root
+// span records the whole trace in the tracer's ring and sink. End is
+// idempotent; only the first call takes effect.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.parent == nil {
+		s.tracer.record(s)
+	}
+}
+
+// Duration returns the span's duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// SpanJSON is the wire form of a span tree: name, monotonic start offset
+// from the trace root, monotonic duration, ordered attributes, children.
+// No wall-clock timestamps, by design.
+type SpanJSON struct {
+	Name       string     `json:"name"`
+	StartNS    int64      `json:"start_ns"` // offset from the root span's start
+	DurationNS int64      `json:"duration_ns"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
+	Children   []SpanJSON `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its serializable form. Call it after
+// End; an unfinished child renders with duration 0.
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	root := s
+	for root.parent != nil {
+		root = root.parent
+	}
+	return s.jsonRel(root.start)
+}
+
+// jsonRel renders the span with offsets relative to the trace start.
+func (s *Span) jsonRel(traceStart time.Time) SpanJSON {
+	s.mu.Lock()
+	out := SpanJSON{
+		Name:       s.name,
+		StartNS:    s.start.Sub(traceStart).Nanoseconds(),
+		DurationNS: s.dur.Nanoseconds(),
+	}
+	attrs := make([]Attr, len(s.attrs))
+	copy(attrs, s.attrs)
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+
+	out.Attrs = attrs
+	if len(children) > 0 {
+		out.Children = make([]SpanJSON, len(children))
+		for i, c := range children {
+			out.Children[i] = c.jsonRel(traceStart)
+		}
+	}
+	return out
+}

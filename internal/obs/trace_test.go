@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanTreeParentChildOrdering builds a three-level trace from one
+// goroutine and pins the structural contract: children appear under
+// their parent in creation order, start offsets are non-decreasing, and
+// every span carries a duration once ended.
+func TestSpanTreeParentChildOrdering(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "request")
+	root.SetAttr("request_id", "req-1")
+
+	ctxA, a := StartSpan(ctx, "featurize")
+	_, a1 := StartSpan(ctxA, "stats")
+	a1.End()
+	a.End()
+	_, b := StartSpan(ctx, "predict")
+	b.End()
+	root.End()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.Name != "request" {
+		t.Fatalf("root name = %q", got.Name)
+	}
+	if len(got.Attrs) != 1 || got.Attrs[0] != (Attr{Key: "request_id", Value: "req-1"}) {
+		t.Errorf("root attrs = %+v", got.Attrs)
+	}
+	if len(got.Children) != 2 || got.Children[0].Name != "featurize" || got.Children[1].Name != "predict" {
+		t.Fatalf("children = %+v, want [featurize predict]", got.Children)
+	}
+	feat := got.Children[0]
+	if len(feat.Children) != 1 || feat.Children[0].Name != "stats" {
+		t.Fatalf("grandchildren = %+v, want [stats]", feat.Children)
+	}
+
+	var walk func(s SpanJSON, parentStart int64)
+	walk = func(s SpanJSON, parentStart int64) {
+		if s.DurationNS < 0 {
+			t.Errorf("span %s: negative duration %d", s.Name, s.DurationNS)
+		}
+		if s.StartNS < parentStart {
+			t.Errorf("span %s starts at %dns before its parent (%dns)", s.Name, s.StartNS, parentStart)
+		}
+		prev := s.StartNS
+		for _, c := range s.Children {
+			if c.StartNS < prev {
+				t.Errorf("span %s: child %s out of creation order", s.Name, c.Name)
+			}
+			prev = c.StartNS
+			walk(c, s.StartNS)
+		}
+	}
+	if got.StartNS != 0 {
+		t.Errorf("root start offset = %d, want 0", got.StartNS)
+	}
+	walk(got, 0)
+
+	// Stage spans fit inside the request span.
+	sum := feat.DurationNS + got.Children[1].DurationNS
+	if sum > got.DurationNS {
+		t.Errorf("stage durations sum to %dns > request %dns", sum, got.DurationNS)
+	}
+}
+
+// TestTracerRingBounded overfills the ring and checks only the newest
+// traces survive, oldest first.
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(2)
+	for _, name := range []string{"one", "two", "three"} {
+		_, s := tr.Start(context.Background(), name)
+		s.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].Name != "two" || recent[1].Name != "three" {
+		t.Fatalf("recent = %+v, want [two three]", recent)
+	}
+}
+
+// TestNilTracerAndSpanAreNoOps pins the nil-safety contract that lets
+// libraries instrument unconditionally.
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	if d := s.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if ctx2, c := StartSpan(ctx, "child"); c != nil || ctx2 != ctx {
+		t.Error("StartSpan without a parent span must be a no-op")
+	}
+	if tr.Recent() != nil {
+		t.Error("nil tracer Recent() != nil")
+	}
+	if tr.SinkErr() != nil {
+		t.Error("nil tracer SinkErr() != nil")
+	}
+}
+
+// TestJSONLSink checks that finished root spans are written as one valid
+// JSON object per line with no wall-clock fields.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(4)
+	tr.SetSink(&buf)
+	for i := 0; i < 3; i++ {
+		ctx, root := tr.Start(context.Background(), "train")
+		_, c := StartSpan(ctx, "fit")
+		c.End()
+		root.End()
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var s SpanJSON
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if s.Name != "train" || len(s.Children) != 1 || s.Children[0].Name != "fit" {
+			t.Errorf("line %d: unexpected trace %+v", i, s)
+		}
+		for _, banned := range []string{"time", "wall", "date"} {
+			if strings.Contains(line, `"`+banned) {
+				t.Errorf("line %d carries a wall-clock-looking field %q: %s", i, banned, line)
+			}
+		}
+	}
+}
+
+// TestConcurrentChildSpans opens children of one request span from many
+// goroutines (the worker-pool shape) and, under -race, pins the span's
+// internal locking; the child count must come out exact.
+func TestConcurrentChildSpans(t *testing.T) {
+	tr := NewTracer(2)
+	ctx, root := tr.Start(context.Background(), "request")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, c := StartSpan(ctx, "column")
+				c.SetAttr("i", "x")
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	got := tr.Recent()
+	if len(got) != 1 || len(got[0].Children) != 8*50 {
+		t.Fatalf("root has %d children, want %d", len(got[0].Children), 8*50)
+	}
+}
+
+// TestRequestIDContext round-trips a request ID through a context.
+func TestRequestIDContext(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "req-42")
+	if got := RequestIDFrom(ctx); got != "req-42" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context RequestIDFrom = %q", got)
+	}
+}

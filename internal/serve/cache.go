@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"sortinghat/ftype"
 	"sortinghat/internal/data"
@@ -47,10 +48,11 @@ type cachedPrediction struct {
 // *predCache is a valid always-miss cache, which is how caching is
 // disabled.
 type predCache struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recently used
-	byID map[cacheKey]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	byID      map[cacheKey]*list.Element
+	evictions atomic.Int64 // lifetime LRU evictions (previously silent)
 }
 
 // lruEntry is the list payload: the key doubles back so eviction can
@@ -103,6 +105,7 @@ func (c *predCache) put(k cacheKey, v cachedPrediction) {
 		if oldest != nil {
 			c.ll.Remove(oldest)
 			delete(c.byID, oldest.Value.(*lruEntry).key)
+			c.evictions.Add(1)
 		}
 	}
 	c.byID[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
@@ -116,4 +119,20 @@ func (c *predCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// evicted reports the lifetime eviction count.
+func (c *predCache) evicted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
+}
+
+// capacity reports the configured capacity (0 when caching is disabled).
+func (c *predCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
 }

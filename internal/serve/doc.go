@@ -23,9 +23,27 @@
 //   - POST /v1/infer — classify a batch of raw columns; returns the
 //     9-class prediction with per-class confidences for each column.
 //   - GET /healthz — liveness/readiness probe with model metadata.
-//   - GET /metrics — Prometheus text-format counters and gauges
-//     (request/column/cache counters, batch-size and latency quantiles),
-//     built on the standard library only.
+//   - GET /metrics — Prometheus text-format metrics from the server's
+//     obs.Registry (request/column/cache counters, batch-size and latency
+//     quantiles, forest structure gauges), built on the standard library
+//     only. The document layout is byte-stable and pinned by test.
+//   - GET /debug/traces — the bounded ring of recent finished request
+//     traces as JSON span trees: one root infer span per request, column
+//     child spans, featurize/predict grandchildren. Offsets and durations
+//     are monotonic-only; traces carry no wall-clock timestamps.
+//   - GET /debug/pprof/ — net/http/pprof, mounted only with
+//     Config.EnablePprof (the -pprof flag of cmd/sortinghatd).
+//
+// # Observability
+//
+// The three signals are correlated by request ID: the middleware assigns
+// req-N, echoes it as the X-Request-Id response header, attaches it to
+// the root trace span, and stamps it on the structured access-log record
+// (Config.Logger). Metric handles live in the server's obs.Registry;
+// span creation goes through obs.StartSpan, which is a no-op for callers
+// that did not start a trace, so the hot path is instrumented
+// unconditionally. See ARCHITECTURE.md "Observability" for which layer
+// owns which signal.
 //
 // # Concurrency invariants
 //

@@ -10,6 +10,7 @@ import (
 
 	"sortinghat/ftype"
 	"sortinghat/internal/data"
+	"sortinghat/internal/obs"
 )
 
 // maxRequestBody bounds /v1/infer request bodies (64 MiB covers a
@@ -56,19 +57,68 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// TracesResponse is the JSON body answering GET /debug/traces: the
+// bounded ring of recent finished request traces, oldest first.
+type TracesResponse struct {
+	Count  int            `json:"count"`
+	Traces []obs.SpanJSON `json:"traces"`
+}
+
 // errorResponse is the JSON body of every non-2xx answer.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
 // Handler returns the server's HTTP API: POST /v1/infer, GET /healthz,
-// GET /metrics.
+// GET /metrics, GET /debug/traces, and (with Config.EnablePprof)
+// /debug/pprof/. Every request passes the observability middleware: it
+// gets a request ID (echoed as X-Request-Id and attached to the
+// request's trace span) and, when Config.Logger is set, one structured
+// access-log record.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	if s.cfg.EnablePprof {
+		obs.MountPprof(mux)
+	}
+	return s.observe(mux)
+}
+
+// observe is the middleware correlating the three signals: it assigns
+// the request ID, propagates it via context to the trace span, echoes it
+// to the client, and emits the access-log record.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "req-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if s.logger != nil {
+			s.logger.Info("request",
+				"request_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(time.Since(start).Microseconds())/1000)
+		}
+	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // writeJSON marshals v with the given status. Encoding errors past the
@@ -98,6 +148,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	defer s.met.inflight.Add(-1)
 	defer s.met.requests.Add(1)
 
+	ctx, span := s.tracer.Start(r.Context(), "infer")
+	span.SetAttr("request_id", obs.RequestIDFrom(ctx))
+	defer span.End()
+
 	var req InferRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(&req); err != nil {
@@ -121,9 +175,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		cols[i] = data.Column{Name: c.Name, Values: c.Values}
 	}
 	s.met.columns.Add(int64(len(cols)))
-	s.met.batchSize.observe(float64(len(cols)))
+	s.met.batchSize.Observe(float64(len(cols)))
+	span.SetAttr("columns", strconv.Itoa(len(cols)))
 
-	results, err := s.InferBatch(r.Context(), cols)
+	results, err := s.InferBatch(ctx, cols)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -158,7 +213,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	s.met.request.observeSince(start)
+	s.met.request.ObserveSince(start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -198,5 +253,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writePrometheus(w)
+	s.met.reg.WritePrometheus(w)
+}
+
+// handleTraces serves the in-memory ring of recent request traces as
+// JSON span trees (monotonic offsets and durations only; no wall-clock
+// timestamps).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	traces := s.tracer.Recent()
+	writeJSON(w, http.StatusOK, TracesResponse{Count: len(traces), Traces: traces})
 }

@@ -1,136 +1,66 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"sortinghat/internal/ml/tree"
+	"sortinghat/internal/obs"
 )
 
-// metrics aggregates the server's counters and latency samples. Counters
-// are lock-free atomics; the quantile trackers take a short mutex per
-// observation. Everything is rendered by writePrometheus in a fixed order
-// (no map iteration) so /metrics output is byte-stable for a given state.
+// metrics holds the server's handles into its obs.Registry. The registry
+// renders in registration order, so the order below is the pinned
+// /metrics layout (TestMetricsRenderPinned): the pre-obs series keep
+// their exact names, help strings, and relative order, with the
+// eviction/capacity and forest series slotted in next to their families.
 type metrics struct {
-	requests        atomic.Int64 // completed /v1/infer requests (any outcome)
-	requestErrors   atomic.Int64 // 4xx responses (malformed batches)
-	requestTimeouts atomic.Int64 // 504 responses (deadline exceeded)
-	inflight        atomic.Int64 // requests currently being served
-	columns         atomic.Int64 // columns across all accepted batches
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
+	reg *obs.Registry
 
-	batchSize latencyTracker // batch sizes (columns per request)
-	featurize latencyTracker // per-column base-featurization seconds
-	predict   latencyTracker // per-column model-prediction seconds
-	request   latencyTracker // end-to-end request seconds
+	requests        *obs.Counter // completed /v1/infer requests (any outcome)
+	requestErrors   *obs.Counter // 4xx responses (malformed batches)
+	requestTimeouts *obs.Counter // 504 responses (deadline exceeded)
+	inflight        *obs.Gauge   // requests currently being served
+	columns         *obs.Counter // columns across all accepted batches
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+
+	batchSize *obs.Summary // batch sizes (columns per request)
+	featurize *obs.Summary // per-column base-featurization seconds
+	predict   *obs.Summary // per-column model-prediction seconds
+	request   *obs.Summary // end-to-end request seconds
 }
 
-// trackerWindow is how many recent observations each latencyTracker keeps
-// for quantile estimates. 2048 comfortably covers a scrape interval at
-// high request rates while keeping the sort in quantiles cheap.
-const trackerWindow = 2048
+// newMetrics builds the server's registry. Counters and gauges the
+// handlers increment directly get handles; state owned elsewhere (cache,
+// config, forest) is exposed through render-time funcs so there is no
+// double bookkeeping. When the pipeline's model is a Random Forest, the
+// forest's structure gauges and per-tree traversal-depth summary are
+// registered too, and the forest's observability sink is attached.
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+	m.requests = reg.Counter("sortinghatd_requests_total", "Completed /v1/infer requests.")
+	m.requestErrors = reg.Counter("sortinghatd_request_errors_total", "Rejected /v1/infer requests (malformed or oversized batches).")
+	m.requestTimeouts = reg.Counter("sortinghatd_request_timeouts_total", "/v1/infer requests that exceeded their deadline.")
+	m.inflight = reg.Gauge("sortinghatd_inflight_requests", "Requests currently being served.")
+	m.columns = reg.Counter("sortinghatd_columns_total", "Columns received across all accepted batches.")
+	m.cacheHits = reg.Counter("sortinghatd_cache_hits_total", "Columns answered from the prediction cache.")
+	m.cacheMisses = reg.Counter("sortinghatd_cache_misses_total", "Columns that required featurization and prediction.")
+	reg.CounterFunc("sortinghatd_cache_evictions_total", "Cache entries evicted to make room (LRU).", s.cache.evicted)
+	reg.GaugeFunc("sortinghatd_cache_entries", "Entries currently in the prediction cache.", func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("sortinghatd_cache_capacity", "Configured prediction cache capacity in columns.", func() float64 { return float64(s.cache.capacity()) })
+	reg.GaugeFunc("sortinghatd_workers", "Size of the column worker pool.", func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("sortinghatd_uptime_seconds", "Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
+	m.batchSize = reg.Summary("sortinghatd_batch_columns", "Columns per /v1/infer request.")
+	m.featurize = reg.Summary("sortinghatd_featurize_seconds", "Per-column base featurization latency.")
+	m.predict = reg.Summary("sortinghatd_predict_seconds", "Per-column model prediction latency.")
+	m.request = reg.Summary("sortinghatd_request_seconds", "End-to-end /v1/infer latency.")
 
-// latencyTracker keeps a bounded ring of the most recent observations and
-// answers quantile queries over that window. It is deliberately simple —
-// an exact sort over a small window instead of a streaming sketch — which
-// is accurate for the window and costs O(w log w) only when scraped.
-type latencyTracker struct {
-	mu    sync.Mutex
-	ring  [trackerWindow]float64
-	next  int
-	size  int
-	count int64 // lifetime observations
-	sum   float64
-}
-
-// observe records one sample.
-func (t *latencyTracker) observe(v float64) {
-	t.mu.Lock()
-	t.ring[t.next] = v
-	t.next = (t.next + 1) % trackerWindow
-	if t.size < trackerWindow {
-		t.size++
+	if f := s.pipe.Forest; f != nil {
+		reg.GaugeFunc("sortinghatd_forest_split_nodes", "Internal (split) nodes across the forest's fitted trees — the training split count.", func() float64 { return float64(f.SplitNodes()) })
+		reg.GaugeFunc("sortinghatd_forest_leaf_nodes", "Leaf nodes across the forest's fitted trees.", func() float64 { return float64(f.LeafNodes()) })
+		reg.GaugeFunc("sortinghatd_forest_max_depth", "Depth of the deepest fitted tree (root = 0).", func() float64 { return float64(f.MaxTreeDepth()) })
+		depth := reg.Summary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.")
+		f.SetObs(&tree.Metrics{TraversalDepth: depth})
 	}
-	t.count++
-	t.sum += v
-	t.mu.Unlock()
-}
-
-// observeSince records the seconds elapsed since start.
-func (t *latencyTracker) observeSince(start time.Time) {
-	t.observe(time.Since(start).Seconds())
-}
-
-// snapshot returns the requested quantiles over the current window plus
-// the lifetime count and sum. With no observations the quantiles are 0.
-func (t *latencyTracker) snapshot(qs []float64) (quantiles []float64, count int64, sum float64) {
-	t.mu.Lock()
-	window := make([]float64, t.size)
-	copy(window, t.ring[:t.size])
-	count, sum = t.count, t.sum
-	t.mu.Unlock()
-
-	quantiles = make([]float64, len(qs))
-	if len(window) == 0 {
-		return quantiles, count, sum
-	}
-	sort.Float64s(window)
-	for i, q := range qs {
-		idx := int(q * float64(len(window)-1))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx > len(window)-1 {
-			idx = len(window) - 1
-		}
-		quantiles[i] = window[idx]
-	}
-	return quantiles, count, sum
-}
-
-// servedQuantiles are the quantiles exposed on /metrics.
-var servedQuantiles = []float64{0.5, 0.9, 0.99}
-
-// writeCounter emits one Prometheus counter with help and type headers.
-func writeCounter(w io.Writer, name, help string, v int64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-}
-
-// writeGauge emits one Prometheus gauge.
-func writeGauge(w io.Writer, name, help string, v float64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-}
-
-// writeSummary emits a Prometheus summary: windowed quantiles plus
-// lifetime _count and _sum series.
-func writeSummary(w io.Writer, name, help string, t *latencyTracker) {
-	quants, count, sum := t.snapshot(servedQuantiles)
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
-	for i, q := range servedQuantiles {
-		fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), quants[i])
-	}
-	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, count)
-}
-
-// writePrometheus renders every metric in Prometheus text exposition
-// format, in a fixed order.
-func (s *Server) writePrometheus(w io.Writer) {
-	m := &s.met
-	writeCounter(w, "sortinghatd_requests_total", "Completed /v1/infer requests.", m.requests.Load())
-	writeCounter(w, "sortinghatd_request_errors_total", "Rejected /v1/infer requests (malformed or oversized batches).", m.requestErrors.Load())
-	writeCounter(w, "sortinghatd_request_timeouts_total", "/v1/infer requests that exceeded their deadline.", m.requestTimeouts.Load())
-	writeGauge(w, "sortinghatd_inflight_requests", "Requests currently being served.", float64(m.inflight.Load()))
-	writeCounter(w, "sortinghatd_columns_total", "Columns received across all accepted batches.", m.columns.Load())
-	writeCounter(w, "sortinghatd_cache_hits_total", "Columns answered from the prediction cache.", m.cacheHits.Load())
-	writeCounter(w, "sortinghatd_cache_misses_total", "Columns that required featurization and prediction.", m.cacheMisses.Load())
-	writeGauge(w, "sortinghatd_cache_entries", "Entries currently in the prediction cache.", float64(s.cache.len()))
-	writeGauge(w, "sortinghatd_workers", "Size of the column worker pool.", float64(s.cfg.Workers))
-	writeGauge(w, "sortinghatd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
-	writeSummary(w, "sortinghatd_batch_columns", "Columns per /v1/infer request.", &m.batchSize)
-	writeSummary(w, "sortinghatd_featurize_seconds", "Per-column base featurization latency.", &m.featurize)
-	writeSummary(w, "sortinghatd_predict_seconds", "Per-column model prediction latency.", &m.predict)
-	writeSummary(w, "sortinghatd_request_seconds", "End-to-end /v1/infer latency.", &m.request)
+	return m
 }

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +17,7 @@ import (
 
 	"sortinghat/internal/core"
 	"sortinghat/internal/data"
+	"sortinghat/internal/obs"
 	"sortinghat/internal/synth"
 )
 
@@ -178,6 +181,12 @@ func TestCacheHitRate(t *testing.T) {
 	if !strings.Contains(body, "sortinghatd_cache_entries 20\n") {
 		t.Errorf("/metrics: want sortinghatd_cache_entries 20, got:\n%s", grepMetric(body, "sortinghatd_cache"))
 	}
+	if !strings.Contains(body, "sortinghatd_cache_evictions_total 0\n") {
+		t.Errorf("/metrics: want sortinghatd_cache_evictions_total 0, got:\n%s", grepMetric(body, "sortinghatd_cache"))
+	}
+	if !strings.Contains(body, "sortinghatd_cache_capacity 256\n") {
+		t.Errorf("/metrics: want sortinghatd_cache_capacity 256, got:\n%s", grepMetric(body, "sortinghatd_cache"))
+	}
 }
 
 // grepMetric filters metrics output to lines containing substr, for
@@ -242,6 +251,13 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if got := c.len(); got != 2 {
 		t.Errorf("len = %d, want 2", got)
+	}
+	if got := c.evicted(); got != 1 {
+		t.Errorf("evicted = %d, want 1", got)
+	}
+	var disabled *predCache
+	if disabled.evicted() != 0 || disabled.capacity() != 0 {
+		t.Error("nil cache must report zero evictions and capacity")
 	}
 }
 
@@ -396,6 +412,243 @@ func TestBadRequests(t *testing.T) {
 				t.Errorf("error responses must carry a JSON error body, got %q", rec.Body.Bytes())
 			}
 		})
+	}
+}
+
+// uptimeLine matches the one metric line whose value moves with the
+// clock; the pinned render normalizes it.
+var uptimeLine = regexp.MustCompile(`(?m)^sortinghatd_uptime_seconds .*$`)
+
+// scrapeMetrics fetches /metrics with the uptime value normalized.
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	return uptimeLine.ReplaceAllString(rec.Body.String(), "sortinghatd_uptime_seconds X")
+}
+
+// TestMetricsRenderPinned is the monitoring contract: the full /metrics
+// document of a fresh server, byte for byte — names, help strings, type
+// headers, and registration order. The pre-obs series must keep their
+// exact layout (dashboards parse this); the eviction/capacity and forest
+// series sit next to their families. Two scrapes of unchanged state must
+// render identically.
+func TestMetricsRenderPinned(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, CacheSize: 256})
+	h := s.Handler()
+	f := testModel(t).Forest
+	if f == nil {
+		t.Fatal("test model has no forest")
+	}
+
+	emptySummary := func(name, help string) string {
+		return "# HELP " + name + " " + help + "\n" +
+			"# TYPE " + name + " summary\n" +
+			name + `{quantile="0.5"} 0` + "\n" +
+			name + `{quantile="0.9"} 0` + "\n" +
+			name + `{quantile="0.99"} 0` + "\n" +
+			name + "_sum 0\n" +
+			name + "_count 0\n"
+	}
+	counter := func(name, help string) string {
+		return fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s 0\n", name, help, name, name)
+	}
+	gauge := func(name, help string, v float64) string {
+		return fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	want := counter("sortinghatd_requests_total", "Completed /v1/infer requests.") +
+		counter("sortinghatd_request_errors_total", "Rejected /v1/infer requests (malformed or oversized batches).") +
+		counter("sortinghatd_request_timeouts_total", "/v1/infer requests that exceeded their deadline.") +
+		gauge("sortinghatd_inflight_requests", "Requests currently being served.", 0) +
+		counter("sortinghatd_columns_total", "Columns received across all accepted batches.") +
+		counter("sortinghatd_cache_hits_total", "Columns answered from the prediction cache.") +
+		counter("sortinghatd_cache_misses_total", "Columns that required featurization and prediction.") +
+		counter("sortinghatd_cache_evictions_total", "Cache entries evicted to make room (LRU).") +
+		gauge("sortinghatd_cache_entries", "Entries currently in the prediction cache.", 0) +
+		gauge("sortinghatd_cache_capacity", "Configured prediction cache capacity in columns.", 256) +
+		gauge("sortinghatd_workers", "Size of the column worker pool.", 2) +
+		"# HELP sortinghatd_uptime_seconds Seconds since the server started.\n" +
+		"# TYPE sortinghatd_uptime_seconds gauge\n" +
+		"sortinghatd_uptime_seconds X\n" +
+		emptySummary("sortinghatd_batch_columns", "Columns per /v1/infer request.") +
+		emptySummary("sortinghatd_featurize_seconds", "Per-column base featurization latency.") +
+		emptySummary("sortinghatd_predict_seconds", "Per-column model prediction latency.") +
+		emptySummary("sortinghatd_request_seconds", "End-to-end /v1/infer latency.") +
+		gauge("sortinghatd_forest_split_nodes", "Internal (split) nodes across the forest's fitted trees — the training split count.", float64(f.SplitNodes())) +
+		gauge("sortinghatd_forest_leaf_nodes", "Leaf nodes across the forest's fitted trees.", float64(f.LeafNodes())) +
+		gauge("sortinghatd_forest_max_depth", "Depth of the deepest fitted tree (root = 0).", float64(f.MaxTreeDepth())) +
+		emptySummary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.")
+
+	got := scrapeMetrics(t, h)
+	if got != want {
+		t.Errorf("/metrics layout drifted from the pinned contract.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if again := scrapeMetrics(t, h); again != got {
+		t.Errorf("two scrapes of unchanged state differ:\nfirst:\n%s\nsecond:\n%s", got, again)
+	}
+}
+
+// TestDebugTraces drives one batch through a 1-worker server and checks
+// the recorded span tree end to end: the root infer span carries the
+// request ID that the response header echoed, each column child carries
+// featurize/predict grandchildren, every span has a duration, and the
+// stage durations sum to no more than the request span (guaranteed only
+// with a single worker — parallel columns can overlap).
+func TestDebugTraces(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	h := s.Handler()
+
+	rec, _ := postInfer(t, h, testBatch(3))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer status = %d, body %s", rec.Code, rec.Body.Bytes())
+	}
+	reqID := rec.Header().Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("response missing X-Request-Id header")
+	}
+
+	trec := httptest.NewRecorder()
+	h.ServeHTTP(trec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if trec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status = %d", trec.Code)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal(trec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("decoding traces: %v\nbody: %s", err, trec.Body.Bytes())
+	}
+	if tr.Count != 1 || len(tr.Traces) != 1 {
+		t.Fatalf("count = %d with %d traces, want exactly 1 finished trace", tr.Count, len(tr.Traces))
+	}
+
+	root := tr.Traces[0]
+	if root.Name != "infer" {
+		t.Fatalf("root span = %q, want infer", root.Name)
+	}
+	if root.DurationNS <= 0 {
+		t.Errorf("root span has no duration")
+	}
+	if got := attrValue(root.Attrs, "request_id"); got != reqID {
+		t.Errorf("root request_id attr = %q, want %q (must match the X-Request-Id header)", got, reqID)
+	}
+	if got := attrValue(root.Attrs, "columns"); got != "3" {
+		t.Errorf("root columns attr = %q, want 3", got)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("root has %d children, want 3 column spans", len(root.Children))
+	}
+
+	var stageSum int64
+	for i, col := range root.Children {
+		if col.Name != "column" {
+			t.Fatalf("child %d = %q, want column", i, col.Name)
+		}
+		if col.DurationNS <= 0 {
+			t.Errorf("column span %d has no duration", i)
+		}
+		if col.StartNS < 0 {
+			t.Errorf("column span %d starts before the trace root", i)
+		}
+		if got := attrValue(col.Attrs, "cache"); got != "miss" {
+			t.Errorf("column span %d cache attr = %q, want miss (cache disabled)", i, got)
+		}
+		if len(col.Children) != 2 {
+			t.Fatalf("column span %d has %d children, want featurize+predict", i, len(col.Children))
+		}
+		for j, want := range []string{"featurize", "predict"} {
+			stage := col.Children[j]
+			if stage.Name != want {
+				t.Fatalf("column %d stage %d = %q, want %q", i, j, stage.Name, want)
+			}
+			if stage.DurationNS <= 0 {
+				t.Errorf("column %d %s span has no duration", i, want)
+			}
+			stageSum += stage.DurationNS
+		}
+	}
+	if stageSum > root.DurationNS {
+		t.Errorf("stage spans sum to %dns, more than the %dns request span", stageSum, root.DurationNS)
+	}
+}
+
+// attrValue finds the first attribute named key.
+func attrValue(attrs []obs.Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTraceRingConfig checks the TraceRing bound is honored by the
+// endpoint: three requests through a ring of two leaves two traces.
+func TestTraceRingConfig(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, TraceRing: 2})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if rec, _ := postInfer(t, h, testBatch(1)); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	var tr TracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count != 2 {
+		t.Errorf("ring of 2 retained %d traces", tr.Count)
+	}
+}
+
+// TestPprofGated checks /debug/pprof/ is absent by default and mounted
+// with EnablePprof.
+func TestPprofGated(t *testing.T) {
+	off := newTestServer(t, Config{Workers: 1})
+	rec := httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", rec.Code)
+	}
+
+	on := newTestServer(t, Config{Workers: 1, EnablePprof: true})
+	rec = httptest.NewRecorder()
+	on.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", rec.Code)
+	}
+}
+
+// TestAccessLog checks the middleware emits one JSON record per request
+// carrying the same request ID the client saw.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(t, Config{Workers: 1, Logger: obs.NewLogger(&buf, slog.LevelInfo)})
+	h := s.Handler()
+	rec, _ := postInfer(t, h, testBatch(1))
+
+	var entry struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"request_id"`
+		Method    string  `json:"method"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		Duration  float64 `json:"duration_ms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log is not one JSON record: %v\nlog: %s", err, buf.Bytes())
+	}
+	if entry.Msg != "request" || entry.Method != http.MethodPost || entry.Path != "/v1/infer" || entry.Status != http.StatusOK {
+		t.Errorf("unexpected access record: %+v", entry)
+	}
+	if entry.RequestID == "" || entry.RequestID != rec.Header().Get("X-Request-Id") {
+		t.Errorf("log request_id %q does not match header %q", entry.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+	if entry.Duration <= 0 {
+		t.Errorf("access record missing duration_ms")
 	}
 }
 

@@ -3,14 +3,17 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sortinghat/ftype"
 	"sortinghat/internal/core"
 	"sortinghat/internal/data"
 	"sortinghat/internal/featurize"
+	"sortinghat/internal/obs"
 )
 
 // Config tunes a Server. The zero value picks sensible defaults; negative
@@ -29,6 +32,17 @@ type Config struct {
 	// MaxBatch caps the number of columns per request. 0 means
 	// DefaultMaxBatch.
 	MaxBatch int
+	// TraceRing caps how many recent finished request traces are kept in
+	// memory for GET /debug/traces. 0 means obs.DefaultTraceRing.
+	TraceRing int
+	// Logger, when non-nil, receives one structured access-log record
+	// per HTTP request, carrying the request ID that also appears on the
+	// request's trace span and X-Request-Id response header.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's Handler. Off by default; see the -pprof flag of
+	// cmd/sortinghatd.
+	EnablePprof bool
 }
 
 // Defaults for the zero Config.
@@ -59,11 +73,14 @@ func (c Config) normalized() Config {
 // Create one with New and release its worker pool with Close. All methods
 // are safe for concurrent use.
 type Server struct {
-	pipe  *core.Pipeline
-	cfg   Config
-	cache *predCache
-	met   metrics
-	start time.Time
+	pipe   *core.Pipeline
+	cfg    Config
+	cache  *predCache
+	met    *metrics
+	tracer *obs.Tracer
+	logger *slog.Logger
+	reqSeq atomic.Int64 // request-ID sequence (req-1, req-2, ...)
+	start  time.Time
 
 	tasks    chan task
 	workerWG sync.WaitGroup
@@ -100,12 +117,15 @@ type Result struct {
 func New(pipe *core.Pipeline, cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
-		pipe:  pipe,
-		cfg:   cfg,
-		cache: newPredCache(cfg.CacheSize),
-		start: time.Now(),
-		tasks: make(chan task, 2*cfg.Workers),
+		pipe:   pipe,
+		cfg:    cfg,
+		cache:  newPredCache(cfg.CacheSize),
+		tracer: obs.NewTracer(cfg.TraceRing),
+		logger: cfg.Logger,
+		start:  time.Now(),
+		tasks:  make(chan task, 2*cfg.Workers),
 	}
+	s.met = newMetrics(s)
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -142,7 +162,9 @@ func (s *Server) worker() {
 
 // process runs the per-column hot path: cache lookup, base featurization,
 // model prediction, cache fill. It writes only *t.out (ownership by
-// index; see the package comment) and always releases t.done.
+// index; see the package comment) and always releases t.done. When the
+// request carries a trace span, the column and its featurize/predict
+// stages become child spans (obs.StartSpan is a no-op otherwise).
 func (s *Server) process(t task) {
 	defer t.done.Done()
 	if t.ctx.Err() != nil {
@@ -150,9 +172,14 @@ func (s *Server) process(t task) {
 	}
 	t.out.Name = t.col.Name
 
+	ctx, colSpan := obs.StartSpan(t.ctx, "column")
+	colSpan.SetAttr("column", t.col.Name)
+	defer colSpan.End()
+
 	key := columnKey(t.col)
 	if hit, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
+		colSpan.SetAttr("cache", "hit")
 		t.out.Type = hit.Type
 		t.out.Probs = hit.Probs
 		t.out.Confidence = confidenceOf(hit.Type, hit.Probs)
@@ -160,17 +187,22 @@ func (s *Server) process(t task) {
 		return
 	}
 	s.met.cacheMisses.Add(1)
+	colSpan.SetAttr("cache", "miss")
 
 	if s.featurizeHook != nil {
 		s.featurizeHook()
 	}
 	fStart := time.Now()
+	_, fSpan := obs.StartSpan(ctx, "featurize")
 	base := featurize.ExtractFirstN(t.col, featurize.SampleCount)
-	s.met.featurize.observeSince(fStart)
+	fSpan.End()
+	s.met.featurize.ObserveSince(fStart)
 
 	pStart := time.Now()
+	_, pSpan := obs.StartSpan(ctx, "predict")
 	typ, probs := s.pipe.PredictBase(&base)
-	s.met.predict.observeSince(pStart)
+	pSpan.End()
+	s.met.predict.ObserveSince(pStart)
 
 	s.cache.put(key, cachedPrediction{Type: typ, Probs: probs})
 	t.out.Type = typ

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Serving smoke test: train a small model, boot sortinghatd against it,
 # probe /healthz, run the same /v1/infer batch twice, and require /metrics
-# to show the second batch answered from the cache. `make smoke` runs this
-# locally; CI runs it as the smoke job. POSIX sh + curl only.
+# to show the second batch answered from the cache, /debug/traces to hold
+# the recorded request traces, and /debug/pprof to be mounted (the daemon
+# runs with -pprof). `make smoke` runs this locally; CI runs it as the
+# smoke job. POSIX sh + curl only.
 set -eu
 
 GO=${GO:-go}
@@ -26,7 +28,7 @@ echo "smoke: building sortinghatd..."
 $GO build -o "$DIR/sortinghatd" ./cmd/sortinghatd
 
 echo "smoke: starting sortinghatd on :$PORT..."
-"$DIR/sortinghatd" -model "$DIR/model.gob" -addr "127.0.0.1:$PORT" &
+"$DIR/sortinghatd" -model "$DIR/model.gob" -addr "127.0.0.1:$PORT" -pprof &
 PID=$!
 
 BASE="http://127.0.0.1:$PORT"
@@ -65,6 +67,22 @@ curl -fsS "$BASE/metrics" >"$DIR/metrics.txt"
 grep -q '^sortinghatd_requests_total 2$' "$DIR/metrics.txt"
 grep -q '^sortinghatd_cache_hits_total 4$' "$DIR/metrics.txt"
 grep -q '^sortinghatd_columns_total 8$' "$DIR/metrics.txt"
+grep -q '^sortinghatd_cache_evictions_total 0$' "$DIR/metrics.txt"
+grep -q '^sortinghatd_cache_capacity ' "$DIR/metrics.txt"
+grep -q '^sortinghatd_forest_split_nodes ' "$DIR/metrics.txt"
+grep -q '^sortinghatd_featurize_seconds_count ' "$DIR/metrics.txt"
+
+echo "smoke: /debug/traces must hold the recorded request traces..."
+curl -fsS "$BASE/debug/traces" >"$DIR/traces.json"
+grep -q '"name":"infer"' "$DIR/traces.json" || {
+    echo "smoke: FAIL - trace ring empty or missing infer spans: $(cat "$DIR/traces.json")" >&2
+    exit 1
+}
+grep -q '"name":"featurize"' "$DIR/traces.json"
+grep -q '"request_id"' "$DIR/traces.json"
+
+echo "smoke: /debug/pprof must be mounted (-pprof)..."
+curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null
 
 echo "smoke: graceful shutdown..."
 kill "$PID"
