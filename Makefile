@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet shvet check bench smoke profile
+.PHONY: build test race vet shvet shvet-strict check bench smoke profile
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,14 @@ vet:
 shvet:
 	$(GO) run ./cmd/shvet ./...
 
-check: build vet shvet test race
+# Strict machine-readable gate: findings as stable JSON, diffed against
+# the committed (empty) baseline so only brand-new findings fail. The
+# report lands in shvet-findings.json (gitignored; CI uploads it as an
+# artifact).
+shvet-strict:
+	$(GO) run ./cmd/shvet -json -baseline shvet.baseline.json ./... > shvet-findings.json
+
+check: build vet shvet shvet-strict test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

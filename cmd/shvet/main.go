@@ -13,12 +13,22 @@
 //	-list             print the analyzers and exit
 //	-only a,b         run only the named analyzers
 //	-show-suppressed  also print findings silenced by //shvet:ignore
+//	-json             emit the findings as a stable JSON report on stdout
+//	-baseline FILE    fail only on findings not present in FILE (a prior
+//	                  -json report); known ones print as "(baseline)"
 //
 // Findings print as file:line:col: [analyzer] message. Suppress one with
 // an end-of-line directive: //shvet:ignore <analyzer> <reason>.
+//
+// The -json report is byte-stable across runs: findings are sorted, and
+// file paths are module-root-relative with forward slashes. The same
+// format is what -baseline consumes; a finding is matched by its (file,
+// analyzer, message) triple, so line drift from unrelated edits does not
+// resurrect baselined findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,12 +42,59 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is one finding in the -json report. File is relative to
+// the module root, slash-separated, so reports compare across hosts.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+	New        bool   `json:"new"`
+}
+
+// key identifies a finding for baseline matching. Line and column are
+// deliberately excluded: unrelated edits move findings around without
+// changing what they are.
+func (f jsonFinding) key() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// jsonReport is the -json output and the -baseline input format.
+type jsonReport struct {
+	Module     string        `json:"module"`
+	Total      int           `json:"total"`
+	Suppressed int           `json:"suppressed"`
+	New        int           `json:"new"`
+	Findings   []jsonFinding `json:"findings"`
+}
+
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	known := map[string]bool{}
+	for _, f := range rep.Findings {
+		known[f.key()] = true
+	}
+	return known, nil
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("shvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed findings")
+	jsonOut := fs.Bool("json", false, "emit findings as a stable JSON report on stdout")
+	baselinePath := fs.String("baseline", "", "fail only on findings absent from this prior -json report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +119,16 @@ func run(args []string, stdout, stderr *os.File) int {
 				return 2
 			}
 			analyzers = append(analyzers, a)
+		}
+	}
+
+	var baseline map[string]bool
+	if *baselinePath != "" {
+		var err error
+		baseline, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "shvet: baseline: %v\n", err)
+			return 2
 		}
 	}
 
@@ -92,28 +159,73 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := analysis.Analyze(pkgs, analyzers)
-	bad := 0
+
+	rep := jsonReport{Module: loader.ModPath, Findings: []jsonFinding{}}
 	for _, f := range findings {
-		if f.Suppressed && !*showSuppressed {
-			continue
+		jf := jsonFinding{
+			File:       modRelPath(loader.ModRoot, f.Pos.Filename),
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
 		}
-		rel := f
-		if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+		jf.New = !jf.Suppressed && !baseline[jf.key()]
+		rep.Total++
+		if jf.Suppressed {
+			rep.Suppressed++
 		}
-		suffix := ""
-		if f.Suppressed {
-			suffix = fmt.Sprintf(" (suppressed: %s)", f.Reason)
-		} else {
-			bad++
+		if jf.New {
+			rep.New++
 		}
-		fmt.Fprintf(stdout, "%s%s\n", rel, suffix)
+		rep.Findings = append(rep.Findings, jf)
 	}
-	if bad > 0 {
-		fmt.Fprintf(stderr, "shvet: %d unsuppressed finding(s)\n", bad)
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "shvet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		for i, f := range findings {
+			if f.Suppressed && !*showSuppressed {
+				continue
+			}
+			rel := f
+			if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = r
+			}
+			suffix := ""
+			switch {
+			case f.Suppressed:
+				suffix = fmt.Sprintf(" (suppressed: %s)", f.Reason)
+			case !rep.Findings[i].New:
+				suffix = " (baseline)"
+			}
+			fmt.Fprintf(stdout, "%s%s\n", rel, suffix)
+		}
+	}
+	if rep.New > 0 {
+		if baseline != nil {
+			fmt.Fprintf(stderr, "shvet: %d new finding(s) not in baseline\n", rep.New)
+		} else {
+			fmt.Fprintf(stderr, "shvet: %d unsuppressed finding(s)\n", rep.New)
+		}
 		return 1
 	}
 	return 0
+}
+
+// modRelPath renders filename relative to the module root with forward
+// slashes; paths outside the root (never expected) pass through as-is.
+func modRelPath(root, filename string) string {
+	if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
 }
 
 // filterPackages keeps the packages whose directory matches any pattern,

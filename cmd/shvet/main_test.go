@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,7 +43,10 @@ func TestListPrintsEveryAnalyzer(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"global-rand", "map-order", "float-eq", "unchecked-err", "sync-copy"} {
+	for _, name := range []string{
+		"global-rand", "map-order", "float-eq", "unchecked-err", "sync-copy",
+		"doc-comment", "lock-balance", "nondet-flow", "ctx-flow", "goroutine-leak",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
 		}
@@ -86,6 +91,132 @@ func TestPatternFiltersPackages(t *testing.T) {
 	}
 	if strings.Contains(stdout, "cmd/") {
 		t.Errorf("pattern ../../internal/ml/... leaked cmd/ findings:\n%s", stdout)
+	}
+}
+
+// chtmpmod materializes a throwaway module in its own directory, chdirs
+// into it, and restores the working directory on cleanup.
+func chtmpmod(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return dir
+}
+
+const dirtyFixture = `// Package dirty trips global-rand on purpose.
+package dirty
+
+import "math/rand"
+
+// Draw uses the global source.
+func Draw() float64 {
+	return rand.Float64()
+}
+`
+
+// TestJSONReport checks the -json shape on a known-dirty module: the
+// finding appears with module-relative path, new:true, and the report is
+// byte-identical across two consecutive runs.
+func TestJSONReport(t *testing.T) {
+	chtmpmod(t, map[string]string{"dirty.go": dirtyFixture})
+
+	code, stdout, stderr := capture(t, []string{"-json", "-only", "global-rand"})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	var rep struct {
+		Module   string `json:"module"`
+		New      int    `json:"new"`
+		Findings []struct {
+			File     string `json:"file"`
+			Analyzer string `json:"analyzer"`
+			New      bool   `json:"new"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if rep.Module != "tmpmod" || rep.New != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("report = %+v, want module tmpmod with 1 new finding", rep)
+	}
+	if f := rep.Findings[0]; f.File != "dirty.go" || f.Analyzer != "global-rand" || !f.New {
+		t.Errorf("finding = %+v, want dirty.go/global-rand/new", f)
+	}
+
+	_, stdout2, _ := capture(t, []string{"-json", "-only", "global-rand"})
+	if stdout != stdout2 {
+		t.Errorf("-json output differs between two runs:\n--- first ---\n%s\n--- second ---\n%s", stdout, stdout2)
+	}
+}
+
+// TestBaselineRoundTrip drives the CI workflow: a dirty module fails,
+// its own -json report accepted as baseline makes it pass, and a newly
+// introduced finding fails again while the old one prints as baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := chtmpmod(t, map[string]string{"dirty.go": dirtyFixture})
+
+	if code, _, _ := capture(t, []string{"-only", "global-rand"}); code != 1 {
+		t.Fatalf("dirty module exit = %d, want 1", code)
+	}
+
+	_, report, _ := capture(t, []string{"-json", "-only", "global-rand"})
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(basePath, []byte(report), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := capture(t, []string{"-baseline", basePath, "-only", "global-rand"})
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "(baseline)") {
+		t.Errorf("baselined finding not marked in output:\n%s", stdout)
+	}
+
+	more := dirtyFixture + `
+// DrawInt introduces a second, unbaselined finding.
+func DrawInt() int {
+	return rand.Intn(10)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "dirty.go"), []byte(more), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = capture(t, []string{"-baseline", basePath, "-only", "global-rand"})
+	if code != 1 {
+		t.Fatalf("new-finding run exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "1 new finding(s) not in baseline") {
+		t.Errorf("stderr missing new-finding count:\n%s", stderr)
+	}
+}
+
+// TestBaselineMissingFileIsUsageError keeps config mistakes loud.
+func TestBaselineMissingFileIsUsageError(t *testing.T) {
+	chtmpmod(t, map[string]string{"dirty.go": dirtyFixture})
+	code, _, stderr := capture(t, []string{"-baseline", "no-such-baseline.json"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "baseline") {
+		t.Errorf("stderr missing diagnosis:\n%s", stderr)
 	}
 }
 

@@ -1,47 +1,3 @@
-// Package analysis implements shvet, a small static-analysis framework
-// built entirely on the standard library (go/parser, go/ast, go/types,
-// go/token). It exists because this repository's value as a benchmark
-// reproduction rests on bit-reproducible results: the analyzers are tuned
-// to the failure modes that silently break determinism or correctness in
-// numeric Go code.
-//
-// The six analyzers:
-//
-//   - global-rand: uses of top-level math/rand functions (rand.Float64,
-//     rand.Shuffle, ...) that draw from the process-global source instead
-//     of an injected, seeded *rand.Rand.
-//   - map-order: range over a map whose body appends to a slice, writes to
-//     an io.Writer, or calls a fmt print function, letting map iteration
-//     order escape into results. Collecting keys and sorting them after
-//     the loop is recognised and not flagged.
-//   - float-eq: == or != on floating-point operands outside test files.
-//     Comparisons against an exact-zero constant and self-comparisons
-//     (the x != x NaN idiom) are exempt.
-//   - unchecked-err: expression statements that discard an error result
-//     from a non-fmt call. Deferred calls, go statements, fmt.*, and the
-//     always-nil writers (strings.Builder, bytes.Buffer) are exempt;
-//     assign to _ to discard explicitly.
-//   - sync-copy: function signatures that pass or return sync.Mutex,
-//     sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond, sync.Map or
-//     sync.Pool by value (directly or embedded in a struct/array).
-//   - doc-comment: exported package-level identifiers without a doc
-//     comment, and packages without a package comment. Group comments,
-//     end-of-line spec comments and methods on unexported receivers are
-//     recognised; _test.go files are exempt.
-//
-// Findings can be suppressed with a directive comment:
-//
-//	//shvet:ignore <analyzer>[,<analyzer>...] <reason>
-//
-// An end-of-line directive suppresses findings on its own line; a
-// directive alone on a line suppresses findings on the following line.
-// The analyzer list may be "all". A reason is required.
-//
-// To add an analyzer: create a file in this package defining an
-// *Analyzer with a unique Name and a Run func that walks pass.Files and
-// calls pass.Reportf, then append it to All. Add a fixture package under
-// testdata/fixtures/<name>/ with "// want <name>" markers and it is
-// picked up by the fixture test automatically.
 package analysis
 
 import (
@@ -67,11 +23,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named pass over a type-checked package.
+// Analyzer is one named pass. Exactly one of Run and RunModule is set:
+// Run is invoked once per package, RunModule once per module with the
+// whole-module call graph available.
 type Analyzer struct {
-	Name string // short kebab-case identifier used in reports and directives
-	Doc  string // one-line description
-	Run  func(*Pass)
+	Name      string // short kebab-case identifier used in reports and directives
+	Doc       string // one-line description
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one type-checked package through an analyzer run.
@@ -104,6 +63,31 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// ModulePass carries the whole module — every package plus the call graph
+// built over them — through a module-level analyzer run.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+
+	analyzer string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAtf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAtf records a finding at an already-resolved position.
+func (p *ModulePass) ReportAtf(pos token.Position, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      pos,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // All returns the full analyzer suite in report order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -113,16 +97,44 @@ func All() []*Analyzer {
 		AnalyzerUncheckedErr,
 		AnalyzerSyncCopy,
 		AnalyzerDocComment,
+		AnalyzerLockBalance,
+		AnalyzerNondetFlow,
+		AnalyzerCtxFlow,
+		AnalyzerGoroutineLeak,
 	}
 }
 
+// knownAnalyzerNames returns the set of names a //shvet:ignore directive
+// may mention: every analyzer in the full suite plus the wildcard "all".
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
 // Analyze runs every analyzer over every package and returns all findings
-// (suppressed ones included, marked) sorted by position.
+// (suppressed ones included, marked) sorted by position. Per-package
+// analyzers run package by package; module analyzers run once over the
+// call graph built from the whole package set. Malformed //shvet:ignore
+// directives surface as findings under the "directive" pseudo-analyzer,
+// which cannot itself be suppressed.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
+	known := knownAnalyzerNames()
+	sup := suppressions{}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		for _, a := range analyzers {
+		collectSuppressions(pkg, known, sup, &out)
+	}
+
+	var module []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{
 				Fset:     pkg.Fset,
 				Pkg:      pkg.Types,
@@ -131,14 +143,29 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				analyzer: a.Name,
 				findings: &out,
 			}
-			start := len(out)
 			a.Run(pass)
-			for i := start; i < len(out); i++ {
-				if reason, ok := sup.match(out[i].Pos, a.Name); ok {
-					out[i].Suppressed = true
-					out[i].Reason = reason
-				}
-			}
+		}
+	}
+	if len(module) > 0 && len(pkgs) > 0 {
+		mp := &ModulePass{
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			Graph:    BuildCallGraph(pkgs),
+			findings: &out,
+		}
+		for _, a := range module {
+			mp.analyzer = a.Name
+			a.RunModule(mp)
+		}
+	}
+
+	for i := range out {
+		if out[i].Analyzer == DirectiveAnalyzer {
+			continue
+		}
+		if reason, ok := sup.match(out[i].Pos, out[i].Analyzer); ok {
+			out[i].Suppressed = true
+			out[i].Reason = reason
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -150,7 +150,7 @@ func TestEachAnalyzerFires(t *testing.T) {
 }
 
 // TestSuppressions asserts the directive machinery: the suppress fixture
-// carries exactly three suppressed findings, each with the reason text
+// carries exactly five suppressed findings, each with the reason text
 // from its directive.
 func TestSuppressions(t *testing.T) {
 	findings := loadFixtures(t)
@@ -160,8 +160,8 @@ func TestSuppressions(t *testing.T) {
 			suppressed = append(suppressed, f)
 		}
 	}
-	if len(suppressed) != 3 {
-		t.Fatalf("suppress fixture: got %d suppressed findings, want 3:\n%v", len(suppressed), suppressed)
+	if len(suppressed) != 5 {
+		t.Fatalf("suppress fixture: got %d suppressed findings, want 5:\n%v", len(suppressed), suppressed)
 	}
 	for _, f := range suppressed {
 		if !strings.HasPrefix(f.Reason, "fixture:") {

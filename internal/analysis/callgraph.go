@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is a whole-module static call graph built over the loader's
+// type-checked packages. Nodes are the functions and methods declared in
+// non-test files; edges are the statically resolvable calls between them
+// (direct calls and method calls on named types — calls through function
+// values or interfaces are out of scope). Node iteration via SortedIDs
+// and per-node edge order are deterministic, so everything derived from
+// the graph is byte-stable run to run.
+type CallGraph struct {
+	Mod   string           // module path, trimmed from rendered IDs
+	Nodes map[string]*Node // keyed by types.Func.FullName()
+	ids   []string         // sorted node IDs, fixed at build time
+}
+
+// Node is one declared function or method in the graph.
+type Node struct {
+	ID      string // types.Func.FullName(), e.g. "(*mod/pkg.T).Method"
+	Fn      *types.Func
+	Decl    *ast.FuncDecl
+	Pkg     *Package
+	HasCtx  bool // takes a context.Context parameter
+	IsEntry bool // exported train/predict/experiment entry point
+	Calls   []Edge
+	Sources []Source      // nondeterminism sources inside the body
+	Gos     []*ast.GoStmt // go statements inside the body (incl. nested literals)
+}
+
+// Edge is one static call site, kept in source order with duplicates to
+// the same callee collapsed onto the first occurrence.
+type Edge struct {
+	Callee string // node ID of the callee
+	Pos    token.Pos
+}
+
+// Source is a nondeterminism source observed inside a node's body:
+// "time.Now", "time.Since", "rand.<Fn>" (global math/rand), or
+// "map-order escape".
+type Source struct {
+	Kind string
+	Pos  token.Position
+}
+
+// entryPrefixes match the exported API surface whose results the paper's
+// benchmark numbers depend on: training, prediction/inference, and the
+// experiment drivers that render tables and figures.
+var entryPrefixes = []string{"Train", "Predict", "Infer", "Fit", "Table", "Figure", "Experiment"}
+
+func isEntryPoint(fn *types.Func) bool {
+	name := fn.Name()
+	if !ast.IsExported(name) {
+		return false
+	}
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func hasContextParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceKind classifies a statically-resolved callee as a nondeterminism
+// source, or returns "" for anything else. Methods (e.g. on a seeded
+// *rand.Rand) and the explicit-seed constructors are not sources.
+func sourceKind(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return "rand." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// BuildCallGraph builds the module call graph from the loaded packages.
+// External test packages and _test.go files are excluded: the graph
+// models the shipped module, not its tests.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*Node{}}
+	if len(pkgs) > 0 {
+		g.Mod = pkgs[0].Mod
+	}
+
+	// A node per function declared in a non-test file, plus its line span
+	// so package-level findings (map-order) can be attributed to it.
+	type span struct {
+		start, end int
+		node       *Node
+	}
+	spans := map[string][]span{}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.ImportPath, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			filename := pkg.Fset.Position(file.Package).Filename
+			if strings.HasSuffix(filename, "_test.go") {
+				continue
+			}
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{
+					ID:      fn.FullName(),
+					Fn:      fn,
+					Decl:    fd,
+					Pkg:     pkg,
+					HasCtx:  hasContextParam(fn),
+					IsEntry: isEntryPoint(fn),
+				}
+				g.Nodes[n.ID] = n
+				spans[filename] = append(spans[filename], span{
+					start: pkg.Fset.Position(fd.Pos()).Line,
+					end:   pkg.Fset.Position(fd.End()).Line,
+					node:  n,
+				})
+			}
+		}
+	}
+
+	// Edges, intrinsic sources, and go statements. Function literals are
+	// attributed to their enclosing declaration. Per-node slices follow
+	// ast.Inspect order, which is source order, so they are deterministic
+	// even though the node map itself is iterated unordered here.
+	for _, n := range g.Nodes {
+		g.scanBody(n)
+	}
+
+	// Map-order escapes, found by the map-order analyzer over the same
+	// files and attributed to the enclosing declaration. Top-level decls
+	// do not nest, so at most one span matches a finding.
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.ImportPath, "_test") {
+			continue
+		}
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			if !strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+				files = append(files, f)
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		var scratch []Finding
+		pass := &Pass{
+			Fset: pkg.Fset, Pkg: pkg.Types, Info: pkg.Info, Files: files,
+			analyzer: AnalyzerMapOrder.Name, findings: &scratch,
+		}
+		runMapOrder(pass)
+		for _, f := range scratch {
+			for _, sp := range spans[f.Pos.Filename] {
+				if f.Pos.Line >= sp.start && f.Pos.Line <= sp.end {
+					sp.node.Sources = append(sp.node.Sources, Source{Kind: "map-order escape", Pos: f.Pos})
+					break
+				}
+			}
+		}
+	}
+
+	g.ids = make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		g.ids = append(g.ids, id)
+	}
+	sort.Strings(g.ids)
+	return g
+}
+
+// scanBody fills in a node's edges, sources, and go statements.
+func (g *CallGraph) scanBody(n *Node) {
+	info := n.Pkg.Info
+	seen := map[string]bool{}
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.GoStmt:
+			n.Gos = append(n.Gos, v)
+		case *ast.CallExpr:
+			fn := calleeFuncInfo(info, v)
+			if fn == nil {
+				return true
+			}
+			if kind := sourceKind(fn); kind != "" {
+				n.Sources = append(n.Sources, Source{Kind: kind, Pos: n.Pkg.Fset.Position(v.Pos())})
+				return true
+			}
+			if !g.inModule(fn) {
+				return true
+			}
+			id := fn.FullName()
+			if id == n.ID || seen[id] {
+				return true
+			}
+			if _, ok := g.Nodes[id]; !ok {
+				return true // no body in the graph (interface method, generated decl)
+			}
+			seen[id] = true
+			n.Calls = append(n.Calls, Edge{Callee: id, Pos: v.Pos()})
+		}
+		return true
+	})
+}
+
+func (g *CallGraph) inModule(fn *types.Func) bool {
+	if fn.Pkg() == nil || g.Mod == "" {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == g.Mod || strings.HasPrefix(p, g.Mod+"/")
+}
+
+// SortedIDs returns every node ID in lexical order; iterate this, never
+// the Nodes map, when determinism matters.
+func (g *CallGraph) SortedIDs() []string {
+	return g.ids
+}
+
+// ShortID trims the module path out of a node ID, leaving package-local
+// names like "core.TrainCtx" or "(*serve.Server).enqueue".
+func (g *CallGraph) ShortID(id string) string {
+	if g.Mod == "" {
+		return id
+	}
+	return strings.ReplaceAll(id, g.Mod+"/", "")
+}
+
+// Dump renders the whole graph deterministically — nodes in sorted ID
+// order, edges and sources in source order — for tests and debugging.
+func (g *CallGraph) Dump() string {
+	var b strings.Builder
+	for _, id := range g.ids {
+		n := g.Nodes[id]
+		b.WriteString("node ")
+		b.WriteString(g.ShortID(id))
+		if n.IsEntry {
+			b.WriteString(" entry")
+		}
+		if n.HasCtx {
+			b.WriteString(" ctx")
+		}
+		b.WriteByte('\n')
+		for _, e := range n.Calls {
+			fmt.Fprintf(&b, "  call %s\n", g.ShortID(e.Callee))
+		}
+		for _, s := range n.Sources {
+			fmt.Fprintf(&b, "  source %s line %d\n", s.Kind, s.Pos.Line)
+		}
+		if len(n.Gos) > 0 {
+			fmt.Fprintf(&b, "  go x%d\n", len(n.Gos))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildFixtureGraph loads the fixture module from scratch — fresh
+// FileSet, fresh type-checker — and builds its call graph.
+func buildFixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "fixtures"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// TestCallGraphDeterministic builds the fixture graph twice from
+// independent loaders and requires byte-identical dumps: node order,
+// edge order, source order, everything.
+func TestCallGraphDeterministic(t *testing.T) {
+	a := buildFixtureGraph(t).Dump()
+	b := buildFixtureGraph(t).Dump()
+	if a != b {
+		t.Fatalf("call graph dump differs between two builds:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("call graph dump is empty")
+	}
+}
+
+// TestCallGraphShape spot-checks the fixture graph: entries, ctx
+// detection, edges, and sources land where the analyzers assume.
+func TestCallGraphShape(t *testing.T) {
+	g := buildFixtureGraph(t)
+
+	node := func(id string) *Node {
+		t.Helper()
+		n, ok := g.Nodes[id]
+		if !ok {
+			t.Fatalf("node %q missing from graph; have %v", id, g.SortedIDs())
+		}
+		return n
+	}
+
+	entry := node("fixtures/nondetflow.PredictJittered")
+	if !entry.IsEntry {
+		t.Error("PredictJittered not detected as entry point")
+	}
+	if len(entry.Calls) != 1 || entry.Calls[0].Callee != "fixtures/nondetflow.stamp" {
+		t.Errorf("PredictJittered calls = %+v, want one edge to stamp", entry.Calls)
+	}
+
+	fit := node("(*fixtures/nondetflow.Model).Fit")
+	if !fit.IsEntry {
+		t.Error("(*Model).Fit not detected as entry point")
+	}
+
+	clock := node("fixtures/nondetflow.clock")
+	if clock.IsEntry {
+		t.Error("unexported clock marked as entry point")
+	}
+	if len(clock.Sources) != 1 || clock.Sources[0].Kind != "time.Now" {
+		t.Errorf("clock sources = %+v, want one time.Now", clock.Sources)
+	}
+
+	sample := node("fixtures/nondetflow.sample")
+	if len(sample.Sources) != 1 || sample.Sources[0].Kind != "rand.Intn" {
+		t.Errorf("sample sources = %+v, want one rand.Intn", sample.Sources)
+	}
+
+	dump := node("fixtures/nondetflow.TableDump")
+	if len(dump.Sources) != 1 || dump.Sources[0].Kind != "map-order escape" {
+		t.Errorf("TableDump sources = %+v, want one map-order escape", dump.Sources)
+	}
+
+	if n := node("fixtures/ctxflow.Good"); !n.HasCtx {
+		t.Error("ctxflow.Good not detected as ctx-carrying")
+	}
+	if n := node("fixtures/ctxflow.Lookup"); n.HasCtx {
+		t.Error("ctxflow.Lookup wrongly detected as ctx-carrying")
+	}
+
+	if n := node("(*fixtures/goroutineleak.Poller).StartPoller"); len(n.Gos) != 1 {
+		t.Errorf("StartPoller go statements = %d, want 1", len(n.Gos))
+	}
+
+	if got, want := g.ShortID("(*fixtures/nondetflow.Model).Fit"), "(*nondetflow.Model).Fit"; got != want {
+		t.Errorf("ShortID = %q, want %q", got, want)
+	}
+
+	for _, id := range g.SortedIDs() {
+		if strings.HasSuffix(id, "_test") || strings.Contains(id, "_test.") {
+			t.Errorf("test symbol %q leaked into the graph", id)
+		}
+	}
+}

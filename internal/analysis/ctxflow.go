@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxFlow flags functions that receive a context.Context but fail
+// to thread it through: either passing a fresh context.Background() or
+// context.TODO() to a ctx-accepting callee, or calling a ctx-less
+// function X when a ctx-threaded sibling XCtx exists in the module. Both
+// detach the callee from the caller's span tree and deadline — the exact
+// regression the obs tracing layer exists to prevent.
+var AnalyzerCtxFlow = &Analyzer{
+	Name:      "ctx-flow",
+	Doc:       "received context.Context dropped or replaced with Background/TODO on the way down",
+	RunModule: runCtxFlow,
+}
+
+func runCtxFlow(mp *ModulePass) {
+	g := mp.Graph
+	for _, id := range g.SortedIDs() {
+		n := g.Nodes[id]
+		if !n.HasCtx {
+			continue
+		}
+		info := n.Pkg.Info
+		short := g.ShortID(id)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFuncInfo(info, call)
+			if fn == nil {
+				return true
+			}
+			if hasContextParam(fn) {
+				for _, arg := range call.Args {
+					if name := freshContextCall(info, arg); name != "" {
+						mp.Reportf(arg.Pos(),
+							"%s receives a context but passes context.%s() to %s, detaching it from the caller's spans and deadline; thread ctx through instead",
+							short, name, fn.Name())
+					}
+				}
+				return true
+			}
+			if sib, ok := g.Nodes[fn.FullName()+"Ctx"]; ok && sib.HasCtx {
+				mp.Reportf(call.Pos(),
+					"%s receives a context but calls %s, dropping it; use %s so spans and deadlines propagate",
+					short, fn.Name(), fn.Name()+"Ctx")
+			}
+			return true
+		})
+	}
+}
+
+// freshContextCall reports whether e is a direct context.Background() or
+// context.TODO() call, returning the function name or "".
+func freshContextCall(info *types.Info, e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := calleeFuncInfo(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}

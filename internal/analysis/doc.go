@@ -1,0 +1,71 @@
+// Package analysis implements shvet, a small static-analysis framework
+// built entirely on the standard library (go/parser, go/ast, go/types,
+// go/token). It exists because this repository's value as a benchmark
+// reproduction rests on bit-reproducible results: the analyzers are tuned
+// to the failure modes that silently break determinism or correctness in
+// numeric Go code.
+//
+// The ten analyzers:
+//
+//   - global-rand: uses of top-level math/rand functions (rand.Float64,
+//     rand.Shuffle, ...) that draw from the process-global source instead
+//     of an injected, seeded *rand.Rand.
+//   - map-order: range over a map whose body appends to a slice, writes to
+//     an io.Writer, or calls a fmt print function, letting map iteration
+//     order escape into results. Collecting keys and sorting them after
+//     the loop is recognised and not flagged.
+//   - float-eq: == or != on floating-point operands outside test files.
+//     Comparisons against an exact-zero constant and self-comparisons
+//     (the x != x NaN idiom) are exempt.
+//   - unchecked-err: expression statements that discard an error result
+//     from a non-fmt call. Deferred calls, go statements, fmt.*, and the
+//     always-nil writers (strings.Builder, bytes.Buffer) are exempt;
+//     assign to _ to discard explicitly.
+//   - sync-copy: function signatures that pass or return sync.Mutex,
+//     sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond, sync.Map or
+//     sync.Pool by value (directly or embedded in a struct/array).
+//   - doc-comment: exported package-level identifiers without a doc
+//     comment, and packages without a package comment. Group comments,
+//     end-of-line spec comments and methods on unexported receivers are
+//     recognised; _test.go files are exempt.
+//   - lock-balance: intra-procedural Lock/Unlock pairing per mutex
+//     object. Flags early returns and fall-through paths that leave a
+//     mutex locked (unless a deferred unlock covers it) and locks held
+//     across blocking operations: channel sends/receives, select without
+//     a default, range over a channel, time.Sleep, and os/net I/O.
+//   - nondet-flow (module-level): functions reachable from the exported
+//     train/predict/experiment entry points that transitively reach a
+//     nondeterminism source — global math/rand, time.Now/time.Since, or
+//     a map-order escape. Reported at the source call site with the full
+//     call chain from the entry point.
+//   - ctx-flow (module-level): a function that receives a
+//     context.Context but passes context.Background()/context.TODO() to
+//     a ctx-accepting callee, or calls X when a ctx-threaded XCtx
+//     sibling exists — both break span trees and deadline propagation.
+//   - goroutine-leak (module-level): go statements whose goroutine body
+//     loops forever with no termination signal in sight (no
+//     context.Context, no channel or select, no sync.WaitGroup/Cond).
+//
+// The module-level analyzers run over a whole-module call graph (see
+// CallGraph) built on the same loader; nodes and edges are
+// deterministically ordered, so reports are byte-stable run to run.
+//
+// Findings can be suppressed with a directive comment:
+//
+//	//shvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// An end-of-line directive suppresses findings on its own line; a
+// directive alone on a line suppresses findings on the following line.
+// The analyzer list may be "all" and may contain spaces after commas. A
+// reason is required. A malformed directive — unknown analyzer name,
+// missing reason, or a standalone directive on the last line of a file —
+// is itself reported as a finding (analyzer "directive") and cannot be
+// suppressed.
+//
+// To add an analyzer: create a file in this package defining an
+// *Analyzer with a unique Name and either a Run func that walks
+// pass.Files and calls pass.Reportf, or a RunModule func that consumes
+// the call graph, then append it to All. Add a fixture package under
+// testdata/fixtures/<name>/ with "// want <name>" markers and it is
+// picked up by the fixture test automatically.
+package analysis

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoroutineLeak flags go statements whose goroutine can never be
+// told to stop: the body loops (for/range) but contains no termination
+// signal — no context.Context value, no channel operation or select, no
+// sync.WaitGroup or sync.Cond — and none arrive through the spawned
+// function's parameters. A straight-line goroutine finishes by itself
+// and is fine; an unbounded loop with no signal outlives every caller.
+var AnalyzerGoroutineLeak = &Analyzer{
+	Name:      "goroutine-leak",
+	Doc:       "go statements spawning unbounded loops with no termination signal",
+	RunModule: runGoroutineLeak,
+}
+
+func runGoroutineLeak(mp *ModulePass) {
+	g := mp.Graph
+	for _, id := range g.SortedIDs() {
+		n := g.Nodes[id]
+		for _, goStmt := range n.Gos {
+			body, info, sigFromParams := goroutineBody(g, n, goStmt)
+			if body == nil || sigFromParams {
+				continue
+			}
+			if !containsLoop(body) {
+				continue
+			}
+			if hasTerminationSignal(info, body) {
+				continue
+			}
+			mp.Reportf(goStmt.Pos(),
+				"goroutine started by %s loops forever with no termination signal (no context, channel, select, or WaitGroup in its body); it cannot be shut down",
+				g.ShortID(id))
+		}
+	}
+}
+
+// goroutineBody resolves the body the go statement will run: the literal
+// itself, or the declaration of a statically-resolved callee within the
+// module. sigFromParams is true when the spawned function's own
+// parameters carry a stop signal (context, channel, or *sync.WaitGroup),
+// in which case the caller has a handle on it by construction.
+func goroutineBody(g *CallGraph, n *Node, goStmt *ast.GoStmt) (body *ast.BlockStmt, info *types.Info, sigFromParams bool) {
+	if lit, ok := goStmt.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, n.Pkg.Info, false
+	}
+	fn := calleeFuncInfo(n.Pkg.Info, goStmt.Call)
+	if fn == nil {
+		return nil, nil, false
+	}
+	if signalInSignature(fn) {
+		return nil, nil, true
+	}
+	callee, ok := g.Nodes[fn.FullName()]
+	if !ok {
+		return nil, nil, false
+	}
+	return callee.Decl.Body, callee.Pkg.Info, false
+}
+
+func signalInSignature(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isSignalType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSignalType reports whether t can carry a stop signal: a channel, a
+// context.Context, or a sync.WaitGroup/Cond (usually by pointer).
+func isSignalType(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if isContextType(t) {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "WaitGroup" || obj.Name() == "Cond"
+}
+
+// containsLoop reports whether the body has any for or range statement.
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasTerminationSignal reports whether the goroutine body touches
+// anything that can end it: a select, a channel operation or
+// channel-typed value, a context.Context value, or a WaitGroup/Cond.
+func hasTerminationSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		case *ast.Ident:
+			if sigObjectType(info.TypeOf(v)) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if sigObjectType(info.TypeOf(v)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func sigObjectType(t types.Type) bool {
+	return t != nil && isSignalType(t)
+}

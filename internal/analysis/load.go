@@ -20,6 +20,7 @@ import (
 // own entries with ImportPath suffixed "_test".
 type Package struct {
 	ImportPath string
+	Mod        string // module path of the enclosing module
 	Dir        string
 	Fset       *token.FileSet
 	Files      []*ast.File
@@ -282,6 +283,7 @@ func (l *Loader) newPackage(path, dir string, files []*ast.File, tpkg *types.Pac
 	}
 	return &Package{
 		ImportPath: path,
+		Mod:        l.ModPath,
 		Dir:        dir,
 		Fset:       l.Fset,
 		Files:      files,

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerLockBalance checks Lock/Unlock pairing per mutex object within
+// each function body: a path that returns (or falls off the end) while a
+// mutex is still locked is flagged unless a deferred unlock covers it,
+// and so is any blocking operation — channel send/receive, select
+// without a default, range over a channel, time.Sleep, os/net I/O —
+// executed while a lock is held. Read locks (RLock/RUnlock) are tracked
+// as their own object. The analysis is intra-procedural and path-merges
+// if/else by intersection, so a lock released on every branch is clean.
+var AnalyzerLockBalance = &Analyzer{
+	Name: "lock-balance",
+	Doc:  "mutexes left locked on early returns or held across blocking operations",
+	Run:  runLockBalance,
+}
+
+func runLockBalance(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockBalance(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockBalance(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockUse tracks one acquired lock within a function.
+type lockUse struct {
+	pos  token.Pos // the Lock/RLock call site
+	expr string    // rendered receiver expression, for messages
+}
+
+// lockState maps a lock key (receiver expression, "/r"-suffixed for read
+// locks) to its acquisition site.
+type lockState map[string]lockUse
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only the locks held in both states — the merge rule
+// for control-flow joins.
+func intersect(a, b lockState) lockState {
+	out := lockState{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sortedKeys(s lockState) []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockChecker carries the per-function-body analysis state.
+type lockChecker struct {
+	pass     *Pass
+	deferred map[string]bool // lock keys with a deferred unlock seen so far
+}
+
+func checkLockBalance(pass *Pass, body *ast.BlockStmt) {
+	c := &lockChecker{pass: pass, deferred: map[string]bool{}}
+	held, falls := c.walkStmts(body.List, lockState{})
+	if !falls {
+		return
+	}
+	for _, key := range sortedKeys(held) {
+		if c.deferred[key] {
+			continue
+		}
+		use := held[key]
+		c.pass.Reportf(use.pos,
+			"%s is locked here but never unlocked on the fall-through path; unlock before the function ends or defer the unlock", use.expr)
+	}
+}
+
+// walkStmts runs the statement list through the checker, returning the
+// out-state and whether control falls through the end of the list.
+func (c *lockChecker) walkStmts(stmts []ast.Stmt, held lockState) (lockState, bool) {
+	for _, st := range stmts {
+		var falls bool
+		held, falls = c.walkStmt(st, held)
+		if !falls {
+			return held, false
+		}
+	}
+	return held, true
+}
+
+func (c *lockChecker) walkStmt(st ast.Stmt, held lockState) (lockState, bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if op, key, expr, pos := c.lockOp(s.X); op != "" {
+			switch op {
+			case "lock":
+				held[key] = lockUse{pos: pos, expr: expr}
+			case "unlock":
+				delete(held, key)
+			}
+			return held, true
+		}
+		c.checkBlockingExpr(s.X, held)
+		return held, true
+	case *ast.DeferStmt:
+		c.markDeferredUnlocks(s)
+		return held, true
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkBlockingExpr(r, held)
+		}
+		for _, key := range sortedKeys(held) {
+			if c.deferred[key] {
+				continue
+			}
+			use := held[key]
+			c.pass.Reportf(s.Pos(),
+				"return while %s is still locked (Lock at line %d); unlock before returning or defer the unlock",
+				use.expr, c.pass.Fset.Position(use.pos).Line)
+		}
+		return held, false
+	case *ast.BranchStmt:
+		// break/continue/goto leave this straight-line path; treat it as
+		// terminated rather than modeling label targets.
+		return held, false
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = c.walkStmt(s.Init, held)
+		}
+		c.checkBlockingExpr(s.Cond, held)
+		thenOut, thenFalls := c.walkStmts(s.Body.List, held.clone())
+		elseOut, elseFalls := held, true
+		if s.Else != nil {
+			elseOut, elseFalls = c.walkStmt(s.Else, held.clone())
+		}
+		switch {
+		case thenFalls && elseFalls:
+			return intersect(thenOut, elseOut), true
+		case thenFalls:
+			return thenOut, true
+		case elseFalls:
+			return elseOut, true
+		default:
+			return held, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkBlockingExpr(s.Cond, held)
+		}
+		// Loop-body lock effects stay local: one iteration is checked
+		// with the entry state, and the loop is assumed balanced.
+		c.walkStmts(s.Body.List, held.clone())
+		return held, true
+	case *ast.RangeStmt:
+		if t := c.pass.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				c.reportBlocked(s.Pos(), "a range over a channel", held)
+			}
+		}
+		c.walkStmts(s.Body.List, held.clone())
+		return held, true
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			c.reportBlocked(s.Pos(), "a select with no default", held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held, true
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkBlockingExpr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held, true
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held, true
+	case *ast.SendStmt:
+		c.reportBlocked(s.Arrow, "a channel send", held)
+		return held, true
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkBlockingExpr(e, held)
+		}
+		return held, true
+	case *ast.GoStmt:
+		return held, true // the goroutine runs elsewhere; its body gets its own pass
+	default:
+		return held, true
+	}
+}
+
+// lockOp classifies a call expression as a lock or unlock on a sync
+// mutex, returning ("lock"|"unlock", state key, display expr, call pos)
+// or op == "" for anything else.
+func (c *lockChecker) lockOp(e ast.Expr) (op, key, expr string, pos token.Pos) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", "", token.NoPos
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", "", token.NoPos
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", token.NoPos
+	}
+	recv := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return "lock", recv, recv, call.Pos()
+	case "Unlock":
+		return "unlock", recv, recv, call.Pos()
+	case "RLock":
+		return "lock", recv + "/r", recv + " (read lock)", call.Pos()
+	case "RUnlock":
+		return "unlock", recv + "/r", recv + " (read lock)", call.Pos()
+	}
+	return "", "", "", token.NoPos
+}
+
+// markDeferredUnlocks records unlocks scheduled by a defer statement,
+// either directly (defer mu.Unlock()) or inside a deferred closure.
+func (c *lockChecker) markDeferredUnlocks(s *ast.DeferStmt) {
+	if op, key, _, _ := c.lockOp(s.Call); op == "unlock" {
+		c.deferred[key] = true
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if op, key, _, _ := c.lockOp(call); op == "unlock" {
+					c.deferred[key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkBlockingExpr flags blocking operations buried in an expression —
+// channel receives and calls to known-blocking functions — when locks
+// are held. Function literal bodies are skipped; they execute elsewhere.
+func (c *lockChecker) checkBlockingExpr(e ast.Expr, held lockState) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				c.reportBlocked(v.Pos(), "a channel receive", held)
+			}
+		case *ast.CallExpr:
+			if what := blockingCall(c.pass, v); what != "" {
+				c.reportBlocked(v.Pos(), what, held)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that block on external events: sleeps and
+// os/net I/O. Calls into the module are not classified — lock-balance is
+// deliberately intra-procedural.
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case path == "os" || path == "net" || path == "net/http":
+		return "a call to " + path + "." + fn.Name()
+	}
+	return ""
+}
+
+func (c *lockChecker) reportBlocked(pos token.Pos, what string, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	for _, key := range sortedKeys(held) {
+		c.pass.Reportf(pos,
+			"%s is held across %s; blocking while holding the lock stalls every goroutine contending for it",
+			held[key].expr, what)
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

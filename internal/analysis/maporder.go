@@ -149,14 +149,20 @@ func appendTarget(call *ast.CallExpr) string {
 	return types.ExprString(call.Args[0])
 }
 
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for calls through variables, interfaces, or built-ins.
 func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	return calleeFuncInfo(pass.Info, call)
+}
+
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
-		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
 			return fn
 		}
 	case *ast.Ident:
-		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return fn
 		}
 	}

@@ -1,0 +1,89 @@
+package analysis
+
+import "strings"
+
+// AnalyzerNondetFlow reports any function reachable from an exported
+// train/predict/experiment entry point that contains a nondeterminism
+// source: a global math/rand call, time.Now/time.Since, or a map-order
+// escape. The finding is reported at the source call site — so one
+// suppression there covers every chain through it — with the full call
+// chain from the entry point in the message.
+//
+// Reachability is a breadth-first search over the module call graph from
+// all entry points at once; entries are seeded in sorted order and edges
+// are visited in source order, so the recorded chains (and therefore the
+// report text) are deterministic.
+var AnalyzerNondetFlow = &Analyzer{
+	Name:      "nondet-flow",
+	Doc:       "nondeterminism sources reachable from train/predict/experiment entry points",
+	RunModule: runNondetFlow,
+}
+
+// crumb records how the BFS first reached a node: through which caller,
+// starting from which entry point.
+type crumb struct {
+	parent string
+	entry  string
+}
+
+func runNondetFlow(mp *ModulePass) {
+	g := mp.Graph
+	seen := map[string]crumb{}
+	var queue []string
+	for _, id := range g.SortedIDs() {
+		if g.Nodes[id].IsEntry {
+			seen[id] = crumb{entry: id}
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Nodes[id].Calls {
+			if _, ok := seen[e.Callee]; ok {
+				continue
+			}
+			seen[e.Callee] = crumb{parent: id, entry: seen[id].entry}
+			queue = append(queue, e.Callee)
+		}
+	}
+
+	for _, id := range g.SortedIDs() {
+		c, ok := seen[id]
+		if !ok {
+			continue
+		}
+		n := g.Nodes[id]
+		// One finding per source kind per node, at the first occurrence:
+		// fixing (or suppressing) that site addresses every chain through
+		// this function.
+		reported := map[string]bool{}
+		for _, src := range n.Sources {
+			if reported[src.Kind] {
+				continue
+			}
+			reported[src.Kind] = true
+			mp.ReportAtf(src.Pos,
+				"%s is reachable from entry point %s (call chain: %s); nondeterminism here leaks into train/predict/experiment results — inject a seeded source or clock, or suppress with a reason",
+				src.Kind, g.ShortID(c.entry), renderChain(g, seen, id))
+		}
+	}
+}
+
+// renderChain walks parent links from id back to its entry point and
+// renders the chain entry -> ... -> id using short IDs.
+func renderChain(g *CallGraph, seen map[string]crumb, id string) string {
+	var rev []string
+	for cur := id; cur != ""; {
+		rev = append(rev, g.ShortID(cur))
+		c, ok := seen[cur]
+		if !ok {
+			break
+		}
+		cur = c.parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return strings.Join(rev, " -> ")
+}

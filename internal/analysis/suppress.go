@@ -1,9 +1,17 @@
 package analysis
 
 import (
+	"bytes"
+	"fmt"
 	"go/token"
 	"strings"
 )
+
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed
+// //shvet:ignore directives are reported. It is not a real pass and its
+// findings cannot themselves be suppressed: a broken directive silently
+// matching nothing is exactly the failure mode it exists to catch.
+const DirectiveAnalyzer = "directive"
 
 // suppression is one parsed //shvet:ignore directive.
 type suppression struct {
@@ -34,14 +42,51 @@ func (s suppressions) match(pos token.Position, analyzer string) (reason string,
 
 const directive = "shvet:ignore"
 
+// parseDirective parses the payload of a //shvet:ignore comment (the text
+// after the marker): a comma-separated analyzer list — spaces after the
+// commas are allowed — followed by a mandatory free-text reason. Every
+// listed name must be a known analyzer or the wildcard "all"; a typo here
+// would otherwise suppress nothing while looking like it suppresses
+// something.
+func parseDirective(payload string, known map[string]bool) (suppression, error) {
+	fields := strings.Fields(payload)
+	if len(fields) == 0 {
+		return suppression{}, fmt.Errorf("missing analyzer list and reason")
+	}
+	list := fields[0]
+	i := 1
+	for i < len(fields) && (strings.HasSuffix(list, ",") || strings.HasPrefix(fields[i], ",")) {
+		list += fields[i]
+		i++
+	}
+	var analyzers []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return suppression{}, fmt.Errorf("empty analyzer name in list %q", list)
+		}
+		if !known[name] {
+			return suppression{}, fmt.Errorf("unknown analyzer %q (run shvet -list for valid names)", name)
+		}
+		analyzers = append(analyzers, name)
+	}
+	if i >= len(fields) {
+		return suppression{}, fmt.Errorf("missing reason after analyzer list %q; every suppression must say why", list)
+	}
+	return suppression{analyzers: analyzers, reason: strings.Join(fields[i:], " ")}, nil
+}
+
 // collectSuppressions scans every comment in the package for
-// //shvet:ignore directives. A directive at the end of a code line applies
-// to that line; a directive alone on its line applies to the next line.
-func collectSuppressions(pkg *Package) suppressions {
-	out := suppressions{}
+// //shvet:ignore directives, adding well-formed ones to out and reporting
+// malformed ones as findings. A directive at the end of a code line
+// applies to that line; a directive alone on its line applies to the next
+// line — which must exist, so a trailing standalone directive is an error
+// rather than a silent no-op.
+func collectSuppressions(pkg *Package, known map[string]bool, out suppressions, findings *[]Finding) {
 	for _, f := range pkg.Files {
 		filename := pkg.Fset.Position(f.Package).Filename
 		src := pkg.Src[filename]
+		lines := lineCount(src)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -49,20 +94,27 @@ func collectSuppressions(pkg *Package) suppressions {
 				if !strings.HasPrefix(text, directive) {
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, directive))
-				if len(fields) < 2 {
-					// Malformed: a reason is required. Leave it unmatched so
-					// the finding it meant to hide still fails the build.
+				pos := pkg.Fset.Position(c.Slash)
+				sup, err := parseDirective(strings.TrimPrefix(text, directive), known)
+				if err != nil {
+					*findings = append(*findings, Finding{
+						Pos:      pos,
+						Analyzer: DirectiveAnalyzer,
+						Message:  fmt.Sprintf("malformed //shvet:ignore directive: %v", err),
+					})
 					continue
 				}
-				sup := suppression{
-					analyzers: strings.Split(fields[0], ","),
-					reason:    strings.Join(fields[1:], " "),
-				}
-				pos := pkg.Fset.Position(c.Slash)
 				line := pos.Line
 				if standalone(src, pos) {
 					line++
+					if line > lines {
+						*findings = append(*findings, Finding{
+							Pos:      pos,
+							Analyzer: DirectiveAnalyzer,
+							Message:  "standalone //shvet:ignore on the last line of the file applies to nothing",
+						})
+						continue
+					}
 				}
 				if out[filename] == nil {
 					out[filename] = map[int][]suppression{}
@@ -71,7 +123,16 @@ func collectSuppressions(pkg *Package) suppressions {
 			}
 		}
 	}
-	return out
+}
+
+// lineCount returns the number of lines in src, counting a trailing
+// partial line (no final newline) as a line.
+func lineCount(src []byte) int {
+	n := bytes.Count(src, []byte("\n"))
+	if len(src) > 0 && src[len(src)-1] != '\n' {
+		n++
+	}
+	return n
 }
 
 // standalone reports whether the comment starting at pos is the first

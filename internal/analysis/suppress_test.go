@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDirective is the table-driven contract for //shvet:ignore
+// payload parsing: comma lists (with or without spaces), the "all"
+// wildcard, mandatory reasons, and unknown-name rejection.
+func TestParseDirective(t *testing.T) {
+	known := knownAnalyzerNames()
+	tests := []struct {
+		name      string
+		payload   string
+		analyzers []string
+		reason    string
+		errSubstr string // non-empty means an error is expected
+	}{
+		{
+			name:      "single analyzer",
+			payload:   " global-rand seeded elsewhere",
+			analyzers: []string{"global-rand"},
+			reason:    "seeded elsewhere",
+		},
+		{
+			name:      "tight comma list",
+			payload:   " global-rand,float-eq both fine here",
+			analyzers: []string{"global-rand", "float-eq"},
+			reason:    "both fine here",
+		},
+		{
+			name:      "space after comma",
+			payload:   " global-rand, float-eq, map-order spaced list",
+			analyzers: []string{"global-rand", "float-eq", "map-order"},
+			reason:    "spaced list",
+		},
+		{
+			name:      "comma floating between names",
+			payload:   " global-rand , float-eq detached comma",
+			analyzers: []string{"global-rand", "float-eq"},
+			reason:    "detached comma",
+		},
+		{
+			name:      "all wildcard",
+			payload:   " all demo code",
+			analyzers: []string{"all"},
+			reason:    "demo code",
+		},
+		{
+			name:      "module analyzers are known",
+			payload:   " nondet-flow, ctx-flow, lock-balance, goroutine-leak new suite",
+			analyzers: []string{"nondet-flow", "ctx-flow", "lock-balance", "goroutine-leak"},
+			reason:    "new suite",
+		},
+		{
+			name:      "empty payload",
+			payload:   "",
+			errSubstr: "missing analyzer list",
+		},
+		{
+			name:      "missing reason",
+			payload:   " global-rand",
+			errSubstr: "missing reason",
+		},
+		{
+			name:      "missing reason after spaced list",
+			payload:   " global-rand, float-eq",
+			errSubstr: "missing reason",
+		},
+		{
+			name:      "unknown analyzer",
+			payload:   " no-such-pass because reasons",
+			errSubstr: `unknown analyzer "no-such-pass"`,
+		},
+		{
+			name:      "unknown name buried in list",
+			payload:   " global-rand,typo-here some reason",
+			errSubstr: `unknown analyzer "typo-here"`,
+		},
+		{
+			name:      "trailing comma swallows the next word",
+			payload:   " global-rand, some reason",
+			errSubstr: `unknown analyzer "some"`,
+		},
+		{
+			name:      "empty name from doubled comma",
+			payload:   " global-rand,, float-eq reason",
+			errSubstr: "empty analyzer name",
+		},
+		{
+			name:      "directive pseudo-analyzer is not suppressible",
+			payload:   " directive hush",
+			errSubstr: `unknown analyzer "directive"`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			sup, err := parseDirective(tc.payload, known)
+			if tc.errSubstr != "" {
+				if err == nil {
+					t.Fatalf("parseDirective(%q) = %+v, want error containing %q", tc.payload, sup, tc.errSubstr)
+				}
+				if !strings.Contains(err.Error(), tc.errSubstr) {
+					t.Fatalf("parseDirective(%q) error = %q, want substring %q", tc.payload, err, tc.errSubstr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseDirective(%q): %v", tc.payload, err)
+			}
+			if got, want := strings.Join(sup.analyzers, "|"), strings.Join(tc.analyzers, "|"); got != want {
+				t.Errorf("analyzers = %q, want %q", got, want)
+			}
+			if sup.reason != tc.reason {
+				t.Errorf("reason = %q, want %q", sup.reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestParseDirectiveCoverage ties the table above to covers(): a spaced
+// list suppresses every listed analyzer and nothing else.
+func TestParseDirectiveCoverage(t *testing.T) {
+	sup, err := parseDirective(" global-rand, float-eq spaced", knownAnalyzerNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"global-rand", "float-eq"} {
+		if !sup.covers(name) {
+			t.Errorf("covers(%q) = false, want true", name)
+		}
+	}
+	if sup.covers("map-order") {
+		t.Error("covers(map-order) = true, want false")
+	}
+}
+
+// TestLineCount pins the trailing-newline edge the last-line directive
+// check depends on.
+func TestLineCount(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int
+	}{
+		{"", 0},
+		{"a", 1},
+		{"a\n", 1},
+		{"a\nb", 2},
+		{"a\nb\n", 2},
+	}
+	for _, tc := range tests {
+		if got := lineCount([]byte(tc.src)); got != tc.want {
+			t.Errorf("lineCount(%q) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package ctxflow exercises the ctx-flow analyzer: a function that
+// receives a context must thread it down — replacing it with a fresh
+// Background/TODO, or calling the ctx-less sibling of a ctx-aware API,
+// detaches the callee from spans and deadlines.
+package ctxflow
+
+import "context"
+
+// Process receives ctx but hands its callee a fresh Background.
+func Process(ctx context.Context, n int) int {
+	return step(context.Background(), n) // want ctx-flow
+}
+
+// ProcessTodo swaps the received ctx for TODO.
+func ProcessTodo(ctx context.Context, n int) int {
+	return step(context.TODO(), n) // want ctx-flow
+}
+
+func step(ctx context.Context, n int) int {
+	return n + 1
+}
+
+// Lookup is the ctx-less variant callers should avoid once ctx is in hand.
+func Lookup(key string) string {
+	return key
+}
+
+// LookupCtx is the ctx-threaded sibling of Lookup.
+func LookupCtx(ctx context.Context, key string) string {
+	return key
+}
+
+// Resolve receives ctx but drops it by calling the ctx-less Lookup.
+func Resolve(ctx context.Context, key string) string {
+	return Lookup(key) // want ctx-flow
+}
+
+// Good threads its ctx all the way down: no finding.
+func Good(ctx context.Context, n int) int {
+	return step(ctx, n)
+}
+
+// Detached has no ctx parameter, so starting from Background is fine.
+func Detached(n int) int {
+	return step(context.Background(), n)
+}

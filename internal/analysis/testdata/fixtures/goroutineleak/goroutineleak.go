@@ -1,0 +1,81 @@
+// Package goroutineleak exercises the goroutine-leak analyzer: spawned
+// loops with no stop signal are findings; loops bounded by a channel,
+// context, or WaitGroup — in the body or in the spawned function's own
+// parameters — are near-misses, as are one-shot goroutines.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Poller owns the fixture goroutines.
+type Poller struct {
+	ch chan int
+}
+
+// StartPoller spawns an anonymous loop nothing can stop.
+func (p *Poller) StartPoller() {
+	go func() { // want goroutine-leak
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// StartSpinner spawns a named loop nothing can stop.
+func (p *Poller) StartSpinner() {
+	go spin() // want goroutine-leak
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// StartWorker ranges over a channel: closing it ends the goroutine.
+func (p *Poller) StartWorker() {
+	go func() {
+		for v := range p.ch {
+			_ = v
+		}
+	}()
+}
+
+// StartWithCtx loops under a context and exits on cancellation.
+func (p *Poller) StartWithCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartStoppable passes the stop signal through the spawned function's
+// parameters, so the caller holds a handle by construction.
+func StartStoppable(stop chan struct{}, wg *sync.WaitGroup) {
+	go work(stop, wg)
+}
+
+func work(stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+	}
+}
+
+// StartOnce runs a one-shot goroutine; no loop, no finding.
+func StartOnce(f func()) {
+	go f()
+}

@@ -1,0 +1,61 @@
+// Package nondetflow exercises the nondet-flow analyzer: nondeterminism
+// sources that are transitively reachable from train/predict/experiment
+// entry points are findings, reported at the source call site; the same
+// sources in unreached helpers stay silent.
+package nondetflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PredictJittered is an entry point; it reaches the clock two calls down.
+func PredictJittered(x float64) float64 {
+	return x + stamp()
+}
+
+func stamp() float64 {
+	return clock()
+}
+
+func clock() float64 {
+	return float64(time.Now().UnixNano()) // want nondet-flow
+}
+
+// TrainSampled is an entry point drawing from the global rand source.
+func TrainSampled(n int) int {
+	return sample(n)
+}
+
+func sample(n int) int {
+	return rand.Intn(n) // want nondet-flow global-rand
+}
+
+// Model is the receiver for the method-entry case.
+type Model struct{ w float64 }
+
+// Fit is an entry-point method; it times itself with the real clock.
+func (m *Model) Fit() float64 {
+	start := time.Now() // want nondet-flow
+	m.w = 1
+	return tick(start)
+}
+
+func tick(start time.Time) float64 {
+	return time.Since(start).Seconds() // want nondet-flow
+}
+
+// TableDump is an experiment entry leaking map order into its output.
+func TableDump(counts map[string]int) []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k) // want map-order nondet-flow
+	}
+	return out
+}
+
+// Quiet touches the clock too, but nothing reachable from an entry point
+// calls it, so nondet-flow stays silent about it.
+func Quiet() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+package suppress
+
+// LastLine exists so this file can end with a dangling standalone
+// directive, which applies to no line and must therefore be a finding.
+func LastLine() int {
+	return 1
+}
+
+//shvet:ignore global-rand fixture: dangling directive applies to nothing // want directive

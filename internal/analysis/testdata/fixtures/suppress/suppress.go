@@ -21,6 +21,19 @@ func SuppressedAll(a, b float64) bool {
 	return a == b //shvet:ignore all fixture: demonstrating the all form
 }
 
+// SuppressedSpacedList is silenced by a multi-analyzer list written with
+// a space after the comma.
+func SuppressedSpacedList(a, b float64) bool {
+	return a == b //shvet:ignore float-eq, global-rand fixture: spaced analyzer list covers both names
+}
+
+// SuppressedSpacedRand is silenced by a list whose comma floats between
+// the names.
+func SuppressedSpacedRand() float64 {
+	//shvet:ignore global-rand , float-eq fixture: comma split across fields still parses
+	return rand.Float64()
+}
+
 // WrongAnalyzer names an analyzer that did not fire on its line, so the
 // real finding survives.
 func WrongAnalyzer() float64 {
@@ -28,8 +41,16 @@ func WrongAnalyzer() float64 {
 	// want-above global-rand
 }
 
-// MissingReason is malformed (no reason given), so it must not suppress.
+// MissingReason is malformed (no reason given), so it must not suppress
+// and the directive itself is a finding.
 func MissingReason() float64 {
 	return rand.Float64() //shvet:ignore global-rand
-	// want-above global-rand
+	// want-above global-rand directive
+}
+
+// UnknownAnalyzer names a nonexistent analyzer; the directive errors and
+// the real finding survives.
+func UnknownAnalyzer() float64 {
+	return rand.Float64() //shvet:ignore no-such-pass fixture: typos must not silently match nothing
+	// want-above global-rand directive
 }

@@ -18,7 +18,7 @@ type Plain struct {
 
 // BadParam copies a bare mutex in.
 func BadParam(mu sync.Mutex) { // want sync-copy
-	mu.Lock()
+	mu.Lock() // want lock-balance
 }
 
 // BadStructParam copies a lock-bearing struct in.

@@ -66,6 +66,7 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 		return ctx, nil
 	}
 	parent := SpanFromContext(ctx)
+	//shvet:ignore nondet-flow span timestamps are observability metadata; offsets/durations are monotonic and results never depend on them
 	s := &Span{tracer: t, parent: parent, name: name, start: time.Now()}
 	if parent != nil {
 		parent.addChild(s)
@@ -205,7 +206,7 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.dur = time.Since(s.start)
+	s.dur = time.Since(s.start) //shvet:ignore nondet-flow span duration is observability metadata, never part of model output
 	s.mu.Unlock()
 	if s.parent == nil {
 		s.tracer.record(s)

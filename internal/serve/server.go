@@ -273,6 +273,10 @@ func (s *Server) enqueue(t task) error {
 	if s.closed {
 		return ErrServerClosed
 	}
+	// Holding the read lock across the send is the point: Close takes the
+	// write lock before closing s.tasks, so a send can never race the
+	// close, and ctx.Done bounds how long the lock is held.
+	//shvet:ignore lock-balance read lock intentionally held across the send to fence against Close closing s.tasks mid-send
 	select {
 	case s.tasks <- t:
 		return nil
