@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet shvet shvet-strict check bench smoke profile
+.PHONY: build test race vet shvet shvet-strict check bench smoke profile chaos
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,12 @@ profile:
 	$(GO) test -bench=BenchmarkServeInfer -run=^$$ \
 		-cpuprofile=profiles/cpu.out -memprofile=profiles/mem.out \
 		-o profiles/bench.test .
+
+# Chaos suite: the resilience layer (breaker, gate, fault injector, rule
+# fallback) plus the serve-level fault drills, under the race detector —
+# panic recovery and load shedding are only trustworthy race-clean.
+chaos:
+	$(GO) test -race ./internal/resilience/... ./internal/serve
 
 # End-to-end serving smoke: train a small model, boot sortinghatd, probe
 # /healthz and /v1/infer (twice, to exercise the cache), check /metrics,

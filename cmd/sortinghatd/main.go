@@ -6,14 +6,24 @@
 //	sortinghatd -model model.gob [-addr :8080] [-workers N] [-cache 4096] [-timeout 10s]
 //	sortinghatd -train-n 2000        # no saved model: train one at startup
 //	sortinghatd -pprof               # also mount /debug/pprof/
+//	sortinghatd -fault-spec 'predict:panic:0.1' -fault-seed 7   # chaos drills
 //
 // Endpoints:
 //
 //	POST /v1/infer       {"columns":[{"name":"age","values":["23","41"]}]}
-//	GET  /healthz        liveness probe with model metadata
+//	POST /v1/infer/csv   text/csv body; one inferred type per column
+//	GET  /healthz        liveness probe; "degraded" while the breaker is open
 //	GET  /metrics        Prometheus text-format metrics
 //	GET  /debug/traces   recent request traces as JSON span trees
 //	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// Resilience: an admission gate sheds load past -queue-depth with HTTP
+// 429 + Retry-After; a circuit breaker (-breaker-failures,
+// -breaker-probe) trips the ML prediction path open on consecutive
+// failures, and while open columns are answered by the paper's
+// rule-based baseline, tagged "degraded":true. -fault-spec injects
+// deterministic faults (latency, errors, panics) at named sites for
+// chaos drills; it is off by default and meant for testing only.
 //
 // Logs are structured JSON (log/slog), one object per line; each request
 // is logged with the same request ID that appears on its trace span and
@@ -36,6 +46,8 @@ import (
 
 	"sortinghat/internal/core"
 	"sortinghat/internal/obs"
+	"sortinghat/internal/resilience"
+	"sortinghat/internal/resilience/faultinject"
 	"sortinghat/internal/serve"
 	"sortinghat/internal/synth"
 )
@@ -52,6 +64,13 @@ func main() {
 		drain     = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
 		traceRing = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
 		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		maxCell     = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
+		brkFailures = flag.Int("breaker-failures", 0, "consecutive prediction failures that trip the breaker open (default 5)")
+		brkProbe    = flag.Duration("breaker-probe", 0, "wait before an open breaker probes the ML path again (default 5s)")
+		faultSpec   = flag.String("fault-spec", "", "deterministic fault injection, e.g. 'predict:panic:0.1;featurize:latency:1:20ms' (testing only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for -fault-spec fault draws")
 	)
 	flag.Parse()
 
@@ -63,15 +82,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := serve.New(pipe, serve.Config{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		Timeout:     *timeout,
-		MaxBatch:    *maxBatch,
-		TraceRing:   *traceRing,
-		Logger:      logger,
-		EnablePprof: *pprof,
-	})
+	cfg := serve.Config{
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		Timeout:      *timeout,
+		MaxBatch:     *maxBatch,
+		MaxCellBytes: *maxCell,
+		QueueDepth:   *queueDepth,
+		TraceRing:    *traceRing,
+		Logger:       logger,
+		EnablePprof:  *pprof,
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: *brkFailures,
+			ProbeInterval:    *brkProbe,
+		},
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			logger.Error("bad -fault-spec", "err", err.Error())
+			os.Exit(2)
+		}
+		cfg.Faults = inj // assigned only when non-nil: a typed nil would defeat the nil-injector check
+		logger.Warn("fault injection enabled — testing only", "spec", inj.String(), "seed", *faultSeed)
+	}
+	srv := serve.New(pipe, cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -2,15 +2,46 @@ package data
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
-// ReadCSV parses a CSV stream with a header row into a Dataset. Rows with a
-// different field count from the header are rejected, matching the strict
-// rectangular-table assumption of the benchmark.
+// Typed limit violations returned (wrapped) by ReadCSVLimited, so servers
+// can map adversarial uploads onto a 413 instead of a generic parse error.
+var (
+	// ErrTooManyColumns marks input whose header exceeds Limits.MaxColumns.
+	ErrTooManyColumns = errors.New("data: too many columns")
+	// ErrCellTooLarge marks input with a cell over Limits.MaxCellBytes.
+	ErrCellTooLarge = errors.New("data: cell too large")
+)
+
+// Limits bounds untrusted CSV input. Zero fields are unlimited.
+type Limits struct {
+	// MaxColumns caps the header width (and with it every row's width,
+	// since input must be rectangular).
+	MaxColumns int
+	// MaxCellBytes caps the byte length of any single cell, header
+	// included.
+	MaxCellBytes int
+}
+
+// ReadCSV parses a CSV stream with a header row into a Dataset, with no
+// input limits. Rows with a different field count from the header are
+// rejected, matching the strict rectangular-table assumption of the
+// benchmark.
 func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	return ReadCSVLimited(name, r, Limits{})
+}
+
+// ReadCSVLimited is ReadCSV for untrusted input: a UTF-8 byte-order mark
+// on the first header cell is stripped (spreadsheet exports routinely
+// carry one, and a BOM-prefixed attribute name would silently skew the
+// name-bigram features), and inputs exceeding the limits are rejected
+// with errors wrapping ErrTooManyColumns or ErrCellTooLarge.
+func ReadCSVLimited(name string, r io.Reader, lim Limits) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 0 // enforce rectangular input
 	header, err := cr.Read()
@@ -20,11 +51,19 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("data: csv %q: reading header: %w", name, err)
 	}
+	header[0] = strings.TrimPrefix(header[0], "\uFEFF")
+	if lim.MaxColumns > 0 && len(header) > lim.MaxColumns {
+		return nil, fmt.Errorf("data: csv %q: %d columns exceeds limit %d: %w",
+			name, len(header), lim.MaxColumns, ErrTooManyColumns)
+	}
+	if err := checkCells(name, header, 0, lim); err != nil {
+		return nil, err
+	}
 	ds := &Dataset{Name: name, Columns: make([]Column, len(header))}
 	for i, h := range header {
 		ds.Columns[i].Name = h
 	}
-	for {
+	for row := 1; ; row++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
@@ -32,11 +71,29 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("data: csv %q: reading row: %w", name, err)
 		}
+		if err := checkCells(name, rec, row, lim); err != nil {
+			return nil, err
+		}
 		for i, cell := range rec {
 			ds.Columns[i].Values = append(ds.Columns[i].Values, cell)
 		}
 	}
 	return ds, nil
+}
+
+// checkCells enforces the per-cell size limit on one record (row 0 is the
+// header).
+func checkCells(name string, rec []string, row int, lim Limits) error {
+	if lim.MaxCellBytes <= 0 {
+		return nil
+	}
+	for i, cell := range rec {
+		if len(cell) > lim.MaxCellBytes {
+			return fmt.Errorf("data: csv %q: row %d column %d: %d-byte cell exceeds limit %d: %w",
+				name, row, i, len(cell), lim.MaxCellBytes, ErrCellTooLarge)
+		}
+	}
+	return nil
 }
 
 // ReadCSVFile reads a CSV file from disk into a Dataset named after the path.

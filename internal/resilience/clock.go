@@ -1,0 +1,52 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source of every resilience decision. Injecting
+// it keeps breaker probe schedules deterministic in tests and confines
+// wall-clock reads to one suppressible site.
+type Clock interface {
+	// Now returns the current time. Only differences between successive
+	// readings are ever used, so a monotonic fake is a valid Clock.
+	Now() time.Time
+}
+
+// systemClock is the production Clock.
+type systemClock struct{}
+
+// Now reads the system clock.
+func (systemClock) Now() time.Time {
+	//shvet:ignore nondet-flow breaker probe scheduling is the one intentional wall-clock read; decisions use elapsed time only and tests inject FakeClock
+	return time.Now()
+}
+
+// SystemClock returns the real-time Clock used outside tests.
+func SystemClock() Clock { return systemClock{} }
+
+// FakeClock is a manually advanced Clock for deterministic tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package resilience implements the failure-handling primitives of the
+// serving path: a three-state circuit breaker around model prediction, a
+// bounded admission gate for load shedding, and the clock interface that
+// keeps both deterministic under test. The graceful-degradation
+// classifier lives in the rulefallback subpackage and the deterministic
+// fault injector in faultinject; internal/serve wires all of them
+// together (see ARCHITECTURE.md "Resilience").
+//
+// Everything here is standard library only, like the rest of the tree,
+// and every decision that depends on time goes through the Clock
+// interface so tests (and shvet's nondet-flow analyzer) never meet a bare
+// time.Now in control flow.
+package resilience

@@ -1,0 +1,284 @@
+// Package faultinject is a seeded, rate-controlled fault injector for
+// chaos-style testing of the serving path. Faults are keyed by site name
+// — the serving hot path exposes the sites "featurize" and "predict" —
+// and come in three kinds: added latency, a returned error, and a panic.
+// Every random decision draws from a per-fault RNG seeded from the
+// injector seed and the site name, so a given spec + seed produces the
+// same fault sequence on every run (per site; across concurrent workers
+// the interleaving of visits is the scheduler's).
+//
+// The injector is wired into sortinghatd only behind the -fault-spec
+// flag; production configurations never construct one.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is a fault kind.
+type Kind int
+
+// The three fault kinds.
+const (
+	// Latency sleeps for the fault's Latency duration at the site.
+	Latency Kind = iota
+	// Error makes Inject return an error wrapping ErrInjected.
+	Error
+	// Panic panics with an InjectedPanic value at the site.
+	Panic
+)
+
+// String names the kind using the spec grammar's keywords.
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	default:
+		return "unknown"
+	}
+}
+
+// parseKind maps a spec keyword to its Kind.
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "latency":
+		return Latency, nil
+	case "error":
+		return Error, nil
+	case "panic":
+		return Panic, nil
+	default:
+		return 0, fmt.Errorf("faultinject: unknown fault kind %q (want latency, error or panic)", s)
+	}
+}
+
+// ErrInjected is the sentinel wrapped by every injected error fault.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// InjectedPanic is the value injected panics carry, so chaos tests can
+// tell an injected panic from a genuine one.
+type InjectedPanic struct{ Site string }
+
+// String describes the panic value in recover logs.
+func (p InjectedPanic) String() string {
+	return "faultinject: injected panic at " + p.Site
+}
+
+// Fault describes one fault to arm.
+type Fault struct {
+	Site    string        // fault site name, e.g. "predict"
+	Kind    Kind          // what happens when the fault fires
+	Rate    float64       // firing probability per visit, in [0, 1]
+	Latency time.Duration // sleep duration (Latency kind only)
+	Max     int64         // cap on fires; 0 means unlimited
+}
+
+// validate rejects malformed faults at construction time.
+func (f Fault) validate() error {
+	if f.Site == "" {
+		return fmt.Errorf("faultinject: fault with empty site")
+	}
+	if f.Rate < 0 || f.Rate > 1 {
+		return fmt.Errorf("faultinject: %s: rate %g outside [0, 1]", f.Site, f.Rate)
+	}
+	if f.Kind == Latency && f.Latency <= 0 {
+		return fmt.Errorf("faultinject: %s: latency fault needs a positive duration", f.Site)
+	}
+	if f.Kind != Latency && f.Latency != 0 {
+		return fmt.Errorf("faultinject: %s: duration is only valid on latency faults", f.Site)
+	}
+	if f.Max < 0 {
+		return fmt.Errorf("faultinject: %s: negative fire cap", f.Site)
+	}
+	return nil
+}
+
+// armed is one fault plus its firing state.
+type armed struct {
+	fault Fault
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fired int64
+}
+
+// Injector holds armed faults keyed by site. A nil *Injector is a valid
+// no-op injector.
+type Injector struct {
+	sites map[string][]*armed
+	total int64 // lifetime fires, guarded by mu
+	mu    sync.Mutex
+}
+
+// New arms the given faults. Each fault gets its own RNG seeded from seed
+// and its site + kind, so fault sequences are independent per site and
+// reproducible across runs.
+func New(faults []Fault, seed int64) (*Injector, error) {
+	in := &Injector{sites: make(map[string][]*armed)}
+	for _, f := range faults {
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s:%s", f.Site, f.Kind)
+		in.sites[f.Site] = append(in.sites[f.Site], &armed{
+			fault: f,
+			rng:   rand.New(rand.NewSource(seed ^ int64(h.Sum64()))),
+		})
+	}
+	return in, nil
+}
+
+// Parse builds an Injector from a spec string. The grammar, one clause
+// per fault, clauses separated by ';':
+//
+//	site:kind:rate[:duration][:xCOUNT]
+//
+// kind is latency, error or panic; rate is the per-visit firing
+// probability in [0, 1]; duration (latency faults only) is a Go duration
+// like 20ms; xCOUNT caps the total fires, e.g. x4. Examples:
+//
+//	predict:panic:0.1            panic on 10% of predictions
+//	featurize:latency:1:20ms     add 20ms to every featurization
+//	predict:error:1:x6           fail the first 6 predictions
+func Parse(spec string, seed int64) (*Injector, error) {
+	var faults []Fault
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("faultinject: clause %q: want site:kind:rate[:duration][:xCOUNT]", clause)
+		}
+		var f Fault
+		f.Site = parts[0]
+		kind, err := parseKind(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+		f.Kind = kind
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: bad rate %q", clause, parts[2])
+		}
+		f.Rate = rate
+		for _, extra := range parts[3:] {
+			switch {
+			case strings.HasPrefix(extra, "x"):
+				n, err := strconv.ParseInt(extra[1:], 10, 64)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("faultinject: clause %q: bad fire cap %q", clause, extra)
+				}
+				f.Max = n
+			default:
+				d, err := time.ParseDuration(extra)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: clause %q: bad field %q (want a duration or xCOUNT)", clause, extra)
+				}
+				f.Latency = d
+			}
+		}
+		if err := f.validate(); err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+		faults = append(faults, f)
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	return New(faults, seed)
+}
+
+// Inject visits the named site: every armed fault there draws once and,
+// if it fires, sleeps (Latency), returns an error (Error) or panics
+// (Panic). It returns nil when no fault fires, and is safe to call from
+// concurrent workers.
+func (in *Injector) Inject(site string) error {
+	if in == nil {
+		return nil
+	}
+	for _, a := range in.sites[site] {
+		a.mu.Lock()
+		if a.fault.Max > 0 && a.fired >= a.fault.Max {
+			a.mu.Unlock()
+			continue
+		}
+		fire := a.rng.Float64() < a.fault.Rate
+		if fire {
+			a.fired++
+		}
+		kind, latency := a.fault.Kind, a.fault.Latency
+		a.mu.Unlock()
+		if !fire {
+			continue
+		}
+		in.mu.Lock()
+		in.total++
+		in.mu.Unlock()
+		switch kind {
+		case Latency:
+			time.Sleep(latency)
+		case Error:
+			return fmt.Errorf("%w at %s", ErrInjected, site)
+		case Panic:
+			panic(InjectedPanic{Site: site})
+		}
+	}
+	return nil
+}
+
+// Fired reports the lifetime number of fault fires across all sites.
+func (in *Injector) Fired() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// String summarises the armed faults for startup logs, sites in
+// deterministic (insertion-independent, sorted) order.
+func (in *Injector) String() string {
+	if in == nil {
+		return "(none)"
+	}
+	names := make([]string, 0, len(in.sites))
+	for s := range in.sites {
+		names = append(names, s) //shvet:ignore map-order keys are sorted immediately below before any output depends on their order
+	}
+	// Small n; insertion sort keeps this dependency-free.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	var b strings.Builder
+	for _, s := range names {
+		for _, a := range in.sites[s] {
+			if b.Len() > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%s:%s:%g", s, a.fault.Kind, a.fault.Rate)
+			if a.fault.Latency > 0 {
+				fmt.Fprintf(&b, ":%s", a.fault.Latency)
+			}
+			if a.fault.Max > 0 {
+				fmt.Fprintf(&b, ":x%d", a.fault.Max)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Gate.TryReserve when admitting the request
+// would push the queue past its high-water mark. Servers map it to
+// HTTP 429 with a Retry-After header.
+var ErrOverloaded = errors.New("resilience: overloaded")
+
+// Gate is the admission controller in front of a bounded work queue: it
+// reserves capacity for whole requests up front and fast-fails with
+// ErrOverloaded once the high-water mark is reached, so callers shed load
+// instead of blocking — even callers with no deadline at all. All methods
+// are safe for concurrent use.
+type Gate struct {
+	max   int64
+	depth atomic.Int64 // reserved units not yet released
+	shed  atomic.Int64 // lifetime rejected reservations
+}
+
+// NewGate returns a gate admitting up to max units (at least 1).
+func NewGate(max int) *Gate {
+	if max < 1 {
+		max = 1
+	}
+	return &Gate{max: int64(max)}
+}
+
+// TryReserve admits n units of work, or returns ErrOverloaded without
+// blocking when the reservation would exceed the high-water mark.
+func (g *Gate) TryReserve(n int) error {
+	if g.depth.Add(int64(n)) > g.max {
+		g.depth.Add(-int64(n))
+		g.shed.Add(1)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// Release returns n previously reserved units.
+func (g *Gate) Release(n int) { g.depth.Add(-int64(n)) }
+
+// Depth reports the currently reserved units.
+func (g *Gate) Depth() int64 { return g.depth.Load() }
+
+// Shed reports the lifetime count of rejected reservations.
+func (g *Gate) Shed() int64 { return g.shed.Load() }
+
+// Capacity reports the high-water mark.
+func (g *Gate) Capacity() int64 { return g.max }

@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestGateReserveRelease covers the basic accounting.
+func TestGateReserveRelease(t *testing.T) {
+	g := NewGate(10)
+	if g.Capacity() != 10 {
+		t.Fatalf("capacity = %d, want 10", g.Capacity())
+	}
+	if err := g.TryReserve(7); err != nil {
+		t.Fatalf("reserve 7/10: %v", err)
+	}
+	if err := g.TryReserve(3); err != nil {
+		t.Fatalf("reserve 10/10: %v", err)
+	}
+	if g.Depth() != 10 {
+		t.Fatalf("depth = %d, want 10", g.Depth())
+	}
+	g.Release(4)
+	if g.Depth() != 6 {
+		t.Fatalf("depth after release = %d, want 6", g.Depth())
+	}
+}
+
+// TestGateShedsPastHighWater requires fast failure, not blocking, past
+// the mark — and an accurate shed count.
+func TestGateShedsPastHighWater(t *testing.T) {
+	g := NewGate(4)
+	if err := g.TryReserve(4); err != nil {
+		t.Fatalf("reserve at capacity: %v", err)
+	}
+	if err := g.TryReserve(1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("reserve past capacity = %v, want ErrOverloaded", err)
+	}
+	if g.Depth() != 4 {
+		t.Fatalf("rejected reservation leaked into depth: %d", g.Depth())
+	}
+	if g.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", g.Shed())
+	}
+	g.Release(4)
+	if err := g.TryReserve(4); err != nil {
+		t.Fatalf("reserve after full release: %v", err)
+	}
+}
+
+// TestGateOversizeRequest checks a single reservation larger than the
+// whole gate is shed, not admitted.
+func TestGateOversizeRequest(t *testing.T) {
+	g := NewGate(8)
+	if err := g.TryReserve(9); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("oversize reserve = %v, want ErrOverloaded", err)
+	}
+	if g.Depth() != 0 {
+		t.Fatalf("depth = %d after rejected oversize reserve, want 0", g.Depth())
+	}
+}
+
+// TestGateMinimumCapacity pins the <1 clamp.
+func TestGateMinimumCapacity(t *testing.T) {
+	if got := NewGate(0).Capacity(); got != 1 {
+		t.Errorf("NewGate(0).Capacity() = %d, want 1", got)
+	}
+	if got := NewGate(-5).Capacity(); got != 1 {
+		t.Errorf("NewGate(-5).Capacity() = %d, want 1", got)
+	}
+}
+
+// TestGateConcurrent races reservations against the cap: successful
+// reservations never exceed capacity and the books balance afterwards.
+func TestGateConcurrent(t *testing.T) {
+	g := NewGate(32)
+	var wg sync.WaitGroup
+	var admitted sync.Map
+	for i := 0; i < 128; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if g.TryReserve(1) == nil {
+				if g.Depth() > g.Capacity() {
+					t.Errorf("depth %d exceeded capacity %d", g.Depth(), g.Capacity())
+				}
+				admitted.Store(i, true)
+				g.Release(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.Depth() != 0 {
+		t.Fatalf("depth = %d after all releases, want 0", g.Depth())
+	}
+}

@@ -1,0 +1,97 @@
+// Package rulefallback is the serving path's graceful-degradation
+// classifier: the paper's rule-based baseline (Section 3.2, Appendix G —
+// the Pandas/TFDV-style heuristic flowchart internal/tools benchmarks)
+// re-expressed over the already-extracted base features, so a column
+// whose ML prediction is faulted, tripped or shed still gets an answer
+// from the nine-class vocabulary. The paper quantifies exactly this
+// trade: rule-based inference is markedly less accurate than the Random
+// Forest but never unavailable, which is what a degraded serving mode
+// needs. Results produced here are tagged Degraded by the server so
+// callers can tell baseline answers from model answers.
+package rulefallback
+
+import (
+	"sortinghat/ftype"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/stats"
+)
+
+// Classify maps base features to one of the nine classes with the
+// rule-based flowchart, returning the class and a one-hot probability
+// vector (rules are deterministic; there is no calibrated confidence to
+// report). It never fails: an empty or partial Base falls through the
+// no-signal rule to Not-Generalizable.
+func Classify(b *featurize.Base) (ftype.FeatureType, []float64) {
+	t := classify(b)
+	probs := make([]float64, ftype.NumBaseClasses)
+	probs[t.Index()] = 1
+	return t, probs
+}
+
+// classify runs the 11-rule flowchart. The rule order and thresholds
+// mirror internal/tools.RuleBaseline, adapted from whole-column profiles
+// to the sample-bounded Stats of base featurization; its known weaknesses
+// (integer-coded categories read as Numeric, fully distinct columns
+// swallowed into Not-Generalizable) are the paper's, by design.
+func classify(b *featurize.Base) ftype.FeatureType {
+	st := &b.Stats
+	nonMissing := st.TotalVals - st.NumNaNs
+	castFloatAll := st.CastableFloatPct >= 0.999
+
+	// Rule 1: no informative values at all.
+	if nonMissing <= 0 || st.NumUnique <= 1 {
+		return ftype.NotGeneralizable
+	}
+	// Rule 2: (almost) all NaN, or every value distinct — nothing
+	// generalizable, fired before the syntactic checks as in the paper.
+	if st.PctNaNs > 99.99 || st.NumUnique >= nonMissing {
+		return ftype.NotGeneralizable
+	}
+	// Rule 3: URL syntax on the sampled values.
+	if st.SampleHasURL {
+		return ftype.URL
+	}
+	// Rule 4: delimiter-separated series of items.
+	if st.SampleHasList {
+		return ftype.List
+	}
+	// Rule 5: parseable dates or timestamps.
+	if st.SampleHasDate {
+		return ftype.Datetime
+	}
+	// Rule 6: castable numbers with a tiny domain read as categories...
+	if castFloatAll && st.NumUnique <= 5 {
+		return ftype.Categorical
+	}
+	// Rule 7: ...all other castable numbers read as Numeric.
+	if castFloatAll {
+		return ftype.Numeric
+	}
+	// Rule 8: numbers embedded in messy syntax, checked on the samples.
+	if majority(b.Samples, stats.LooksEmbeddedNumber) {
+		return ftype.EmbeddedNumber
+	}
+	// Rule 9: long, wordy values read as natural language.
+	if st.MeanWordCount > 3 {
+		return ftype.Sentence
+	}
+	// Rule 10: low-cardinality strings read as categories.
+	if st.PctUnique < 10 {
+		return ftype.Categorical
+	}
+	// Rule 11: everything else needs a human.
+	return ftype.ContextSpecific
+}
+
+// majority reports whether pred holds for more than half of the samples
+// (and for at least one). Samples are distinct non-missing values by
+// construction of base featurization.
+func majority(samples []string, pred func(string) bool) bool {
+	hits := 0
+	for _, v := range samples {
+		if pred(v) {
+			hits++
+		}
+	}
+	return len(samples) > 0 && hits*2 > len(samples)
+}

@@ -1,0 +1,125 @@
+package rulefallback
+
+import (
+	"fmt"
+	"testing"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/stats"
+)
+
+// TestClassifyRules table-drives one case per rule with hand-built
+// Stats, pinning the flowchart's order and thresholds.
+func TestClassifyRules(t *testing.T) {
+	cases := []struct {
+		name string
+		base featurize.Base
+		want ftype.FeatureType
+	}{
+		{"rule1 empty base", featurize.Base{}, ftype.NotGeneralizable},
+		{"rule1 constant column", featurize.Base{
+			Stats: stats.Stats{TotalVals: 10, NumUnique: 1},
+		}, ftype.NotGeneralizable},
+		{"rule2 all distinct", featurize.Base{
+			Stats: stats.Stats{TotalVals: 10, NumUnique: 10, PctUnique: 100},
+		}, ftype.NotGeneralizable},
+		{"rule2 almost all missing", featurize.Base{
+			Stats: stats.Stats{TotalVals: 1000, NumNaNs: 998, PctNaNs: 99.995, NumUnique: 2},
+		}, ftype.NotGeneralizable},
+		{"rule3 url", featurize.Base{
+			Stats: stats.Stats{TotalVals: 10, NumUnique: 5, SampleHasURL: true},
+		}, ftype.URL},
+		{"rule4 list", featurize.Base{
+			Stats: stats.Stats{TotalVals: 10, NumUnique: 5, SampleHasList: true},
+		}, ftype.List},
+		{"rule5 datetime", featurize.Base{
+			Stats: stats.Stats{TotalVals: 10, NumUnique: 5, SampleHasDate: true},
+		}, ftype.Datetime},
+		{"rule6 integer-coded category", featurize.Base{
+			Stats: stats.Stats{TotalVals: 20, NumUnique: 3, CastableFloatPct: 1},
+		}, ftype.Categorical},
+		{"rule7 numeric", featurize.Base{
+			Stats: stats.Stats{TotalVals: 20, NumUnique: 8, CastableFloatPct: 1},
+		}, ftype.Numeric},
+		{"rule8 embedded number", featurize.Base{
+			Samples: []string{"$7", "$8", "$9"},
+			Stats:   stats.Stats{TotalVals: 20, NumUnique: 10, PctUnique: 50},
+		}, ftype.EmbeddedNumber},
+		{"rule9 sentence", featurize.Base{
+			Samples: []string{"the cat sat on the mat"},
+			Stats:   stats.Stats{TotalVals: 20, NumUnique: 10, PctUnique: 50, MeanWordCount: 6},
+		}, ftype.Sentence},
+		{"rule10 low-cardinality strings", featurize.Base{
+			Samples: []string{"red", "green", "blue"},
+			Stats:   stats.Stats{TotalVals: 60, NumUnique: 3, PctUnique: 5, MeanWordCount: 1},
+		}, ftype.Categorical},
+		{"rule11 context specific", featurize.Base{
+			Samples: []string{"alpha", "beta", "gamma"},
+			Stats:   stats.Stats{TotalVals: 20, NumUnique: 10, PctUnique: 50, MeanWordCount: 1},
+		}, ftype.ContextSpecific},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, probs := Classify(&tc.base)
+			if got != tc.want {
+				t.Fatalf("Classify = %v, want %v", got, tc.want)
+			}
+			if len(probs) != ftype.NumBaseClasses {
+				t.Fatalf("probs dim = %d, want %d", len(probs), ftype.NumBaseClasses)
+			}
+			sum := 0.0
+			for i, p := range probs {
+				sum += p
+				if i == got.Index() {
+					if p < 0.999 {
+						t.Errorf("probs[%d] = %g, want 1 at the predicted class", i, p)
+					}
+				} else if p > 0.001 {
+					t.Errorf("probs[%d] = %g, want 0 off the predicted class", i, p)
+				}
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("probs sum to %g, want 1", sum)
+			}
+		})
+	}
+}
+
+// TestClassifyOnExtractedFeatures runs the fallback end to end on real
+// columns through base featurization, the exact path the degraded
+// serving mode takes.
+func TestClassifyOnExtractedFeatures(t *testing.T) {
+	repeat := func(vals []string, times int) []string {
+		out := make([]string, 0, len(vals)*times)
+		for i := 0; i < times; i++ {
+			out = append(out, vals...)
+		}
+		return out
+	}
+	numeric := make([]string, 0, 16)
+	for i := 0; i < 8; i++ {
+		numeric = append(numeric, fmt.Sprintf("%d.25", i), fmt.Sprintf("%d.25", i))
+	}
+	cases := []struct {
+		name string
+		col  data.Column
+		want ftype.FeatureType
+	}{
+		{"numeric", data.Column{Name: "price", Values: numeric}, ftype.Numeric},
+		{"categorical", data.Column{
+			Name:   "color",
+			Values: repeat([]string{"red", "green", "blue"}, 20),
+		}, ftype.Categorical},
+		{"empty", data.Column{Name: "blank", Values: []string{"", "", ""}}, ftype.NotGeneralizable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := featurize.ExtractFirstN(&tc.col, featurize.SampleCount)
+			if got, _ := Classify(&base); got != tc.want {
+				t.Errorf("Classify(%s) = %v, want %v", tc.col.Name, got, tc.want)
+			}
+		})
+	}
+}

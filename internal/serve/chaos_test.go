@@ -1,0 +1,400 @@
+package serve
+
+// Chaos tests: deterministic fault injection driven through the same
+// seam production drills use (Config.Faults), proving the resilience
+// tentpole end to end — panics are isolated to their column, overload is
+// shed with 429 instead of queued without bound, and a tripped ML path
+// degrades to the paper's rule-based baseline and recovers.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/resilience"
+	"sortinghat/internal/resilience/faultinject"
+)
+
+// mustInjector parses a fault spec or fails the test.
+func mustInjector(t testing.TB, spec string, seed int64) *faultinject.Injector {
+	t.Helper()
+	in, err := faultinject.Parse(spec, seed)
+	if err != nil {
+		t.Fatalf("parsing fault spec %q: %v", spec, err)
+	}
+	return in
+}
+
+// metricValue scrapes /metrics and returns the named series' value.
+func metricValue(t *testing.T, h http.Handler, name string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// getHealth fetches and decodes /healthz.
+func getHealth(t *testing.T, h http.Handler) HealthResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", rec.Code)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	return hr
+}
+
+// validTypes is the nine-class label vocabulary every prediction —
+// degraded or not — must come from.
+func validTypes() map[string]bool {
+	out := make(map[string]bool, ftype.NumBaseClasses)
+	for i := 0; i < ftype.NumBaseClasses; i++ {
+		out[ftype.FeatureType(i).String()] = true
+	}
+	return out
+}
+
+// TestChaosPanicIsolation is the headline drill: a 10% panic rate on the
+// prediction path across a 1000-column batch must not crash anything —
+// the request completes with 200, every column carries a label from the
+// nine-class vocabulary, panics are counted, and the panicked columns
+// come back degraded with the fallback's answer.
+func TestChaosPanicIsolation(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:   4,
+		CacheSize: -1,
+		Faults:    mustInjector(t, "predict:panic:0.1", 42),
+	})
+	h := s.Handler()
+
+	rec, resp := postInfer(t, h, testBatch(1000))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 despite injected panics; body %s", rec.Code, rec.Body.Bytes())
+	}
+	if len(resp.Predictions) != 1000 {
+		t.Fatalf("got %d predictions, want 1000", len(resp.Predictions))
+	}
+	valid := validTypes()
+	degraded := 0
+	for i, p := range resp.Predictions {
+		if !valid[p.Type] {
+			t.Fatalf("prediction %d: type %q outside the nine-class vocabulary", i, p.Type)
+		}
+		if p.Degraded {
+			degraded++
+		} else if p.Error != "" {
+			t.Errorf("prediction %d: non-degraded column carries error %q", i, p.Error)
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("10% panic rate over 1000 columns degraded nothing — faults not reaching the hot path")
+	}
+	if resp.DegradedColumns != degraded {
+		t.Errorf("degraded_columns = %d, but %d predictions are marked degraded", resp.DegradedColumns, degraded)
+	}
+	if got := metricValue(t, h, "sortinghatd_panic_recovered_total"); got <= 0 {
+		t.Errorf("sortinghatd_panic_recovered_total = %g, want > 0", got)
+	}
+	if got := metricValue(t, h, "sortinghatd_degraded_total"); got != float64(degraded) {
+		t.Errorf("sortinghatd_degraded_total = %g, want %d", got, degraded)
+	}
+
+	// The server must still serve: panic recovery leaks no worker.
+	if rec, _ := postInfer(t, h, testBatch(8)); rec.Code != http.StatusOK {
+		t.Fatalf("follow-up request status = %d after panic drill", rec.Code)
+	}
+}
+
+// TestChaosLoadShedding fills the admission gate with a slow in-flight
+// batch and requires the overlapping request to fast-fail with 429 +
+// Retry-After instead of queuing, with the shed counted.
+func TestChaosLoadShedding(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	s := newTestServer(t, Config{
+		Workers: 1, CacheSize: -1, QueueDepth: 8, Timeout: -1,
+		Faults: injectFunc(func(site string) error {
+			if site == "featurize" {
+				once.Do(func() { close(started) })
+				time.Sleep(30 * time.Millisecond)
+			}
+			return nil
+		}),
+	})
+	h := s.Handler()
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec, _ := postInfer(t, h, testBatch(8))
+		first <- rec
+	}()
+	<-started // the 8-column batch owns the queue
+
+	rec, _ := postInfer(t, h, testBatch(8))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overlapping batch status = %d, want 429; body %s", rec.Code, rec.Body.Bytes())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if got := metricValue(t, h, "sortinghatd_shed_total"); got < 1 {
+		t.Errorf("sortinghatd_shed_total = %g, want >= 1", got)
+	}
+	if rec := <-first; rec.Code != http.StatusOK {
+		t.Fatalf("admitted batch status = %d, want 200", rec.Code)
+	}
+	// Capacity released: the same batch is admitted again.
+	if rec, _ := postInfer(t, h, testBatch(8)); rec.Code != http.StatusOK {
+		t.Fatalf("post-drain batch status = %d, want 200", rec.Code)
+	}
+}
+
+// TestChaosBreakerLifecycle drives the breaker through its full arc on a
+// fake clock: consecutive injected prediction failures trip it open
+// (healthz "degraded", answers from the rule fallback), the probe
+// interval elapses, and the exhausted fault lets the half-open probe
+// succeed, closing the breaker (healthz back to "ok").
+func TestChaosBreakerLifecycle(t *testing.T) {
+	clk := resilience.NewFakeClock(time.Unix(0, 0))
+	s := newTestServer(t, Config{
+		Workers:   1,
+		CacheSize: -1,
+		Faults:    mustInjector(t, "predict:error:1:x3", 1),
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: 3,
+			ProbeInterval:    time.Hour,
+			Clock:            clk,
+		},
+	})
+	h := s.Handler()
+
+	if hr := getHealth(t, h); hr.Status != "ok" || hr.Breaker != "closed" {
+		t.Fatalf("fresh health = %s/%s, want ok/closed", hr.Status, hr.Breaker)
+	}
+
+	// Three columns, three injected prediction errors: every column is
+	// degraded with a valid fallback label and the third failure trips
+	// the breaker.
+	rec, resp := postInfer(t, h, testBatch(3))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (degraded answers, not failure); body %s", rec.Code, rec.Body.Bytes())
+	}
+	valid := validTypes()
+	for i, p := range resp.Predictions {
+		if !p.Degraded {
+			t.Errorf("prediction %d: degraded = false under a rate-1 error fault", i)
+		}
+		if p.Error == "" {
+			t.Errorf("prediction %d: degraded by prediction failure but error field empty", i)
+		}
+		if !valid[p.Type] {
+			t.Errorf("prediction %d: fallback type %q outside the vocabulary", i, p.Type)
+		}
+	}
+	if hr := getHealth(t, h); hr.Status != "degraded" || hr.Breaker != "open" {
+		t.Fatalf("health after trip = %s/%s, want degraded/open", hr.Status, hr.Breaker)
+	}
+	if got := metricValue(t, h, "sortinghatd_breaker_open_total"); got != 1 {
+		t.Errorf("sortinghatd_breaker_open_total = %g, want 1", got)
+	}
+	if got := metricValue(t, h, "sortinghatd_breaker_state"); got != 1 {
+		t.Errorf("sortinghatd_breaker_state = %g, want 1 (open)", got)
+	}
+
+	// While open, columns skip the ML path entirely: degraded, no error.
+	_, openResp := postInfer(t, h, testBatch(2))
+	for i, p := range openResp.Predictions {
+		if !p.Degraded {
+			t.Errorf("open-state prediction %d: degraded = false", i)
+		}
+	}
+
+	// Past the probe interval the x3-capped fault is exhausted, so the
+	// single half-open probe succeeds and closes the breaker.
+	clk.Advance(time.Hour)
+	rec, resp = postInfer(t, h, testBatch(1))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("probe batch status = %d", rec.Code)
+	}
+	if resp.Predictions[0].Degraded {
+		t.Error("probe prediction still degraded after the fault exhausted")
+	}
+	if hr := getHealth(t, h); hr.Status != "ok" || hr.Breaker != "closed" {
+		t.Fatalf("health after recovery = %s/%s, want ok/closed", hr.Status, hr.Breaker)
+	}
+	if got := metricValue(t, h, "sortinghatd_faults_injected_total"); got != 3 {
+		t.Errorf("sortinghatd_faults_injected_total = %g, want 3 (x3 cap)", got)
+	}
+}
+
+// TestChaosFeaturizeFailureDegrades checks the other fault site: a
+// featurization failure cannot use extracted features, so the fallback
+// answers on the column name alone and does not count against the
+// prediction breaker.
+func TestChaosFeaturizeFailureDegrades(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:   1,
+		CacheSize: -1,
+		Faults:    mustInjector(t, "featurize:error:1:x2", 1),
+	})
+	h := s.Handler()
+	rec, resp := postInfer(t, h, testBatch(2))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	for i, p := range resp.Predictions {
+		if !p.Degraded || p.Error == "" {
+			t.Errorf("prediction %d: want degraded with error, got %+v", i, p)
+		}
+	}
+	if hr := getHealth(t, h); hr.Breaker != "closed" {
+		t.Errorf("featurize failures moved the prediction breaker to %q", hr.Breaker)
+	}
+}
+
+// TestNoTimeoutOverloadFastFails is the regression test for the
+// unbounded-blocking bug: with the per-request deadline disabled, a
+// context with no deadline, and the queue full, InferBatch must fail
+// fast with ErrOverloaded instead of blocking forever on the task
+// channel.
+func TestNoTimeoutOverloadFastFails(t *testing.T) {
+	started := make(chan struct{})
+	var once sync.Once
+	s := newTestServer(t, Config{
+		Workers: 1, CacheSize: -1, QueueDepth: 4, Timeout: -1,
+		Faults: injectFunc(func(site string) error {
+			if site == "featurize" {
+				once.Do(func() { close(started) })
+				time.Sleep(50 * time.Millisecond)
+			}
+			return nil
+		}),
+	})
+
+	// Fill the queue with an admitted slow batch.
+	go func() { _, _ = s.InferBatch(context.Background(), batchColumns(4)) }()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.InferBatch(context.Background(), batchColumns(2))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, resilience.ErrOverloaded) {
+			t.Fatalf("full-queue InferBatch error = %v, want ErrOverloaded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("InferBatch blocked on a full queue with no deadline (regression)")
+	}
+}
+
+// batchColumns builds n small columns for library-level calls.
+func batchColumns(n int) []data.Column {
+	cols := make([]data.Column, n)
+	for i := range cols {
+		cols[i] = data.Column{Name: fmt.Sprintf("c%d", i), Values: []string{"1", "2", "3"}}
+	}
+	return cols
+}
+
+// TestInferCSVEndpoint covers the CSV ingestion surface: a plain table,
+// a BOM-prefixed header, and the adversarial-input limits.
+func TestInferCSVEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, MaxBatch: 4, MaxCellBytes: 64})
+	h := s.Handler()
+
+	postCSV := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/infer/csv", strings.NewReader(body))
+		req.Header.Set("Content-Type", "text/csv")
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	t.Run("valid table", func(t *testing.T) {
+		rec := postCSV("age,color\n23,red\n41,blue\n35,red\n")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", rec.Code, rec.Body.Bytes())
+		}
+		var resp InferResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Predictions) != 2 {
+			t.Fatalf("got %d predictions, want 2", len(resp.Predictions))
+		}
+		if resp.Predictions[0].Name != "age" || resp.Predictions[1].Name != "color" {
+			t.Errorf("prediction names = %q, %q; want age, color",
+				resp.Predictions[0].Name, resp.Predictions[1].Name)
+		}
+	})
+
+	t.Run("BOM stripped from header", func(t *testing.T) {
+		rec := postCSV("\uFEFFage,color\n23,red\n41,blue\n")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", rec.Code, rec.Body.Bytes())
+		}
+		var resp InferResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Predictions[0].Name != "age" {
+			t.Errorf("first column name = %q, want bare \"age\" (BOM must be stripped)", resp.Predictions[0].Name)
+		}
+	})
+
+	t.Run("too many columns", func(t *testing.T) {
+		rec := postCSV("a,b,c,d,e\n1,2,3,4,5\n")
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d, want 413; body %s", rec.Code, rec.Body.Bytes())
+		}
+	})
+
+	t.Run("oversized cell", func(t *testing.T) {
+		rec := postCSV("a\n" + strings.Repeat("x", 65) + "\n")
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d, want 413; body %s", rec.Code, rec.Body.Bytes())
+		}
+	})
+
+	t.Run("malformed csv", func(t *testing.T) {
+		rec := postCSV("a,b\n1\n")
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400; body %s", rec.Code, rec.Body.Bytes())
+		}
+	})
+
+	t.Run("method", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/infer/csv", nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", rec.Code)
+		}
+	})
+}

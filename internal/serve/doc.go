@@ -22,7 +22,11 @@
 //
 //   - POST /v1/infer — classify a batch of raw columns; returns the
 //     9-class prediction with per-class confidences for each column.
-//   - GET /healthz — liveness/readiness probe with model metadata.
+//   - POST /v1/infer/csv — classify every column of a table posted as
+//     CSV, with adversarial-input limits (column count, cell size)
+//     answered by 413 and a UTF-8 BOM on the header stripped.
+//   - GET /healthz — liveness/readiness probe with model metadata;
+//     status is "degraded" while the prediction breaker is not closed.
 //   - GET /metrics — Prometheus text-format metrics from the server's
 //     obs.Registry (request/column/cache counters, batch-size and latency
 //     quantiles, forest structure gauges), built on the standard library
@@ -44,6 +48,41 @@
 // that did not start a trace, so the hot path is instrumented
 // unconditionally. See ARCHITECTURE.md "Observability" for which layer
 // owns which signal.
+//
+// # Resilience
+//
+// The serving path never lets one bad column, one slow burst, or one
+// faulty model component take the process down (internal/resilience):
+//
+//   - Panic isolation: the per-column hot path runs featurize and
+//     predict under a recover guard. A panic is counted
+//     (sortinghatd_panic_recovered_total), logged with its stack, noted
+//     on the column's trace span, and converted into a per-column
+//     degraded answer; the batch still returns 200 and the worker
+//     survives.
+//   - Load shedding: a resilience.Gate in front of the task queue
+//     reserves capacity for whole requests up front and fast-fails with
+//     resilience.ErrOverloaded (HTTP 429 + Retry-After) past
+//     Config.QueueDepth. Because the task channel's capacity equals the
+//     gate's high-water mark, an admitted column never blocks on the
+//     channel send — which is also what fixes the historical deadlock of
+//     a no-deadline request against a full queue.
+//   - Circuit breaker: prediction runs behind a three-state breaker.
+//     Consecutive failures (errors or recovered panics) trip it open;
+//     while open, columns skip the ML path; after Breaker.ProbeInterval
+//     a single half-open probe decides between closing and re-opening.
+//     The probe schedule reads time only through the injected
+//     resilience.Clock, so tests drive it deterministically.
+//   - Graceful degradation: whenever the ML path is unavailable (panic,
+//     error, or open breaker), the column is answered by
+//     resilience/rulefallback — the paper's rule-based baseline over the
+//     same base features — tagged Degraded with a one-hot probability
+//     vector. Degraded answers are never cached, so recovery is not
+//     poisoned by fallback results. /healthz reports "degraded" while
+//     the breaker is not closed.
+//   - Fault injection: Config.Faults accepts a fault-site Injector (see
+//     resilience/faultinject); the hot path visits the sites "featurize"
+//     and "predict". Production configurations leave it nil.
 //
 // # Concurrency invariants
 //

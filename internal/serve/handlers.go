@@ -11,6 +11,7 @@ import (
 	"sortinghat/ftype"
 	"sortinghat/internal/data"
 	"sortinghat/internal/obs"
+	"sortinghat/internal/resilience"
 )
 
 // maxRequestBody bounds /v1/infer request bodies (64 MiB covers a
@@ -32,10 +33,11 @@ type InferColumn struct {
 // InferResponse is the JSON body answering POST /v1/infer. Predictions
 // are index-aligned with the request's columns.
 type InferResponse struct {
-	Model       string            `json:"model"`
-	Predictions []InferPrediction `json:"predictions"`
-	CacheHits   int               `json:"cache_hits"`
-	ElapsedMS   float64           `json:"elapsed_ms"`
+	Model           string            `json:"model"`
+	Predictions     []InferPrediction `json:"predictions"`
+	CacheHits       int               `json:"cache_hits"`
+	DegradedColumns int               `json:"degraded_columns"`
+	ElapsedMS       float64           `json:"elapsed_ms"`
 }
 
 // InferPrediction is the inference result for one column.
@@ -45,11 +47,18 @@ type InferPrediction struct {
 	Confidence float64            `json:"confidence"`
 	Probs      map[string]float64 `json:"probs"`
 	CacheHit   bool               `json:"cache_hit"`
+	// Degraded marks rule-fallback answers (ML path faulted or breaker
+	// open); Error carries the per-column failure when there was one.
+	Degraded bool   `json:"degraded"`
+	Error    string `json:"error,omitempty"`
 }
 
-// HealthResponse is the JSON body answering GET /healthz.
+// HealthResponse is the JSON body answering GET /healthz. Status is "ok",
+// or "degraded" while the prediction breaker is not closed and columns
+// are answered by the rule fallback.
 type HealthResponse struct {
 	Status        string  `json:"status"`
+	Breaker       string  `json:"breaker"`
 	Model         string  `json:"model"`
 	Classes       int     `json:"classes"`
 	Workers       int     `json:"workers"`
@@ -69,15 +78,16 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the server's HTTP API: POST /v1/infer, GET /healthz,
-// GET /metrics, GET /debug/traces, and (with Config.EnablePprof)
-// /debug/pprof/. Every request passes the observability middleware: it
-// gets a request ID (echoed as X-Request-Id and attached to the
-// request's trace span) and, when Config.Logger is set, one structured
-// access-log record.
+// Handler returns the server's HTTP API: POST /v1/infer, POST
+// /v1/infer/csv, GET /healthz, GET /metrics, GET /debug/traces, and (with
+// Config.EnablePprof) /debug/pprof/. Every request passes the
+// observability middleware: it gets a request ID (echoed as X-Request-Id
+// and attached to the request's trace span) and, when Config.Logger is
+// set, one structured access-log record.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/infer/csv", s.handleInferCSV)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
@@ -135,7 +145,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// handleInfer decodes a batch, runs it through the worker pool, and
+// handleInfer decodes a JSON batch, runs it through the worker pool, and
 // answers with per-column predictions.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -156,23 +166,76 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(&req); err != nil {
 		s.met.requestErrors.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds "+strconv.FormatInt(tooLarge.Limit, 10)+" bytes")
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	if len(req.Columns) == 0 {
+	cols := make([]data.Column, len(req.Columns))
+	for i, c := range req.Columns {
+		cols[i] = data.Column{Name: c.Name, Values: c.Values}
+	}
+	s.serveBatch(w, ctx, span, start, cols)
+}
+
+// handleInferCSV ingests a whole table as CSV (the form AutoML platforms
+// hold tables in) and classifies every column. Parsing applies the
+// adversarial-input limits: column count is capped at Config.MaxBatch and
+// cell size at Config.MaxCellBytes, both answered with 413 so oversized
+// uploads fail fast instead of ballooning memory.
+func (s *Server) handleInferCSV(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	start := time.Now()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	defer s.met.requests.Add(1)
+
+	ctx, span := s.tracer.Start(r.Context(), "infer")
+	span.SetAttr("request_id", obs.RequestIDFrom(ctx))
+	span.SetAttr("format", "csv")
+	defer span.End()
+
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	ds, err := data.ReadCSVLimited("request", body, data.Limits{
+		MaxColumns:   s.cfg.MaxBatch,
+		MaxCellBytes: s.cfg.MaxCellBytes,
+	})
+	if err != nil {
+		s.met.requestErrors.Add(1)
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.Is(err, data.ErrTooManyColumns), errors.Is(err, data.ErrCellTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.As(err, &tooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds "+strconv.FormatInt(tooLarge.Limit, 10)+" bytes")
+		default:
+			writeError(w, http.StatusBadRequest, "parsing csv: "+err.Error())
+		}
+		return
+	}
+	s.serveBatch(w, ctx, span, start, ds.Columns)
+}
+
+// serveBatch is the shared tail of the infer handlers: validate the
+// batch, fan it out, and render the response (or map the failure onto the
+// HTTP error surface).
+func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, cols []data.Column) {
+	if len(cols) == 0 {
 		s.met.requestErrors.Add(1)
 		writeError(w, http.StatusBadRequest, "empty batch: provide at least one column")
 		return
 	}
-	if len(req.Columns) > s.cfg.MaxBatch {
+	if len(cols) > s.cfg.MaxBatch {
 		s.met.requestErrors.Add(1)
 		writeError(w, http.StatusBadRequest, "batch too large: max "+strconv.Itoa(s.cfg.MaxBatch)+" columns")
 		return
-	}
-
-	cols := make([]data.Column, len(req.Columns))
-	for i, c := range req.Columns {
-		cols[i] = data.Column{Name: c.Name, Values: c.Values}
 	}
 	s.met.columns.Add(int64(len(cols)))
 	s.met.batchSize.Observe(float64(len(cols)))
@@ -181,6 +244,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	results, err := s.InferBatch(ctx, cols)
 	if err != nil {
 		switch {
+		case errors.Is(err, resilience.ErrOverloaded):
+			span.SetAttr("shed", "true")
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.requestTimeouts.Add(1)
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
@@ -204,12 +271,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		if res.CacheHit {
 			resp.CacheHits++
 		}
+		if res.Degraded {
+			resp.DegradedColumns++
+		}
 		resp.Predictions[i] = InferPrediction{
 			Name:       res.Name,
 			Type:       res.Type.String(),
 			Confidence: res.Confidence,
 			Probs:      probsByClass(res.Probs),
 			CacheHit:   res.CacheHit,
+			Degraded:   res.Degraded,
+			Error:      res.Err,
 		}
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -228,15 +300,23 @@ func probsByClass(probs []float64) map[string]float64 {
 	return out
 }
 
-// handleHealthz answers liveness probes with model metadata.
+// handleHealthz answers liveness probes with model metadata. While the
+// prediction breaker is open or probing (columns served by the rule
+// fallback), Status reports "degraded" instead of "ok"; it recovers to
+// "ok" once a half-open probe succeeds and the breaker closes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	status := "ok"
+	if s.Degraded() {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
+		Status:        status,
+		Breaker:       s.breaker.State().String(),
 		Model:         s.pipe.Name(),
 		Classes:       s.pipe.Opts.Classes,
 		Workers:       s.cfg.Workers,

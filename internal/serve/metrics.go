@@ -22,6 +22,8 @@ type metrics struct {
 	columns         *obs.Counter // columns across all accepted batches
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
+	panics          *obs.Counter // panics recovered from the hot path
+	degraded        *obs.Counter // columns answered by the rule fallback
 
 	batchSize *obs.Summary // batch sizes (columns per request)
 	featurize *obs.Summary // per-column base-featurization seconds
@@ -49,12 +51,37 @@ func newMetrics(s *Server) *metrics {
 	reg.GaugeFunc("sortinghatd_cache_entries", "Entries currently in the prediction cache.", func() float64 { return float64(s.cache.len()) })
 	reg.GaugeFunc("sortinghatd_cache_capacity", "Configured prediction cache capacity in columns.", func() float64 { return float64(s.cache.capacity()) })
 	reg.GaugeFunc("sortinghatd_workers", "Size of the column worker pool.", func() float64 { return float64(s.cfg.Workers) })
+	m.panics = reg.Counter("sortinghatd_panic_recovered_total", "Panics recovered from the per-column hot path (featurize/predict).")
+	m.degraded = reg.Counter("sortinghatd_degraded_total", "Columns answered by the rule-based fallback instead of the ML model.")
+	reg.CounterFunc("sortinghatd_shed_total", "Requests fast-failed by the admission gate (HTTP 429).", s.gate.Shed)
+	reg.GaugeFunc("sortinghatd_queue_depth", "Columns admitted and not yet picked up by a worker.", func() float64 { return float64(s.gate.Depth()) })
+	reg.GaugeFunc("sortinghatd_queue_high_water", "Admission-gate high-water mark in columns.", func() float64 { return float64(s.gate.Capacity()) })
+	reg.GaugeFunc("sortinghatd_breaker_state", "Prediction circuit breaker state (0 closed, 1 open, 2 half-open).", func() float64 { return float64(s.breaker.State()) })
+	reg.CounterFunc("sortinghatd_breaker_open_total", "Times the prediction circuit breaker tripped open.", s.breaker.Opened)
+	reg.CounterFunc("sortinghatd_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).", s.faultsFired)
 	reg.GaugeFunc("sortinghatd_uptime_seconds", "Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
 	m.batchSize = reg.Summary("sortinghatd_batch_columns", "Columns per /v1/infer request.")
 	m.featurize = reg.Summary("sortinghatd_featurize_seconds", "Per-column base featurization latency.")
 	m.predict = reg.Summary("sortinghatd_predict_seconds", "Per-column model prediction latency.")
 	m.request = reg.Summary("sortinghatd_request_seconds", "End-to-end /v1/infer latency.")
+	m.registerForest(s)
+	return m
+}
 
+// faultsFired samples the configured injector's lifetime fire count, or
+// 0 when no injector is configured (the production case).
+func (s *Server) faultsFired() int64 {
+	f, ok := s.faults.(interface{ Fired() int64 })
+	if !ok {
+		return 0
+	}
+	return f.Fired()
+}
+
+// registerForest attaches the forest's structure gauges and traversal
+// summary when the pipeline's model is a Random Forest.
+func (m *metrics) registerForest(s *Server) {
+	reg := m.reg
 	if f := s.pipe.Forest; f != nil {
 		reg.GaugeFunc("sortinghatd_forest_split_nodes", "Internal (split) nodes across the forest's fitted trees — the training split count.", func() float64 { return float64(f.SplitNodes()) })
 		reg.GaugeFunc("sortinghatd_forest_leaf_nodes", "Leaf nodes across the forest's fitted trees.", func() float64 { return float64(f.LeafNodes()) })
@@ -62,5 +89,4 @@ func newMetrics(s *Server) *metrics {
 		depth := reg.Summary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.")
 		f.SetObs(&tree.Metrics{TraversalDepth: depth})
 	}
-	return m
 }

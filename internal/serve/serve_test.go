@@ -64,6 +64,23 @@ func testBatch(n int) InferRequest {
 	return req
 }
 
+// injectFunc adapts a function to the fault-site Injector interface, the
+// test-side replacement for reaching into server internals: faults enter
+// through the same seam production chaos drills use.
+type injectFunc func(site string) error
+
+func (f injectFunc) Inject(site string) error { return f(site) }
+
+// slowSite returns an injector that sleeps d at the named site.
+func slowSite(site string, d time.Duration) Injector {
+	return injectFunc(func(s string) error {
+		if s == site {
+			time.Sleep(d)
+		}
+		return nil
+	})
+}
+
 func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
 	s := New(testModel(t), cfg)
@@ -264,8 +281,10 @@ func TestLRUEviction(t *testing.T) {
 // TestDeadlineExceeded slows the hot path past a tiny request deadline
 // and requires a 504 plus a timeout counter increment.
 func TestDeadlineExceeded(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 1, Timeout: 30 * time.Millisecond, CacheSize: -1})
-	s.featurizeHook = func() { time.Sleep(25 * time.Millisecond) }
+	s := newTestServer(t, Config{
+		Workers: 1, Timeout: 30 * time.Millisecond, CacheSize: -1,
+		Faults: slowSite("featurize", 25*time.Millisecond),
+	})
 	h := s.Handler()
 
 	rec, _ := postInfer(t, h, testBatch(8)) // 8 columns × 25ms on 1 worker ≫ 30ms
@@ -283,8 +302,10 @@ func TestDeadlineExceeded(t *testing.T) {
 // TestInferBatchContextCancel covers caller-side cancellation of the
 // library entry point.
 func TestInferBatchContextCancel(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 1, Timeout: -1, CacheSize: -1})
-	s.featurizeHook = func() { time.Sleep(10 * time.Millisecond) }
+	s := newTestServer(t, Config{
+		Workers: 1, Timeout: -1, CacheSize: -1,
+		Faults: slowSite("featurize", 10*time.Millisecond),
+	})
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
 	cols := make([]data.Column, 64)
@@ -300,13 +321,18 @@ func TestInferBatchContextCancel(t *testing.T) {
 // server, shuts the server down mid-request, and requires the request to
 // complete successfully — Shutdown must drain, not drop.
 func TestShutdownDrainsInflight(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 2, Timeout: 10 * time.Second, CacheSize: -1})
 	started := make(chan struct{})
 	var once sync.Once
-	s.featurizeHook = func() {
-		once.Do(func() { close(started) })
-		time.Sleep(20 * time.Millisecond)
-	}
+	s := newTestServer(t, Config{
+		Workers: 2, Timeout: 10 * time.Second, CacheSize: -1,
+		Faults: injectFunc(func(site string) error {
+			if site == "featurize" {
+				once.Do(func() { close(started) })
+				time.Sleep(20 * time.Millisecond)
+			}
+			return nil
+		}),
+	})
 
 	httpSrv := httptest.NewServer(s.Handler())
 	defer httpSrv.Close()
@@ -378,6 +404,9 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Status != "ok" || h.Model != "OurRF" || h.Classes != 9 || h.Workers != 3 {
 		t.Errorf("unexpected health payload: %+v", h)
+	}
+	if h.Breaker != "closed" {
+		t.Errorf("breaker = %q, want closed on a fresh server", h.Breaker)
 	}
 }
 
@@ -470,6 +499,14 @@ func TestMetricsRenderPinned(t *testing.T) {
 		gauge("sortinghatd_cache_entries", "Entries currently in the prediction cache.", 0) +
 		gauge("sortinghatd_cache_capacity", "Configured prediction cache capacity in columns.", 256) +
 		gauge("sortinghatd_workers", "Size of the column worker pool.", 2) +
+		counter("sortinghatd_panic_recovered_total", "Panics recovered from the per-column hot path (featurize/predict).") +
+		counter("sortinghatd_degraded_total", "Columns answered by the rule-based fallback instead of the ML model.") +
+		counter("sortinghatd_shed_total", "Requests fast-failed by the admission gate (HTTP 429).") +
+		gauge("sortinghatd_queue_depth", "Columns admitted and not yet picked up by a worker.", 0) +
+		gauge("sortinghatd_queue_high_water", "Admission-gate high-water mark in columns.", 2*DefaultMaxBatch) +
+		gauge("sortinghatd_breaker_state", "Prediction circuit breaker state (0 closed, 1 open, 2 half-open).", 0) +
+		counter("sortinghatd_breaker_open_total", "Times the prediction circuit breaker tripped open.") +
+		counter("sortinghatd_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).") +
 		"# HELP sortinghatd_uptime_seconds Seconds since the server started.\n" +
 		"# TYPE sortinghatd_uptime_seconds gauge\n" +
 		"sortinghatd_uptime_seconds X\n" +

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,7 +15,19 @@ import (
 	"sortinghat/internal/data"
 	"sortinghat/internal/featurize"
 	"sortinghat/internal/obs"
+	"sortinghat/internal/resilience"
+	"sortinghat/internal/resilience/rulefallback"
 )
+
+// Injector is the fault-site hook threaded through the serving hot path.
+// The server visits the sites "featurize" and "predict" once per uncached
+// column; an injector may sleep (latency fault), return an error (the
+// column degrades to the rule fallback) or panic (recovered by the
+// worker's panic isolation). Production configurations leave it nil;
+// faultinject.Injector implements it behind sortinghatd's -fault-spec.
+type Injector interface {
+	Inject(site string) error
+}
 
 // Config tunes a Server. The zero value picks sensible defaults; negative
 // values disable the corresponding feature where documented.
@@ -27,11 +40,28 @@ type Config struct {
 	CacheSize int
 	// Timeout is the per-request deadline applied on top of whatever
 	// deadline the caller's context already carries. 0 means
-	// DefaultTimeout; negative disables the server-side deadline.
+	// DefaultTimeout; negative disables the server-side deadline (the
+	// admission gate still bounds enqueueing, so a deadline-less caller
+	// can shed but never block forever on a full queue).
 	Timeout time.Duration
 	// MaxBatch caps the number of columns per request. 0 means
 	// DefaultMaxBatch.
 	MaxBatch int
+	// QueueDepth is the admission-gate high-water mark: the number of
+	// columns that may be admitted and not yet picked up by a worker
+	// before further requests are shed with resilience.ErrOverloaded
+	// (HTTP 429). 0 means 2*MaxBatch. It is also the task channel's
+	// capacity, so an admitted batch never blocks on enqueue.
+	QueueDepth int
+	// MaxCellBytes caps individual cell sizes on the CSV ingestion
+	// endpoint (HTTP 413 beyond it). 0 means DefaultMaxCellBytes.
+	MaxCellBytes int
+	// Breaker tunes the circuit breaker guarding model prediction; the
+	// zero value takes the resilience package defaults.
+	Breaker resilience.BreakerConfig
+	// Faults, when non-nil, is consulted at every fault site on the hot
+	// path. Only chaos tests and -fault-spec set it.
+	Faults Injector
 	// TraceRing caps how many recent finished request traces are kept in
 	// memory for GET /debug/traces. 0 means obs.DefaultTraceRing.
 	TraceRing int
@@ -47,9 +77,10 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	DefaultCacheSize = 4096
-	DefaultTimeout   = 10 * time.Second
-	DefaultMaxBatch  = 1024
+	DefaultCacheSize    = 4096
+	DefaultTimeout      = 10 * time.Second
+	DefaultMaxBatch     = 1024
+	DefaultMaxCellBytes = 1 << 20
 )
 
 // normalized fills in the documented defaults.
@@ -66,6 +97,12 @@ func (c Config) normalized() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = DefaultMaxBatch
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxBatch
+	}
+	if c.MaxCellBytes <= 0 {
+		c.MaxCellBytes = DefaultMaxCellBytes
+	}
 	return c
 }
 
@@ -73,14 +110,17 @@ func (c Config) normalized() Config {
 // Create one with New and release its worker pool with Close. All methods
 // are safe for concurrent use.
 type Server struct {
-	pipe   *core.Pipeline
-	cfg    Config
-	cache  *predCache
-	met    *metrics
-	tracer *obs.Tracer
-	logger *slog.Logger
-	reqSeq atomic.Int64 // request-ID sequence (req-1, req-2, ...)
-	start  time.Time
+	pipe    *core.Pipeline
+	cfg     Config
+	cache   *predCache
+	met     *metrics
+	tracer  *obs.Tracer
+	logger  *slog.Logger
+	gate    *resilience.Gate
+	breaker *resilience.Breaker
+	faults  Injector
+	reqSeq  atomic.Int64 // request-ID sequence (req-1, req-2, ...)
+	start   time.Time
 
 	tasks    chan task
 	workerWG sync.WaitGroup
@@ -89,10 +129,6 @@ type Server struct {
 	// close(tasks) between the closed check and the channel send.
 	closeMu sync.RWMutex
 	closed  bool
-
-	// featurizeHook, when non-nil, runs before each column's
-	// featurization. Tests use it to make the hot path observably slow.
-	featurizeHook func()
 }
 
 // task is one column of one request, processed by the worker pool.
@@ -110,6 +146,12 @@ type Result struct {
 	Confidence float64
 	Probs      []float64 // per-class probabilities, indexed by class index; read-only
 	CacheHit   bool
+	// Degraded marks answers from the rule-based fallback (ML path
+	// faulted, panicked, or breaker open) instead of the model.
+	Degraded bool
+	// Err carries the per-column failure that forced degradation, if any
+	// (a breaker-open rejection degrades with an empty Err).
+	Err string
 }
 
 // New starts a Server over a trained pipeline. The worker pool spins up
@@ -122,9 +164,22 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		cache:  newPredCache(cfg.CacheSize),
 		tracer: obs.NewTracer(cfg.TraceRing),
 		logger: cfg.Logger,
+		gate:   resilience.NewGate(cfg.QueueDepth),
+		faults: cfg.Faults,
 		start:  time.Now(),
-		tasks:  make(chan task, 2*cfg.Workers),
+		tasks:  make(chan task, cfg.QueueDepth),
 	}
+	bcfg := cfg.Breaker
+	userTransition := bcfg.OnTransition
+	bcfg.OnTransition = func(from, to resilience.State) {
+		if s.logger != nil {
+			s.logger.Warn("breaker transition", "from", from.String(), "to", to.String())
+		}
+		if userTransition != nil {
+			userTransition(from, to)
+		}
+	}
+	s.breaker = resilience.NewBreaker(bcfg)
 	s.met = newMetrics(s)
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -152,19 +207,25 @@ func (s *Server) Close() {
 // ErrServerClosed is returned by InferBatch after Close.
 var ErrServerClosed = fmt.Errorf("serve: server closed")
 
-// worker processes column tasks until the task channel is closed.
+// worker processes column tasks until the task channel is closed. Each
+// received task immediately releases its admission-gate reservation: the
+// gate bounds queued (not in-flight) columns.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.tasks {
+		s.gate.Release(1)
 		s.process(t)
 	}
 }
 
 // process runs the per-column hot path: cache lookup, base featurization,
-// model prediction, cache fill. It writes only *t.out (ownership by
-// index; see the package comment) and always releases t.done. When the
-// request carries a trace span, the column and its featurize/predict
-// stages become child spans (obs.StartSpan is a no-op otherwise).
+// model prediction, cache fill. Featurize and predict run panic-isolated
+// (guard), so one poisoned column degrades to the rule fallback instead
+// of killing the process, and prediction sits behind the circuit breaker.
+// It writes only *t.out (ownership by index; see the package comment) and
+// always releases t.done. When the request carries a trace span, the
+// column and its featurize/predict stages become child spans
+// (obs.StartSpan is a no-op otherwise).
 func (s *Server) process(t task) {
 	defer t.done.Done()
 	if t.ctx.Err() != nil {
@@ -189,25 +250,102 @@ func (s *Server) process(t task) {
 	s.met.cacheMisses.Add(1)
 	colSpan.SetAttr("cache", "miss")
 
-	if s.featurizeHook != nil {
-		s.featurizeHook()
-	}
+	var base featurize.Base
 	fStart := time.Now()
 	_, fSpan := obs.StartSpan(ctx, "featurize")
-	base := featurize.ExtractFirstN(t.col, featurize.SampleCount)
+	fErr := s.guard("featurize", func() error {
+		if err := s.inject("featurize"); err != nil {
+			return err
+		}
+		base = featurize.ExtractFirstN(t.col, featurize.SampleCount)
+		return nil
+	})
 	fSpan.End()
+	if fErr != nil {
+		// Without stats the fallback's no-signal rule answers
+		// Not-Generalizable — still a valid class, so the batch survives.
+		base = featurize.Base{Name: t.col.Name}
+		s.degrade(t.out, &base, fErr.Error(), "featurize-error", colSpan)
+		return
+	}
 	s.met.featurize.ObserveSince(fStart)
 
+	if !s.breaker.Allow() {
+		s.degrade(t.out, &base, "", "breaker-open", colSpan)
+		return
+	}
+
+	var (
+		typ   ftype.FeatureType
+		probs []float64
+	)
 	pStart := time.Now()
 	_, pSpan := obs.StartSpan(ctx, "predict")
-	typ, probs := s.pipe.PredictBase(&base)
+	pErr := s.guard("predict", func() error {
+		if err := s.inject("predict"); err != nil {
+			return err
+		}
+		typ, probs = s.pipe.PredictBase(&base)
+		return nil
+	})
 	pSpan.End()
+	if pErr != nil {
+		s.breaker.Failure()
+		s.degrade(t.out, &base, pErr.Error(), "predict-error", colSpan)
+		return
+	}
+	s.breaker.Success()
 	s.met.predict.ObserveSince(pStart)
 
 	s.cache.put(key, cachedPrediction{Type: typ, Probs: probs})
 	t.out.Type = typ
 	t.out.Probs = probs
 	t.out.Confidence = confidenceOf(typ, probs)
+}
+
+// guard runs fn with panic isolation: a panic from the hot path is
+// recovered, counted, logged with its stack, and returned as the column's
+// error, so one poisoned column cannot take down the process.
+func (s *Server) guard(site string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.panics.Add(1)
+			if s.logger != nil {
+				s.logger.Error("panic recovered",
+					"site", site,
+					"panic", fmt.Sprint(r),
+					"stack", string(debug.Stack()))
+			}
+			err = fmt.Errorf("serve: panic in %s: %v", site, r)
+		}
+	}()
+	return fn()
+}
+
+// inject visits a fault site when an injector is configured.
+func (s *Server) inject(site string) error {
+	if s.faults == nil {
+		return nil
+	}
+	return s.faults.Inject(site)
+}
+
+// degrade answers a column from the rule-based fallback instead of the
+// ML path, tagging the result so callers can tell. Degraded answers are
+// never cached: once the ML path recovers, the same column must get a
+// model answer again.
+func (s *Server) degrade(out *Result, base *featurize.Base, errMsg, reason string, span *obs.Span) {
+	typ, probs := rulefallback.Classify(base)
+	out.Type = typ
+	out.Probs = probs
+	out.Confidence = confidenceOf(typ, probs)
+	out.Degraded = true
+	out.Err = errMsg
+	s.met.degraded.Add(1)
+	span.SetAttr("degraded", reason)
+	if errMsg != "" {
+		span.SetAttr("error", errMsg)
+	}
 }
 
 // confidenceOf picks the predicted class's probability out of probs.
@@ -218,17 +356,35 @@ func confidenceOf(t ftype.FeatureType, probs []float64) float64 {
 	return 0
 }
 
+// Degraded reports whether the server is currently answering from the
+// rule fallback because the prediction breaker is not closed. /healthz
+// mirrors this as status "degraded".
+func (s *Server) Degraded() bool {
+	return s.breaker.State() != resilience.Closed
+}
+
 // InferBatch classifies a batch of raw columns, fanning featurization and
 // prediction out across the worker pool. Results are index-aligned with
-// cols. It returns ctx.Err() (or context.DeadlineExceeded from the
-// server-side timeout) when the deadline expires before the batch
-// completes, and ErrServerClosed after Close.
+// cols. The whole batch is admitted through the load-shedding gate up
+// front: when admitting it would push the queue past Config.QueueDepth,
+// InferBatch fails fast with an error wrapping resilience.ErrOverloaded
+// instead of blocking — including when Timeout is negative and the
+// caller's context has no deadline, a configuration that previously could
+// block forever on a full queue. It returns ctx.Err() (or
+// context.DeadlineExceeded from the server-side timeout) when the
+// deadline expires before the batch completes, and ErrServerClosed after
+// Close. Columns whose ML path fails come back with Degraded set rather
+// than failing the batch.
 func (s *Server) InferBatch(ctx context.Context, cols []data.Column) ([]Result, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("serve: empty batch")
 	}
 	if len(cols) > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("serve: batch of %d columns exceeds limit %d", len(cols), s.cfg.MaxBatch)
+	}
+	if err := s.gate.TryReserve(len(cols)); err != nil {
+		return nil, fmt.Errorf("serve: %d columns queued of %d high water: %w",
+			s.gate.Depth(), s.gate.Capacity(), err)
 	}
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -242,9 +398,12 @@ func (s *Server) InferBatch(ctx context.Context, cols []data.Column) ([]Result, 
 		pending.Add(1)
 		if err := s.enqueue(task{ctx: ctx, col: &cols[i], out: &results[i], done: &pending}); err != nil {
 			pending.Done()
-			// Tasks already queued keep their slots in results; nobody
-			// reads the slice after an error return, so abandoning it is
-			// safe (workers hold the only remaining references).
+			// Hand back the reservations of the columns never enqueued
+			// (workers release the queued ones as they drain them). Tasks
+			// already queued keep their slots in results; nobody reads the
+			// slice after an error return, so abandoning it is safe
+			// (workers hold the only remaining references).
+			s.gate.Release(len(cols) - i)
 			return nil, err
 		}
 	}
@@ -265,8 +424,10 @@ func (s *Server) InferBatch(ctx context.Context, cols []data.Column) ([]Result, 
 	return results, nil
 }
 
-// enqueue submits one task, failing fast when the server is closed or the
-// request deadline expires while the queue is full.
+// enqueue submits one task, failing fast when the server is closed. The
+// admission gate reserved room for the task up front and the channel's
+// capacity equals the gate's high-water mark, so the send cannot block on
+// a full queue; the ctx arm only covers requests cancelled mid-enqueue.
 func (s *Server) enqueue(t task) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()

@@ -89,4 +89,61 @@ kill "$PID"
 wait "$PID"
 PID=""
 
+# Phase 2: degraded-mode drill. Boot with one worker (deterministic
+# column order) and a fault spec that fails the first 3 predictions —
+# exactly enough to trip the 3-failure breaker, with nothing left armed
+# for the later probe. The 4-column batch must come back degraded (3
+# injected errors + 1 breaker-open skip), /healthz must flip to
+# "degraded", and after the 1s probe interval the half-open probe
+# succeeds and health recovers to "ok".
+echo "smoke: restarting with injected prediction faults..."
+"$DIR/sortinghatd" -model "$DIR/model.gob" -addr "127.0.0.1:$PORT" -workers 1 \
+    -fault-spec 'predict:error:1:x3' -breaker-failures 3 -breaker-probe 1s &
+PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: FAIL - faulted daemon never came up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "smoke: batch under injected faults must degrade, not fail..."
+curl -fsS -X POST "$BASE/v1/infer" -d "$BATCH" >"$DIR/degraded.json"
+echo "smoke: degraded infer: $(cat "$DIR/degraded.json")"
+grep -q '"degraded":true' "$DIR/degraded.json"
+grep -q '"degraded_columns":4' "$DIR/degraded.json"
+
+curl -fsS "$BASE/healthz" >"$DIR/healthz-degraded.json"
+echo "smoke: degraded healthz: $(cat "$DIR/healthz-degraded.json")"
+grep -q '"status":"degraded"' "$DIR/healthz-degraded.json"
+grep -q '"breaker":"open"' "$DIR/healthz-degraded.json"
+
+curl -fsS "$BASE/metrics" >"$DIR/metrics-degraded.txt"
+grep -q '^sortinghatd_degraded_total 4$' "$DIR/metrics-degraded.txt"
+grep -q '^sortinghatd_breaker_open_total 1$' "$DIR/metrics-degraded.txt"
+grep -q '^sortinghatd_faults_injected_total 3$' "$DIR/metrics-degraded.txt"
+
+echo "smoke: waiting out the breaker probe interval..."
+sleep 1.2
+# A half-open breaker admits exactly one probe, so recover with a
+# single-column batch before asserting a full batch is clean again.
+curl -fsS -X POST "$BASE/v1/infer" \
+    -d '{"columns":[{"name":"probe","values":["1","2","3"]}]}' >"$DIR/probe.json"
+grep -q '"degraded_columns":0' "$DIR/probe.json"
+curl -fsS -X POST "$BASE/v1/infer" -d "$BATCH" >"$DIR/recovered.json"
+grep -q '"degraded_columns":0' "$DIR/recovered.json"
+curl -fsS "$BASE/healthz" >"$DIR/healthz-recovered.json"
+echo "smoke: recovered healthz: $(cat "$DIR/healthz-recovered.json")"
+grep -q '"status":"ok"' "$DIR/healthz-recovered.json"
+grep -q '"breaker":"closed"' "$DIR/healthz-recovered.json"
+
+echo "smoke: graceful shutdown of the faulted daemon..."
+kill "$PID"
+wait "$PID"
+PID=""
+
 echo "smoke: OK"
