@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: build test race vet shvet shvet-strict check bench smoke profile chaos
+# The serve-path benchmark set shared by bench-run/bench-snapshot/bench-gate
+# and profile: everything the benchmark-regression gate watches. Fixed
+# -benchtime keeps allocs/op and B/op reproducible across machines.
+BENCH_SET  = ^(BenchmarkServeInfer|BenchmarkFeaturizeColumn|BenchmarkTreePredict)$$
+BENCH_TIME = 100x
+
+.PHONY: build test race vet shvet shvet-strict check bench smoke profile chaos \
+	bench-run bench-snapshot bench-gate
 
 build:
 	$(GO) build ./...
@@ -37,13 +44,32 @@ check: build vet shvet shvet-strict test race
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-# CPU and heap profiles of the serving hot path: runs BenchmarkServeInfer
-# with the profiler on, writing into ./profiles/ (gitignored). Inspect
-# with `go tool pprof profiles/cpu.out` (or mem.out); for a live process
-# use `sortinghatd -pprof` and go tool pprof's HTTP mode instead.
+# Run the gated serve-path benchmark set, teeing raw output into
+# bench-latest.txt (gitignored; CI uploads it as an artifact).
+bench-run:
+	$(GO) test -bench '$(BENCH_SET)' -benchmem -benchtime=$(BENCH_TIME) -run '^$$' . | tee bench-latest.txt
+
+# Record the current benchmark numbers as a labeled snapshot in the
+# committed baseline, e.g.: make bench-snapshot LABEL=pr7-after
+LABEL ?= local
+bench-snapshot: bench-run
+	$(GO) run ./cmd/benchdiff -update BENCH_serve.json -label '$(LABEL)' -input bench-latest.txt
+
+# The benchmark-regression gate CI runs: compare against the newest
+# committed snapshot. allocs/op and B/op are gated at 10%; ns/op is
+# reported but not gated (it is machine-dependent).
+bench-gate: bench-run
+	$(GO) run ./cmd/benchdiff -baseline BENCH_serve.json -tolerance 10% -input bench-latest.txt
+
+# CPU and heap profiles of the serving hot path: runs the same benchmark
+# set the regression gate watches, with the profiler on, writing into
+# ./profiles/ (gitignored). Inspect with `go tool pprof profiles/cpu.out`
+# (or mem.out); for a live process use `sortinghatd -pprof` and go tool
+# pprof's HTTP mode instead. The test binary lands in profiles/ too, so
+# pprof can resolve symbols without rebuilding.
 profile:
 	mkdir -p profiles
-	$(GO) test -bench=BenchmarkServeInfer -run=^$$ \
+	$(GO) test -bench '$(BENCH_SET)' -benchmem -run '^$$' \
 		-cpuprofile=profiles/cpu.out -memprofile=profiles/mem.out \
 		-o profiles/bench.test .
 

@@ -280,6 +280,44 @@ func BenchmarkBaseFeaturization(b *testing.B) {
 	}
 }
 
+// BenchmarkFeaturizeColumn measures deterministic base featurization of a
+// single column with allocation accounting: the serve hot path pays this
+// once per cache miss, so its allocs/op is the number the benchdiff gate
+// watches most closely.
+func BenchmarkFeaturizeColumn(b *testing.B) {
+	env := benchEnvironment()
+	cols := env.Corpus
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := &cols[i%len(cols)].Column
+		featurize.ExtractFirstN(col, featurize.SampleCount)
+	}
+}
+
+// BenchmarkTreePredict measures one Random Forest probability prediction
+// over pre-built feature vectors, isolating tree traversal (plus the
+// per-call probability buffer) from featurization.
+func BenchmarkTreePredict(b *testing.B) {
+	env := benchEnvironment()
+	rf, err := experiments.TrainOurRF(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := rf.Opts.FeatureSet
+	vecs := make([][]float64, 256)
+	for i := range vecs {
+		base := featurize.ExtractFirstN(&env.Corpus[i%len(env.Corpus)].Column, featurize.SampleCount)
+		vecs[i] = fs.Vector(&base)
+	}
+	probs := make([]float64, rf.Forest.Classes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.Forest.PredictProbaInto(probs, vecs[i%len(vecs)])
+	}
+}
+
 // BenchmarkPredictColumn measures end-to-end single-column inference with
 // the trained Random Forest (the paper's "under 0.2s per column" claim).
 func BenchmarkPredictColumn(b *testing.B) {

@@ -1,6 +1,15 @@
-// Command shvet runs the repository's determinism & correctness analyzer
-// suite (internal/analysis) over the module and exits non-zero when any
+// Command shvet runs the repository's fourteen-analyzer suite
+// (internal/analysis) — determinism, correctness, and hot-path
+// performance passes — over the module and exits non-zero when any
 // unsuppressed finding remains, so it can gate CI.
+//
+// The four performance analyzers (alloc-in-loop, string-churn,
+// defer-in-loop, boxing) report only inside the serving hot region:
+// the call-graph closure of the exported Predict*/Infer*/Featurize*/
+// Extract* entry points plus any //shvet:hotpath-rooted function. They
+// are the static half of the perf gate; the dynamic half is
+// cmd/benchdiff, which replays the serve benchmarks against the
+// committed BENCH_serve.json snapshot (make bench-gate).
 //
 // Usage:
 //

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerAllocInLoop reports per-iteration heap allocations inside hot
+// functions (see hotpath.go for how the hot region is computed): make and
+// new calls in loop bodies, slice/map composite literals in loop bodies,
+// and append calls in a loop whose destination slice was declared in the
+// same function, outside the loop, without any preallocated capacity —
+// the classic grow-chain that reallocates O(log n) times per column.
+//
+// Allocations whose size is paid once (declared outside every loop, or
+// preallocated with make(..., 0, cap) / a non-empty literal) stay silent,
+// as does everything in cold code: an allocation in an offline experiment
+// driver is not a serving-cost regression.
+var AnalyzerAllocInLoop = &Analyzer{
+	Name:      "alloc-in-loop",
+	Doc:       "per-iteration make/new/literal allocations and growing appends in hot-path loops",
+	RunModule: runAllocInLoop,
+}
+
+// sliceDecl records how a function-local slice variable was declared, for
+// the append-without-preallocation check.
+type sliceDecl struct {
+	pos          int  // declaration offset within the file
+	preallocated bool // carries capacity (make with cap/len, non-empty literal, or unknown origin)
+}
+
+func runAllocInLoop(mp *ModulePass) {
+	eachHotNode(mp, func(n *Node) {
+		info := n.Pkg.Info
+		chain := mp.hotChain(n.ID)
+
+		// Pass 1: how each function-local slice variable is declared.
+		decls := map[types.Object]sliceDecl{}
+		walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+			switch v := x.(type) {
+			case *ast.ValueSpec:
+				for i, name := range v.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isSliceType(obj.Type()) {
+						continue
+					}
+					pre := false
+					if i < len(v.Values) {
+						pre = preallocates(info, v.Values[i])
+					}
+					decls[obj] = sliceDecl{pos: int(name.Pos()), preallocated: pre}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					name, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[name] // := definitions only
+					if obj == nil || !isSliceType(obj.Type()) {
+						continue
+					}
+					pre := true // unknown RHS shapes stay silent
+					if i < len(v.Rhs) {
+						pre = preallocates(info, v.Rhs[i])
+					}
+					decls[obj] = sliceDecl{pos: int(name.Pos()), preallocated: pre}
+				}
+			}
+			return true
+		})
+
+		// Pass 2: report per-iteration allocations.
+		walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+			if !inLoop(stack) {
+				return true
+			}
+			switch v := x.(type) {
+			case *ast.CallExpr:
+				switch builtinName(info, v.Fun) {
+				case "make":
+					mp.Reportf(v.Pos(),
+						"make inside a loop allocates every iteration (%s); hoist it out or reuse a buffer",
+						chain)
+				case "new":
+					mp.Reportf(v.Pos(),
+						"new inside a loop allocates every iteration (%s); hoist it out or reuse a buffer",
+						chain)
+				case "append":
+					if len(v.Args) == 0 {
+						return true
+					}
+					dst, ok := v.Args[0].(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[dst]
+					d, declared := decls[obj]
+					if !declared || d.preallocated {
+						return true
+					}
+					if loop := nearestLoop(stack); loop != nil && d.pos < int(loop.Pos()) {
+						mp.Reportf(v.Pos(),
+							"append to %s grows an unpreallocated slice inside a loop (%s); declare it with make(..., 0, cap)",
+							dst.Name, chain)
+					}
+				}
+			case *ast.CompositeLit:
+				t := info.TypeOf(v)
+				if t == nil {
+					return true
+				}
+				switch types.Unalias(t).Underlying().(type) {
+				case *types.Slice:
+					mp.Reportf(v.Pos(),
+						"slice literal inside a loop allocates every iteration (%s); hoist it out or reuse a buffer",
+						chain)
+				case *types.Map:
+					mp.Reportf(v.Pos(),
+						"map literal inside a loop allocates every iteration (%s); hoist it out or reuse and clear it",
+						chain)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// builtinName returns the name of the builtin a call expression invokes,
+// or "" when the callee is not a builtin.
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Slice)
+	return ok
+}
+
+// preallocates reports whether a slice-producing expression carries
+// capacity: make with an explicit cap or non-zero length, a non-empty
+// composite literal, or any origin the analyzer cannot see through
+// (function results, slicing) — those stay silent rather than guessed at.
+func preallocates(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if builtinName(info, v.Fun) != "make" {
+			return true // unknown origin
+		}
+		if len(v.Args) >= 3 {
+			return true // explicit capacity
+		}
+		if len(v.Args) == 2 {
+			// make([]T, n): preallocated unless n is the literal 0.
+			if lit, ok := ast.Unparen(v.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+				return false
+			}
+			return true
+		}
+		return false
+	case *ast.CompositeLit:
+		return len(v.Elts) > 0
+	case *ast.Ident:
+		return v.Name != "nil"
+	}
+	return true
+}

@@ -72,6 +72,7 @@ type ModulePass struct {
 
 	analyzer string
 	findings *[]Finding
+	hot      map[string]crumb // lazily built hot region (see hotpath.go)
 }
 
 // Reportf records a finding at pos.
@@ -101,6 +102,10 @@ func All() []*Analyzer {
 		AnalyzerNondetFlow,
 		AnalyzerCtxFlow,
 		AnalyzerGoroutineLeak,
+		AnalyzerAllocInLoop,
+		AnalyzerStringChurn,
+		AnalyzerDeferInLoop,
+		AnalyzerBoxing,
 	}
 }
 

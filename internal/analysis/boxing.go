@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerBoxing reports interface conversions of scalar values inside
+// hot-path loops (see hotpath.go): a non-constant numeric or boolean
+// argument passed to an interface-typed parameter — fmt verbs, any/
+// interface{} sinks, error wrappers — heap-allocates a box for the value
+// on every iteration. Constants stay silent (the runtime interns small
+// ones), as do string and composite arguments: strings are string-churn's
+// business and composites are usually deliberate.
+var AnalyzerBoxing = &Analyzer{
+	Name:      "boxing",
+	Doc:       "scalar-to-interface conversions in hot-path loops (one heap box per iteration)",
+	RunModule: runBoxing,
+}
+
+func runBoxing(mp *ModulePass) {
+	eachHotNode(mp, func(n *Node) {
+		info := n.Pkg.Info
+		chain := mp.hotChain(n.ID)
+		walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || !inLoop(stack) {
+				return true
+			}
+			if tv, ok := info.Types[call.Fun]; !ok || tv.IsType() {
+				return true // conversion or untyped; not a call
+			}
+			sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+			if !ok {
+				return true
+			}
+			for i, arg := range call.Args {
+				pt := paramType(sig, i)
+				if pt == nil || !types.IsInterface(types.Unalias(pt).Underlying()) {
+					continue
+				}
+				at := info.TypeOf(arg)
+				if at == nil || !isScalarBasic(at) || isConstant(info, arg) {
+					continue
+				}
+				mp.Reportf(arg.Pos(),
+					"%s value boxed into an interface argument inside a loop allocates every iteration (%s); use a type-specific API (e.g. strconv.Append*) or hoist the formatting",
+					types.Unalias(at).Underlying().String(), chain)
+			}
+			return true
+		})
+	})
+}
+
+// paramType resolves the static type of argument i, unrolling the final
+// variadic parameter.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := params.At(n - 1).Type()
+		if s, ok := types.Unalias(last).Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// isScalarBasic reports whether t is a numeric or boolean basic type —
+// the values a conversion to interface must heap-box.
+func isScalarBasic(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsNumeric|types.IsBoolean) != 0
+}

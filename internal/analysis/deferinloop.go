@@ -1,0 +1,33 @@
+package analysis
+
+import "go/ast"
+
+// AnalyzerDeferInLoop reports defer statements lexically inside a loop in
+// hot functions (see hotpath.go). A defer in a loop does not run at the
+// end of the iteration — it accumulates until the whole function returns,
+// so N iterations pin N deferred frames (and whatever they close over)
+// for the lifetime of the call: a memory cliff on a per-column hot path,
+// and a latency cliff when the defers release locks or file handles.
+// Defers inside a function literal in the loop run when the literal
+// returns, so they are fine and stay silent.
+var AnalyzerDeferInLoop = &Analyzer{
+	Name:      "defer-in-loop",
+	Doc:       "defer statements inside hot-path loops (they run at function exit, not per iteration)",
+	RunModule: runDeferInLoop,
+}
+
+func runDeferInLoop(mp *ModulePass) {
+	eachHotNode(mp, func(n *Node) {
+		chain := mp.hotChain(n.ID)
+		walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+			d, ok := x.(*ast.DeferStmt)
+			if !ok || !inLoop(stack) {
+				return true
+			}
+			mp.Reportf(d.Pos(),
+				"defer inside a loop accumulates until the function returns (%s); move the iteration body into a helper or release explicitly",
+				chain)
+			return true
+		})
+	})
+}

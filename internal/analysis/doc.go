@@ -5,7 +5,7 @@
 // to the failure modes that silently break determinism or correctness in
 // numeric Go code.
 //
-// The ten analyzers:
+// The fourteen analyzers:
 //
 //   - global-rand: uses of top-level math/rand functions (rand.Float64,
 //     rand.Shuffle, ...) that draw from the process-global source instead
@@ -45,6 +45,37 @@
 //   - goroutine-leak (module-level): go statements whose goroutine body
 //     loops forever with no termination signal in sight (no
 //     context.Context, no channel or select, no sync.WaitGroup/Cond).
+//   - alloc-in-loop (module-level, hot region only): allocations inside
+//     loops on the serving hot path — make/new calls, slice and map
+//     composite literals, and appends that grow a slice declared without
+//     capacity outside the loop.
+//   - string-churn (module-level, hot region only): per-iteration string
+//     work in hot loops — string<->[]byte/[]rune conversions,
+//     fmt.Sprintf/Sprint/Sprintln/Errorf calls, and string concatenation
+//     that builds garbage each pass instead of using strings.Builder or
+//     strconv.
+//   - defer-in-loop (module-level, hot region only): defer statements
+//     inside loops, which pile up until function exit (the classic
+//     file-handle leak in batch loops).
+//   - boxing (module-level, hot region only): non-constant numeric or
+//     boolean values passed to interface-typed parameters inside hot
+//     loops, heap-boxing one value per iteration.
+//
+// The four performance-cost analyzers report only inside the hot region:
+// the call-graph closure of the exported Predict*/Infer*/Featurize*/
+// Extract* entry points, plus any function explicitly rooted with a
+//
+//	//shvet:hotpath <reason>
+//
+// directive on (or directly above) its declaration — the escape hatch for
+// hot code the static graph cannot see, such as worker-pool bodies invoked
+// through channels. A hotpath directive that attaches to no function
+// declaration is reported under the "directive" pseudo-analyzer, exactly
+// like a malformed //shvet:ignore. Everything outside the hot region may
+// allocate freely: cold-path clarity beats cold-path microtuning. Each
+// finding carries the entry-point chain that makes it hot, and the
+// committed benchmark baseline (BENCH_serve.json, enforced by
+// cmd/benchdiff) pins the resulting allocation counts.
 //
 // The module-level analyzers run over a whole-module call graph (see
 // CallGraph) built on the same loader; nodes and edges are

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file implements the shared machinery of the performance-cost
+// analyzers (alloc-in-loop, string-churn, defer-in-loop, boxing): the
+// *hot region* of the module call graph, and a loop-aware AST walk over
+// the bodies of hot functions.
+//
+// The hot region is the set of functions reachable on the call graph
+// from a hot entry point. Hot entry points are the exported inference
+// surface — functions and methods whose name starts with Predict, Infer,
+// Featurize or Extract — plus any function explicitly rooted with a
+//
+//	//shvet:hotpath [reason]
+//
+// directive placed in (or immediately above) the function's doc comment.
+// The directive exists for hot code that is only reachable dynamically:
+// worker-pool bodies, handler closures behind an http mux, and similar
+// call edges the static graph cannot see. A hotpath directive that does
+// not attach to any function declaration is reported as a "directive"
+// finding, the same policy as a dangling //shvet:ignore.
+//
+// Cold code — everything outside the region — is deliberately out of
+// scope for the perf analyzers: an allocation in an offline experiment
+// driver is not a serving-cost regression, and reporting it would train
+// people to ignore the analyzers.
+
+// hotPrefixes match the serving-cost entry points: per-column inference
+// and featurization. Deliberately narrower than entryPrefixes (no Train,
+// Table, Figure): training and experiment drivers are offline.
+var hotPrefixes = []string{"Predict", "Infer", "Featurize", "Extract"}
+
+// hotDirective marks a function as a hot-region root.
+const hotDirective = "shvet:hotpath"
+
+func isHotEntry(n *Node) bool {
+	name := n.Fn.Name()
+	if !ast.IsExported(name) {
+		return false
+	}
+	for _, p := range hotPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotRegion returns (building on first use) the hot region of the module
+// graph: node ID -> crumb recording how the BFS first reached it, exactly
+// like nondet-flow's reachability, so chains render deterministically.
+// Dangling //shvet:hotpath directives are reported once, on first build.
+func (p *ModulePass) hotRegion() map[string]crumb {
+	if p.hot != nil {
+		return p.hot
+	}
+	g := p.Graph
+
+	// Collect //shvet:hotpath directive positions from the non-test files
+	// the graph was built over.
+	type directivePos struct {
+		pos  token.Position
+		used bool
+	}
+	var directives []*directivePos
+	byFile := map[string][]*directivePos{}
+	for _, pkg := range p.Pkgs {
+		if strings.HasSuffix(pkg.ImportPath, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Package).Filename, "_test.go") {
+				continue
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if text != hotDirective && !strings.HasPrefix(text, hotDirective+" ") {
+						continue
+					}
+					d := &directivePos{pos: pkg.Fset.Position(c.Slash)}
+					directives = append(directives, d)
+					byFile[d.pos.Filename] = append(byFile[d.pos.Filename], d)
+				}
+			}
+		}
+	}
+
+	// A node is rooted when a directive sits on the declaration line, on
+	// the line directly above it, or anywhere inside its doc comment.
+	rooted := map[string]bool{}
+	for _, id := range g.SortedIDs() {
+		n := g.Nodes[id]
+		declPos := n.Pkg.Fset.Position(n.Decl.Pos())
+		lo := declPos.Line - 1
+		if n.Decl.Doc != nil {
+			lo = n.Pkg.Fset.Position(n.Decl.Doc.Pos()).Line
+		}
+		for _, d := range byFile[declPos.Filename] {
+			if d.pos.Line >= lo && d.pos.Line <= declPos.Line {
+				rooted[id] = true
+				d.used = true
+			}
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			*p.findings = append(*p.findings, Finding{
+				Pos:      d.pos,
+				Analyzer: DirectiveAnalyzer,
+				Message:  "//shvet:hotpath directive does not attach to any function declaration; place it in (or directly above) the function's doc comment",
+			})
+		}
+	}
+
+	seen := map[string]crumb{}
+	var queue []string
+	for _, id := range g.SortedIDs() {
+		if isHotEntry(g.Nodes[id]) || rooted[id] {
+			seen[id] = crumb{entry: id}
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Nodes[id].Calls {
+			if _, ok := seen[e.Callee]; ok {
+				continue
+			}
+			seen[e.Callee] = crumb{parent: id, entry: seen[id].entry}
+			queue = append(queue, e.Callee)
+		}
+	}
+	p.hot = seen
+	return seen
+}
+
+// hotChain renders "entry E, chain: E -> ... -> id" for a hot node, the
+// suffix every perf finding carries so the reader sees why the function
+// is considered hot.
+func (p *ModulePass) hotChain(id string) string {
+	region := p.hotRegion()
+	c := region[id]
+	return "hot via entry " + p.Graph.ShortID(c.entry) + ", chain: " + renderChain(p.Graph, region, id)
+}
+
+// inLoop reports whether the node at the top of stack executes once per
+// iteration of an enclosing for/range statement in the same function: it
+// is inside a loop body (or a for-loop's condition/post statement, which
+// also run per iteration), with no function-literal boundary in between.
+// A range expression runs once, so it does not count.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		switch v := stack[i-1].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			c := stack[i]
+			if c == ast.Node(v.Body) || c == ast.Node(v.Cond) || c == ast.Node(v.Post) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if stack[i] == ast.Node(v.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nearestLoop returns the innermost enclosing for/range statement of the
+// node at the top of stack (under the same function-literal boundary), or
+// nil when there is none.
+func nearestLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i > 0; i-- {
+		switch v := stack[i-1].(type) {
+		case *ast.FuncLit:
+			return nil
+		case *ast.ForStmt:
+			c := stack[i]
+			if c == ast.Node(v.Body) || c == ast.Node(v.Cond) || c == ast.Node(v.Post) {
+				return v
+			}
+		case *ast.RangeStmt:
+			if stack[i] == ast.Node(v.Body) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// walkWithStack runs fn over every node of body in source order, passing
+// the ancestor stack (stack[len-1] is the node itself). fn returning
+// false prunes the subtree, like ast.Inspect.
+func walkWithStack(body ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Keep the stack balanced: Inspect still sends the nil pop
+			// only for nodes it descended into, so pop here instead.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// eachHotNode invokes fn for every function in the hot region, in sorted
+// node-ID order.
+func eachHotNode(mp *ModulePass, fn func(n *Node)) {
+	region := mp.hotRegion()
+	for _, id := range mp.Graph.SortedIDs() {
+		if _, ok := region[id]; !ok {
+			continue
+		}
+		fn(mp.Graph.Nodes[id])
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotperfGraph loads the fixture module and returns a ModulePass with the
+// call graph, sharing the test binary's cached fixture load.
+func hotperfPass(t *testing.T) *ModulePass {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "fixtures"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch []Finding
+	return &ModulePass{
+		Fset:     pkgs[0].Fset,
+		Pkgs:     pkgs,
+		Graph:    BuildCallGraph(pkgs),
+		analyzer: "test",
+		findings: &scratch,
+	}
+}
+
+// TestHotRegionRooting pins the three rooting cases of the hot region:
+// (a) transitively reachable from a hot-prefix entry point (PredictBatch
+// -> scoreRow), (b) reachable only from a test helper — out, and (c)
+// explicitly rooted with //shvet:hotpath despite being statically
+// unreachable.
+func TestHotRegionRooting(t *testing.T) {
+	mp := hotperfPass(t)
+	region := mp.hotRegion()
+
+	find := func(suffix string) (string, bool) {
+		for _, id := range mp.Graph.SortedIDs() {
+			if strings.HasSuffix(id, suffix) {
+				_, hot := region[id]
+				return id, hot
+			}
+		}
+		t.Fatalf("no graph node with suffix %q", suffix)
+		return "", false
+	}
+
+	for _, want := range []struct {
+		suffix string
+		hot    bool
+	}{
+		{"hotperf.PredictBatch", true},
+		{"hotperf.scoreRow", true}, // (a) transitive from an entry
+		{"hotperf.label", true},
+		{"hotperf.refresh", true},     // (c) //shvet:hotpath root
+		{"hotperf.coldMirror", false}, // (b) test-only reachability is cold
+	} {
+		if _, hot := find(want.suffix); hot != want.hot {
+			t.Errorf("hot(%s) = %v, want %v", want.suffix, hot, want.hot)
+		}
+	}
+
+	// The entry recorded for a transitive node must be the real root, and
+	// the rendered chain must walk from it.
+	id, _ := find("hotperf.scoreRow")
+	if entry := region[id].entry; !strings.HasSuffix(entry, "hotperf.PredictBatch") {
+		t.Errorf("scoreRow rooted at %q, want PredictBatch", entry)
+	}
+	if chain := mp.hotChain(id); !strings.Contains(chain, "hotperf.PredictBatch -> hotperf.scoreRow") {
+		t.Errorf("hotChain(scoreRow) = %q, want PredictBatch -> scoreRow", chain)
+	}
+}
+
+// TestHotRegionDeterminism pins that two region builds over the same
+// graph agree exactly, entry attribution included.
+func TestHotRegionDeterminism(t *testing.T) {
+	a, b := hotperfPass(t), hotperfPass(t)
+	ra, rb := a.hotRegion(), b.hotRegion()
+	if len(ra) != len(rb) {
+		t.Fatalf("region sizes differ: %d vs %d", len(ra), len(rb))
+	}
+	for id, c := range ra {
+		if rb[id] != c {
+			t.Errorf("region[%s] = %+v vs %+v", id, c, rb[id])
+		}
+	}
+}
+
+// TestPerfSuppressionRoundTrip asserts each of the four perf analyzers
+// has a finding in the quiet.go fixture silenced by a //shvet:ignore
+// naming it, with the directive's reason preserved.
+func TestPerfSuppressionRoundTrip(t *testing.T) {
+	findings := loadFixtures(t)
+	want := map[string]bool{
+		"alloc-in-loop": false,
+		"string-churn":  false,
+		"defer-in-loop": false,
+		"boxing":        false,
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Pos.Filename, "quiet.go") || !f.Suppressed {
+			continue
+		}
+		if _, tracked := want[f.Analyzer]; !tracked {
+			t.Errorf("unexpected suppressed analyzer %s in quiet.go", f.Analyzer)
+			continue
+		}
+		want[f.Analyzer] = true
+		if !strings.HasPrefix(f.Reason, "quiet:") {
+			t.Errorf("%s suppression reason %q lost the directive text", f.Analyzer, f.Reason)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no suppressed %s finding in quiet.go; the directive round-trip is broken", name)
+		}
+	}
+}
+
+// TestDanglingHotpathDirective asserts a //shvet:hotpath that attaches to
+// no declaration is reported under the directive pseudo-analyzer.
+func TestDanglingHotpathDirective(t *testing.T) {
+	findings := loadFixtures(t)
+	for _, f := range Unsuppressed(findings) {
+		if f.Analyzer == DirectiveAnalyzer && strings.Contains(f.Message, "shvet:hotpath") {
+			return
+		}
+	}
+	t.Error("no directive finding for the dangling //shvet:hotpath fixture")
+}

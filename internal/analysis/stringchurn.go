@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerStringChurn reports per-iteration string traffic inside hot
+// functions (see hotpath.go): string<->[]byte/[]rune conversions in loop
+// bodies (each one copies the payload), fmt.Sprintf/Sprint/Sprintln/
+// Errorf calls in loops (formatting allocates, and the verbs box their
+// operands), and non-constant string concatenation with + or += in loops
+// — the quadratic builder anti-pattern strings.Builder exists to replace.
+//
+// Conversions the compiler performs for free (ranging over []byte(s))
+// never execute per iteration and are not reported; neither is anything
+// in cold code.
+var AnalyzerStringChurn = &Analyzer{
+	Name:      "string-churn",
+	Doc:       "string/[]byte conversions, fmt.Sprintf and + concatenation in hot-path loops",
+	RunModule: runStringChurn,
+}
+
+// sprintFuncs are the fmt formatters whose result is a fresh string.
+var sprintFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func runStringChurn(mp *ModulePass) {
+	eachHotNode(mp, func(n *Node) {
+		info := n.Pkg.Info
+		chain := mp.hotChain(n.ID)
+		walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+			if !inLoop(stack) {
+				return true
+			}
+			switch v := x.(type) {
+			case *ast.CallExpr:
+				if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+					reportConversion(mp, info, v, chain)
+					return true
+				}
+				if name := fmtSprintCallee(info, v); name != "" {
+					mp.Reportf(v.Pos(),
+						"fmt.%s inside a loop allocates a string every iteration (%s); use strconv or a reused strings.Builder",
+						name, chain)
+				}
+			case *ast.BinaryExpr:
+				if v.Op != token.ADD || !isStringExpr(info, v) || isConstant(info, v) {
+					return true
+				}
+				// Report only the outermost + of a chain: a+b+c is one
+				// finding, not two.
+				if parent, ok := stack[len(stack)-2].(*ast.BinaryExpr); ok &&
+					parent.Op == token.ADD && isStringExpr(info, parent) {
+					return true
+				}
+				mp.Reportf(v.Pos(),
+					"string concatenation with + inside a loop reallocates every iteration (%s); use a strings.Builder",
+					chain)
+			case *ast.AssignStmt:
+				if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isStringExpr(info, v.Lhs[0]) {
+					mp.Reportf(v.Pos(),
+						"string += inside a loop reallocates every iteration (%s); use a strings.Builder",
+						chain)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// reportConversion reports string<->[]byte/[]rune conversions; other
+// conversions (numeric, named types) are free of payload copies.
+func reportConversion(mp *ModulePass, info *types.Info, v *ast.CallExpr, chain string) {
+	dst := info.TypeOf(v.Fun)
+	src := info.TypeOf(v.Args[0])
+	if dst == nil || src == nil {
+		return
+	}
+	switch {
+	case isStringType(src) && isByteOrRuneSlice(dst):
+		mp.Reportf(v.Pos(),
+			"string-to-slice conversion inside a loop copies the payload every iteration (%s); hoist it or hash/scan the string directly",
+			chain)
+	case isByteOrRuneSlice(src) && isStringType(dst):
+		mp.Reportf(v.Pos(),
+			"slice-to-string conversion inside a loop copies the payload every iteration (%s); hoist it or keep the bytes",
+			chain)
+	}
+}
+
+// fmtSprintCallee returns the fmt formatter name a call invokes, or "".
+func fmtSprintCallee(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return ""
+	}
+	if sprintFuncs[fn.Name()] {
+		return fn.Name()
+	}
+	return ""
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	return isStringType(info.TypeOf(e))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,126 @@
+// Package hotperf exercises the four performance-cost analyzers
+// (alloc-in-loop, string-churn, defer-in-loop, boxing) and, above all,
+// their hot-region rooting: the same flagged patterns appear (a) reachable
+// from the exported PredictBatch entry point, (b) in code only reachable
+// from a test helper, and (c) under an explicit //shvet:hotpath root.
+// Exactly (a) and (c) must report.
+package hotperf
+
+import (
+	"fmt"
+	"os"
+)
+
+// PredictBatch is a hot entry point by prefix; its callee carries the
+// flagged patterns.
+func PredictBatch(rows [][]float64) []float64 {
+	var out []float64
+	for _, row := range rows {
+		out = append(out, scoreRow(row)) // want alloc-in-loop
+	}
+	return out
+}
+
+// scoreRow is hot transitively (PredictBatch -> scoreRow).
+func scoreRow(row []float64) float64 {
+	total := 0.0
+	for i, v := range row {
+		buf := make([]float64, 4) // want alloc-in-loop
+		buf[0] = v
+		weights := []float64{0.5, 0.25} // want alloc-in-loop
+		total += buf[0]*weights[0] + float64(i)
+	}
+	return total
+}
+
+// label is hot via PredictBatch's sibling InferLabels below; it churns
+// strings and boxes scalars per iteration.
+func label(vals []float64) string {
+	s := ""
+	for i, v := range vals {
+		s += fmt.Sprintf("%d=%v;", i, v) // want string-churn string-churn boxing boxing
+	}
+	return s
+}
+
+// InferLabels is a hot entry point by prefix.
+func InferLabels(vals []float64) string {
+	return label(vals)
+}
+
+// ExtractBytes round-trips every value through []byte inside the loop.
+func ExtractBytes(vals []string) int {
+	n := 0
+	for _, v := range vals {
+		b := []byte(v) // want string-churn
+		n += len(b)
+		v2 := string(b) // want string-churn
+		n += len(v2)
+	}
+	return n
+}
+
+// FeaturizeFiles leaks deferred closes until the whole batch is done.
+func FeaturizeFiles(paths []string) int {
+	total := 0
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		defer f.Close() // want defer-in-loop
+		total++
+	}
+	return total
+}
+
+// refresh is unexported and statically unreachable: only the pool's
+// worker loop calls it through a channel the graph cannot see. The
+// directive below roots it into the hot region anyway.
+//
+//shvet:hotpath worker-pool body; invoked per column via the task channel
+func refresh(cols [][]string) int {
+	n := 0
+	for _, col := range cols {
+		seen := map[string]bool{} // want alloc-in-loop
+		for _, v := range col {
+			seen[v] = true
+		}
+		n += len(seen)
+	}
+	return n
+}
+
+// coldMirror has every flagged pattern but is reachable only from a test
+// helper (see hotperf_test.go), so the perf analyzers must stay silent:
+// test-only reachability is not hot.
+func coldMirror(vals []string) string {
+	s := ""
+	for i, v := range vals {
+		b := []byte(v)
+		buf := make([]byte, len(b))
+		copy(buf, b)
+		s += fmt.Sprintf("%d=%s;", i, string(buf))
+	}
+	return s
+}
+
+// hotNames documents the dangling-directive error: a //shvet:hotpath
+// that attaches to a var instead of a function roots nothing and must be
+// reported rather than silently ignored.
+//
+//shvet:hotpath dangling-on-purpose: vars cannot be hot roots
+// want-above directive
+var hotNames = []string{"score", "label"}
+
+// PredictScores shows the silent shapes: capacity declared up front, and
+// allocation hoisted out of the loop. Hot via the Predict prefix.
+func PredictScores(rows [][]float64) []float64 {
+	out := make([]float64, 0, len(rows))
+	buf := make([]float64, 8)
+	for _, row := range rows {
+		buf[0] = row[0]
+		out = append(out, buf[0])
+	}
+	return out
+}

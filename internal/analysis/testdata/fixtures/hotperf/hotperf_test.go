@@ -1,0 +1,8 @@
+package hotperf
+
+// driveColdMirror is the only caller of coldMirror. Test files are
+// excluded from the call graph, so coldMirror stays out of the hot
+// region and none of its patterns report.
+func driveColdMirror() string {
+	return coldMirror([]string{"a", "b"})
+}

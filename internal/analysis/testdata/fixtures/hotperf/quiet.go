@@ -1,0 +1,29 @@
+package hotperf
+
+import (
+	"fmt"
+	"os"
+)
+
+// InferQuiet carries one deliberately silenced finding per perf analyzer,
+// exercising the //shvet:ignore round-trip for each new analyzer name.
+// Every directive reason starts with "quiet:" so the test can assert the
+// reason text survives the trip.
+func InferQuiet(vals []float64, paths []string) int {
+	n := 0
+	for i, v := range vals {
+		buf := make([]byte, 16) //shvet:ignore alloc-in-loop quiet: bounded 16-byte scratch, measured harmless
+		n += len(buf)
+		s := fmt.Sprintf("%v", v) //shvet:ignore string-churn,boxing quiet: debug labelling kept for parity with the paper's output
+		n += len(s) + i
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		defer f.Close() //shvet:ignore defer-in-loop quiet: path list is bounded by the flag parser
+		n++
+	}
+	return n
+}

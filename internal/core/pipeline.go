@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"sortinghat/ftype"
 	"sortinghat/internal/data"
@@ -81,6 +82,23 @@ type Pipeline struct {
 	SVM    *svm.RBFSVM
 	Near   *knn.KNN
 	Net    *cnn.Model
+
+	// vecPool recycles feature-vector scratch buffers across predictions:
+	// steady-state serving vectorizes without growing the heap. Unexported,
+	// so gob persistence never sees it and a decoded Pipeline starts with
+	// an empty pool.
+	vecPool sync.Pool
+}
+
+// vec returns a pooled feature-vector buffer (length 0, capacity at least
+// one Dim); the caller hands it back with vecPool.Put when the prediction
+// no longer reads it.
+func (p *Pipeline) vec() *[]float64 {
+	if v := p.vecPool.Get(); v != nil {
+		return v.(*[]float64)
+	}
+	buf := make([]float64, 0, p.Opts.FeatureSet.Dim())
+	return &buf
 }
 
 // ExtractBases runs base featurization over labeled columns with a seeded
@@ -272,7 +290,7 @@ func cnnTextInputs(fs featurize.FeatureSet) int {
 
 // cnnExample builds the CNN input for one base-featurized column.
 func cnnExample(b *featurize.Base, fs featurize.FeatureSet, cfg cnn.Config) cnn.Example {
-	var texts []string
+	texts := make([]string, 0, cnnTextInputs(fs))
 	if fs.UseName {
 		texts = append(texts, b.Name)
 	}
@@ -293,7 +311,13 @@ func (p *Pipeline) PredictBase(b *featurize.Base) (ftype.FeatureType, []float64)
 	var probs []float64
 	switch {
 	case p.Forest != nil:
-		probs = p.Forest.PredictProba(p.Opts.FeatureSet.Vector(b))
+		// The feature vector is scratch (the forest only reads it), so it
+		// comes from the pool; probs escapes to the caller — and into the
+		// serve cache — so it stays freshly allocated.
+		x := p.vec()
+		*x = p.Opts.FeatureSet.AppendVector((*x)[:0], b)
+		probs = p.Forest.PredictProba(*x)
+		p.vecPool.Put(x)
 	case p.Linear != nil:
 		x := p.Opts.FeatureSet.Vector(b)
 		if p.Scaler != nil {

@@ -69,7 +69,7 @@ func ReadCSVLimited(name string, r io.Reader, lim Limits) (*Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("data: csv %q: reading row: %w", name, err)
+			return nil, fmt.Errorf("data: csv %q: reading row: %w", name, err) //shvet:ignore string-churn error path: built once, then the read loop exits
 		}
 		if err := checkCells(name, rec, row, lim); err != nil {
 			return nil, err
@@ -89,8 +89,8 @@ func checkCells(name string, rec []string, row int, lim Limits) error {
 	}
 	for i, cell := range rec {
 		if len(cell) > lim.MaxCellBytes {
-			return fmt.Errorf("data: csv %q: row %d column %d: %d-byte cell exceeds limit %d: %w",
-				name, row, i, len(cell), lim.MaxCellBytes, ErrCellTooLarge)
+			return fmt.Errorf("data: csv %q: row %d column %d: %d-byte cell exceeds limit %d: %w", //shvet:ignore string-churn error path: one oversize cell aborts the whole scan
+				name, row, i, len(cell), lim.MaxCellBytes, ErrCellTooLarge) //shvet:ignore boxing error path: one oversize cell aborts the whole scan
 		}
 	}
 	return nil

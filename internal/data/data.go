@@ -76,6 +76,30 @@ func (c *Column) DistinctNonMissing() []string {
 	return out
 }
 
+// FirstNDistinct returns the first n distinct non-missing values in
+// first-occurrence order — the prefix DistinctNonMissing would produce,
+// without scanning past the n-th find or retaining the full distinct set.
+// The serve hot path uses it for deterministic sampling: on low-cardinality
+// columns (the common case) it stops after a handful of cells.
+func (c *Column) FirstNDistinct(n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for _, v := range c.Values {
+		if IsMissing(v) || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
 // LabeledColumn is a benchmark example: a raw column together with its
 // hand-assigned (here: generator-assigned) ground-truth feature type and the
 // identifier of the source file it came from. FileID supports the paper's

@@ -1,5 +1,7 @@
 package featurize
 
+import "sortinghat/internal/stats"
+
 // FeatureSet selects which base-featurization signals feed a classical ML
 // model and how they are vectorized. It reproduces the feature-set ablation
 // axis of Table 2 in the paper: descriptive stats (X_stats), attribute-name
@@ -43,7 +45,7 @@ func (fs FeatureSet) Dim() int {
 	fs = fs.normalized()
 	d := 0
 	if fs.UseStats {
-		d += len((&Base{}).Stats.Vector())
+		d += stats.VectorDim
 	}
 	if fs.UseName {
 		d += fs.NameDim
@@ -56,18 +58,25 @@ func (fs FeatureSet) Dim() int {
 // sample values are encoded as hashed character bigrams; stats use the
 // canonical Stats vector.
 func (fs FeatureSet) Vector(b *Base) []float64 {
+	return fs.AppendVector(make([]float64, 0, fs.normalized().Dim()), b)
+}
+
+// AppendVector appends the encoding of b to dst and returns the extended
+// slice. It is the allocation-free form of Vector: the serve hot path calls
+// it with a pooled scratch buffer so steady-state prediction vectorizes
+// without growing the heap.
+func (fs FeatureSet) AppendVector(dst []float64, b *Base) []float64 {
 	fs = fs.normalized()
-	out := make([]float64, 0, fs.Dim())
 	if fs.UseStats {
-		out = append(out, b.Stats.Vector()...)
+		dst = b.Stats.AppendVector(dst)
 	}
 	if fs.UseName {
-		out = append(out, HashNgrams(b.Name, 2, fs.NameDim)...)
+		dst = appendHashNgrams(dst, b.Name, 2, fs.NameDim)
 	}
 	for i := 0; i < fs.SampleCount; i++ {
-		out = append(out, HashNgrams(b.Sample(i), 2, fs.SampleDim)...)
+		dst = appendHashNgrams(dst, b.Sample(i), 2, fs.SampleDim)
 	}
-	return out
+	return dst
 }
 
 // Matrix vectorizes a slice of base features under this feature set.

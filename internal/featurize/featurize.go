@@ -45,12 +45,7 @@ func Extract(col *data.Column, rng *rand.Rand) Base {
 // perturbation-robustness study: it takes the first n distinct non-missing
 // values in column order instead of sampling randomly.
 func ExtractFirstN(col *data.Column, n int) Base {
-	distinct := col.DistinctNonMissing()
-	if len(distinct) > n {
-		distinct = distinct[:n]
-	}
-	samples := make([]string, len(distinct))
-	copy(samples, distinct)
+	samples := col.FirstNDistinct(n)
 	return Base{Name: col.Name, Samples: samples, Stats: stats.Compute(col, samples)}
 }
 
@@ -81,30 +76,65 @@ func (b *Base) Sample(i int) string {
 // boundary markers so leading/trailing characters carry signal. Counts are
 // square-root damped, which keeps long strings from dominating.
 func HashNgrams(s string, n, dim int) []float64 {
-	vec := make([]float64, dim)
-	AddHashNgrams(vec, s, n, 1)
-	for i, v := range vec {
-		vec[i] = math.Sqrt(v)
-	}
-	return vec
+	return appendHashNgrams(make([]float64, 0, dim), s, n, dim)
 }
 
+// appendHashNgrams appends the dim-length square-root-damped n-gram
+// encoding of s to dst and returns the extended slice; HashNgrams and
+// FeatureSet.AppendVector both build on it.
+func appendHashNgrams(dst []float64, s string, n, dim int) []float64 {
+	start := len(dst)
+	for i := 0; i < dim; i++ {
+		dst = append(dst, 0)
+	}
+	seg := dst[start : start+dim]
+	AddHashNgrams(seg, s, n, 1)
+	for i, v := range seg {
+		seg[i] = math.Sqrt(v)
+	}
+	return dst
+}
+
+// FNV-1a 32-bit parameters from hash/fnv, for the inline n-gram hashing
+// below.
+const (
+	fnv32Offset = 2166136261
+	fnv32Prime  = 16777619
+)
+
 // AddHashNgrams adds weighted hashed n-gram counts of s into vec (whose
-// length defines the hash dimensionality).
+// length defines the hash dimensionality). The n-gram stream is FNV-1a over
+// the lowercased string framed by '^' and '$' boundary markers; the frame
+// bytes are virtual — read positionally rather than by building the padded
+// string — and the hash is unrolled by hand, so the per-call string concat,
+// []byte copy, and hasher that used to dominate the featurize profile are
+// gone. TestHashNgramsMatchesStdlibFNV pins the output to the original
+// stdlib-hasher formulation.
 func AddHashNgrams(vec []float64, s string, n int, weight float64) {
 	if len(vec) == 0 {
 		return
 	}
-	s = "^" + strings.ToLower(s) + "$"
-	bytes := []byte(s)
-	if len(bytes) < n {
+	s = strings.ToLower(s) // no-op (and no copy) when already lowercase
+	padLen := len(s) + 2   // virtual '^' prefix and '$' suffix
+	if padLen < n {
 		return
 	}
-	h := fnv.New32a()
-	for i := 0; i+n <= len(bytes); i++ {
-		h.Reset()
-		h.Write(bytes[i : i+n]) //shvet:ignore unchecked-err hash.Hash Write never returns an error
-		vec[h.Sum32()%uint32(len(vec))] += weight
+	dim := uint32(len(vec))
+	for i := 0; i+n <= padLen; i++ {
+		h := uint32(fnv32Offset)
+		for j := i; j < i+n; j++ {
+			var c byte
+			switch {
+			case j == 0:
+				c = '^'
+			case j == padLen-1:
+				c = '$'
+			default:
+				c = s[j-1]
+			}
+			h = (h ^ uint32(c)) * fnv32Prime
+		}
+		vec[h%dim] += weight
 	}
 }
 

@@ -1,8 +1,10 @@
 package featurize
 
 import (
+	"hash/fnv"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -276,5 +278,81 @@ func TestHashNgramsDimensionIsolation(t *testing.T) {
 	// number of distinct bigrams (each count 1 -> sqrt(1)^2).
 	if lg < 6.5 || lg > 7.5 { // "^abcdef$" has 7 bigrams, all distinct
 		t.Errorf("large-dim mass = %f, want 7", lg)
+	}
+}
+
+// TestHashNgramsMatchesStdlibFNV pins the inline virtual-boundary hashing
+// in AddHashNgrams to the original formulation it replaced: fnv.New32a over
+// each n-byte window of "^" + strings.ToLower(s) + "$". Any drift would
+// silently re-bucket every name/sample feature and invalidate trained
+// models.
+func TestHashNgramsMatchesStdlibFNV(t *testing.T) {
+	reference := func(s string, n, dim int) []float64 {
+		vec := make([]float64, dim)
+		padded := []byte("^" + strings.ToLower(s) + "$")
+		if len(padded) < n {
+			return vec
+		}
+		h := fnv.New32a()
+		for i := 0; i+n <= len(padded); i++ {
+			h.Reset()
+			h.Write(padded[i : i+n]) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+			vec[h.Sum32()%uint32(dim)]++
+		}
+		for i, v := range vec {
+			vec[i] = math.Sqrt(v)
+		}
+		return vec
+	}
+	cases := []string{"", "a", "zipcode", "Flight Number", "Ärzte-Zahl", "日付", "x@y.z, 12%"}
+	for _, s := range cases {
+		for _, n := range []int{2, 3} {
+			got := HashNgrams(s, n, 64)
+			want := reference(s, n, 64)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("HashNgrams(%q, n=%d)[%d] = %v, want stdlib %v", s, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if err := quick.Check(func(s string, seed uint8) bool {
+		n := 2 + int(seed)%3
+		got := HashNgrams(s, n, 32)
+		want := reference(s, n, 32)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendVectorMatchesVector pins the pooled-buffer encoding path to the
+// allocating one, prefix reuse included.
+func TestAppendVectorMatchesVector(t *testing.T) {
+	col := &data.Column{Name: "Departure Time", Values: []string{"08:15", "09:30", "08:15", "", "23:59"}}
+	b := ExtractFirstN(col, SampleCount)
+	for _, fs := range []FeatureSet{DefaultFeatureSet(), FullFeatureSet(), {UseName: true, NameDim: 32}} {
+		want := fs.Vector(&b)
+		if len(want) != fs.Dim() {
+			t.Fatalf("Vector len %d != Dim %d", len(want), fs.Dim())
+		}
+		scratch := make([]float64, 0, 4)
+		for round := 0; round < 2; round++ { // second round reuses the grown buffer
+			got := fs.AppendVector(scratch[:0], &b)
+			if len(got) != len(want) {
+				t.Fatalf("AppendVector len %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("AppendVector[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+			scratch = got
+		}
 	}
 }

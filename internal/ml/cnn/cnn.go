@@ -156,8 +156,9 @@ func (m *Model) forwardHead(h *head, text string) *headState {
 	// conv1 over embeddings
 	l1 := L - fs + 1
 	st.conv1 = make([][]float64, l1)
+	c1 := make([]float64, l1*nf) // one backing array for every conv1 row
 	for t := 0; t < l1; t++ {
-		row := make([]float64, nf)
+		row := c1[t*nf : (t+1)*nf : (t+1)*nf]
 		for f := 0; f < nf; f++ {
 			s := h.b1.v[f]
 			w := h.w1.v[f*fs*ed : (f+1)*fs*ed]
@@ -178,8 +179,9 @@ func (m *Model) forwardHead(h *head, text string) *headState {
 	// conv2 over conv1
 	l2 := l1 - fs + 1
 	st.conv2 = make([][]float64, l2)
+	c2 := make([]float64, l2*nf) // one backing array for every conv2 row
 	for t := 0; t < l2; t++ {
-		row := make([]float64, nf)
+		row := c2[t*nf : (t+1)*nf : (t+1)*nf]
 		for g := 0; g < nf; g++ {
 			s := h.b2.v[g]
 			w := h.w2.v[g*fs*nf : (g+1)*fs*nf]

@@ -189,8 +189,19 @@ func (f *Forest) fit(X [][]float64, yc []int, yf []float64) error {
 
 // PredictProba averages leaf class distributions over the trees.
 func (f *Forest) PredictProba(x []float64) []float64 {
+	return f.PredictProbaInto(make([]float64, f.Classes), x)
+}
+
+// PredictProbaInto is PredictProba writing into a caller-provided slice,
+// which must have length Classes; it returns out. Serving predicts one
+// column at a time, so letting the caller reuse the probability buffer
+// keeps the per-request allocation count flat. Callers that cache the
+// result (or hand it to a cache) must pass a fresh slice.
+func (f *Forest) PredictProbaInto(out, x []float64) []float64 {
 	observe := f.met != nil && f.met.TraversalDepth != nil
-	out := make([]float64, f.Classes)
+	for i := range out {
+		out[i] = 0
+	}
 	for _, t := range f.Trees {
 		leaf, depth := t.predictNodeDepth(x)
 		if observe {
@@ -208,7 +219,22 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 
 // PredictOne returns the majority-vote class for x.
 func (f *Forest) PredictOne(x []float64) int {
-	probs := f.PredictProba(x)
+	return argmax(f.PredictProba(x))
+}
+
+// Predict classifies every row of X, reusing one probability buffer for
+// the whole batch.
+func (f *Forest) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	probs := make([]float64, f.Classes)
+	for i := range X {
+		out[i] = argmax(f.PredictProbaInto(probs, X[i]))
+	}
+	return out
+}
+
+// argmax returns the index of the largest probability.
+func argmax(probs []float64) int {
 	best := 0
 	for c := 1; c < len(probs); c++ {
 		if probs[c] > probs[best] {
@@ -216,15 +242,6 @@ func (f *Forest) PredictOne(x []float64) int {
 		}
 	}
 	return best
-}
-
-// Predict classifies every row of X.
-func (f *Forest) Predict(X [][]float64) []int {
-	out := make([]int, len(X))
-	for i := range X {
-		out[i] = f.PredictOne(X[i])
-	}
-	return out
 }
 
 // PredictValueOne returns the forest-mean regression estimate for x.

@@ -3,7 +3,7 @@ package serve
 import (
 	"container/list"
 	"encoding/binary"
-	"hash/fnv"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -14,26 +14,63 @@ import (
 // cacheKey is the 128-bit FNV-1a content hash of one raw column.
 type cacheKey [16]byte
 
+// fnv128a is 128-bit FNV-1a unrolled by hand, bit-identical to the stdlib
+// hash/fnv stream (TestColumnKeyMatchesStdlibFNV pins this). The stdlib
+// hash only accepts []byte, which forced a copy of every cell value on the
+// serve hot path; this state hashes strings in place and lives on the
+// caller's stack.
+type fnv128a struct{ hi, lo uint64 }
+
+// FNV-128a parameters from hash/fnv: the offset basis split into two
+// 64-bit words, and the low word + shift encoding of the 128-bit prime
+// 2^88 + 2^8 + 0x3b.
+const (
+	fnv128OffsetHi   = 0x6c62272e07bb0142
+	fnv128OffsetLo   = 0x62b821756295c58d
+	fnv128PrimeLower = 0x13b
+	fnv128PrimeShift = 24
+)
+
+func newFNV128a() fnv128a { return fnv128a{hi: fnv128OffsetHi, lo: fnv128OffsetLo} }
+
+func (h *fnv128a) writeByte(c byte) {
+	h.lo ^= uint64(c)
+	s0, s1 := bits.Mul64(fnv128PrimeLower, h.lo)
+	s0 += h.lo<<fnv128PrimeShift + fnv128PrimeLower*h.hi
+	h.hi, h.lo = s0, s1
+}
+
+// writeString hashes s preceded by its big-endian 8-byte length, matching
+// the length-prefixed framing columnKey has always used.
+func (h *fnv128a) writeString(s string) {
+	n := uint64(len(s))
+	for shift := 56; shift >= 0; shift -= 8 {
+		h.writeByte(byte(n >> shift))
+	}
+	for i := 0; i < len(s); i++ {
+		h.writeByte(s[i])
+	}
+}
+
+func (h *fnv128a) sum() cacheKey {
+	var k cacheKey
+	binary.BigEndian.PutUint64(k[:8], h.hi)
+	binary.BigEndian.PutUint64(k[8:], h.lo)
+	return k
+}
+
 // columnKey hashes a column's attribute name and cell values. Every string
 // is length-prefixed so concatenations cannot collide ("ab"+"c" vs
 // "a"+"bc"), and the name is hashed first so renamed copies of the same
 // values key differently (the attribute name feeds the model's bigram
 // features, so it must be part of the identity).
 func columnKey(col *data.Column) cacheKey {
-	h := fnv.New128a()
-	var lenBuf [8]byte
-	write := func(s string) {
-		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(s)))
-		h.Write(lenBuf[:]) //shvet:ignore unchecked-err hash.Hash Write never returns an error
-		h.Write([]byte(s)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
-	}
-	write(col.Name)
+	h := newFNV128a()
+	h.writeString(col.Name)
 	for _, v := range col.Values {
-		write(v)
+		h.writeString(v)
 	}
-	var k cacheKey
-	h.Sum(k[:0])
-	return k
+	return h.sum()
 }
 
 // cachedPrediction is the immutable value stored per column hash. Probs is

@@ -3,8 +3,10 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
@@ -246,6 +248,37 @@ func TestCacheKeyDistinguishesNameAndContent(t *testing.T) {
 	}
 	if ka != columnKey(&data.Column{Name: "age", Values: []string{"ab", "c"}}) {
 		t.Error("identical columns hash differently")
+	}
+}
+
+// TestColumnKeyMatchesStdlibFNV pins the hand-unrolled 128-bit FNV-1a in
+// cache.go to the stdlib stream it replaced: fnv.New128a fed each string
+// preceded by its big-endian 8-byte length. Any drift would silently
+// invalidate (or worse, cross-wire) every cached prediction.
+func TestColumnKeyMatchesStdlibFNV(t *testing.T) {
+	cols := []data.Column{
+		{Name: "", Values: nil},
+		{Name: "age", Values: []string{"ab", "c"}},
+		{Name: "zip", Values: []string{"", "02139", "Ärzte", "a\x00b"}},
+		{Name: "long", Values: []string{strings.Repeat("x", 300)}},
+	}
+	for _, col := range cols {
+		h := fnv.New128a()
+		var lenBuf [8]byte
+		write := func(s string) {
+			binary.BigEndian.PutUint64(lenBuf[:], uint64(len(s)))
+			h.Write(lenBuf[:]) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+			h.Write([]byte(s)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+		}
+		write(col.Name)
+		for _, v := range col.Values {
+			write(v)
+		}
+		var want cacheKey
+		h.Sum(want[:0])
+		if got := columnKey(&col); got != want {
+			t.Errorf("columnKey(%q) = %x, want stdlib FNV-128a %x", col.Name, got, want)
+		}
 	}
 }
 

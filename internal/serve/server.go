@@ -226,6 +226,8 @@ func (s *Server) worker() {
 // always releases t.done. When the request carries a trace span, the
 // column and its featurize/predict stages become child spans
 // (obs.StartSpan is a no-op otherwise).
+//
+//shvet:hotpath worker-pool body; every inferred column passes through here via the task channel
 func (s *Server) process(t task) {
 	defer t.done.Done()
 	if t.ctx.Err() != nil {

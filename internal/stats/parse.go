@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 )
 
 // ParseFloat attempts to interpret a raw cell as a plain number. It accepts
@@ -20,12 +22,33 @@ func ParseFloat(v string) (float64, bool) {
 	if v == "" {
 		return 0, false
 	}
+	// Cheap alphabet screen: every string strconv can accept — decimal,
+	// hex float, inf/infinity, nan, underscored digits — draws only from
+	// floatAlphabet. Rejecting anything else here skips the *NumError
+	// allocation strconv would make for each of the (very common)
+	// non-numeric cells on the featurize hot path.
+	for i := 0; i < len(v); i++ {
+		if !floatAlphabet[v[i]] {
+			return 0, false
+		}
+	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
 		return 0, false
 	}
 	return f, true
 }
+
+// floatAlphabet marks every byte that can occur in a string
+// strconv.ParseFloat accepts: digits, sign, dot, underscore digit
+// separators, the e/E and hex x/X/p/P exponent markers, hex digits a-f,
+// and the letters of "inf"/"infinity"/"nan" — all in both cases.
+var floatAlphabet = func() (t [256]bool) {
+	for _, c := range []byte("0123456789+-._eExXpPaAbBcCdDfFiInNtTyY") {
+		t[c] = true
+	}
+	return
+}()
 
 // IsInt reports whether the raw cell is a plain (possibly signed) integer,
 // including zero-padded forms such as "005".
@@ -186,19 +209,70 @@ var stopwords = map[string]bool{
 }
 
 // CountWords returns the number of whitespace-separated tokens in v.
-func CountWords(v string) int { return len(strings.Fields(v)) }
+func CountWords(v string) int {
+	n := 0
+	eachField(v, func(string) { n++ })
+	return n
+}
 
 // CountStopwords returns the number of tokens in v that are common English
 // stopwords (case-insensitive, trailing punctuation stripped).
 func CountStopwords(v string) int {
 	n := 0
-	for _, w := range strings.Fields(v) {
-		w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
-		if stopwords[w] {
+	var buf [64]byte
+	eachField(v, func(w string) {
+		if isStopword(strings.Trim(w, ".,;:!?\"'()"), buf[:]) {
 			n++
 		}
-	}
+	})
 	return n
+}
+
+// eachField calls fn for every whitespace-separated token of v, splitting
+// exactly as strings.Fields does (runs of unicode.IsSpace) without building
+// the token slice. Compute calls the Count* helpers once per cell, so the
+// per-value slice was the dominant allocation of base featurization.
+func eachField(v string, fn func(string)) {
+	start := -1
+	for i, r := range v {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				fn(v[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		fn(v[start:])
+	}
+}
+
+// isStopword reports whether w lowercases to a stopword. ASCII tokens that
+// fit in buf are lowered there (the map lookup on a converted byte slice
+// does not allocate); anything else falls back to strings.ToLower, keeping
+// the exotic-case behaviour (e.g. the Kelvin sign lowering to 'k')
+// identical to the original formulation.
+func isStopword(w string, buf []byte) bool {
+	if len(w) <= len(buf) {
+		ascii := true
+		for i := 0; i < len(w); i++ {
+			c := w[i]
+			if c >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		if ascii {
+			return stopwords[string(buf[:len(w)])]
+		}
+	}
+	return stopwords[strings.ToLower(w)]
 }
 
 // CountWhitespace returns the number of whitespace characters in v.

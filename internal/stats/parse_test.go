@@ -1,6 +1,11 @@
 package stats
 
-import "testing"
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
 
 func TestParseFloat(t *testing.T) {
 	cases := []struct {
@@ -165,5 +170,58 @@ func TestGroupedNumberNotPlainFloat(t *testing.T) {
 		if !LooksEmbeddedNumber(v) {
 			t.Errorf("LooksEmbeddedNumber(%q) = false", v)
 		}
+	}
+}
+
+// TestCountersMatchStringsFields pins the alloc-free field walking in
+// CountWords/CountStopwords to the strings.Fields formulation it replaced,
+// and the screened ParseFloat to plain strconv. Property-based: any drift
+// in splitting, stopword casing, or float acceptance fails here.
+func TestCountersMatchStringsFields(t *testing.T) {
+	refWords := func(v string) int { return len(strings.Fields(v)) }
+	refStops := func(v string) int {
+		n := 0
+		for _, w := range strings.Fields(v) {
+			if stopwords[strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))] {
+				n++
+			}
+		}
+		return n
+	}
+	refFloat := func(v string) (float64, bool) {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return 0, false
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		return f, err == nil
+	}
+	cases := []string{
+		"", " ", "a", "The quick brown fox", "  and\tthe\n", "of.", "'A'",
+		"x y", "KELVIN and", "1,234", "-3.2e4", "nan", "+Inf",
+		".5 .", "USD 45", "0x1p-2", "héllo the wörld", "infinity",
+	}
+	check := func(v string) bool {
+		if CountWords(v) != refWords(v) {
+			t.Errorf("CountWords(%q) = %d, want %d", v, CountWords(v), refWords(v))
+			return false
+		}
+		if CountStopwords(v) != refStops(v) {
+			t.Errorf("CountStopwords(%q) = %d, want %d", v, CountStopwords(v), refStops(v))
+			return false
+		}
+		gf, gok := ParseFloat(v)
+		wf, wok := refFloat(v)
+		if gok != wok || (gok && gf != wf && !(gf != gf && wf != wf)) {
+			t.Errorf("ParseFloat(%q) = (%v, %v), want (%v, %v)", v, gf, gok, wf, wok)
+			return false
+		}
+		return true
+	}
+	for _, v := range cases {
+		check(v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
 	}
 }

@@ -56,13 +56,20 @@ const VectorDim = 27
 // Large magnitudes (means over raw values) are log-compressed to keep
 // scale-sensitive models stable; booleans map to {0,1}.
 func (s *Stats) Vector() []float64 {
+	return s.AppendVector(make([]float64, 0, VectorDim))
+}
+
+// AppendVector appends the VectorDim-dimension encoding of s to dst and
+// returns the extended slice. It is the allocation-free form of Vector for
+// callers assembling a larger feature vector in one buffer.
+func (s *Stats) AppendVector(dst []float64) []float64 {
 	b := func(v bool) float64 {
 		if v {
 			return 1
 		}
 		return 0
 	}
-	return []float64{
+	return append(dst,
 		logCompress(float64(s.TotalVals)),
 		logCompress(float64(s.NumNaNs)),
 		s.PctNaNs,
@@ -90,7 +97,7 @@ func (s *Stats) Vector() []float64 {
 		b(s.SampleHasList),
 		b(s.SampleHasDate),
 		b(s.NumUnique == 1), // single-valued column indicator
-	}
+	)
 }
 
 // VectorNames returns the human-readable names of the Vector dimensions, in
@@ -124,10 +131,20 @@ func Compute(col *data.Column, samples []string) Stats {
 	var s Stats
 	s.TotalVals = len(col.Values)
 
+	// One backing allocation feeds all six per-value series. Each series
+	// gets a full-capacity slot (three-index slice), so the appends below
+	// stay in place and can never grow into a neighbour's slot.
+	n := len(col.Values)
+	backing := make([]float64, 6*n)
 	var (
-		numVals                          []float64
-		charC, wordC, stopC, wsC, delimC []float64
-		nInt, nFloat, nonMissing         int
+		numVals = backing[0*n : 0*n : 1*n]
+		charC   = backing[1*n : 1*n : 2*n]
+		wordC   = backing[2*n : 2*n : 3*n]
+		stopC   = backing[3*n : 3*n : 4*n]
+		wsC     = backing[4*n : 4*n : 5*n]
+		delimC  = backing[5*n : 5*n : 6*n]
+
+		nInt, nFloat, nonMissing int
 	)
 	seen := make(map[string]struct{}, len(col.Values))
 	for _, v := range col.Values {

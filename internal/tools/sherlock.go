@@ -1,7 +1,6 @@
 package tools
 
 import (
-	"hash/fnv"
 	"strings"
 
 	"sortinghat/ftype"
@@ -222,14 +221,23 @@ func matchFrac(samples []string, set map[string]bool) float64 {
 	return float64(hits) / float64(len(samples))
 }
 
-// hash64 yields a stable pseudo-random stream per column.
+// hash64 yields a stable pseudo-random stream per column. It is FNV-1a
+// unrolled by hand — bit-identical to fnv.New64a fed each part followed
+// by a zero separator byte — so the loop hashes strings in place instead
+// of copying each one into a fresh []byte.
 func hash64(parts ...string) uint64 {
-	h := fnv.New64a()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, p := range parts {
-		h.Write([]byte(p)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
-		h.Write([]byte{0}) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * prime64
+		}
+		h *= prime64 // the zero separator: XOR with 0 is a no-op
 	}
-	return h.Sum64()
+	return h
 }
 
 func pickWeighted(pools []weighted, h uint64) string {

@@ -2,6 +2,7 @@ package tools
 
 import (
 	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"sortinghat/ftype"
@@ -164,5 +165,28 @@ func TestSherlockRecognisesDistinctiveDomains(t *testing.T) {
 	codes := []string{"USA", "CAN", "MEX", "BRA", "FRA", "DEU"}
 	if n := hits(codes, map[string]bool{"country": true}, "cc"); n > 15 {
 		t.Errorf("abbreviation detection %d/20, should be weaker than full names", n)
+	}
+}
+
+// TestHash64MatchesStdlibFNV pins the hand-unrolled hash64 to the stdlib
+// stream it replaced: fnv.New64a fed each part followed by a zero byte.
+// Any drift here would silently reshuffle every simulated prediction.
+func TestHash64MatchesStdlibFNV(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"zipcode"},
+		{"name", "city", "country"},
+		{"Ärzte", "日付", "a\x00b"},
+	}
+	for _, parts := range cases {
+		h := fnv.New64a()
+		for _, p := range parts {
+			h.Write([]byte(p)) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+			h.Write([]byte{0}) //shvet:ignore unchecked-err hash.Hash Write never returns an error
+		}
+		if got, want := hash64(parts...), h.Sum64(); got != want {
+			t.Errorf("hash64(%q) = %#x, want stdlib FNV-1a %#x", parts, got, want)
+		}
 	}
 }
