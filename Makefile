@@ -9,8 +9,8 @@ GO ?= go
 BENCH_SET  = ^(BenchmarkServeInfer|BenchmarkFeaturizeColumn|BenchmarkTreePredict)$$
 BENCH_TIME = 100x
 
-.PHONY: build test race vet shvet shvet-strict check bench smoke profile chaos \
-	bench-run bench-snapshot bench-gate
+.PHONY: build test race vet shvet shvet-strict check bench smoke smoke-fleet \
+	profile chaos bench-run bench-snapshot bench-gate
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,16 @@ chaos:
 
 # End-to-end serving smoke: train a small model, boot sortinghatd, probe
 # /healthz and /v1/infer (twice, to exercise the cache), check /metrics,
-# and shut down gracefully. CI runs this as its own job.
+# then drill degraded mode (-fault-spec) and a hot model reload
+# (POST /admin/reload). CI runs this as its own job. Phases, host, and
+# port are selectable: see the SMOKE_* variables in scripts/smoke.sh.
 smoke:
 	sh ./scripts/smoke.sh
+
+# Fleet smoke: boot 2 sortinghatd replicas plus a sortinghatgw in front,
+# shard a batch across the fleet, and assert the replicas' prediction
+# caches hold disjoint shards of the column space (every distinct column
+# cached on exactly one replica; a repeat batch through the gateway is
+# all cache hits). CI runs this as the smoke-fleet job.
+smoke-fleet:
+	SMOKE_PHASES=fleet sh ./scripts/smoke.sh

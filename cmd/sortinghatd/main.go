@@ -12,10 +12,20 @@
 //
 //	POST /v1/infer       {"columns":[{"name":"age","values":["23","41"]}]}
 //	POST /v1/infer/csv   text/csv body; one inferred type per column
+//	POST /admin/reload   {"path":"model.gob","version":"canary"} hot model swap
 //	GET  /healthz        liveness probe; "degraded" while the breaker is open
 //	GET  /metrics        Prometheus text-format metrics
 //	GET  /debug/traces   recent request traces as JSON span trees
 //	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// Model versioning: the startup model is labeled by -model-version
+// (default "v1") at swap sequence 1. POST /admin/reload loads a new gob
+// snapshot and swaps it in atomically — in-flight columns finish on the
+// model they started with, new columns see the new one, and prediction
+// cache keys carry the swap sequence so entries cached under an old
+// model are never served again. /healthz and /v1/infer responses report
+// the serving version. The endpoint is unauthenticated: expose it only
+// on an internal network or behind an authenticating proxy.
 //
 // Resilience: an admission gate sheds load past -queue-depth with HTTP
 // 429 + Retry-After; a circuit breaker (-breaker-failures,
@@ -55,6 +65,7 @@ import (
 func main() {
 	var (
 		modelPath = flag.String("model", "", "trained model file (gob, from `sortinghat train`)")
+		modelVer  = flag.String("model-version", "", "label for the startup model in /healthz and metrics (default v1)")
 		trainN    = flag.Int("train-n", 0, "no -model: train a fresh Random Forest on an N-column corpus at startup")
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "column worker pool size (default: GOMAXPROCS)")
@@ -83,6 +94,7 @@ func main() {
 	}
 
 	cfg := serve.Config{
+		ModelVersion: *modelVer,
 		Workers:      *workers,
 		CacheSize:    *cacheSize,
 		Timeout:      *timeout,

@@ -1,0 +1,118 @@
+package gateway
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"sortinghat/internal/resilience/faultinject"
+)
+
+// TestChaosReplicaErrorsRerouted arms a deterministic fault that fails
+// every forward to one of three replicas and checks the gateway routes
+// its columns to the survivors: the batch comes back complete and
+// ordered, the rerouted count equals the dead replica's shard, and no
+// column degrades to the rule fallback.
+func TestChaosReplicaErrorsRerouted(t *testing.T) {
+	_, addrs := startFleet(t, 3, nil)
+	inj, err := faultinject.Parse("forward@r1:error:1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGateway(t, addrs, func(c *Config) { c.Faults = inj })
+
+	req := testBatch(30)
+	ownerCols := make([]int, 3)
+	for i := range req.Columns {
+		col := toColumn(req.Columns[i])
+		ownerCols[g.ring.Owner(ringKey(&col))]++
+	}
+	if ownerCols[1] == 0 {
+		t.Fatal("fixture batch gives r1 no columns; the fault would be untested")
+	}
+
+	rec, resp := postBatch(t, g.Handler(), req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	requireOrdered(t, req, resp)
+	if resp.ReroutedColumns != ownerCols[1] {
+		t.Errorf("rerouted %d columns, want r1's full shard of %d", resp.ReroutedColumns, ownerCols[1])
+	}
+	if resp.DegradedColumns != 0 {
+		t.Errorf("%d degraded columns — two healthy replicas should absorb r1's shard", resp.DegradedColumns)
+	}
+	if got := g.met.rerouted.Load(); got != int64(ownerCols[1]) {
+		t.Errorf("rerouted_columns_total = %d, want %d", got, ownerCols[1])
+	}
+	if g.met.shardErrors.Load() == 0 {
+		t.Error("no shard errors counted for the injected failures")
+	}
+	if inj.Fired() == 0 {
+		t.Error("fault injector never fired")
+	}
+}
+
+// TestChaosReplicaKilledMidBatch is the acceptance drill with a real
+// network failure instead of an injected error: one of three replicas
+// has its connections cut while its shard request is in flight. The
+// gateway must fail over and still return a complete, correctly ordered
+// response, with the kill visible in the rerouted counts.
+func TestChaosReplicaKilledMidBatch(t *testing.T) {
+	var (
+		victimHit  = make(chan struct{})
+		hitOnce    sync.Once
+		victimAddr string
+	)
+	fleet, addrs := startFleet(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/infer" {
+				hitOnce.Do(func() { close(victimHit) })
+				time.Sleep(300 * time.Millisecond) // hold the request so the kill lands mid-flight
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	victimAddr = fleet[1].http.URL
+	g := newTestGateway(t, addrs, nil)
+
+	req := testBatch(30)
+	victim := replicaByAddr(g, victimAddr)
+	victimShard := 0
+	for i := range req.Columns {
+		col := toColumn(req.Columns[i])
+		if g.ring.Owner(ringKey(&col)) == victim {
+			victimShard++
+		}
+	}
+	if victimShard == 0 {
+		t.Fatal("fixture batch gives the victim no columns; the kill would be untested")
+	}
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		<-victimHit
+		fleet[1].http.CloseClientConnections() // the mid-batch kill
+	}()
+	rec, resp := postBatch(t, g.Handler(), req)
+	<-killed
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	requireOrdered(t, req, resp)
+	if resp.ReroutedColumns != victimShard {
+		t.Errorf("rerouted %d columns, want the victim's full shard of %d", resp.ReroutedColumns, victimShard)
+	}
+	if resp.DegradedColumns != 0 {
+		t.Errorf("%d degraded columns — the survivors should absorb the victim's shard", resp.DegradedColumns)
+	}
+	if g.met.shardErrors.Load() == 0 {
+		t.Error("the cut connection never surfaced as a shard error")
+	}
+}

@@ -1,0 +1,279 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"sortinghat/ftype"
+	"sortinghat/internal/data"
+	"sortinghat/internal/featurize"
+	"sortinghat/internal/obs"
+	"sortinghat/internal/resilience/rulefallback"
+	"sortinghat/internal/serve"
+)
+
+// group is the unit of scatter: the columns of one batch owned by one
+// ring replica, with their original batch positions for reassembly.
+type group struct {
+	owner int
+	idxs  []int // original positions in the request batch
+	cols  []data.Column
+}
+
+// groupResult is one dispatched group's outcome, written into a slot of
+// a per-batch slice (no map iteration anywhere on the response path, so
+// reassembly order is deterministic by construction).
+type groupResult struct {
+	preds    []serve.InferPrediction // aligned with group.cols
+	replica  int                     // who answered; -1 for the local fallback
+	model    string
+	version  string
+	cacheHit int
+	hedged   int  // extra speculative requests fired
+	attempts int  // shard attempts resolved
+	canceled bool // the request ended before this group resolved
+}
+
+// shardGroups splits a batch into per-owner groups, in ring (replica
+// index) order. Columns keep their batch positions in idxs.
+func (g *Gateway) shardGroups(cols []data.Column) []group {
+	byOwner := make([][]int, len(g.replicas))
+	for i := range cols {
+		owner := g.ring.Owner(ringKey(&cols[i]))
+		byOwner[owner] = append(byOwner[owner], i)
+	}
+	groups := make([]group, 0, len(g.replicas))
+	for owner, idxs := range byOwner {
+		if len(idxs) == 0 {
+			continue
+		}
+		gr := group{owner: owner, idxs: idxs, cols: make([]data.Column, len(idxs))}
+		for j, i := range idxs {
+			gr.cols[j] = cols[i]
+		}
+		groups = append(groups, gr)
+	}
+	return groups
+}
+
+// scatter dispatches every group concurrently and waits for all of
+// them. Results are slot-indexed, never channel-ordered, so assembly is
+// deterministic.
+func (g *Gateway) scatter(ctx context.Context, groups []group) []groupResult {
+	results := make([]groupResult, len(groups))
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g.dispatchGroup(ctx, &groups[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// shardAttempt is one forwarded sub-request's outcome. canceled marks
+// attempts that died because the group was canceled (a winner already
+// answered, or the client gave up) — those are not evidence against the
+// replica and must not feed its breaker.
+type shardAttempt struct {
+	replica  int
+	resp     *serve.InferResponse
+	err      error
+	canceled bool
+}
+
+// dispatchGroup forwards one group through its candidate list with a
+// merged hedge/failover loop: the first candidate fires immediately, the
+// hedge timer speculatively fires the next candidate if no answer has
+// arrived, and any failure fires the next candidate at once. The first
+// success cancels the stragglers and wins. When every candidate is
+// exhausted — all breakers open, or every attempt failed — the group is
+// answered locally by the rule fallback so the batch still completes.
+func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
+	ctx, span := obs.StartSpan(ctx, "shard")
+	defer span.End()
+	span.SetAttr("owner", g.replicas[gr.owner].label)
+	span.SetAttr("columns", strconv.Itoa(len(gr.cols)))
+
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	order := g.candidates(gr.owner)
+	attempts := make(chan shardAttempt, len(order))
+	inflight, next := 0, 0
+	launch := func() bool {
+		for next < len(order) {
+			r := order[next]
+			next++
+			if !g.replicas[r].breaker.Allow() {
+				continue
+			}
+			inflight++
+			go g.forward(gctx, r, gr.cols, attempts)
+			return true
+		}
+		return false
+	}
+
+	res := groupResult{replica: -1}
+	if launch() {
+		hedge := hedgeTimer(g.cfg.Hedge)
+		defer hedge.Stop()
+		for inflight > 0 {
+			select {
+			case a := <-attempts:
+				inflight--
+				res.attempts++
+				if a.err == nil {
+					g.replicas[a.replica].breaker.Success()
+					res.preds = a.resp.Predictions
+					res.replica = a.replica
+					res.model = a.resp.Model
+					res.version = a.resp.ModelVersion
+					res.cacheHit = a.resp.CacheHits
+					span.SetAttr("replica", g.replicas[a.replica].label)
+					if res.hedged > 0 {
+						span.SetAttr("hedged", strconv.Itoa(res.hedged))
+					}
+					return res
+				}
+				if !a.canceled {
+					g.replicas[a.replica].breaker.Failure()
+					g.replicas[a.replica].errors.Add(1)
+					g.met.shardErrors.Add(1)
+					span.SetAttr("error@"+g.replicas[a.replica].label, a.err.Error())
+				}
+				launch() // immediate failover; inflight hedges may still win
+			case <-hedge.C:
+				if launch() {
+					res.hedged++
+					g.met.hedges.Add(1)
+				}
+			case <-gctx.Done():
+				// The client or deadline gave up; stragglers resolve into
+				// the buffered channel and are dropped.
+				span.SetAttr("canceled", "true")
+				res.canceled = true
+				return res
+			}
+		}
+	}
+
+	// Fleet exhausted: answer locally from the paper's rule baseline,
+	// exactly like a lone daemon with its breaker open.
+	span.SetAttr("fallback", "rules")
+	g.met.fallbackColumns.Add(int64(len(gr.cols)))
+	res.preds = make([]serve.InferPrediction, len(gr.cols))
+	for i := range gr.cols {
+		res.preds[i] = localFallback(&gr.cols[i])
+	}
+	res.model = "rules"
+	res.version = "fallback"
+	return res
+}
+
+// hedgeTimer arms the hedge delay; a non-positive delay disables
+// hedging (the timer never fires).
+func hedgeTimer(d time.Duration) *time.Timer {
+	if d <= 0 {
+		t := time.NewTimer(time.Hour)
+		t.Stop()
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// localFallback answers one column from the rule-based baseline, tagged
+// degraded — the gateway's last resort when no replica is reachable.
+func localFallback(col *data.Column) serve.InferPrediction {
+	base := featurize.ExtractFirstN(col, DefaultFallbackSample)
+	typ, probs := rulefallback.Classify(&base)
+	probsByClass := make(map[string]float64, len(probs))
+	for i, p := range probs {
+		probsByClass[ftype.FeatureType(i).String()] = p
+	}
+	confidence := 0.0
+	if i := typ.Index(); i >= 0 && i < len(probs) {
+		confidence = probs[i]
+	}
+	return serve.InferPrediction{
+		Name:       col.Name,
+		Type:       typ.String(),
+		Confidence: confidence,
+		Probs:      probsByClass,
+		Degraded:   true,
+		Error:      "no replica reachable; answered by gateway rule fallback",
+	}
+}
+
+// forward sends one group to one replica as a POST /v1/infer sub-request
+// and reports the outcome. Panics (possible via injected faults) are
+// converted to errors so one bad attempt can't take the gateway down.
+func (g *Gateway) forward(ctx context.Context, ri int, cols []data.Column, out chan<- shardAttempt) {
+	r := g.replicas[ri]
+	r.requests.Add(1)
+	g.met.shardRequests.Add(1)
+	start := time.Now()
+	resp, err := func() (resp *serve.InferResponse, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("forward to %s panicked: %v", r.label, p)
+			}
+		}()
+		if err := g.inject("forward@" + r.label); err != nil {
+			return nil, err
+		}
+		return g.postInfer(ctx, r.addr, cols)
+	}()
+	g.met.shardLatency.ObserveSince(start)
+	out <- shardAttempt{replica: ri, resp: resp, err: err, canceled: err != nil && ctx.Err() != nil}
+}
+
+// decodeJSONBody decodes a bounded JSON response body.
+func decodeJSONBody(resp *http.Response, v any) error {
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
+}
+
+// postInfer performs the sub-request: the group's columns as a standard
+// /v1/infer batch against one replica.
+func (g *Gateway) postInfer(ctx context.Context, addr string, cols []data.Column) (*serve.InferResponse, error) {
+	req := serve.InferRequest{Columns: make([]serve.InferColumn, len(cols))}
+	for i, c := range cols {
+		req.Columns[i] = serve.InferColumn{Name: c.Name, Values: c.Values}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding shard request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := g.cfg.Client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return nil, fmt.Errorf("replica answered %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp serve.InferResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("decoding shard response: %w", err)
+	}
+	if len(resp.Predictions) != len(cols) {
+		return nil, fmt.Errorf("replica answered %d predictions for %d columns", len(resp.Predictions), len(cols))
+	}
+	return &resp, nil
+}

@@ -1,0 +1,322 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sortinghat/internal/data"
+	"sortinghat/internal/obs"
+	"sortinghat/internal/serve"
+)
+
+// maxRequestBody bounds request bodies, matching the daemon's limit.
+const maxRequestBody = 64 << 20
+
+// BatchResponse is the JSON body answering the gateway's POST /v1/infer
+// and /v1/infer/csv. Predictions are index-aligned with the request's
+// columns regardless of how the batch was sharded. ModelVersions counts
+// columns per answering model version — during a canary rollout this is
+// where the canary's traffic share shows up; the "rules/fallback" pair
+// appears when the gateway answered columns locally.
+type BatchResponse struct {
+	Gateway         string                  `json:"gateway"`
+	Model           string                  `json:"model"`
+	ModelVersions   map[string]int          `json:"model_versions"`
+	Predictions     []serve.InferPrediction `json:"predictions"`
+	CacheHits       int                     `json:"cache_hits"`
+	DegradedColumns int                     `json:"degraded_columns"`
+	ReroutedColumns int                     `json:"rerouted_columns"`
+	HedgedRequests  int                     `json:"hedged_requests"`
+	Shards          int                     `json:"shards"`
+	ElapsedMS       float64                 `json:"elapsed_ms"`
+}
+
+// FleetHealth is the JSON body answering the gateway's GET /healthz.
+// Status is "ok" while at least one replica routes normally, "degraded"
+// otherwise (the gateway still answers, worst case from its local rule
+// fallback).
+type FleetHealth struct {
+	Status        string          `json:"status"`
+	Replicas      []ReplicaStatus `json:"replicas"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+}
+
+// ReplicaStatus is one replica's row in FleetHealth: identity, probe
+// and breaker state, ring ownership share, and lifetime shard traffic.
+type ReplicaStatus struct {
+	Replica   string  `json:"replica"`
+	Addr      string  `json:"addr"`
+	Health    string  `json:"health"`
+	Breaker   string  `json:"breaker"`
+	Ownership float64 `json:"ownership"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the gateway's HTTP API — the daemon's inference
+// surface, fleet-wide: POST /v1/infer, POST /v1/infer/csv, GET /healthz
+// (fleet view), GET /metrics, GET /debug/traces, and (with
+// Config.EnablePprof) /debug/pprof/. Requests get an X-Request-Id and
+// one access-log record, like the daemon.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", g.handleInfer)
+	mux.HandleFunc("/v1/infer/csv", g.handleInferCSV)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/debug/traces", g.handleTraces)
+	if g.cfg.EnablePprof {
+		obs.MountPprof(mux)
+	}
+	return g.observe(mux)
+}
+
+// observe assigns the request ID, echoes it to the client, and emits
+// the access-log record.
+func (g *Gateway) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "gw-" + strconv.FormatInt(g.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if g.logger != nil {
+			g.logger.Info("request",
+				"request_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(time.Since(start).Microseconds())/1000)
+		}
+	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// writeJSON marshals v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError answers with a JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// handleInfer decodes a JSON batch and shards it across the fleet.
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	start := time.Now()
+	g.met.inflight.Add(1)
+	defer g.met.inflight.Add(-1)
+	defer g.met.requests.Add(1)
+
+	ctx, span := g.tracer.Start(r.Context(), "gateway")
+	span.SetAttr("request_id", obs.RequestIDFrom(ctx))
+	defer span.End()
+
+	var req serve.InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		g.met.requestErrors.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds "+strconv.FormatInt(tooLarge.Limit, 10)+" bytes")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	cols := make([]data.Column, len(req.Columns))
+	for i, c := range req.Columns {
+		cols[i] = data.Column{Name: c.Name, Values: c.Values}
+	}
+	g.serveBatch(w, r, span, start, cols)
+}
+
+// handleInferCSV ingests a whole table as CSV and shards its columns,
+// applying the same adversarial-input limits as the daemon.
+func (g *Gateway) handleInferCSV(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	start := time.Now()
+	g.met.inflight.Add(1)
+	defer g.met.inflight.Add(-1)
+	defer g.met.requests.Add(1)
+
+	ctx, span := g.tracer.Start(r.Context(), "gateway")
+	span.SetAttr("request_id", obs.RequestIDFrom(ctx))
+	span.SetAttr("format", "csv")
+	defer span.End()
+
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	ds, err := data.ReadCSVLimited("request", body, data.Limits{
+		MaxColumns:   g.cfg.MaxBatch,
+		MaxCellBytes: g.cfg.MaxCellBytes,
+	})
+	if err != nil {
+		g.met.requestErrors.Add(1)
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.Is(err, data.ErrTooManyColumns), errors.Is(err, data.ErrCellTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.As(err, &tooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds "+strconv.FormatInt(tooLarge.Limit, 10)+" bytes")
+		default:
+			writeError(w, http.StatusBadRequest, "parsing csv: "+err.Error())
+		}
+		return
+	}
+	g.serveBatch(w, r, span, start, ds.Columns)
+}
+
+// serveBatch is the shared tail of the infer handlers: validate, admit
+// through the gate, scatter by ring ownership, gather, and reassemble
+// in request order.
+func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.Span, start time.Time, cols []data.Column) {
+	if len(cols) == 0 {
+		g.met.requestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "empty batch: provide at least one column")
+		return
+	}
+	if len(cols) > g.cfg.MaxBatch {
+		g.met.requestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "batch too large: max "+strconv.Itoa(g.cfg.MaxBatch)+" columns")
+		return
+	}
+	if err := g.gate.TryReserve(len(cols)); err != nil {
+		span.SetAttr("shed", "true")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
+		return
+	}
+	defer g.gate.Release(len(cols))
+	g.met.columns.Add(int64(len(cols)))
+	g.met.batchSize.Observe(float64(len(cols)))
+	span.SetAttr("columns", strconv.Itoa(len(cols)))
+
+	ctx := r.Context()
+	if g.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.Timeout)
+		defer cancel()
+	}
+
+	groups := g.shardGroups(cols)
+	results := g.scatter(ctx, groups)
+
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			g.met.requestTimeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
+			return
+		}
+		// The client went away; the status code is never seen.
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+		return
+	}
+
+	resp := BatchResponse{
+		Gateway:       "sortinghatgw",
+		ModelVersions: make(map[string]int, 2),
+		Predictions:   make([]serve.InferPrediction, len(cols)),
+		Shards:        len(groups),
+	}
+	for gi, res := range results {
+		gr := &groups[gi]
+		if res.replica >= 0 && res.replica != gr.owner {
+			resp.ReroutedColumns += len(gr.idxs)
+			g.met.rerouted.Add(int64(len(gr.idxs)))
+		}
+		resp.HedgedRequests += res.hedged
+		resp.CacheHits += res.cacheHit
+		if resp.Model == "" && res.replica >= 0 {
+			resp.Model = res.model
+		}
+		resp.ModelVersions[res.version] += len(gr.idxs)
+		for j, i := range gr.idxs {
+			resp.Predictions[i] = res.preds[j]
+			if res.preds[j].Degraded {
+				resp.DegradedColumns++
+			}
+		}
+	}
+	if resp.Model == "" {
+		resp.Model = "rules" // every group fell back locally
+	}
+	g.met.degraded.Add(int64(resp.DegradedColumns))
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	g.met.request.ObserveSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz answers with the fleet view: per-replica probe state,
+// breaker state, and ring ownership.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	status := "degraded"
+	if g.healthyCount() > 0 {
+		status = "ok"
+	}
+	writeJSON(w, http.StatusOK, FleetHealth{
+		Status:        status,
+		Replicas:      g.replicaStatuses(),
+		UptimeSeconds: time.Since(g.start).Seconds(),
+	})
+}
+
+// handleMetrics answers Prometheus scrapes in text exposition format.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.met.reg.WritePrometheus(w)
+}
+
+// handleTraces serves the ring of recent request traces as JSON span
+// trees.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	traces := g.tracer.Recent()
+	writeJSON(w, http.StatusOK, serve.TracesResponse{Count: len(traces), Traces: traces})
+}

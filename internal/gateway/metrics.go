@@ -1,0 +1,76 @@
+package gateway
+
+import (
+	"time"
+
+	"sortinghat/internal/obs"
+)
+
+// metrics holds the gateway's handles into its obs.Registry. The
+// registry renders in registration order, so the order below is the
+// pinned /metrics layout (TestGatewayMetricsRenderPinned): fleet-wide
+// series first, then one block of four series per replica in ring
+// order, then the latency summaries.
+type metrics struct {
+	reg *obs.Registry
+
+	requests         *obs.Counter // completed gateway requests (any outcome)
+	requestErrors    *obs.Counter // 4xx responses (malformed batches)
+	requestTimeouts  *obs.Counter // 504 responses (deadline exceeded)
+	inflight         *obs.Gauge   // requests currently being served
+	columns          *obs.Counter // columns across all accepted batches
+	shardRequests    *obs.Counter // sub-requests forwarded to replicas
+	shardErrors      *obs.Counter // sub-requests that failed
+	hedges           *obs.Counter // speculative (hedged) sub-requests
+	rerouted         *obs.Counter // columns answered off their ring owner
+	degraded         *obs.Counter // degraded columns in gateway responses
+	fallbackColumns  *obs.Counter // columns answered by the local rule fallback
+	probeFailures    *obs.Counter // failed health probes
+	probeTransitions *obs.Counter // replica health state changes observed
+
+	batchSize    *obs.Summary // batch sizes (columns per request)
+	shardLatency *obs.Summary // per-sub-request seconds
+	request      *obs.Summary // end-to-end request seconds
+}
+
+// newMetrics builds the gateway's registry. State owned elsewhere
+// (gate, breakers, probe results, ring) is exposed through render-time
+// funcs; the per-replica blocks are named by ring label (r0, r1, ...) —
+// the obs registry is label-free by design, so the label lives in the
+// series name and the address in the help string.
+func newMetrics(g *Gateway) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+	m.requests = reg.Counter("sortinghatgw_requests_total", "Completed gateway /v1/infer requests.")
+	m.requestErrors = reg.Counter("sortinghatgw_request_errors_total", "Rejected gateway requests (malformed or oversized batches).")
+	m.requestTimeouts = reg.Counter("sortinghatgw_request_timeouts_total", "Gateway requests that exceeded their deadline.")
+	m.inflight = reg.Gauge("sortinghatgw_inflight_requests", "Requests currently being served.")
+	m.columns = reg.Counter("sortinghatgw_columns_total", "Columns received across all accepted batches.")
+	m.shardRequests = reg.Counter("sortinghatgw_shard_requests_total", "Sub-requests forwarded to replicas (including hedges and retries).")
+	m.shardErrors = reg.Counter("sortinghatgw_shard_errors_total", "Forwarded sub-requests that failed (transport error or non-200).")
+	m.hedges = reg.Counter("sortinghatgw_hedged_requests_total", "Speculative sub-requests fired after the hedge delay.")
+	m.rerouted = reg.Counter("sortinghatgw_rerouted_columns_total", "Columns answered by a replica other than their ring owner.")
+	m.degraded = reg.Counter("sortinghatgw_degraded_columns_total", "Degraded columns in gateway responses (replica fallback or local rules).")
+	m.fallbackColumns = reg.Counter("sortinghatgw_fallback_columns_total", "Columns answered by the gateway's local rule fallback (fleet unreachable).")
+	reg.CounterFunc("sortinghatgw_shed_total", "Requests fast-failed by the admission gate (HTTP 429).", g.gate.Shed)
+	reg.GaugeFunc("sortinghatgw_queue_depth", "Columns admitted and not yet answered.", func() float64 { return float64(g.gate.Depth()) })
+	reg.GaugeFunc("sortinghatgw_queue_high_water", "Admission-gate high-water mark in columns.", func() float64 { return float64(g.gate.Capacity()) })
+	reg.GaugeFunc("sortinghatgw_replicas", "Replicas on the ring.", func() float64 { return float64(len(g.replicas)) })
+	reg.GaugeFunc("sortinghatgw_replicas_healthy", "Replicas currently routing normally (probe ok, breaker closed).", func() float64 { return float64(g.healthyCount()) })
+	m.probeFailures = reg.Counter("sortinghatgw_probe_failures_total", "Health probes that failed (transport error, non-200, or bad body).")
+	m.probeTransitions = reg.Counter("sortinghatgw_probe_transitions_total", "Replica health state changes observed by the prober.")
+	reg.CounterFunc("sortinghatgw_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).", g.faultsFired)
+	reg.GaugeFunc("sortinghatgw_uptime_seconds", "Seconds since the gateway started.", func() float64 { return time.Since(g.start).Seconds() })
+	for i, r := range g.replicas {
+		i, r := i, r
+		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_health", "Probe state of "+r.addr+" (0 healthy, 1 degraded, 2 down).", func() float64 { return float64(r.health.Load()) })
+		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_breaker_state", "Forwarding breaker state for "+r.addr+" (0 closed, 1 open, 2 half-open).", func() float64 { return float64(r.breaker.State()) })
+		reg.CounterFunc("sortinghatgw_replica_"+r.label+"_requests_total", "Sub-requests forwarded to "+r.addr+".", r.requests.Load)
+		reg.CounterFunc("sortinghatgw_replica_"+r.label+"_errors_total", "Failed sub-requests to "+r.addr+".", r.errors.Load)
+		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_ownership", "Ring ownership share of "+r.addr+".", func() float64 { return g.owned[i] })
+	}
+	m.batchSize = reg.Summary("sortinghatgw_batch_columns", "Columns per gateway request.")
+	m.shardLatency = reg.Summary("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.")
+	m.request = reg.Summary("sortinghatgw_request_seconds", "End-to-end gateway request latency.")
+	return m
+}

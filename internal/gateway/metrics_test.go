@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// uptimeLine strips the one wall-clock-dependent value from a scrape.
+var uptimeLine = regexp.MustCompile(`sortinghatgw_uptime_seconds [0-9.e+-]+`)
+
+// scrapeMetrics fetches /metrics through the handler.
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	return uptimeLine.ReplaceAllString(rec.Body.String(), "sortinghatgw_uptime_seconds X")
+}
+
+// TestGatewayMetricsRenderPinned is the gateway's monitoring contract:
+// the full /metrics document of a fresh two-replica gateway, byte for
+// byte — names, help strings, type headers, registration order, and the
+// per-replica blocks in ring order. The fixture uses unreachable
+// replicas and stops the prober after its startup sweep, so every value
+// is deterministic: both replicas probed Down once each.
+func TestGatewayMetricsRenderPinned(t *testing.T) {
+	// 127.0.0.1:1 refuses connections immediately; addresses sort so a < b
+	// and ring labels are r0, r1.
+	addrA, addrB := "http://127.0.0.1:1/a", "http://127.0.0.1:1/b"
+	g, err := New(Config{Replicas: []string{addrA, addrB}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close() // deterministic: exactly the startup probe sweep has run
+	h := g.Handler()
+
+	emptySummary := func(name, help string) string {
+		return "# HELP " + name + " " + help + "\n" +
+			"# TYPE " + name + " summary\n" +
+			name + `{quantile="0.5"} 0` + "\n" +
+			name + `{quantile="0.9"} 0` + "\n" +
+			name + `{quantile="0.99"} 0` + "\n" +
+			name + "_sum 0\n" +
+			name + "_count 0\n"
+	}
+	counter := func(name, help string, v int64) string {
+		return fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) string {
+		return fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	replicaBlock := func(label, addr string, ownership float64) string {
+		return gauge("sortinghatgw_replica_"+label+"_health", "Probe state of "+addr+" (0 healthy, 1 degraded, 2 down).", 2) +
+			gauge("sortinghatgw_replica_"+label+"_breaker_state", "Forwarding breaker state for "+addr+" (0 closed, 1 open, 2 half-open).", 0) +
+			counter("sortinghatgw_replica_"+label+"_requests_total", "Sub-requests forwarded to "+addr+".", 0) +
+			counter("sortinghatgw_replica_"+label+"_errors_total", "Failed sub-requests to "+addr+".", 0) +
+			gauge("sortinghatgw_replica_"+label+"_ownership", "Ring ownership share of "+addr+".", ownership)
+	}
+	want := counter("sortinghatgw_requests_total", "Completed gateway /v1/infer requests.", 0) +
+		counter("sortinghatgw_request_errors_total", "Rejected gateway requests (malformed or oversized batches).", 0) +
+		counter("sortinghatgw_request_timeouts_total", "Gateway requests that exceeded their deadline.", 0) +
+		gauge("sortinghatgw_inflight_requests", "Requests currently being served.", 0) +
+		counter("sortinghatgw_columns_total", "Columns received across all accepted batches.", 0) +
+		counter("sortinghatgw_shard_requests_total", "Sub-requests forwarded to replicas (including hedges and retries).", 0) +
+		counter("sortinghatgw_shard_errors_total", "Forwarded sub-requests that failed (transport error or non-200).", 0) +
+		counter("sortinghatgw_hedged_requests_total", "Speculative sub-requests fired after the hedge delay.", 0) +
+		counter("sortinghatgw_rerouted_columns_total", "Columns answered by a replica other than their ring owner.", 0) +
+		counter("sortinghatgw_degraded_columns_total", "Degraded columns in gateway responses (replica fallback or local rules).", 0) +
+		counter("sortinghatgw_fallback_columns_total", "Columns answered by the gateway's local rule fallback (fleet unreachable).", 0) +
+		counter("sortinghatgw_shed_total", "Requests fast-failed by the admission gate (HTTP 429).", 0) +
+		gauge("sortinghatgw_queue_depth", "Columns admitted and not yet answered.", 0) +
+		gauge("sortinghatgw_queue_high_water", "Admission-gate high-water mark in columns.", 2048) +
+		gauge("sortinghatgw_replicas", "Replicas on the ring.", 2) +
+		gauge("sortinghatgw_replicas_healthy", "Replicas currently routing normally (probe ok, breaker closed).", 0) +
+		counter("sortinghatgw_probe_failures_total", "Health probes that failed (transport error, non-200, or bad body).", 2) +
+		counter("sortinghatgw_probe_transitions_total", "Replica health state changes observed by the prober.", 2) +
+		counter("sortinghatgw_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).", 0) +
+		"# HELP sortinghatgw_uptime_seconds Seconds since the gateway started.\n" +
+		"# TYPE sortinghatgw_uptime_seconds gauge\n" +
+		"sortinghatgw_uptime_seconds X\n" +
+		replicaBlock("r0", addrA, g.owned[0]) +
+		replicaBlock("r1", addrB, g.owned[1]) +
+		emptySummary("sortinghatgw_batch_columns", "Columns per gateway request.") +
+		emptySummary("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.") +
+		emptySummary("sortinghatgw_request_seconds", "End-to-end gateway request latency.")
+
+	got := scrapeMetrics(t, h)
+	if got != want {
+		t.Errorf("gateway /metrics layout drifted from the pinned contract.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if again := scrapeMetrics(t, h); again != got {
+		t.Errorf("two scrapes of unchanged state differ:\nfirst:\n%s\nsecond:\n%s", got, again)
+	}
+}

@@ -1,0 +1,136 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the default number of virtual nodes per replica.
+// 64 vnodes keeps ownership within a few percent of even for small
+// fleets while the ring stays tiny (a 3-replica ring is 192 points).
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a replica.
+type ringPoint struct {
+	hash    uint64
+	replica int // index into Ring.replicas
+}
+
+// Ring is a consistent-hash ring over a fixed set of replica addresses.
+// Construction sorts and dedupes the addresses, so two rings built from
+// the same replica set — in any order, with duplicates — are identical,
+// and ownership is a pure function of (replica set, vnodes, key). The
+// ring is immutable after NewRing; topology changes mean building a new
+// ring, which moves only the keys owned by the replicas that changed
+// (see TestRingChurnBounded).
+type Ring struct {
+	replicas []string
+	points   []ringPoint
+}
+
+// NewRing builds a ring over the given replica addresses with vnodes
+// virtual nodes per replica (0 means DefaultVNodes). Addresses are
+// sorted and deduped; at least one is required.
+func NewRing(replicas []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), replicas...)
+	sort.Strings(sorted)
+	deduped := sorted[:0]
+	for i, a := range sorted {
+		if a == "" {
+			return nil, fmt.Errorf("gateway: empty replica address")
+		}
+		if i > 0 && a == sorted[i-1] {
+			continue
+		}
+		deduped = append(deduped, a)
+	}
+	if len(deduped) == 0 {
+		return nil, fmt.Errorf("gateway: ring needs at least one replica")
+	}
+	r := &Ring{replicas: deduped, points: make([]ringPoint, 0, len(deduped)*vnodes)}
+	for i, addr := range deduped {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(addr, v), replica: i})
+		}
+	}
+	// Sort by position; break hash collisions by replica index so the
+	// ring layout never depends on insertion order.
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return pa.replica < pb.replica
+	})
+	return r, nil
+}
+
+// vnodeHash positions one virtual node on the circle: FNV-64a over
+// "addr#v". The textual vnode index (not a fixed-width encoding) is part
+// of the pinned ring layout — changing it would reshuffle every fleet's
+// ownership on upgrade.
+func vnodeHash(addr string, v int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", addr, v)
+	return h.Sum64()
+}
+
+// Replicas returns the ring's replica addresses, sorted and deduped.
+// The index of an address in this slice is its replica index in Owner
+// and Successors results. Callers must not mutate the returned slice.
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Owner returns the replica index owning key: the replica of the first
+// ring point at or clockwise of key, wrapping at the top of the circle.
+func (r *Ring) Owner(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].replica
+}
+
+// Successors returns up to n distinct replica indices in ring order
+// starting at key's owner — the natural failover order when the owner
+// is unreachable. n is clamped to the replica count.
+func (r *Ring) Successors(key uint64, n int) []int {
+	if n > len(r.replicas) {
+		n = len(r.replicas)
+	}
+	out := make([]int, 0, n)
+	seen := make([]bool, len(r.replicas))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// Ownership returns each replica's share of the key space, indexed like
+// Replicas, summing to ~1 (floating-point arc fractions of the 2^64
+// circle, not a sample).
+func (r *Ring) Ownership() []float64 {
+	out := make([]float64, len(r.replicas))
+	const circle = float64(1<<63) * 2
+	for i, p := range r.points {
+		// The arc (previous point, p] is owned by p's replica; the first
+		// point also owns the wrap-around arc from the last point.
+		var prev uint64
+		if i == 0 {
+			prev = r.points[len(r.points)-1].hash
+		} else {
+			prev = r.points[i-1].hash
+		}
+		out[p.replica] += float64(p.hash-prev) / circle // uint64 wrap-around is the arc length
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// churnKeys is the fixed key population the churn and stability tests
+// route: a deterministic spread over the 64-bit circle.
+func churnKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	var x uint64 = 0x9e3779b97f4a7c15
+	for i := range keys {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		keys[i] = x
+	}
+	return keys
+}
+
+// TestRingDeterministic pins that ownership is a pure function of the
+// replica set: shuffled and duplicated address lists build the same
+// ring, and the full ownership assignment of a fixed key population
+// hashes to a pinned value — the ring layout is part of the fleet
+// contract (changing it reshuffles every deployment's caches on
+// upgrade).
+func TestRingDeterministic(t *testing.T) {
+	base := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	perms := [][]string{
+		{"http://a:8080", "http://b:8080", "http://c:8080"},
+		{"http://c:8080", "http://a:8080", "http://b:8080"},
+		{"http://b:8080", "http://c:8080", "http://a:8080", "http://a:8080", "http://b:8080"},
+	}
+	keys := churnKeys(4096)
+
+	want, err := NewRing(base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%d:%d;", k, want.Owner(k))
+	}
+	const pinned = "0a4523dbb60202f6"
+	if got := fmt.Sprintf("%016x", h.Sum64()); got != pinned {
+		t.Errorf("ownership fingerprint = %s, want pinned %s — the ring layout drifted, which reshuffles every fleet's shards on upgrade", got, pinned)
+	}
+
+	for _, p := range perms {
+		r, err := NewRing(p, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, wantLen := len(r.Replicas()), len(base); got != wantLen {
+			t.Fatalf("permutation %v: %d replicas after dedup, want %d", p, got, wantLen)
+		}
+		for _, k := range keys {
+			if r.Owner(k) != want.Owner(k) {
+				t.Fatalf("permutation %v: key %d owned by %d, want %d", p, k, r.Owner(k), want.Owner(k))
+			}
+		}
+	}
+}
+
+// TestRingChurnBounded pins consistent hashing's whole point, strictly:
+// removing a replica moves exactly the keys it owned (no other key
+// changes owner), and adding a replica moves keys only onto the
+// newcomer. The moved fraction must also stay near the ideal 1/n share.
+func TestRingChurnBounded(t *testing.T) {
+	addrs := []string{"http://a:8080", "http://b:8080", "http://c:8080", "http://d:8080"}
+	keys := churnKeys(20000)
+
+	three, err := NewRing(addrs[:3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica indices are positions in the sorted address list, so
+	// a/b/c keep indices 0/1/2 in both rings and d is 3.
+	moved := 0
+	for _, k := range keys {
+		before, after := three.Owner(k), four.Owner(k)
+		if before != after {
+			if after != 3 {
+				t.Fatalf("key %d moved from replica %d to %d when only %s was added", k, before, after, addrs[3])
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("adding a replica moved no keys")
+	}
+	frac, ideal := float64(moved)/float64(len(keys)), 1.0/4
+	if math.Abs(frac-ideal) > 0.12 {
+		t.Errorf("adding a replica moved %.1f%% of keys, want near %.1f%%", frac*100, ideal*100)
+	}
+
+	// Removing is the same comparison read backwards: keys owned by d
+	// must all move (d is gone), everyone else's keys must not.
+	for _, k := range keys {
+		if four.Owner(k) != 3 && three.Owner(k) != four.Owner(k) {
+			t.Fatalf("key %d changed owner (%d -> %d) when only %s was removed", k, four.Owner(k), three.Owner(k), addrs[3])
+		}
+	}
+}
+
+// TestRingSuccessors checks the failover order: it starts at the owner,
+// lists distinct replicas, and clamps to the fleet size.
+func TestRingSuccessors(t *testing.T) {
+	r, err := NewRing([]string{"http://a:8080", "http://b:8080", "http://c:8080"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range churnKeys(64) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("key %d: %d successors, want 3 (clamped)", k, len(succ))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("key %d: first successor %d != owner %d", k, succ[0], r.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %d: duplicate successor %d", k, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingOwnership checks the exact arc shares: they sum to ~1 and
+// agree with empirically routed traffic.
+func TestRingOwnership(t *testing.T) {
+	r, err := NewRing([]string{"http://a:8080", "http://b:8080", "http://c:8080"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Ownership()
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership shares sum to %g, want 1", sum)
+	}
+	keys := churnKeys(50000)
+	counts := make([]float64, 3)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for i, s := range shares {
+		emp := counts[i] / float64(len(keys))
+		if math.Abs(emp-s) > 0.02 {
+			t.Errorf("replica %d: empirical share %.3f vs arc share %.3f", i, emp, s)
+		}
+	}
+}
+
+// TestNewRingRejects pins the constructor's error surface.
+func TestNewRingRejects(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty replica set accepted")
+	}
+	if _, err := NewRing([]string{"http://a:8080", ""}, 64); err == nil {
+		t.Error("empty replica address accepted")
+	}
+}

@@ -73,6 +73,25 @@ func columnKey(col *data.Column) cacheKey {
 	return h.sum()
 }
 
+// ColumnHash returns the 128-bit FNV-1a content hash of a column: the
+// same hash the prediction cache keys on, minus the model-version
+// component. The gateway tier (internal/gateway) routes columns across
+// replicas by this hash, so gateway shard ownership and replica cache
+// identity agree by construction — a column always lands on the replica
+// whose LRU already holds it.
+func ColumnHash(col *data.Column) [16]byte { return columnKey(col) }
+
+// versionedKey is the full prediction-cache key: the column's content
+// hash plus the model swap sequence number it was predicted under. A hot
+// reload (Server.Reload) bumps the sequence, so entries predicted by the
+// previous model can never answer a lookup again — including entries
+// inserted by in-flight workers that loaded the old model before the
+// swap (they insert under the old sequence, which no new lookup uses).
+type versionedKey struct {
+	seq uint64
+	key cacheKey
+}
+
 // cachedPrediction is the immutable value stored per column hash. Probs is
 // shared between the cache and every response built from it and must never
 // be mutated after insertion.
@@ -88,14 +107,14 @@ type predCache struct {
 	mu        sync.Mutex
 	cap       int
 	ll        *list.List // front = most recently used
-	byID      map[cacheKey]*list.Element
+	byID      map[versionedKey]*list.Element
 	evictions atomic.Int64 // lifetime LRU evictions (previously silent)
 }
 
 // lruEntry is the list payload: the key doubles back so eviction can
 // delete from the map.
 type lruEntry struct {
-	key cacheKey
+	key versionedKey
 	val cachedPrediction
 }
 
@@ -105,12 +124,12 @@ func newPredCache(capacity int) *predCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &predCache{cap: capacity, ll: list.New(), byID: make(map[cacheKey]*list.Element, capacity)}
+	return &predCache{cap: capacity, ll: list.New(), byID: make(map[versionedKey]*list.Element, capacity)}
 }
 
 // get returns the cached prediction for k, promoting it to most recently
 // used on a hit.
-func (c *predCache) get(k cacheKey) (cachedPrediction, bool) {
+func (c *predCache) get(k versionedKey) (cachedPrediction, bool) {
 	if c == nil {
 		return cachedPrediction{}, false
 	}
@@ -126,7 +145,7 @@ func (c *predCache) get(k cacheKey) (cachedPrediction, bool) {
 
 // put inserts (or refreshes) k, evicting the least recently used entry
 // when the cache is full.
-func (c *predCache) put(k cacheKey, v cachedPrediction) {
+func (c *predCache) put(k versionedKey, v cachedPrediction) {
 	if c == nil {
 		return
 	}
@@ -172,4 +191,22 @@ func (c *predCache) capacity() int {
 		return 0
 	}
 	return c.cap
+}
+
+// purge drops every entry and reports how many were dropped. Reload
+// calls it after a model swap: the swapped-out model's entries are
+// already unreachable (the sequence in their key no longer matches), so
+// purging only reclaims their memory early instead of waiting for LRU
+// pressure. Purged entries do not count as evictions — eviction measures
+// capacity pressure, not model turnover.
+func (c *predCache) purge() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	clear(c.byID)
+	return n
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sortinghat/ftype"
+	"sortinghat/internal/core"
 	"sortinghat/internal/data"
 	"sortinghat/internal/obs"
 	"sortinghat/internal/resilience"
@@ -31,9 +32,13 @@ type InferColumn struct {
 }
 
 // InferResponse is the JSON body answering POST /v1/infer. Predictions
-// are index-aligned with the request's columns.
+// are index-aligned with the request's columns. ModelVersion is the
+// operator label of the model serving when the response was built; a
+// batch racing a hot reload may contain columns answered by the previous
+// version (each column is internally consistent — see Server.Reload).
 type InferResponse struct {
 	Model           string            `json:"model"`
+	ModelVersion    string            `json:"model_version"`
 	Predictions     []InferPrediction `json:"predictions"`
 	CacheHits       int               `json:"cache_hits"`
 	DegradedColumns int               `json:"degraded_columns"`
@@ -60,10 +65,31 @@ type HealthResponse struct {
 	Status        string  `json:"status"`
 	Breaker       string  `json:"breaker"`
 	Model         string  `json:"model"`
+	ModelVersion  string  `json:"model_version"`
+	ModelSeq      uint64  `json:"model_seq"`
 	Classes       int     `json:"classes"`
 	Workers       int     `json:"workers"`
 	CacheEntries  int     `json:"cache_entries"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ReloadRequest is the JSON body of POST /admin/reload: the path of a
+// versioned gob model snapshot (written by `sortinghat train -out` /
+// core.Pipeline.SaveFile) to hot-swap in, plus an optional operator
+// label for the new version (empty derives "v<seq>").
+type ReloadRequest struct {
+	Path    string `json:"path"`
+	Version string `json:"version,omitempty"`
+}
+
+// ReloadResponse is the JSON body answering a successful POST
+// /admin/reload.
+type ReloadResponse struct {
+	Model           string `json:"model"`
+	Version         string `json:"version"`
+	PreviousVersion string `json:"previous_version"`
+	Seq             uint64 `json:"seq"`
+	CachePurged     int    `json:"cache_purged"`
 }
 
 // TracesResponse is the JSON body answering GET /debug/traces: the
@@ -79,15 +105,16 @@ type errorResponse struct {
 }
 
 // Handler returns the server's HTTP API: POST /v1/infer, POST
-// /v1/infer/csv, GET /healthz, GET /metrics, GET /debug/traces, and (with
-// Config.EnablePprof) /debug/pprof/. Every request passes the
-// observability middleware: it gets a request ID (echoed as X-Request-Id
-// and attached to the request's trace span) and, when Config.Logger is
-// set, one structured access-log record.
+// /v1/infer/csv, POST /admin/reload, GET /healthz, GET /metrics, GET
+// /debug/traces, and (with Config.EnablePprof) /debug/pprof/. Every
+// request passes the observability middleware: it gets a request ID
+// (echoed as X-Request-Id and attached to the request's trace span) and,
+// when Config.Logger is set, one structured access-log record.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
 	mux.HandleFunc("/v1/infer/csv", s.handleInferCSV)
+	mux.HandleFunc("/admin/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
@@ -263,9 +290,11 @@ func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *ob
 		return
 	}
 
+	m := s.current()
 	resp := InferResponse{
-		Model:       s.pipe.Name(),
-		Predictions: make([]InferPrediction, len(results)),
+		Model:        m.pipe.Name(),
+		ModelVersion: m.version,
+		Predictions:  make([]InferPrediction, len(results)),
 	}
 	for i, res := range results {
 		if res.CacheHit {
@@ -314,14 +343,62 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Degraded() {
 		status = "degraded"
 	}
+	m := s.current()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        status,
 		Breaker:       s.breaker.State().String(),
-		Model:         s.pipe.Name(),
-		Classes:       s.pipe.Opts.Classes,
+		Model:         m.pipe.Name(),
+		ModelVersion:  m.version,
+		ModelSeq:      m.seq,
+		Classes:       m.pipe.Opts.Classes,
 		Workers:       s.cfg.Workers,
 		CacheEntries:  s.cache.len(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReload hot-swaps the serving model from a gob snapshot on local
+// disk (POST /admin/reload, body ReloadRequest). The swap is atomic and
+// zero-downtime — in-flight columns finish on the model they loaded —
+// and version-keyed caching guarantees no stale entry survives the swap
+// (see Server.Reload). Failures leave the current model serving and are
+// counted in sortinghatd_model_reload_errors_total. The endpoint trusts
+// its network like the rest of the admin surface: run fleets on an
+// internal network or behind an authenticating proxy.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req ReloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.met.reloadErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if req.Path == "" {
+		s.met.reloadErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "missing \"path\": the gob model snapshot to load")
+		return
+	}
+	pipe, err := core.LoadFile(req.Path)
+	if err != nil {
+		s.met.reloadErrors.Add(1)
+		if s.logger != nil {
+			s.logger.Error("model reload failed", "path", req.Path, "err", err.Error())
+		}
+		writeError(w, http.StatusBadRequest, "loading model: "+err.Error())
+		return
+	}
+	prev, version, seq, purged := s.Reload(pipe, req.Version)
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Model:           pipe.Name(),
+		Version:         version,
+		PreviousVersion: prev,
+		Seq:             seq,
+		CachePurged:     purged,
 	})
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"sortinghat/internal/core"
 	"sortinghat/internal/ml/tree"
 	"sortinghat/internal/obs"
 )
@@ -24,11 +25,15 @@ type metrics struct {
 	cacheMisses     *obs.Counter
 	panics          *obs.Counter // panics recovered from the hot path
 	degraded        *obs.Counter // columns answered by the rule fallback
+	reloads         *obs.Counter // successful hot model swaps
+	reloadErrors    *obs.Counter // rejected /admin/reload requests
 
 	batchSize *obs.Summary // batch sizes (columns per request)
 	featurize *obs.Summary // per-column base-featurization seconds
 	predict   *obs.Summary // per-column model-prediction seconds
 	request   *obs.Summary // end-to-end request seconds
+
+	traversalDepth *obs.Summary // forest traversal depth, re-attached on reload
 }
 
 // newMetrics builds the server's registry. Counters and gauges the
@@ -59,6 +64,9 @@ func newMetrics(s *Server) *metrics {
 	reg.GaugeFunc("sortinghatd_breaker_state", "Prediction circuit breaker state (0 closed, 1 open, 2 half-open).", func() float64 { return float64(s.breaker.State()) })
 	reg.CounterFunc("sortinghatd_breaker_open_total", "Times the prediction circuit breaker tripped open.", s.breaker.Opened)
 	reg.CounterFunc("sortinghatd_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).", s.faultsFired)
+	m.reloads = reg.Counter("sortinghatd_model_reloads_total", "Hot model swaps applied via Reload / POST /admin/reload.")
+	m.reloadErrors = reg.Counter("sortinghatd_model_reload_errors_total", "Rejected /admin/reload requests (bad body or unloadable model).")
+	reg.GaugeFunc("sortinghatd_model_seq", "Monotonic model swap sequence number (1 = the startup model).", func() float64 { return float64(s.current().seq) })
 	reg.GaugeFunc("sortinghatd_uptime_seconds", "Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
 	m.batchSize = reg.Summary("sortinghatd_batch_columns", "Columns per /v1/infer request.")
 	m.featurize = reg.Summary("sortinghatd_featurize_seconds", "Per-column base featurization latency.")
@@ -79,14 +87,37 @@ func (s *Server) faultsFired() int64 {
 }
 
 // registerForest attaches the forest's structure gauges and traversal
-// summary when the pipeline's model is a Random Forest.
+// summary when the startup pipeline's model is a Random Forest. The
+// gauges sample whichever model is serving at scrape time (nil-safe, so a
+// reload to a non-forest model reads 0), and Reload re-attaches the
+// traversal summary to the incoming forest via attachForest.
 func (m *metrics) registerForest(s *Server) {
 	reg := m.reg
-	if f := s.pipe.Forest; f != nil {
-		reg.GaugeFunc("sortinghatd_forest_split_nodes", "Internal (split) nodes across the forest's fitted trees — the training split count.", func() float64 { return float64(f.SplitNodes()) })
-		reg.GaugeFunc("sortinghatd_forest_leaf_nodes", "Leaf nodes across the forest's fitted trees.", func() float64 { return float64(f.LeafNodes()) })
-		reg.GaugeFunc("sortinghatd_forest_max_depth", "Depth of the deepest fitted tree (root = 0).", func() float64 { return float64(f.MaxTreeDepth()) })
-		depth := reg.Summary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.")
-		f.SetObs(&tree.Metrics{TraversalDepth: depth})
+	if s.current().pipe.Forest == nil {
+		return
 	}
+	forestGauge := func(name, help string, read func(f *tree.Forest) int) {
+		reg.GaugeFunc(name, help, func() float64 {
+			if f := s.current().pipe.Forest; f != nil {
+				return float64(read(f))
+			}
+			return 0
+		})
+	}
+	forestGauge("sortinghatd_forest_split_nodes", "Internal (split) nodes across the forest's fitted trees — the training split count.", (*tree.Forest).SplitNodes)
+	forestGauge("sortinghatd_forest_leaf_nodes", "Leaf nodes across the forest's fitted trees.", (*tree.Forest).LeafNodes)
+	forestGauge("sortinghatd_forest_max_depth", "Depth of the deepest fitted tree (root = 0).", (*tree.Forest).MaxTreeDepth)
+	m.traversalDepth = reg.Summary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.")
+	m.attachForest(s.current().pipe)
+}
+
+// attachForest points the incoming pipeline's forest (if any) at the
+// registered traversal-depth summary, so a reloaded forest keeps feeding
+// the same series. A no-op when the startup model had no forest (the
+// summary was never registered) or the new model has none.
+func (m *metrics) attachForest(pipe *core.Pipeline) {
+	if m.traversalDepth == nil || pipe.Forest == nil {
+		return
+	}
+	pipe.Forest.SetObs(&tree.Metrics{TraversalDepth: m.traversalDepth})
 }

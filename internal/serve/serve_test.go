@@ -286,7 +286,9 @@ func TestColumnKeyMatchesStdlibFNV(t *testing.T) {
 // entry is evicted while recently used ones survive.
 func TestLRUEviction(t *testing.T) {
 	c := newPredCache(2)
-	k := func(name string) cacheKey { return columnKey(&data.Column{Name: name}) }
+	k := func(name string) versionedKey {
+		return versionedKey{seq: 1, key: columnKey(&data.Column{Name: name})}
+	}
 	c.put(k("a"), cachedPrediction{})
 	c.put(k("b"), cachedPrediction{})
 	if _, ok := c.get(k("a")); !ok { // promote a; b becomes LRU
@@ -540,6 +542,9 @@ func TestMetricsRenderPinned(t *testing.T) {
 		gauge("sortinghatd_breaker_state", "Prediction circuit breaker state (0 closed, 1 open, 2 half-open).", 0) +
 		counter("sortinghatd_breaker_open_total", "Times the prediction circuit breaker tripped open.") +
 		counter("sortinghatd_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).") +
+		counter("sortinghatd_model_reloads_total", "Hot model swaps applied via Reload / POST /admin/reload.") +
+		counter("sortinghatd_model_reload_errors_total", "Rejected /admin/reload requests (bad body or unloadable model).") +
+		gauge("sortinghatd_model_seq", "Monotonic model swap sequence number (1 = the startup model).", 1) +
 		"# HELP sortinghatd_uptime_seconds Seconds since the server started.\n" +
 		"# TYPE sortinghatd_uptime_seconds gauge\n" +
 		"sortinghatd_uptime_seconds X\n" +

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,10 @@ type Config struct {
 	// Faults, when non-nil, is consulted at every fault site on the hot
 	// path. Only chaos tests and -fault-spec set it.
 	Faults Injector
+	// ModelVersion is the operator-visible label of the startup model
+	// (the -model-version flag of cmd/sortinghatd). Empty means "v1".
+	// Subsequent versions arrive via Reload / POST /admin/reload.
+	ModelVersion string
 	// TraceRing caps how many recent finished request traces are kept in
 	// memory for GET /debug/traces. 0 means obs.DefaultTraceRing.
 	TraceRing int
@@ -106,11 +111,24 @@ func (c Config) normalized() Config {
 	return c
 }
 
+// modelState is one immutable (pipeline, version) pair. The server holds
+// the current one behind an atomic pointer so a hot reload swaps the
+// whole pair in a single store: a worker that loads the pointer once per
+// column can never observe a torn model — it predicts with exactly the
+// pipeline whose sequence number it keys the cache under.
+type modelState struct {
+	pipe    *core.Pipeline
+	version string // operator-visible label, e.g. "v1" or "canary-42"
+	seq     uint64 // monotonic swap counter, mixed into every cache key
+}
+
 // Server serves batched feature type inference over a trained pipeline.
 // Create one with New and release its worker pool with Close. All methods
 // are safe for concurrent use.
 type Server struct {
-	pipe    *core.Pipeline
+	model    atomic.Pointer[modelState]
+	modelSeq atomic.Uint64
+
 	cfg     Config
 	cache   *predCache
 	met     *metrics
@@ -159,7 +177,6 @@ type Result struct {
 func New(pipe *core.Pipeline, cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
-		pipe:   pipe,
 		cfg:    cfg,
 		cache:  newPredCache(cfg.CacheSize),
 		tracer: obs.NewTracer(cfg.TraceRing),
@@ -169,6 +186,11 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		start:  time.Now(),
 		tasks:  make(chan task, cfg.QueueDepth),
 	}
+	version := cfg.ModelVersion
+	if version == "" {
+		version = "v1"
+	}
+	s.model.Store(&modelState{pipe: pipe, version: version, seq: s.modelSeq.Add(1)})
 	bcfg := cfg.Breaker
 	userTransition := bcfg.OnTransition
 	bcfg.OnTransition = func(from, to resilience.State) {
@@ -186,6 +208,44 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// current returns the model state serving right now. Callers that need a
+// consistent (pipeline, version) pair must call it once and keep the
+// returned pointer, never call it twice mid-operation.
+func (s *Server) current() *modelState {
+	return s.model.Load()
+}
+
+// Reload hot-swaps the serving model with zero downtime: requests in
+// flight finish on whichever model they loaded, new columns predict with
+// pipe, and the prediction cache is version-keyed so no entry computed by
+// the old model is ever served again (the swapped-out entries are also
+// purged to reclaim memory early). version is the operator-visible label
+// for the new model; empty derives "v<seq>" from the swap sequence
+// number. It returns the previous and installed version labels, the
+// installed swap sequence number, and the number of purged cache
+// entries. Safe to call concurrently with inference; concurrent Reload
+// calls serialize only on the atomic swap (last store wins).
+func (s *Server) Reload(pipe *core.Pipeline, version string) (prevVersion, newVersion string, seq uint64, purged int) {
+	seq = s.modelSeq.Add(1)
+	if version == "" {
+		version = "v" + strconv.FormatUint(seq, 10)
+	}
+	prev := s.current()
+	s.met.attachForest(pipe)
+	s.model.Store(&modelState{pipe: pipe, version: version, seq: seq})
+	purged = s.cache.purge()
+	s.met.reloads.Add(1)
+	if s.logger != nil {
+		s.logger.Info("model reloaded",
+			"model", pipe.Name(),
+			"version", version,
+			"previous_version", prev.version,
+			"seq", seq,
+			"cache_purged", purged)
+	}
+	return prev.version, version, seq, purged
 }
 
 // Close stops the worker pool and waits for in-flight column tasks to
@@ -239,7 +299,11 @@ func (s *Server) process(t task) {
 	colSpan.SetAttr("column", t.col.Name)
 	defer colSpan.End()
 
-	key := columnKey(t.col)
+	// One atomic load pins this column to a single (pipeline, seq) pair:
+	// the prediction below and the cache key agree on the model version
+	// even when Reload swaps the pointer mid-column.
+	m := s.current()
+	key := versionedKey{seq: m.seq, key: columnKey(t.col)}
 	if hit, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
 		colSpan.SetAttr("cache", "hit")
@@ -287,7 +351,7 @@ func (s *Server) process(t task) {
 		if err := s.inject("predict"); err != nil {
 			return err
 		}
-		typ, probs = s.pipe.PredictBase(&base)
+		typ, probs = m.pipe.PredictBase(&base)
 		return nil
 	})
 	pSpan.End()
