@@ -10,7 +10,7 @@ BENCH_SET  = ^(BenchmarkServeInfer|BenchmarkFeaturizeColumn|BenchmarkTreePredict
 BENCH_TIME = 100x
 
 .PHONY: build test race vet shvet shvet-strict check bench smoke smoke-fleet \
-	profile chaos bench-run bench-snapshot bench-gate
+	profile chaos bench-run bench-snapshot bench-gate bench-gate-trace
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,16 @@ bench-snapshot: bench-run
 # reported but not gated (it is machine-dependent).
 bench-gate: bench-run
 	$(GO) run ./cmd/benchdiff -baseline BENCH_serve.json -tolerance 10% -input bench-latest.txt
+
+# Tracing-overhead gate: with tracing disabled (no span in the context,
+# as in the InferBatch benchmarks), the per-request instrumentation added
+# for distributed tracing must cost zero additional allocs/op on the
+# serve hot path. Gated at 0% against the committed baseline; the http
+# sub-benchmark (tracing on) is deliberately outside -only.
+bench-gate-trace:
+	$(GO) test -bench 'BenchmarkServeInfer/(workers|cached)' -benchmem -benchtime=$(BENCH_TIME) -run '^$$' . | tee bench-trace.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_serve.json -tolerance 0% -metrics allocs \
+		-only 'BenchmarkServeInfer/(workers|cached)' -input bench-trace.txt
 
 # CPU and heap profiles of the serving hot path: runs the same benchmark
 # set the regression gate watches, with the profiler on, writing into

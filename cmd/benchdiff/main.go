@@ -29,6 +29,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -85,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsFl = fs.String("metrics", "allocs,bytes", "comma-separated metrics to gate: allocs, bytes, ns")
 		update    = fs.String("update", "", "snapshot mode: append the run to this baseline `file` instead of gating")
 		label     = fs.String("label", "", "snapshot label (required with -update); an existing entry with the same label is replaced")
+		only      = fs.String("only", "", "gate only benchmarks matching this `regexp` (both sides); others are neither compared nor required")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -135,6 +137,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: -only: %v\n", err)
+			return 2
+		}
+		base.Benchmarks = filterNames(base.Benchmarks, re)
+		cur = filterNames(cur, re)
+		if len(base.Benchmarks) == 0 {
+			fmt.Fprintf(stderr, "benchdiff: -only %q matches no baseline benchmark\n", *only)
+			return 2
+		}
 	}
 	return gate(stdout, stderr, base, cur, gated, tol, ttol)
 }
@@ -213,6 +228,19 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// filterNames keeps only the benchmarks whose name matches re, so a
+// partial run (-only) can be gated without tripping the
+// missing-benchmark check for everything that was deliberately not run.
+func filterNames(in map[string]metrics, re *regexp.Regexp) map[string]metrics {
+	out := make(map[string]metrics, len(in))
+	for name, m := range in {
+		if re.MatchString(name) {
+			out[name] = m
+		}
+	}
+	return out
 }
 
 // parsePct parses "10%" or "10" into the fraction 0.10.

@@ -256,3 +256,42 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("no-benchmark input: want exit 2")
 	}
 }
+
+// TestOnlyRestrictsGate pins the -only flag: a partial run gates only
+// the matching benchmarks — a baseline benchmark outside the filter is
+// neither compared nor reported missing, and a regression inside the
+// filter still fails. An -only matching nothing in the baseline is a
+// usage error, not a silently empty (vacuously green) gate.
+func TestOnlyRestrictsGate(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "bench.txt", sampleOut)
+	baseline := filepath.Join(dir, "BENCH.json")
+	if code, _, errb := runCLI(t, []string{"-update", baseline, "-label", "b", "-input", in}); code != 0 {
+		t.Fatal(errb)
+	}
+
+	// A run holding only ServeInfer must pass when -only scopes the gate
+	// to it, even though the other baseline benchmarks are absent.
+	partial := writeFile(t, dir, "partial.txt",
+		"BenchmarkServeInfer/workers2-8 \t      20\t  16000000 ns/op\t 5000000 B/op\t   60000 allocs/op\n")
+	code, out, errb := runCLI(t, []string{"-baseline", baseline, "-input", partial, "-only", "BenchmarkServeInfer/"})
+	if code != 0 {
+		t.Fatalf("scoped gate exit %d, want 0:\n%s%s", code, out, errb)
+	}
+	if strings.Contains(errb, "missing from this run") {
+		t.Errorf("filtered-out benchmarks reported missing: %s", errb)
+	}
+
+	// Same scope, 0% tolerance: one extra alloc/op inside the filter
+	// must still fail.
+	worse := writeFile(t, dir, "worse.txt",
+		"BenchmarkServeInfer/workers2-8 \t      20\t  16000000 ns/op\t 5000000 B/op\t   60001 allocs/op\n")
+	code, out, _ = runCLI(t, []string{"-baseline", baseline, "-input", worse, "-only", "BenchmarkServeInfer/", "-tolerance", "0%"})
+	if code != 1 {
+		t.Fatalf("scoped regression exit %d, want 1:\n%s", code, out)
+	}
+
+	if code, _, errb = runCLI(t, []string{"-baseline", baseline, "-input", partial, "-only", "NoSuchBenchmark"}); code != 2 {
+		t.Errorf("-only with no baseline match exit %d, want 2 (%s)", code, errb)
+	}
+}

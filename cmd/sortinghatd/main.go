@@ -16,7 +16,16 @@
 //	GET  /healthz        liveness probe; "degraded" while the breaker is open
 //	GET  /metrics        Prometheus text-format metrics
 //	GET  /debug/traces   recent request traces as JSON span trees
+//	GET  /debug/flight   flight recorder: slowest and errored recent requests
 //	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// Distributed tracing: an incoming W3C traceparent header (as the
+// gateway sends on every forwarded shard) makes the request's trace
+// join the caller's, and a forwarded X-Request-Id is reused in the
+// access log, so fleet-wide logs and traces join on one key.
+// -trace-out appends every finished request trace to a JSONL file that
+// cmd/tracecat can stitch, across processes, into one timeline per
+// distributed trace.
 //
 // Model versioning: the startup model is labeled by -model-version
 // (default "v1") at swap sequence 1. POST /admin/reload loads a new gob
@@ -73,8 +82,10 @@ func main() {
 		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline (negative disables)")
 		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per /v1/infer request")
 		drain     = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
-		traceRing = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
-		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceRing  = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
+		traceOut   = flag.String("trace-out", "", "append finished request traces to this JSONL file (stitch with `tracecat`)")
+		flightRing = flag.Int("flight-ring", obs.DefaultFlightRing, "slowest/errored requests kept for GET /debug/flight")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 		maxCell     = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
 		queueDepth  = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
@@ -102,6 +113,7 @@ func main() {
 		MaxCellBytes: *maxCell,
 		QueueDepth:   *queueDepth,
 		TraceRing:    *traceRing,
+		FlightRing:   *flightRing,
 		Logger:       logger,
 		EnablePprof:  *pprof,
 		Breaker: resilience.BreakerConfig{
@@ -117,6 +129,15 @@ func main() {
 		}
 		cfg.Faults = inj // assigned only when non-nil: a typed nil would defeat the nil-injector check
 		logger.Warn("fault injection enabled — testing only", "spec", inj.String(), "seed", *faultSeed)
+	}
+	if *traceOut != "" {
+		sink, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("bad -trace-out", "err", err.Error())
+			os.Exit(2)
+		}
+		defer sink.Close()
+		cfg.TraceSink = sink // same caveat as Faults: only a non-nil *os.File may land in the interface
 	}
 	srv := serve.New(pipe, cfg)
 	httpSrv := &http.Server{

@@ -16,7 +16,16 @@
 //	GET  /healthz        fleet view: per-replica health, breaker, ownership
 //	GET  /metrics        Prometheus text-format metrics (sortinghatgw_*)
 //	GET  /debug/traces   recent request traces, one shard span per group
+//	GET  /debug/flight   flight recorder: slowest and errored recent requests
 //	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//
+// Distributed tracing: the gateway mints (or continues, when the client
+// sent a traceparent) a W3C trace id per request and forwards it —
+// together with the X-Request-Id — on every shard sub-request, so each
+// replica's trace joins the gateway's. -trace-out appends finished
+// request traces to a JSONL file; run cmd/tracecat over the gateway's
+// and the replicas' sink files to reconstruct one fleet-wide timeline
+// per request.
 //
 // Routing: each column's ring key is derived from the same content hash
 // the daemons use for their prediction caches, so identical columns
@@ -67,9 +76,11 @@ func main() {
 		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per request")
 		maxCell   = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
 		queue     = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
-		traceRing = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
-		pprof     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		drain     = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
+		traceRing  = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
+		traceOut   = flag.String("trace-out", "", "append finished request traces to this JSONL file (stitch with `tracecat`)")
+		flightRing = flag.Int("flight-ring", obs.DefaultFlightRing, "slowest/errored requests kept for GET /debug/flight")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		drain      = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
 
 		brkFailures = flag.Int("breaker-failures", 0, "consecutive shard failures that trip a replica's breaker (default 5)")
 		brkProbe    = flag.Duration("breaker-probe", 0, "wait before an open replica breaker probes again (default 5s)")
@@ -101,6 +112,7 @@ func main() {
 		MaxCellBytes:  *maxCell,
 		QueueDepth:    *queue,
 		TraceRing:     *traceRing,
+		FlightRing:    *flightRing,
 		Logger:        logger,
 		EnablePprof:   *pprof,
 		Breaker: resilience.BreakerConfig{
@@ -116,6 +128,15 @@ func main() {
 		}
 		cfg.Faults = inj // assigned only when non-nil: a typed nil would defeat the nil-injector check
 		logger.Warn("fault injection enabled — testing only", "spec", inj.String(), "seed", *faultSeed)
+	}
+	if *traceOut != "" {
+		sink, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("bad -trace-out", "err", err.Error())
+			os.Exit(2)
+		}
+		defer sink.Close()
+		cfg.TraceSink = sink // same caveat as Faults: only a non-nil *os.File may land in the interface
 	}
 	gw, err := gateway.New(cfg)
 	if err != nil {

@@ -1,0 +1,261 @@
+// Command tracecat stitches per-process JSONL trace sinks into ordered
+// fleet-wide timelines. Every sortinghat process can append each
+// finished request trace to a sink file (-trace-out on sortinghatd and
+// sortinghatgw), one JSON span tree per line; tracecat merges any
+// number of those sinks, joins lines that share a trace id, grafts each
+// process's root span under the exact remote span that caused it (the
+// root's parent_span_id — for a replica, the gateway's forward span),
+// and prints one indented timeline per distributed trace.
+//
+// Usage:
+//
+//	tracecat [-trace <32-hex id>] gateway.jsonl replica0.jsonl replica1.jsonl
+//
+// Offsets are monotonic and per-process: a grafted process root is
+// anchored at its remote parent's offset, so cross-process times are
+// aligned to the causing span rather than to (unsynchronized) wall
+// clocks. Spans print depth-first, siblings ordered by offset.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sortinghat/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// node is one span in the stitched timeline: its own children from the
+// same process, plus grafted roots of downstream processes whose
+// parent_span_id named this span.
+type node struct {
+	src    string // base name of the sink file the span came from
+	span   obs.SpanJSON
+	rel    int64 // start offset within its own process's trace
+	abs    int64 // start offset within the stitched timeline
+	kids   []*node
+	grafts []*node
+	orphan bool // parent_span_id named a span no sink contains
+}
+
+// trace is one trace id's worth of roots across every input sink.
+type trace struct {
+	id    string
+	roots []*node // process roots, input order
+}
+
+// run executes the CLI and returns the process exit code: 0 clean,
+// 1 nothing to print (no traces, or the -trace filter matched none),
+// 2 usage or input error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceFilter := fs.String("trace", "", "only print the trace with this id")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: tracecat [-trace <id>] <sink.jsonl> [<sink.jsonl> ...]")
+		return 2
+	}
+
+	byID := make(map[string]*trace)
+	var order []*trace
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracecat: %v\n", err)
+			return 2
+		}
+		src := filepath.Base(path)
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var span obs.SpanJSON
+			if err := json.Unmarshal([]byte(line), &span); err != nil {
+				fmt.Fprintf(stderr, "tracecat: %s:%d: %v\n", src, lineNo, err)
+				_ = f.Close()
+				return 2
+			}
+			if span.TraceID == "" {
+				fmt.Fprintf(stderr, "tracecat: %s:%d: line has no trace_id (not a root span)\n", src, lineNo)
+				_ = f.Close()
+				return 2
+			}
+			tr := byID[span.TraceID]
+			if tr == nil {
+				tr = &trace{id: span.TraceID}
+				byID[span.TraceID] = tr
+				order = append(order, tr)
+			}
+			tr.roots = append(tr.roots, buildNode(span, src))
+		}
+		_ = f.Close()
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(stderr, "tracecat: reading %s: %v\n", src, err)
+			return 2
+		}
+	}
+
+	printed := 0
+	for _, tr := range order {
+		if *traceFilter != "" && tr.id != *traceFilter {
+			continue
+		}
+		printTrace(stdout, tr)
+		printed++
+	}
+	if printed == 0 {
+		if *traceFilter != "" {
+			fmt.Fprintf(stderr, "tracecat: no trace %s in the given sinks\n", *traceFilter)
+		} else {
+			fmt.Fprintln(stderr, "tracecat: no traces in the given sinks")
+		}
+		return 1
+	}
+	return 0
+}
+
+// buildNode converts a span tree into nodes, keeping per-process
+// offsets; stitching rebases them later.
+func buildNode(span obs.SpanJSON, src string) *node {
+	n := &node{src: src, span: span, rel: span.StartNS}
+	for _, c := range span.Children {
+		n.kids = append(n.kids, buildNode(c, src))
+	}
+	n.span.Children = nil
+	return n
+}
+
+// index walks a node's own (same-process) subtree registering span ids.
+func index(n *node, into map[string]*node) {
+	if n.span.SpanID != "" {
+		into[n.span.SpanID] = n
+	}
+	for _, k := range n.kids {
+		index(k, into)
+	}
+}
+
+// stitch grafts every process root under the span its parent_span_id
+// names, leaving roots with no (findable) remote parent at top level.
+// The first root always stays top-level, which also breaks parent-id
+// cycles between malformed sinks.
+func stitch(tr *trace) []*node {
+	ids := make(map[string]*node)
+	for _, r := range tr.roots {
+		index(r, ids)
+	}
+	var top []*node
+	for i, r := range tr.roots {
+		parent := ids[r.span.ParentID]
+		switch {
+		case i > 0 && r.span.ParentID != "" && parent != nil && parent != r:
+			parent.grafts = append(parent.grafts, r)
+		default:
+			r.orphan = r.span.ParentID != "" && parent == nil
+			top = append(top, r)
+		}
+	}
+	for _, r := range top {
+		rebase(r, 0)
+	}
+	return top
+}
+
+// rebase assigns stitched offsets: same-process spans keep their
+// process anchor; a grafted process root is anchored at the span that
+// caused it.
+func rebase(n *node, anchor int64) {
+	n.abs = anchor + n.rel
+	for _, k := range n.kids {
+		rebase(k, anchor)
+	}
+	for _, g := range n.grafts {
+		// The downstream process's own offsets restart at zero; anchor
+		// them at the causing span's stitched offset.
+		rebase(g, n.abs)
+	}
+}
+
+// countSpans sizes a stitched tree, grafts included.
+func countSpans(n *node) int {
+	total := 1
+	for _, k := range n.kids {
+		total += countSpans(k)
+	}
+	for _, g := range n.grafts {
+		total += countSpans(g)
+	}
+	return total
+}
+
+// printTrace renders one stitched trace as an indented timeline.
+func printTrace(w io.Writer, tr *trace) {
+	top := stitch(tr)
+	spans, sinks := 0, make(map[string]bool)
+	for _, r := range tr.roots {
+		sinks[r.src] = true
+	}
+	for _, t := range top {
+		spans += countSpans(t)
+	}
+	fmt.Fprintf(w, "trace %s: %d spans from %d sinks\n", tr.id, spans, len(sinks))
+	for _, t := range top {
+		printNode(w, t, 0)
+	}
+}
+
+// printNode prints one span line and recurses over its children and
+// grafted process roots, siblings ordered by stitched offset (ties by
+// name, then source) so output is deterministic.
+func printNode(w io.Writer, n *node, depth int) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12.3fms %+12.3fms  %s%s",
+		float64(n.abs)/1e6, float64(n.span.DurationNS)/1e6,
+		strings.Repeat("  ", depth), n.span.Name)
+	fmt.Fprintf(&b, "  [%s]", n.src)
+	if len(n.span.Attrs) > 0 {
+		pairs := make([]string, len(n.span.Attrs))
+		for i, a := range n.span.Attrs {
+			pairs[i] = a.Key + "=" + a.Value
+		}
+		fmt.Fprintf(&b, " {%s}", strings.Join(pairs, " "))
+	}
+	if n.orphan {
+		fmt.Fprintf(&b, " (parent %s not in any sink)", n.span.ParentID)
+	}
+	fmt.Fprintln(w, b.String())
+
+	all := make([]*node, 0, len(n.kids)+len(n.grafts))
+	all = append(all, n.kids...)
+	all = append(all, n.grafts...)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].abs != all[j].abs {
+			return all[i].abs < all[j].abs
+		}
+		if all[i].span.Name != all[j].span.Name {
+			return all[i].span.Name < all[j].span.Name
+		}
+		return all[i].src < all[j].src
+	})
+	for _, c := range all {
+		printNode(w, c, depth+1)
+	}
+}

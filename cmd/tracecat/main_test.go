@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sinks lists the fixture sinks in the order an operator would pass
+// them: gateway first, then the replicas.
+func sinks() []string {
+	return []string{
+		filepath.Join("testdata", "gateway.jsonl"),
+		filepath.Join("testdata", "replica0.jsonl"),
+		filepath.Join("testdata", "replica1.jsonl"),
+	}
+}
+
+// TestGoldenTimeline pins tracecat's whole output for the fixture
+// fleet: a gateway trace with two shards, each forward span carrying a
+// replica's grafted root (offsets anchored at the forward span), plus a
+// second trace whose remote parent is in no sink (the orphan note).
+func TestGoldenTimeline(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(sinks(), &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "timeline.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("timeline drifted from the golden file.\ngot:\n%s\nwant:\n%s", out.String(), golden)
+	}
+}
+
+// TestTraceFilter checks -trace prints exactly the requested trace.
+func TestTraceFilter(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := append([]string{"-trace", "0102030405060708090a0b0c0d0e0f10"}, sinks()...)
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trace 0102030405060708090a0b0c0d0e0f10") {
+		t.Errorf("filtered output missing the requested trace:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "ffffffffffffffffffffffffffffffff") {
+		t.Errorf("filtered output leaked another trace:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	args = append([]string{"-trace", "00000000000000000000000000000000"}, sinks()...)
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Errorf("exit code for a missing trace = %d, want 1", code)
+	}
+}
+
+// TestUsageErrors checks argument and input failure modes exit 2.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("exit code with no sinks = %d, want 2", code)
+	}
+	if code := run([]string{"testdata/definitely-missing.jsonl"}, &out, &errOut); code != 2 {
+		t.Errorf("exit code for a missing file = %d, want 2", code)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 2 {
+		t.Errorf("exit code for malformed JSONL = %d, want 2", code)
+	}
+
+	// A line without a trace_id is a child span, not a sink line.
+	noID := filepath.Join(t.TempDir(), "noid.jsonl")
+	if err := os.WriteFile(noID, []byte(`{"name":"x","span_id":"a000000000000001","start_ns":0,"duration_ns":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{noID}, &out, &errOut); code != 2 {
+		t.Errorf("exit code for a root without trace_id = %d, want 2", code)
+	}
+}

@@ -29,11 +29,15 @@ func tracedModel(t *testing.T) *Pipeline {
 	return p
 }
 
-// normalizeSpan zeroes the only non-deterministic span fields (monotonic
-// offsets and durations) so trace structure can be compared to a golden.
+// normalizeSpan zeroes the non-deterministic span fields (monotonic
+// offsets, durations, and the per-process random trace/span ids) so
+// trace structure can be compared to a golden.
 func normalizeSpan(s *obs.SpanJSON) {
 	s.StartNS = 0
 	s.DurationNS = 0
+	s.TraceID = ""
+	s.SpanID = ""
+	s.ParentID = ""
 	for i := range s.Children {
 		normalizeSpan(&s.Children[i])
 	}

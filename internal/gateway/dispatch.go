@@ -36,9 +36,10 @@ type groupResult struct {
 	model    string
 	version  string
 	cacheHit int
-	hedged   int  // extra speculative requests fired
-	attempts int  // shard attempts resolved
-	canceled bool // the request ended before this group resolved
+	hedged   int           // extra speculative requests fired
+	attempts int           // shard attempts resolved
+	canceled bool          // the request ended before this group resolved
+	hedgeDur time.Duration // first hedge fire → group resolution (0 if never hedged)
 }
 
 // shardGroups splits a batch into per-owner groups, in ring (replica
@@ -54,6 +55,7 @@ func (g *Gateway) shardGroups(cols []data.Column) []group {
 		if len(idxs) == 0 {
 			continue
 		}
+		//shvet:ignore alloc-in-loop each group's column slice is the scatter payload itself, one per shard, and outlives this loop
 		gr := group{owner: owner, idxs: idxs, cols: make([]data.Column, len(idxs))}
 		for j, i := range idxs {
 			gr.cols[j] = cols[i]
@@ -98,6 +100,10 @@ type shardAttempt struct {
 // success cancels the stragglers and wins. When every candidate is
 // exhausted — all breakers open, or every attempt failed — the group is
 // answered locally by the rule fallback so the batch still completes.
+// Hedged groups additionally record how long resolution took past the
+// first hedge fire (the hedge-phase latency).
+//
+//shvet:hotpath per-shard scatter body; runs once per group of every gateway batch
 func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 	ctx, span := obs.StartSpan(ctx, "shard")
 	defer span.End()
@@ -125,6 +131,13 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 	}
 
 	res := groupResult{replica: -1}
+	var hedgeFired time.Time
+	settleHedge := func() {
+		if !hedgeFired.IsZero() {
+			res.hedgeDur = time.Since(hedgeFired)
+			g.met.hedgeDur.Observe(res.hedgeDur.Seconds())
+		}
+	}
 	if launch() {
 		hedge := hedgeTimer(g.cfg.Hedge)
 		defer hedge.Stop()
@@ -144,12 +157,14 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 					if res.hedged > 0 {
 						span.SetAttr("hedged", strconv.Itoa(res.hedged))
 					}
+					settleHedge()
 					return res
 				}
 				if !a.canceled {
 					g.replicas[a.replica].breaker.Failure()
 					g.replicas[a.replica].errors.Add(1)
 					g.met.shardErrors.Add(1)
+					//shvet:ignore string-churn failure-path annotation only; steady-state requests never reach this arm
 					span.SetAttr("error@"+g.replicas[a.replica].label, a.err.Error())
 				}
 				launch() // immediate failover; inflight hedges may still win
@@ -157,16 +172,21 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 				if launch() {
 					res.hedged++
 					g.met.hedges.Add(1)
+					if hedgeFired.IsZero() {
+						hedgeFired = time.Now()
+					}
 				}
 			case <-gctx.Done():
 				// The client or deadline gave up; stragglers resolve into
 				// the buffered channel and are dropped.
 				span.SetAttr("canceled", "true")
 				res.canceled = true
+				settleHedge()
 				return res
 			}
 		}
 	}
+	settleHedge()
 
 	// Fleet exhausted: answer locally from the paper's rule baseline,
 	// exactly like a lone daemon with its breaker open.
@@ -222,6 +242,8 @@ func (g *Gateway) forward(ctx context.Context, ri int, cols []data.Column, out c
 	r := g.replicas[ri]
 	r.requests.Add(1)
 	g.met.shardRequests.Add(1)
+	fctx, fSpan := obs.StartSpan(ctx, "forward")
+	fSpan.SetAttr("replica", r.label)
 	start := time.Now()
 	resp, err := func() (resp *serve.InferResponse, err error) {
 		defer func() {
@@ -232,8 +254,12 @@ func (g *Gateway) forward(ctx context.Context, ri int, cols []data.Column, out c
 		if err := g.inject("forward@" + r.label); err != nil {
 			return nil, err
 		}
-		return g.postInfer(ctx, r.addr, cols)
+		return g.postInfer(fctx, r.addr, cols)
 	}()
+	if err != nil {
+		fSpan.SetAttr("error", err.Error())
+	}
+	fSpan.End()
 	g.met.shardLatency.ObserveSince(start)
 	out <- shardAttempt{replica: ri, resp: resp, err: err, canceled: err != nil && ctx.Err() != nil}
 }
@@ -259,6 +285,15 @@ func (g *Gateway) postInfer(ctx context.Context, addr string, cols []data.Column
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// Propagate trace identity so the replica's root span joins this
+	// trace instead of minting its own, and forward the request id so
+	// fleet-wide log lines join on one key.
+	if sc := obs.SpanFromContext(ctx).Context(); !sc.IsZero() {
+		httpReq.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	}
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		httpReq.Header.Set("X-Request-Id", rid)
+	}
 	httpResp, err := g.cfg.Client.Do(httpReq)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package gateway
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -68,6 +69,14 @@ type Config struct {
 	// TraceRing is the recent-traces ring capacity (0 =
 	// obs.DefaultTraceRing).
 	TraceRing int
+	// TraceSink, when non-nil, receives every finished gateway trace as
+	// one JSON line (JSONL) carrying the full trace/span identity — the
+	// stream cmd/tracecat joins with the replicas' sinks. See the
+	// -trace-out flag of cmd/sortinghatgw.
+	TraceSink io.Writer
+	// FlightRing caps each ring of the flight recorder behind
+	// GET /debug/flight (0 = obs.DefaultFlightRing).
+	FlightRing int
 	// Logger, when set, receives structured access and fleet-event logs.
 	Logger *slog.Logger
 	// Faults, when set, injects faults at the gateway's sites. Testing
@@ -160,6 +169,7 @@ type Gateway struct {
 	owned    []float64 // ring ownership share, indexed like replicas
 	gate     *resilience.Gate
 	tracer   *obs.Tracer
+	flight   *obs.FlightRecorder
 	logger   *slog.Logger
 	faults   Injector
 	met      *metrics
@@ -183,11 +193,15 @@ func New(cfg Config) (*Gateway, error) {
 		owned:     ring.Ownership(),
 		gate:      resilience.NewGate(cfg.QueueDepth),
 		tracer:    obs.NewTracer(cfg.TraceRing),
+		flight:    obs.NewFlightRecorder(cfg.FlightRing),
 		logger:    cfg.Logger,
 		faults:    cfg.Faults,
 		start:     time.Now(),
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
+	}
+	if cfg.TraceSink != nil {
+		g.tracer.SetSink(cfg.TraceSink)
 	}
 	for i, addr := range ring.Replicas() {
 		r := &replica{

@@ -64,9 +64,10 @@ type errorResponse struct {
 
 // Handler returns the gateway's HTTP API — the daemon's inference
 // surface, fleet-wide: POST /v1/infer, POST /v1/infer/csv, GET /healthz
-// (fleet view), GET /metrics, GET /debug/traces, and (with
-// Config.EnablePprof) /debug/pprof/. Requests get an X-Request-Id and
-// one access-log record, like the daemon.
+// (fleet view), GET /metrics, GET /debug/traces, GET /debug/flight
+// (slowest and errored recent requests), and (with Config.EnablePprof)
+// /debug/pprof/. Requests get an X-Request-Id and one access-log
+// record, like the daemon.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", g.handleInfer)
@@ -74,19 +75,28 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/debug/traces", g.handleTraces)
+	mux.HandleFunc("/debug/flight", g.handleFlight)
 	if g.cfg.EnablePprof {
 		obs.MountPprof(mux)
 	}
 	return g.observe(mux)
 }
 
-// observe assigns the request ID, echoes it to the client, and emits
-// the access-log record.
+// observe assigns the request ID (reusing a forwarded X-Request-Id so
+// an upstream proxy's id survives into fleet logs), echoes it to the
+// client, continues an incoming W3C traceparent, and emits the
+// access-log record.
 func (g *Gateway) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := "gw-" + strconv.FormatInt(g.reqSeq.Add(1), 10)
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = "gw-" + strconv.FormatInt(g.reqSeq.Add(1), 10)
+		}
 		w.Header().Set("X-Request-Id", id)
 		ctx := obs.WithRequestID(r.Context(), id)
+		if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, sc)
+		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -157,7 +167,7 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Columns {
 		cols[i] = data.Column{Name: c.Name, Values: c.Values}
 	}
-	g.serveBatch(w, r, span, start, cols)
+	g.serveBatch(w, ctx, span, start, r.URL.Path, cols)
 }
 
 // handleInferCSV ingests a whole table as CSV and shards its columns,
@@ -196,27 +206,56 @@ func (g *Gateway) handleInferCSV(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	g.serveBatch(w, r, span, start, ds.Columns)
+	g.serveBatch(w, ctx, span, start, r.URL.Path, ds.Columns)
 }
 
 // serveBatch is the shared tail of the infer handlers: validate, admit
 // through the gate, scatter by ring ownership, gather, and reassemble
-// in request order.
-func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.Span, start time.Time, cols []data.Column) {
+// in request order. Once the response is decided the request is offered
+// to the flight recorder with its trace identity, per-phase durations
+// (dispatch, hedge, reassemble) and the routing decisions that shaped
+// the answer.
+//
+//shvet:hotpath request tail of every gateway infer endpoint; all per-request instrumentation lands here
+func (g *Gateway) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, path string, cols []data.Column) {
+	status, errMsg := http.StatusOK, ""
+	var dispatchDur, hedgeDur, reassembleDur time.Duration
+	var notes []string
+	defer func() {
+		g.flight.Record(obs.FlightRecord{
+			TraceID:    span.Context().TraceID.String(),
+			RequestID:  obs.RequestIDFrom(ctx),
+			Path:       path,
+			Status:     status,
+			DurationNS: time.Since(start).Nanoseconds(),
+			Columns:    len(cols),
+			Phases: []obs.Phase{
+				{Name: "dispatch", DurationNS: dispatchDur.Nanoseconds()},
+				{Name: "hedge", DurationNS: hedgeDur.Nanoseconds()},
+				{Name: "reassemble", DurationNS: reassembleDur.Nanoseconds()},
+			},
+			Notes: notes,
+			Err:   errMsg,
+		})
+	}()
+	fail := func(st int, msg string) {
+		status, errMsg = st, msg
+		writeError(w, st, msg)
+	}
 	if len(cols) == 0 {
 		g.met.requestErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "empty batch: provide at least one column")
+		fail(http.StatusBadRequest, "empty batch: provide at least one column")
 		return
 	}
 	if len(cols) > g.cfg.MaxBatch {
 		g.met.requestErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "batch too large: max "+strconv.Itoa(g.cfg.MaxBatch)+" columns")
+		fail(http.StatusBadRequest, "batch too large: max "+strconv.Itoa(g.cfg.MaxBatch)+" columns")
 		return
 	}
 	if err := g.gate.TryReserve(len(cols)); err != nil {
 		span.SetAttr("shed", "true")
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
+		fail(http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
 		return
 	}
 	defer g.gate.Release(len(cols))
@@ -224,7 +263,6 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.S
 	g.met.batchSize.Observe(float64(len(cols)))
 	span.SetAttr("columns", strconv.Itoa(len(cols)))
 
-	ctx := r.Context()
 	if g.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, g.cfg.Timeout)
@@ -232,19 +270,27 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.S
 	}
 
 	groups := g.shardGroups(cols)
+	dStart := time.Now()
 	results := g.scatter(ctx, groups)
+	dispatchDur = time.Since(dStart)
+	g.met.dispatchDur.Observe(dispatchDur.Seconds())
+	for i := range results {
+		hedgeDur += results[i].hedgeDur
+	}
 
 	if err := ctx.Err(); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			g.met.requestTimeouts.Add(1)
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
+			fail(http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 			return
 		}
 		// The client went away; the status code is never seen.
-		writeError(w, http.StatusServiceUnavailable, "request canceled")
+		fail(http.StatusServiceUnavailable, "request canceled")
 		return
 	}
 
+	rStart := time.Now()
+	notes = make([]string, 0, len(groups))
 	resp := BatchResponse{
 		Gateway:       "sortinghatgw",
 		ModelVersions: make(map[string]int, 2),
@@ -253,6 +299,8 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.S
 	}
 	for gi, res := range results {
 		gr := &groups[gi]
+		//shvet:ignore alloc-in-loop notes is re-made with cap len(groups) just above; it must be declared earlier so the deferred flight record can capture it
+		notes = append(notes, routeNote(g, gr, &results[gi]))
 		if res.replica >= 0 && res.replica != gr.owner {
 			resp.ReroutedColumns += len(gr.idxs)
 			g.met.rerouted.Add(int64(len(gr.idxs)))
@@ -275,8 +323,30 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.S
 	}
 	g.met.degraded.Add(int64(resp.DegradedColumns))
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	reassembleDur = time.Since(rStart)
+	g.met.reassembleDur.Observe(reassembleDur.Seconds())
 	g.met.request.ObserveSince(start)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// routeNote renders one group's routing decision for the flight
+// recorder: owner, column count, who actually answered, and whether
+// hedging or the local fallback was involved.
+func routeNote(g *Gateway, gr *group, res *groupResult) string {
+	note := "shard " + g.replicas[gr.owner].label + ": " + strconv.Itoa(len(gr.cols)) + " cols -> "
+	switch {
+	case res.replica >= 0:
+		note += g.replicas[res.replica].label
+	default:
+		note += "rulefallback"
+	}
+	if res.hedged > 0 {
+		note += " (hedged x" + strconv.Itoa(res.hedged) + ")"
+	}
+	if res.attempts > 1 {
+		note += " (attempts " + strconv.Itoa(res.attempts) + ")"
+	}
+	return note
 }
 
 // handleHealthz answers with the fleet view: per-replica probe state,
@@ -319,4 +389,16 @@ func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	traces := g.tracer.Recent()
 	writeJSON(w, http.StatusOK, serve.TracesResponse{Count: len(traces), Traces: traces})
+}
+
+// handleFlight serves the flight recorder: the slowest and most
+// recently errored gateway requests with trace ids, per-phase
+// durations, and per-shard routing notes.
+func (g *Gateway) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, g.flight.Snapshot())
 }

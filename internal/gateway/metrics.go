@@ -28,9 +28,12 @@ type metrics struct {
 	probeFailures    *obs.Counter // failed health probes
 	probeTransitions *obs.Counter // replica health state changes observed
 
-	batchSize    *obs.Summary // batch sizes (columns per request)
-	shardLatency *obs.Summary // per-sub-request seconds
-	request      *obs.Summary // end-to-end request seconds
+	batchSize     *obs.Summary   // batch sizes (columns per request)
+	shardLatency  *obs.Histogram // per-sub-request seconds
+	dispatchDur   *obs.Histogram // scatter phase: first dispatch → all groups resolved
+	hedgeDur      *obs.Histogram // hedged groups: first hedge fire → resolution
+	reassembleDur *obs.Histogram // gather phase: slot-ordered response assembly
+	request       *obs.Histogram // end-to-end request seconds
 }
 
 // newMetrics builds the gateway's registry. State owned elsewhere
@@ -70,7 +73,11 @@ func newMetrics(g *Gateway) *metrics {
 		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_ownership", "Ring ownership share of "+r.addr+".", func() float64 { return g.owned[i] })
 	}
 	m.batchSize = reg.Summary("sortinghatgw_batch_columns", "Columns per gateway request.")
-	m.shardLatency = reg.Summary("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.")
-	m.request = reg.Summary("sortinghatgw_request_seconds", "End-to-end gateway request latency.")
+	m.shardLatency = reg.Histogram("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.")
+	m.dispatchDur = reg.Histogram("sortinghatgw_dispatch_seconds", "Scatter-phase latency: dispatch of the first group until every group resolved.")
+	m.hedgeDur = reg.Histogram("sortinghatgw_hedge_seconds", "Hedge-phase latency of hedged groups: first speculative fire until resolution.")
+	m.reassembleDur = reg.Histogram("sortinghatgw_reassemble_seconds", "Gather-phase latency: slot-ordered reassembly of the batch response.")
+	m.request = reg.Histogram("sortinghatgw_request_seconds", "End-to-end gateway request latency.")
+	reg.RuntimeMetrics("sortinghatgw")
 	return m
 }

@@ -9,8 +9,10 @@ import (
 	"time"
 )
 
-// uptimeLine strips the one wall-clock-dependent value from a scrape.
-var uptimeLine = regexp.MustCompile(`sortinghatgw_uptime_seconds [0-9.e+-]+`)
+// liveValueLine strips the wall-clock- and runtime-dependent values
+// from a scrape so the rest of the document can be pinned byte for
+// byte.
+var liveValueLine = regexp.MustCompile(`(?m)^(sortinghatgw_uptime_seconds|sortinghatgw_goroutines|sortinghatgw_heap_bytes|sortinghatgw_gc_cycles_total|sortinghatgw_gc_pause_seconds_total) .*$`)
 
 // scrapeMetrics fetches /metrics through the handler.
 func scrapeMetrics(t *testing.T, h http.Handler) string {
@@ -20,7 +22,18 @@ func scrapeMetrics(t *testing.T, h http.Handler) string {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/metrics status = %d", rec.Code)
 	}
-	return uptimeLine.ReplaceAllString(rec.Body.String(), "sortinghatgw_uptime_seconds X")
+	return liveValueLine.ReplaceAllString(rec.Body.String(), "$1 X")
+}
+
+// emptyHistogramText renders the pinned exposition block of a fresh
+// obs.Histogram: the fixed 20-bucket log layout plus +Inf, sum and
+// count.
+func emptyHistogramText(name, help string) string {
+	out := "# HELP " + name + " " + help + "\n# TYPE " + name + " histogram\n"
+	for i := 0; i < 20; i++ {
+		out += fmt.Sprintf("%s_bucket{le=%q} 0\n", name, fmt.Sprintf("%g", 1e-05*float64(uint64(1)<<i)))
+	}
+	return out + name + `_bucket{le="+Inf"} 0` + "\n" + name + "_sum 0\n" + name + "_count 0\n"
 }
 
 // TestGatewayMetricsRenderPinned is the gateway's monitoring contract:
@@ -87,8 +100,23 @@ func TestGatewayMetricsRenderPinned(t *testing.T) {
 		replicaBlock("r0", addrA, g.owned[0]) +
 		replicaBlock("r1", addrB, g.owned[1]) +
 		emptySummary("sortinghatgw_batch_columns", "Columns per gateway request.") +
-		emptySummary("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.") +
-		emptySummary("sortinghatgw_request_seconds", "End-to-end gateway request latency.")
+		emptyHistogramText("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.") +
+		emptyHistogramText("sortinghatgw_dispatch_seconds", "Scatter-phase latency: dispatch of the first group until every group resolved.") +
+		emptyHistogramText("sortinghatgw_hedge_seconds", "Hedge-phase latency of hedged groups: first speculative fire until resolution.") +
+		emptyHistogramText("sortinghatgw_reassemble_seconds", "Gather-phase latency: slot-ordered reassembly of the batch response.") +
+		emptyHistogramText("sortinghatgw_request_seconds", "End-to-end gateway request latency.") +
+		"# HELP sortinghatgw_goroutines Current number of live goroutines.\n" +
+		"# TYPE sortinghatgw_goroutines gauge\n" +
+		"sortinghatgw_goroutines X\n" +
+		"# HELP sortinghatgw_heap_bytes Bytes of memory occupied by live heap objects.\n" +
+		"# TYPE sortinghatgw_heap_bytes gauge\n" +
+		"sortinghatgw_heap_bytes X\n" +
+		"# HELP sortinghatgw_gc_cycles_total Completed garbage collection cycles.\n" +
+		"# TYPE sortinghatgw_gc_cycles_total counter\n" +
+		"sortinghatgw_gc_cycles_total X\n" +
+		"# HELP sortinghatgw_gc_pause_seconds_total Approximate total stop-the-world GC pause time, estimated from the runtime pause histogram.\n" +
+		"# TYPE sortinghatgw_gc_pause_seconds_total counter\n" +
+		"sortinghatgw_gc_pause_seconds_total X\n"
 
 	got := scrapeMetrics(t, h)
 	if got != want {

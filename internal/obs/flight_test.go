@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFlightRecorderSlowest pins the slowest-set contract: a full
+// recorder keeps exactly the top-capacity requests by duration, ordered
+// slowest first, and fast requests never evict slower ones.
+func TestFlightRecorderSlowest(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i, d := range []int64{50, 10, 90, 30, 70} {
+		f.Record(FlightRecord{RequestID: fmt.Sprintf("req-%d", i), DurationNS: d})
+	}
+	snap := f.Snapshot()
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("kept %d slowest, want 3", len(snap.Slowest))
+	}
+	var got []int64
+	for _, r := range snap.Slowest {
+		got = append(got, r.DurationNS)
+	}
+	if got[0] != 90 || got[1] != 70 || got[2] != 50 {
+		t.Errorf("slowest durations = %v, want [90 70 50]", got)
+	}
+	if len(snap.Errored) != 0 {
+		t.Errorf("errored ring holds %d, want 0", len(snap.Errored))
+	}
+}
+
+// TestFlightRecorderErrored pins the errored ring: errors always enter
+// regardless of duration, the ring is bounded, and Snapshot returns them
+// most recent first.
+func TestFlightRecorderErrored(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(FlightRecord{RequestID: "a", Err: "boom", DurationNS: 1})
+	f.Record(FlightRecord{RequestID: "b", Status: 503, DurationNS: 1})
+	f.Record(FlightRecord{RequestID: "c", Err: "late", DurationNS: 1})
+	f.Record(FlightRecord{RequestID: "ok", Status: 200, DurationNS: 999})
+
+	snap := f.Snapshot()
+	if len(snap.Errored) != 2 {
+		t.Fatalf("errored ring holds %d, want 2", len(snap.Errored))
+	}
+	if snap.Errored[0].RequestID != "c" || snap.Errored[1].RequestID != "b" {
+		t.Errorf("errored = [%s %s], want most-recent-first [c b]",
+			snap.Errored[0].RequestID, snap.Errored[1].RequestID)
+	}
+	// 4xx statuses are client errors, not service failures.
+	f.Record(FlightRecord{RequestID: "bad-req", Status: 400})
+	if got := f.Snapshot().Errored; got[0].RequestID == "bad-req" {
+		t.Error("a 400 response entered the errored ring")
+	}
+}
+
+// TestFlightRecorderJSON pins the wire shape of a snapshot — the
+// /debug/flight contract — including deterministic phase ordering and
+// empty rings rendering as [] rather than null.
+func TestFlightRecorderJSON(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(FlightRecord{
+		TraceID:    "0102030405060708090a0b0c0d0e0f10",
+		RequestID:  "req-1",
+		Path:       "/v1/infer",
+		Status:     200,
+		DurationNS: 1500,
+		Columns:    3,
+		Phases:     []Phase{{Name: "queue", DurationNS: 100}, {Name: "predict", DurationNS: 900}},
+		Notes:      []string{"shard r0", "hedged to r1"},
+	})
+	b, err := json.Marshal(f.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(b)
+	want := `{"slowest":[{"trace_id":"0102030405060708090a0b0c0d0e0f10","request_id":"req-1","path":"/v1/infer","status":200,"duration_ns":1500,"columns":3,"phases":[{"name":"queue","duration_ns":100},{"name":"predict","duration_ns":900}],"notes":["shard r0","hedged to r1"]}],"errored":[]}`
+	if got != want {
+		t.Errorf("snapshot JSON drifted.\ngot:  %s\nwant: %s", got, want)
+	}
+
+	var nilRec *FlightRecorder
+	nilRec.Record(FlightRecord{}) // must not panic
+	b, err = json.Marshal(nilRec.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"slowest":[],"errored":[]}` {
+		t.Errorf("nil recorder snapshot = %s", b)
+	}
+}
+
+// TestRuntimeMetricsRender checks the runtime series render with sane
+// live values: goroutines >= 1, heap bytes > 0, and all four names
+// present in order.
+func TestRuntimeMetricsRender(t *testing.T) {
+	r := NewRegistry()
+	r.RuntimeMetrics("proc")
+	runtime.GC() // guarantee at least one GC cycle is visible
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	idx := -1
+	for _, name := range []string{"proc_goroutines", "proc_heap_bytes", "proc_gc_cycles_total", "proc_gc_pause_seconds_total"} {
+		at := strings.Index(out, "# TYPE "+name+" ")
+		if at < 0 {
+			t.Fatalf("missing runtime series %s:\n%s", name, out)
+		}
+		if at < idx {
+			t.Errorf("series %s out of registration order", name)
+		}
+		idx = at
+	}
+	var goroutines, heap, cycles float64
+	if _, err := fmt.Sscanf(lineValue(t, out, "proc_goroutines"), "%g", &goroutines); err != nil || goroutines < 1 {
+		t.Errorf("goroutines = %g (err %v), want >= 1", goroutines, err)
+	}
+	if _, err := fmt.Sscanf(lineValue(t, out, "proc_heap_bytes"), "%g", &heap); err != nil || heap <= 0 {
+		t.Errorf("heap bytes = %g (err %v), want > 0", heap, err)
+	}
+	if _, err := fmt.Sscanf(lineValue(t, out, "proc_gc_cycles_total"), "%g", &cycles); err != nil || cycles < 1 {
+		t.Errorf("gc cycles = %g (err %v), want >= 1 after runtime.GC()", cycles, err)
+	}
+}
+
+// lineValue extracts the sample value of a plain (unlabeled) series.
+func lineValue(t *testing.T, out, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("no sample line for %s", name)
+	return ""
+}

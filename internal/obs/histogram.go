@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histogramBounds are the fixed upper bounds (seconds) shared by every
+// Histogram: 20 log-spaced buckets from 10µs doubling to ~5.24s, plus the
+// implicit +Inf bucket. One fixed layout for all latency series keeps
+// /metrics output byte-stable across processes and restarts and makes
+// histograms from gateway and replicas directly comparable: the range
+// spans a cache hit (tens of µs) through a hedged fleet-wide batch
+// (seconds).
+var histogramBounds = func() []float64 {
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = 1e-05 * float64(uint64(1)<<i)
+	}
+	return b
+}()
+
+// histogramLabels are the pre-rendered `le` label values for
+// histogramBounds. Rendering them once at init pins the exact bytes the
+// pinned-layout metrics tests assert on.
+var histogramLabels = func() []string {
+	ls := make([]string, len(histogramBounds))
+	for i, b := range histogramBounds {
+		ls[i] = fmt.Sprintf("%g", b)
+	}
+	return ls
+}()
+
+// Histogram is a fixed-bucket latency histogram in seconds. Unlike
+// Summary it has no sliding window: buckets are cumulative over process
+// lifetime, cheap to record into (one atomic add on the hot path, no
+// lock, no allocation), and render in Prometheus histogram exposition
+// format with a byte-stable layout. Use it for hot request paths; keep
+// Summary for low-rate series where windowed quantiles read better.
+type Histogram struct {
+	name, help string
+	counts     []atomic.Uint64 // one per bound; +Inf tracked via count
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Histogram registers and returns a new histogram with the package-wide
+// fixed bucket layout.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help, counts: make([]atomic.Uint64, len(histogramBounds))}
+	r.register(name, h)
+	return h
+}
+
+// Observe records one sample in seconds.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range histogramBounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the lifetime observation count.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the lifetime sum of observed values in seconds.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	// Snapshot count first: Observe bumps buckets before count, so a
+	// concurrent scrape can only see cumulative bucket totals <= count,
+	// never a bucket claiming more observations than _count reports.
+	total := h.count.Load()
+	var cum uint64
+	for i := range histogramBounds {
+		cum += h.counts[i].Load()
+		if cum > total {
+			cum = total
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, histogramLabels[i], cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, total)
+	fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, total)
+}

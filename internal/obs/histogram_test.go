@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramRenderPinned pins the exact exposition bytes for a known
+// set of observations: fixed bucket bounds, cumulative counts, sum and
+// count lines. This is the layout the serve/gateway pinned-metrics tests
+// build on.
+func TestHistogramRenderPinned(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Test latency.")
+	h.Observe(0.000005) // first bucket (1e-05)
+	h.Observe(0.00002)  // 2e-05 bucket
+	h.Observe(0.00002)  // 2e-05 bucket again
+	h.Observe(0.5)      // 0.65536 bucket
+	h.Observe(100)      // +Inf only
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	got := buf.String()
+	want := `# HELP test_seconds Test latency.
+# TYPE test_seconds histogram
+test_seconds_bucket{le="1e-05"} 1
+test_seconds_bucket{le="2e-05"} 3
+test_seconds_bucket{le="4e-05"} 3
+test_seconds_bucket{le="8e-05"} 3
+test_seconds_bucket{le="0.00016"} 3
+test_seconds_bucket{le="0.00032"} 3
+test_seconds_bucket{le="0.00064"} 3
+test_seconds_bucket{le="0.00128"} 3
+test_seconds_bucket{le="0.00256"} 3
+test_seconds_bucket{le="0.00512"} 3
+test_seconds_bucket{le="0.01024"} 3
+test_seconds_bucket{le="0.02048"} 3
+test_seconds_bucket{le="0.04096"} 3
+test_seconds_bucket{le="0.08192"} 3
+test_seconds_bucket{le="0.16384"} 3
+test_seconds_bucket{le="0.32768"} 3
+test_seconds_bucket{le="0.65536"} 4
+test_seconds_bucket{le="1.31072"} 4
+test_seconds_bucket{le="2.62144"} 4
+test_seconds_bucket{le="5.24288"} 4
+test_seconds_bucket{le="+Inf"} 5
+test_seconds_sum 100.500045
+test_seconds_count 5
+`
+	if got != want {
+		t.Errorf("histogram render drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Two renders of the same state are byte-identical.
+	var buf2 bytes.Buffer
+	r.WritePrometheus(&buf2)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renders of identical state differ")
+	}
+}
+
+// TestHistogramBucketEdges pins edge placement: a sample exactly on a
+// bound lands in that bucket (le is inclusive), zero and negative samples
+// land in the first bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "Edges.")
+	h.Observe(1e-05) // exactly the first bound
+	h.Observe(0)
+	h.Observe(5.24288) // exactly the last finite bound
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, line := range []string{
+		`edge_seconds_bucket{le="1e-05"} 2`,
+		`edge_seconds_bucket{le="5.24288"} 3`,
+		`edge_seconds_bucket{le="+Inf"} 3`,
+		`edge_seconds_count 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("render missing %q:\n%s", line, out)
+		}
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count() = %d, want 3", h.Count())
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this pins the lock-free recording, and the final count and
+// sum must come out exact (the CAS loop loses no samples).
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "Concurrent.")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("Count() = %d, want %d", h.Count(), workers*per)
+	}
+	want := float64(workers*per) * 0.001
+	if got := h.Sum(); got < want*0.999999 || got > want*1.000001 {
+		t.Errorf("Sum() = %g, want ~%g", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// TraceID is a W3C-style 128-bit trace identifier shared by every span of
+// one distributed request, across processes. The zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is a W3C-style 64-bit span identifier, unique within a trace.
+// The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanContext is the cross-process identity of a span: enough to parent a
+// child span in another process. It travels between processes as a W3C
+// traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// IsZero reports whether the context carries no identity.
+func (sc SpanContext) IsZero() bool { return sc.TraceID.IsZero() }
+
+// TraceparentHeader is the W3C Trace Context header name carrying a
+// SpanContext between processes (https://www.w3.org/TR/trace-context/).
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the context as a W3C traceparent value:
+// version 00, sampled flag set ("00-<trace-id>-<span-id>-01").
+func (sc SpanContext) Traceparent() string {
+	var buf [55]byte
+	copy(buf[0:], "00-")
+	hex.Encode(buf[3:35], sc.TraceID[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], sc.SpanID[:])
+	copy(buf[52:], "-01")
+	return string(buf[:])
+}
+
+// ParseTraceparent parses a W3C traceparent value. It accepts any version
+// and flags but requires the fixed "2-32-16-2" hex layout and non-zero
+// trace and span ids; ok is false for anything else (including "").
+func ParseTraceparent(s string) (sc SpanContext, ok bool) {
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// remoteParentKey is the context key carrying a remote parent span
+// identity (parsed from an incoming traceparent header).
+type remoteParentKey struct{}
+
+// ContextWithRemoteParent returns a context carrying sc as the remote
+// parent for the next root span started under it: Tracer.Start adopts the
+// remote trace id and parents the new root to the remote span, which is
+// how a replica's spans join the gateway's trace. A zero sc returns ctx
+// unchanged.
+func ContextWithRemoteParent(ctx context.Context, sc SpanContext) context.Context {
+	if sc.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey{}, sc)
+}
+
+// RemoteParentFrom returns the remote parent identity carried by ctx, if
+// any.
+func RemoteParentFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(remoteParentKey{}).(SpanContext)
+	return sc, ok
+}
+
+// idGen derives span and trace ids from a per-tracer random seed and an
+// atomic counter: id N is a bit mix of seed+N, so generation is one
+// atomic add plus arithmetic — no locks, no allocation, no per-span
+// randomness on the hot path. Distinct processes draw distinct seeds from
+// crypto/rand, so ids from a fleet's tracers do not collide in practice.
+type idGen struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+// newIDGen seeds a generator from crypto/rand, falling back to a fixed
+// seed if the system randomness source fails (ids stay unique within the
+// process either way).
+func newIDGen() *idGen {
+	var b [8]byte
+	seed := uint64(0x9e3779b97f4a7c15)
+	if _, err := crand.Read(b[:]); err == nil {
+		seed = binary.LittleEndian.Uint64(b[:])
+	}
+	return &idGen{seed: seed}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose output
+// is well distributed even for sequential inputs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// spanID mints the next span id (never zero).
+func (g *idGen) spanID() SpanID {
+	v := mix64(g.seed + g.ctr.Add(1))
+	if v == 0 {
+		v = 1
+	}
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], v)
+	return id
+}
+
+// traceID mints the next trace id (never zero).
+func (g *idGen) traceID() TraceID {
+	hi := mix64(g.seed + g.ctr.Add(1))
+	lo := mix64(g.seed ^ g.ctr.Add(1))
+	if hi == 0 && lo == 0 {
+		lo = 1
+	}
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], hi)
+	binary.BigEndian.PutUint64(id[8:], lo)
+	return id
+}

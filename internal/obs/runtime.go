@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// RuntimeMetrics registers the Go runtime health series every process
+// exposes, named <prefix>_goroutines, <prefix>_heap_bytes,
+// <prefix>_gc_cycles_total and <prefix>_gc_pause_seconds_total. Values
+// are sampled from runtime/metrics at render time, so scrapes always see
+// the current runtime state with zero steady-state cost. Call it last:
+// rendering order is registration order and the pinned-layout tests put
+// the runtime block at the end.
+func (r *Registry) RuntimeMetrics(prefix string) {
+	r.GaugeFunc(prefix+"_goroutines",
+		"Current number of live goroutines.",
+		func() float64 { return sampleRuntime("/sched/goroutines:goroutines") })
+	r.GaugeFunc(prefix+"_heap_bytes",
+		"Bytes of memory occupied by live heap objects.",
+		func() float64 { return sampleRuntime("/memory/classes/heap/objects:bytes") })
+	r.CounterFunc(prefix+"_gc_cycles_total",
+		"Completed garbage collection cycles.",
+		func() int64 { return int64(sampleRuntime("/gc/cycles/total:gc-cycles")) })
+	r.register(prefix+"_gc_pause_seconds_total", &floatCounterFunc{
+		name: prefix + "_gc_pause_seconds_total",
+		help: "Approximate total stop-the-world GC pause time, estimated from the runtime pause histogram.",
+		fn:   gcPauseSecondsTotal,
+	})
+}
+
+// sampleRuntime reads one scalar runtime/metrics sample, tolerating both
+// numeric kinds and unknown names (0 on anything else) so the metric set
+// degrades gracefully across Go versions.
+func sampleRuntime(name string) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	switch s[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return s[0].Value.Float64()
+	}
+	return 0
+}
+
+// gcPauseSecondsTotal estimates cumulative GC pause seconds from the
+// runtime's pause-duration histogram (bucket midpoints × counts — the
+// runtime exposes no exact total). Tries the modern metric name first,
+// then the pre-1.22 spelling.
+func gcPauseSecondsTotal() float64 {
+	for _, name := range []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"} {
+		s := []metrics.Sample{{Name: name}}
+		metrics.Read(s)
+		if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		h := s[0].Value.Float64Histogram()
+		if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+			continue
+		}
+		var total float64
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			mid := (lo + hi) / 2
+			switch {
+			case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+				continue
+			case math.IsInf(lo, -1):
+				mid = hi
+			case math.IsInf(hi, 1):
+				mid = lo
+			}
+			total += mid * float64(n)
+		}
+		return total
+	}
+	return 0
+}
+
+// floatCounterFunc renders a float-valued counter sampled from fn at
+// render time (runtime counters like estimated GC pause seconds are not
+// integers).
+type floatCounterFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+func (c *floatCounterFunc) write(w io.Writer) {
+	writeFloatCounterText(w, c.name, c.help, c.fn())
+}
+
+// writeFloatCounterText emits one Prometheus counter with a float value.
+func writeFloatCounterText(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+}

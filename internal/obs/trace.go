@@ -17,33 +17,53 @@ const DefaultTraceRing = 64
 // Start on it returns a no-op span, so call sites never need to branch
 // on whether tracing is on.
 type Tracer struct {
+	ids *idGen
+
 	mu      sync.Mutex
 	ring    []*Span // finished root spans, oldest first once full
 	next    int
 	size    int
-	sink    io.Writer // optional JSONL sink for finished traces
 	sinkErr error
+
+	// sinkMu serializes sink writes: root spans finish on arbitrary
+	// handler goroutines, and interleaved writes would corrupt the JSONL
+	// stream. It is separate from mu so a slow sink never blocks Start.
+	sinkMu sync.Mutex
+	sink   io.Writer // optional JSONL sink for finished traces
 }
 
 // NewTracer returns a tracer retaining up to capacity finished traces
-// (DefaultTraceRing when capacity is not positive).
+// (DefaultTraceRing when capacity is not positive). Span and trace ids
+// are seeded from crypto/rand so traces from different processes of one
+// fleet never collide.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceRing
 	}
-	return &Tracer{ring: make([]*Span, capacity)}
+	return &Tracer{ring: make([]*Span, capacity), ids: newIDGen()}
+}
+
+// SeedIDs re-seeds the tracer's id generator. Ids become a deterministic
+// function of the seed and span creation order — for tests and golden
+// fixtures only; production tracers keep their crypto/rand seed.
+func (t *Tracer) SeedIDs(seed uint64) {
+	if t == nil {
+		return
+	}
+	t.ids = &idGen{seed: seed}
 }
 
 // SetSink directs every finished root span to w as one JSON line per
-// trace (JSONL). The first write or encode error is retained and
+// trace (JSONL). Writes are serialized by the tracer, so w needs no
+// locking of its own. The first write or encode error is retained and
 // reported by SinkErr; tracing itself never fails.
 func (t *Tracer) SetSink(w io.Writer) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
+	t.sinkMu.Lock()
 	t.sink = w
-	t.mu.Unlock()
+	t.sinkMu.Unlock()
 }
 
 // SinkErr reports the first error encountered writing traces to the
@@ -58,18 +78,29 @@ func (t *Tracer) SinkErr() error {
 }
 
 // Start opens a span under ctx. If ctx already carries a span the new
-// span becomes its child; otherwise it is a root span that will be
-// recorded in the tracer's ring (and sink) when ended. The returned
-// context carries the new span for further nesting.
+// span becomes its child, inheriting the trace id; otherwise it is a
+// root span that will be recorded in the tracer's ring (and sink) when
+// ended. A root span adopts the remote parent identity carried by ctx
+// (ContextWithRemoteParent, from an incoming traceparent header) when
+// there is one — joining the caller's distributed trace — and mints a
+// fresh trace id when there is not. The returned context carries the new
+// span for further nesting.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
 	parent := SpanFromContext(ctx)
 	//shvet:ignore nondet-flow span timestamps are observability metadata; offsets/durations are monotonic and results never depend on them
-	s := &Span{tracer: t, parent: parent, name: name, start: time.Now()}
+	s := &Span{tracer: t, parent: parent, name: name, start: time.Now(), spanID: t.ids.spanID()}
 	if parent != nil {
+		s.traceID = parent.traceID
+		s.parentID = parent.spanID
 		parent.addChild(s)
+	} else if remote, ok := RemoteParentFrom(ctx); ok {
+		s.traceID = remote.TraceID
+		s.parentID = remote.SpanID
+	} else {
+		s.traceID = t.ids.traceID()
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -97,17 +128,18 @@ func SpanFromContext(ctx context.Context) *Span {
 // record retains a finished root span in the ring and writes it to the
 // sink when one is set.
 func (t *Tracer) record(s *Span) {
-	var sink io.Writer
 	t.mu.Lock()
 	t.ring[t.next] = s
 	t.next = (t.next + 1) % len(t.ring)
 	if t.size < len(t.ring) {
 		t.size++
 	}
-	sink = t.sink
 	t.mu.Unlock()
 
+	t.sinkMu.Lock()
+	sink := t.sink
 	if sink == nil {
+		t.sinkMu.Unlock()
 		return
 	}
 	line, err := json.Marshal(s.JSON())
@@ -115,6 +147,7 @@ func (t *Tracer) record(s *Span) {
 		line = append(line, '\n')
 		_, err = sink.Write(line)
 	}
+	t.sinkMu.Unlock()
 	if err != nil {
 		t.mu.Lock()
 		if t.sinkErr == nil {
@@ -152,14 +185,22 @@ func (t *Tracer) Recent() []SpanJSON {
 // no-op span: every method is nil-safe, so instrumented code paths work
 // unchanged with tracing disabled.
 //
-// Span identity is monotonic-only: the start field's wall clock reading
+// Span timing is monotonic-only: the start field's wall clock reading
 // is never exposed — JSON() emits offsets and durations computed from
 // the monotonic clock — so traces carry no wall-clock timestamps.
+//
+// Every span additionally carries a W3C-style identity: the trace id
+// shared by the whole (possibly multi-process) request, its own span id,
+// and its parent's span id — either the in-process parent or, for a root
+// span continuing an incoming traceparent, the remote caller's span.
 type Span struct {
-	tracer *Tracer
-	parent *Span
-	name   string
-	start  time.Time
+	tracer   *Tracer
+	parent   *Span
+	name     string
+	start    time.Time
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID // zero for a root span with no remote parent
 
 	mu       sync.Mutex
 	dur      time.Duration
@@ -173,6 +214,16 @@ type Span struct {
 type Attr struct {
 	Key   string `json:"key"`
 	Value string `json:"value"`
+}
+
+// Context returns the span's cross-process identity, the pair a caller
+// forwards as a traceparent header so spans in the next process parent
+// correctly. A nil span returns the zero (invalid) context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID}
 }
 
 // SetAttr appends a key/value annotation to the span.
@@ -223,11 +274,21 @@ func (s *Span) Duration() time.Duration {
 	return s.dur
 }
 
-// SpanJSON is the wire form of a span tree: name, monotonic start offset
-// from the trace root, monotonic duration, ordered attributes, children.
-// No wall-clock timestamps, by design.
+// SpanJSON is the wire form of a span tree: name, identity, monotonic
+// start offset from the trace root, monotonic duration, ordered
+// attributes, children. No wall-clock timestamps, by design.
+//
+// The trace id appears once, on the tree's root; every span carries its
+// own span id, and its parent's span id. A root's parent_span_id is the
+// remote caller's span (set when the process continued an incoming
+// traceparent) or absent for a locally minted trace — which is exactly
+// the link cmd/tracecat uses to stitch per-process JSONL sinks into one
+// fleet-wide trace.
 type SpanJSON struct {
 	Name       string     `json:"name"`
+	TraceID    string     `json:"trace_id,omitempty"` // root spans only
+	SpanID     string     `json:"span_id,omitempty"`
+	ParentID   string     `json:"parent_span_id,omitempty"`
 	StartNS    int64      `json:"start_ns"` // offset from the root span's start
 	DurationNS int64      `json:"duration_ns"`
 	Attrs      []Attr     `json:"attrs,omitempty"`
@@ -244,7 +305,11 @@ func (s *Span) JSON() SpanJSON {
 	for root.parent != nil {
 		root = root.parent
 	}
-	return s.jsonRel(root.start)
+	out := s.jsonRel(root.start)
+	if s == root {
+		out.TraceID = s.traceID.String()
+	}
+	return out
 }
 
 // jsonRel renders the span with offsets relative to the trace start.
@@ -252,8 +317,12 @@ func (s *Span) jsonRel(traceStart time.Time) SpanJSON {
 	s.mu.Lock()
 	out := SpanJSON{
 		Name:       s.name,
+		SpanID:     s.spanID.String(),
 		StartNS:    s.start.Sub(traceStart).Nanoseconds(),
 		DurationNS: s.dur.Nanoseconds(),
+	}
+	if !s.parentID.IsZero() {
+		out.ParentID = s.parentID.String()
 	}
 	attrs := make([]Attr, len(s.attrs))
 	copy(attrs, s.attrs)

@@ -106,10 +106,12 @@ type errorResponse struct {
 
 // Handler returns the server's HTTP API: POST /v1/infer, POST
 // /v1/infer/csv, POST /admin/reload, GET /healthz, GET /metrics, GET
-// /debug/traces, and (with Config.EnablePprof) /debug/pprof/. Every
-// request passes the observability middleware: it gets a request ID
-// (echoed as X-Request-Id and attached to the request's trace span) and,
-// when Config.Logger is set, one structured access-log record.
+// /debug/traces, GET /debug/flight, and (with Config.EnablePprof)
+// /debug/pprof/. Every request passes the observability middleware: it
+// gets a request ID (echoed as X-Request-Id and attached to the
+// request's trace span), continues an incoming traceparent so this
+// process's spans join the caller's distributed trace, and, when
+// Config.Logger is set, emits one structured access-log record.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
@@ -118,20 +120,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	if s.cfg.EnablePprof {
 		obs.MountPprof(mux)
 	}
 	return s.observe(mux)
 }
 
-// observe is the middleware correlating the three signals: it assigns
-// the request ID, propagates it via context to the trace span, echoes it
-// to the client, and emits the access-log record.
+// observe is the middleware correlating the signals: it reuses the
+// caller's X-Request-Id when one is forwarded (the gateway forwards its
+// own, so fleet logs for one request join on a single id) or mints a
+// fresh one, propagates it via context to the trace span, echoes it to
+// the client, continues an incoming W3C traceparent as the remote parent
+// of this request's root span, and emits the access-log record.
 func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := "req-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = "req-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		}
 		w.Header().Set("X-Request-Id", id)
 		ctx := obs.WithRequestID(r.Context(), id)
+		if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, sc)
+		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -205,7 +217,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Columns {
 		cols[i] = data.Column{Name: c.Name, Values: c.Values}
 	}
-	s.serveBatch(w, ctx, span, start, cols)
+	s.serveBatch(w, ctx, span, start, r.URL.Path, cols)
 }
 
 // handleInferCSV ingests a whole table as CSV (the form AutoML platforms
@@ -247,21 +259,44 @@ func (s *Server) handleInferCSV(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.serveBatch(w, ctx, span, start, ds.Columns)
+	s.serveBatch(w, ctx, span, start, r.URL.Path, ds.Columns)
 }
 
 // serveBatch is the shared tail of the infer handlers: validate the
 // batch, fan it out, and render the response (or map the failure onto the
-// HTTP error surface).
-func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, cols []data.Column) {
+// HTTP error surface). It attaches the request's phase accumulator to the
+// context the workers see and, once the response is decided, offers the
+// request to the flight recorder with its identity, per-phase totals and
+// outcome.
+//
+//shvet:hotpath request tail of every infer endpoint; all per-request instrumentation lands here
+func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, path string, cols []data.Column) {
+	status, errMsg := http.StatusOK, ""
+	ctx, acc := withPhases(ctx)
+	defer func() {
+		s.flight.Record(obs.FlightRecord{
+			TraceID:    span.Context().TraceID.String(),
+			RequestID:  obs.RequestIDFrom(ctx),
+			Path:       path,
+			Status:     status,
+			DurationNS: time.Since(start).Nanoseconds(),
+			Columns:    len(cols),
+			Phases:     acc.phases(),
+			Err:        errMsg,
+		})
+	}()
+	fail := func(st int, msg string) {
+		status, errMsg = st, msg
+		writeError(w, st, msg)
+	}
 	if len(cols) == 0 {
 		s.met.requestErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "empty batch: provide at least one column")
+		fail(http.StatusBadRequest, "empty batch: provide at least one column")
 		return
 	}
 	if len(cols) > s.cfg.MaxBatch {
 		s.met.requestErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "batch too large: max "+strconv.Itoa(s.cfg.MaxBatch)+" columns")
+		fail(http.StatusBadRequest, "batch too large: max "+strconv.Itoa(s.cfg.MaxBatch)+" columns")
 		return
 	}
 	s.met.columns.Add(int64(len(cols)))
@@ -274,18 +309,18 @@ func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *ob
 		case errors.Is(err, resilience.ErrOverloaded):
 			span.SetAttr("shed", "true")
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
+			fail(http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.requestTimeouts.Add(1)
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
+			fail(http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 		case errors.Is(err, context.Canceled):
 			// The client went away; the status code is never seen.
-			writeError(w, http.StatusServiceUnavailable, "request canceled")
+			fail(http.StatusServiceUnavailable, "request canceled")
 		case errors.Is(err, ErrServerClosed):
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			fail(http.StatusServiceUnavailable, "server shutting down")
 		default:
 			s.met.requestErrors.Add(1)
-			writeError(w, http.StatusBadRequest, err.Error())
+			fail(http.StatusBadRequest, err.Error())
 		}
 		return
 	}
@@ -424,4 +459,16 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	traces := s.tracer.Recent()
 	writeJSON(w, http.StatusOK, TracesResponse{Count: len(traces), Traces: traces})
+}
+
+// handleFlight serves the flight recorder: the slowest and most recently
+// errored requests with trace identity and per-phase timing, the first
+// stop when explaining a latency outlier after the fact.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
 }

@@ -28,10 +28,12 @@ type metrics struct {
 	reloads         *obs.Counter // successful hot model swaps
 	reloadErrors    *obs.Counter // rejected /admin/reload requests
 
-	batchSize *obs.Summary // batch sizes (columns per request)
-	featurize *obs.Summary // per-column base-featurization seconds
-	predict   *obs.Summary // per-column model-prediction seconds
-	request   *obs.Summary // end-to-end request seconds
+	batchSize *obs.Summary   // batch sizes (columns per request)
+	queueDur  *obs.Histogram // per-column admission → worker-pickup seconds
+	cacheDur  *obs.Histogram // per-column cache-lookup seconds
+	featurize *obs.Histogram // per-column base-featurization seconds
+	predict   *obs.Histogram // per-column model-prediction seconds
+	request   *obs.Histogram // end-to-end request seconds
 
 	traversalDepth *obs.Summary // forest traversal depth, re-attached on reload
 }
@@ -69,10 +71,13 @@ func newMetrics(s *Server) *metrics {
 	reg.GaugeFunc("sortinghatd_model_seq", "Monotonic model swap sequence number (1 = the startup model).", func() float64 { return float64(s.current().seq) })
 	reg.GaugeFunc("sortinghatd_uptime_seconds", "Seconds since the server started.", func() float64 { return time.Since(s.start).Seconds() })
 	m.batchSize = reg.Summary("sortinghatd_batch_columns", "Columns per /v1/infer request.")
-	m.featurize = reg.Summary("sortinghatd_featurize_seconds", "Per-column base featurization latency.")
-	m.predict = reg.Summary("sortinghatd_predict_seconds", "Per-column model prediction latency.")
-	m.request = reg.Summary("sortinghatd_request_seconds", "End-to-end /v1/infer latency.")
+	m.queueDur = reg.Histogram("sortinghatd_queue_seconds", "Per-column wait between admission and worker pickup.")
+	m.cacheDur = reg.Histogram("sortinghatd_cache_seconds", "Per-column prediction cache lookup latency.")
+	m.featurize = reg.Histogram("sortinghatd_featurize_seconds", "Per-column base featurization latency.")
+	m.predict = reg.Histogram("sortinghatd_predict_seconds", "Per-column model prediction latency.")
+	m.request = reg.Histogram("sortinghatd_request_seconds", "End-to-end /v1/infer latency.")
 	m.registerForest(s)
+	reg.RuntimeMetrics("sortinghatd")
 	return m
 }
 

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"sortinghat/internal/obs"
+)
+
+// phaseAcc accumulates per-phase nanoseconds across all worker-pool
+// columns of one request, so the flight recorder can say where a slow
+// request's time went. The HTTP handlers attach one to the request
+// context; workers add into it with plain atomics. Direct InferBatch
+// callers (benchmarks, tests) carry no accumulator and every method is
+// nil-safe, which keeps the library hot path free of per-request
+// bookkeeping allocations.
+type phaseAcc struct {
+	queue     atomic.Int64 // admission → worker pickup
+	cache     atomic.Int64 // prediction cache lookups
+	featurize atomic.Int64 // base featurization (successful columns)
+	predict   atomic.Int64 // model prediction (successful columns)
+}
+
+// phaseKey is the context key carrying the request's accumulator.
+type phaseKey struct{}
+
+// withPhases attaches a fresh accumulator to ctx.
+func withPhases(ctx context.Context) (context.Context, *phaseAcc) {
+	acc := &phaseAcc{}
+	return context.WithValue(ctx, phaseKey{}, acc), acc
+}
+
+// phasesFrom returns the accumulator carried by ctx, or nil.
+func phasesFrom(ctx context.Context) *phaseAcc {
+	acc, _ := ctx.Value(phaseKey{}).(*phaseAcc)
+	return acc
+}
+
+func (a *phaseAcc) addQueue(d time.Duration) {
+	if a != nil {
+		a.queue.Add(int64(d))
+	}
+}
+
+func (a *phaseAcc) addCache(d time.Duration) {
+	if a != nil {
+		a.cache.Add(int64(d))
+	}
+}
+
+func (a *phaseAcc) addFeaturize(d time.Duration) {
+	if a != nil {
+		a.featurize.Add(int64(d))
+	}
+}
+
+func (a *phaseAcc) addPredict(d time.Duration) {
+	if a != nil {
+		a.predict.Add(int64(d))
+	}
+}
+
+// phases renders the accumulated totals in fixed order for a flight
+// record. Nil (no accumulator attached) renders as nil.
+func (a *phaseAcc) phases() []obs.Phase {
+	if a == nil {
+		return nil
+	}
+	return []obs.Phase{
+		{Name: "queue", DurationNS: a.queue.Load()},
+		{Name: "cache", DurationNS: a.cache.Load()},
+		{Name: "featurize", DurationNS: a.featurize.Load()},
+		{Name: "predict", DurationNS: a.predict.Load()},
+	}
+}

@@ -479,11 +479,12 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-// uptimeLine matches the one metric line whose value moves with the
-// clock; the pinned render normalizes it.
-var uptimeLine = regexp.MustCompile(`(?m)^sortinghatd_uptime_seconds .*$`)
+// liveValueLine matches the metric lines whose values move with the
+// clock or the Go runtime (uptime and the runtime/metrics block); the
+// pinned render normalizes their values to X.
+var liveValueLine = regexp.MustCompile(`(?m)^(sortinghatd_uptime_seconds|sortinghatd_goroutines|sortinghatd_heap_bytes|sortinghatd_gc_cycles_total|sortinghatd_gc_pause_seconds_total) .*$`)
 
-// scrapeMetrics fetches /metrics with the uptime value normalized.
+// scrapeMetrics fetches /metrics with the live values normalized.
 func scrapeMetrics(t *testing.T, h http.Handler) string {
 	t.Helper()
 	rec := httptest.NewRecorder()
@@ -491,7 +492,17 @@ func scrapeMetrics(t *testing.T, h http.Handler) string {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/metrics status = %d", rec.Code)
 	}
-	return uptimeLine.ReplaceAllString(rec.Body.String(), "sortinghatd_uptime_seconds X")
+	return liveValueLine.ReplaceAllString(rec.Body.String(), "$1 X")
+}
+
+// emptyHistogramText renders the pinned exposition block of a fresh
+// obs.Histogram: the fixed 20-bucket log layout plus +Inf, sum and count.
+func emptyHistogramText(name, help string) string {
+	out := "# HELP " + name + " " + help + "\n# TYPE " + name + " histogram\n"
+	for i := 0; i < 20; i++ {
+		out += fmt.Sprintf("%s_bucket{le=%q} 0\n", name, fmt.Sprintf("%g", 1e-05*float64(uint64(1)<<i)))
+	}
+	return out + name + `_bucket{le="+Inf"} 0` + "\n" + name + "_sum 0\n" + name + "_count 0\n"
 }
 
 // TestMetricsRenderPinned is the monitoring contract: the full /metrics
@@ -549,13 +560,27 @@ func TestMetricsRenderPinned(t *testing.T) {
 		"# TYPE sortinghatd_uptime_seconds gauge\n" +
 		"sortinghatd_uptime_seconds X\n" +
 		emptySummary("sortinghatd_batch_columns", "Columns per /v1/infer request.") +
-		emptySummary("sortinghatd_featurize_seconds", "Per-column base featurization latency.") +
-		emptySummary("sortinghatd_predict_seconds", "Per-column model prediction latency.") +
-		emptySummary("sortinghatd_request_seconds", "End-to-end /v1/infer latency.") +
+		emptyHistogramText("sortinghatd_queue_seconds", "Per-column wait between admission and worker pickup.") +
+		emptyHistogramText("sortinghatd_cache_seconds", "Per-column prediction cache lookup latency.") +
+		emptyHistogramText("sortinghatd_featurize_seconds", "Per-column base featurization latency.") +
+		emptyHistogramText("sortinghatd_predict_seconds", "Per-column model prediction latency.") +
+		emptyHistogramText("sortinghatd_request_seconds", "End-to-end /v1/infer latency.") +
 		gauge("sortinghatd_forest_split_nodes", "Internal (split) nodes across the forest's fitted trees — the training split count.", float64(f.SplitNodes())) +
 		gauge("sortinghatd_forest_leaf_nodes", "Leaf nodes across the forest's fitted trees.", float64(f.LeafNodes())) +
 		gauge("sortinghatd_forest_max_depth", "Depth of the deepest fitted tree (root = 0).", float64(f.MaxTreeDepth())) +
-		emptySummary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.")
+		emptySummary("sortinghatd_forest_traversal_depth", "Per-tree traversal depth of forest predictions.") +
+		"# HELP sortinghatd_goroutines Current number of live goroutines.\n" +
+		"# TYPE sortinghatd_goroutines gauge\n" +
+		"sortinghatd_goroutines X\n" +
+		"# HELP sortinghatd_heap_bytes Bytes of memory occupied by live heap objects.\n" +
+		"# TYPE sortinghatd_heap_bytes gauge\n" +
+		"sortinghatd_heap_bytes X\n" +
+		"# HELP sortinghatd_gc_cycles_total Completed garbage collection cycles.\n" +
+		"# TYPE sortinghatd_gc_cycles_total counter\n" +
+		"sortinghatd_gc_cycles_total X\n" +
+		"# HELP sortinghatd_gc_pause_seconds_total Approximate total stop-the-world GC pause time, estimated from the runtime pause histogram.\n" +
+		"# TYPE sortinghatd_gc_pause_seconds_total counter\n" +
+		"sortinghatd_gc_pause_seconds_total X\n"
 
 	got := scrapeMetrics(t, h)
 	if got != want {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"runtime"
 	"runtime/debug"
@@ -70,6 +71,15 @@ type Config struct {
 	// TraceRing caps how many recent finished request traces are kept in
 	// memory for GET /debug/traces. 0 means obs.DefaultTraceRing.
 	TraceRing int
+	// TraceSink, when non-nil, receives every finished request trace as
+	// one JSON line (JSONL) carrying the full trace/span identity — the
+	// stream cmd/tracecat stitches across the fleet. See the -trace-out
+	// flag of cmd/sortinghatd.
+	TraceSink io.Writer
+	// FlightRing caps each ring of the flight recorder behind
+	// GET /debug/flight (slowest and errored requests are separate rings
+	// of this size). 0 means obs.DefaultFlightRing.
+	FlightRing int
 	// Logger, when non-nil, receives one structured access-log record
 	// per HTTP request, carrying the request ID that also appears on the
 	// request's trace span and X-Request-Id response header.
@@ -133,6 +143,7 @@ type Server struct {
 	cache   *predCache
 	met     *metrics
 	tracer  *obs.Tracer
+	flight  *obs.FlightRecorder
 	logger  *slog.Logger
 	gate    *resilience.Gate
 	breaker *resilience.Breaker
@@ -155,6 +166,7 @@ type task struct {
 	col  *data.Column
 	out  *Result
 	done *sync.WaitGroup
+	enq  time.Time // when the column was admitted (queue-phase start)
 }
 
 // Result is the prediction for one column of a batch.
@@ -180,11 +192,15 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		cfg:    cfg,
 		cache:  newPredCache(cfg.CacheSize),
 		tracer: obs.NewTracer(cfg.TraceRing),
+		flight: obs.NewFlightRecorder(cfg.FlightRing),
 		logger: cfg.Logger,
 		gate:   resilience.NewGate(cfg.QueueDepth),
 		faults: cfg.Faults,
 		start:  time.Now(),
 		tasks:  make(chan task, cfg.QueueDepth),
+	}
+	if cfg.TraceSink != nil {
+		s.tracer.SetSink(cfg.TraceSink)
 	}
 	version := cfg.ModelVersion
 	if version == "" {
@@ -295,6 +311,11 @@ func (s *Server) process(t task) {
 	}
 	t.out.Name = t.col.Name
 
+	acc := phasesFrom(t.ctx)
+	qd := time.Since(t.enq)
+	s.met.queueDur.Observe(qd.Seconds())
+	acc.addQueue(qd)
+
 	ctx, colSpan := obs.StartSpan(t.ctx, "column")
 	colSpan.SetAttr("column", t.col.Name)
 	defer colSpan.End()
@@ -303,8 +324,13 @@ func (s *Server) process(t task) {
 	// the prediction below and the cache key agree on the model version
 	// even when Reload swaps the pointer mid-column.
 	m := s.current()
+	cStart := time.Now()
 	key := versionedKey{seq: m.seq, key: columnKey(t.col)}
-	if hit, ok := s.cache.get(key); ok {
+	hit, ok := s.cache.get(key)
+	cd := time.Since(cStart)
+	s.met.cacheDur.Observe(cd.Seconds())
+	acc.addCache(cd)
+	if ok {
 		s.met.cacheHits.Add(1)
 		colSpan.SetAttr("cache", "hit")
 		t.out.Type = hit.Type
@@ -334,7 +360,9 @@ func (s *Server) process(t task) {
 		s.degrade(t.out, &base, fErr.Error(), "featurize-error", colSpan)
 		return
 	}
-	s.met.featurize.ObserveSince(fStart)
+	fd := time.Since(fStart)
+	s.met.featurize.Observe(fd.Seconds())
+	acc.addFeaturize(fd)
 
 	if !s.breaker.Allow() {
 		s.degrade(t.out, &base, "", "breaker-open", colSpan)
@@ -361,7 +389,9 @@ func (s *Server) process(t task) {
 		return
 	}
 	s.breaker.Success()
-	s.met.predict.ObserveSince(pStart)
+	pd := time.Since(pStart)
+	s.met.predict.Observe(pd.Seconds())
+	acc.addPredict(pd)
 
 	s.cache.put(key, cachedPrediction{Type: typ, Probs: probs})
 	t.out.Type = typ
@@ -459,10 +489,12 @@ func (s *Server) InferBatch(ctx context.Context, cols []data.Column) ([]Result, 
 	}
 
 	results := make([]Result, len(cols))
+	//shvet:ignore nondet-flow queue-wait timestamps feed the latency histograms only; inference results never depend on them
+	enq := time.Now()
 	var pending sync.WaitGroup
 	for i := range cols {
 		pending.Add(1)
-		if err := s.enqueue(task{ctx: ctx, col: &cols[i], out: &results[i], done: &pending}); err != nil {
+		if err := s.enqueue(task{ctx: ctx, col: &cols[i], out: &results[i], done: &pending, enq: enq}); err != nil {
 			pending.Done()
 			// Hand back the reservations of the columns never enqueued
 			// (workers release the queued ones as they drain them). Tasks

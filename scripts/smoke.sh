@@ -8,9 +8,12 @@
 #             breaker trip on /healthz, and recovery after the probe
 #   reload    boot with -model-version, POST /admin/reload a canary,
 #             assert the swap, the cache purge, and re-warm
-#   fleet     boot 2 replicas + 1 sortinghatgw, assert sharded routing
-#             with disjoint per-replica caches and a full cache-hit
-#             repeat batch through the gateway
+#   fleet     boot 2 replicas + 1 sortinghatgw (all with -trace-out),
+#             assert sharded routing with disjoint per-replica caches, a
+#             full cache-hit repeat batch through the gateway, one
+#             gateway trace id shared by every process's trace sink, a
+#             populated /debug/flight on gateway and replicas, and a
+#             tracecat-stitched fleet timeline
 #
 # `make smoke` runs "single degrade reload"; `make smoke-fleet` runs
 # "fleet" (CI runs them as separate jobs). POSIX sh + curl only.
@@ -64,6 +67,20 @@ wait_ready() {
 # `jint healthz.json cache_entries`.
 jint() {
     sed -n 's/.*"'"$2"'":\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+# wait_grep <pattern> <file>: poll until the pattern appears (trace
+# sinks are flushed just after the HTTP response, so reads may race).
+wait_grep() {
+    i=0
+    until grep -q "$1" "$2" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "smoke: FAIL - '$1' never appeared in $2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
 }
 
 BASE="http://$HOST:$PORT"
@@ -125,6 +142,12 @@ if has_phase single; then
     }
     grep -q '"name":"featurize"' "$DIR/traces.json"
     grep -q '"request_id"' "$DIR/traces.json"
+
+    echo "smoke: [single] /debug/flight must hold the recorded requests..."
+    curl -fsS "$BASE/debug/flight" >"$DIR/flight.json"
+    grep -q '"trace_id"' "$DIR/flight.json"
+    grep -q '"name":"queue"' "$DIR/flight.json"
+    grep -q '"name":"predict"' "$DIR/flight.json"
 
     echo "smoke: [single] /debug/pprof must be mounted (-pprof)..."
     curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null
@@ -265,10 +288,12 @@ if has_phase fleet; then
     ]}'
 
     echo "smoke: [fleet] starting 2 replicas (:$R1PORT m0, :$R2PORT m1)..."
-    "$DIR/sortinghatd" -model "$DIR/model.gob" -addr "$HOST:$R1PORT" -model-version m0 &
+    "$DIR/sortinghatd" -model "$DIR/model.gob" -addr "$HOST:$R1PORT" -model-version m0 \
+        -trace-out "$DIR/r1-traces.jsonl" &
     R1PID=$!
     PIDS="$PIDS $R1PID"
-    "$DIR/sortinghatd" -model "$DIR/model.gob" -addr "$HOST:$R2PORT" -model-version m1 &
+    "$DIR/sortinghatd" -model "$DIR/model.gob" -addr "$HOST:$R2PORT" -model-version m1 \
+        -trace-out "$DIR/r2-traces.jsonl" &
     R2PID=$!
     PIDS="$PIDS $R2PID"
     wait_ready "$R1BASE" "$DIR/r1-healthz.json"
@@ -276,7 +301,7 @@ if has_phase fleet; then
 
     echo "smoke: [fleet] starting sortinghatgw on :$GWPORT..."
     "$DIR/sortinghatgw" -replicas "$R1BASE,$R2BASE" -addr "$HOST:$GWPORT" \
-        -probe-interval 500ms &
+        -probe-interval 500ms -trace-out "$DIR/gw-traces.jsonl" &
     GWPID=$!
     PIDS="$PIDS $GWPID"
     wait_ready "$GWBASE" "$DIR/gw-healthz.json"
@@ -327,6 +352,43 @@ if has_phase fleet; then
     grep -q '^sortinghatgw_fallback_columns_total 0$' "$DIR/gw-metrics.txt"
     grep -q '^sortinghatgw_replicas 2$' "$DIR/gw-metrics.txt"
     grep -q '^sortinghatgw_replicas_healthy 2$' "$DIR/gw-metrics.txt"
+    grep -q '^sortinghatgw_request_seconds_count 2$' "$DIR/gw-metrics.txt"
+    grep -q '^sortinghatgw_dispatch_seconds_count 2$' "$DIR/gw-metrics.txt"
+    grep -q '^sortinghatgw_goroutines ' "$DIR/gw-metrics.txt"
+
+    echo "smoke: [fleet] one gateway trace id must appear in every trace sink..."
+    wait_grep '"trace_id"' "$DIR/gw-traces.jsonl"
+    TRACE=$(sed -n 's/.*"trace_id":"\([0-9a-f]\{32\}\)".*/\1/p' "$DIR/gw-traces.jsonl" | head -n 1)
+    if [ -z "$TRACE" ]; then
+        echo "smoke: FAIL - gateway trace sink has no trace id: $(cat "$DIR/gw-traces.jsonl")" >&2
+        exit 1
+    fi
+    wait_grep "$TRACE" "$DIR/r1-traces.jsonl"
+    wait_grep "$TRACE" "$DIR/r2-traces.jsonl"
+
+    echo "smoke: [fleet] /debug/flight must explain the recorded requests..."
+    curl -fsS "$GWBASE/debug/flight" >"$DIR/gw-flight.json"
+    grep -q "\"trace_id\":\"$TRACE\"" "$DIR/gw-flight.json"
+    grep -q '"name":"dispatch"' "$DIR/gw-flight.json"
+    grep -q '"shard r' "$DIR/gw-flight.json"
+    curl -fsS "$R1BASE/debug/flight" >"$DIR/r1-flight.json"
+    grep -q '"name":"featurize"' "$DIR/r1-flight.json"
+    grep -q '"trace_id"' "$DIR/r1-flight.json"
+
+    echo "smoke: [fleet] tracecat must stitch the sinks into one timeline..."
+    $GO run ./cmd/tracecat -trace "$TRACE" \
+        "$DIR/gw-traces.jsonl" "$DIR/r1-traces.jsonl" "$DIR/r2-traces.jsonl" >"$DIR/stitched.txt"
+    echo "smoke: [fleet] stitched timeline:"
+    cat "$DIR/stitched.txt"
+    grep -q "^trace $TRACE:" "$DIR/stitched.txt"
+    grep -q 'gateway  \[gw-traces.jsonl\]' "$DIR/stitched.txt"
+    grep -q 'forward  \[gw-traces.jsonl\]' "$DIR/stitched.txt"
+    grep -q 'infer  \[r1-traces.jsonl\]' "$DIR/stitched.txt"
+    grep -q 'infer  \[r2-traces.jsonl\]' "$DIR/stitched.txt"
+    if grep -q 'not in any sink' "$DIR/stitched.txt"; then
+        echo "smoke: FAIL - stitched timeline has orphan spans" >&2
+        exit 1
+    fi
 
     echo "smoke: [fleet] graceful shutdown (gateway first, then replicas)..."
     stop_pid "$GWPID"
