@@ -9,8 +9,9 @@ GO ?= go
 BENCH_SET  = ^(BenchmarkServeInfer|BenchmarkFeaturizeColumn|BenchmarkTreePredict)$$
 BENCH_TIME = 100x
 
-.PHONY: build test race vet shvet shvet-strict check bench smoke smoke-fleet \
-	profile chaos bench-run bench-snapshot bench-gate bench-gate-trace
+.PHONY: build test race vet shvet shvet-strict shvet-fix shvet-fix-clean \
+	check bench smoke smoke-fleet profile chaos bench-run bench-snapshot \
+	bench-gate bench-gate-trace
 
 build:
 	$(GO) build ./...
@@ -39,7 +40,19 @@ shvet:
 shvet-strict:
 	$(GO) run ./cmd/shvet -json -baseline shvet.baseline.json ./... > shvet-findings.json
 
-check: build vet shvet shvet-strict test race
+# Apply every suggested fix in place (cancel-leak, body-close,
+# timer-stop); suppressed findings are refused, overlapping fixes are
+# skipped, and every rewritten file is gofmt-formatted.
+shvet-fix:
+	$(GO) run ./cmd/shvet -fix ./...
+
+# Autofix cleanliness gate: on a committed tree, -fix -dry-run must
+# print no diffs and exit 0 — every fixable finding has either been
+# applied (run `make shvet-fix`) or suppressed with a reason.
+shvet-fix-clean:
+	$(GO) run ./cmd/shvet -fix -dry-run ./...
+
+check: build vet shvet shvet-strict shvet-fix-clean test race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

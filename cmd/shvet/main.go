@@ -1,7 +1,7 @@
-// Command shvet runs the repository's fourteen-analyzer suite
-// (internal/analysis) — determinism, correctness, and hot-path
-// performance passes — over the module and exits non-zero when any
-// unsuppressed finding remains, so it can gate CI.
+// Command shvet runs the repository's eighteen-analyzer suite
+// (internal/analysis) — determinism, correctness, resource-lifecycle,
+// and hot-path performance passes — over the module and exits non-zero
+// when any unsuppressed finding remains, so it can gate CI.
 //
 // The four performance analyzers (alloc-in-loop, string-churn,
 // defer-in-loop, boxing) report only inside the serving hot region:
@@ -10,6 +10,12 @@
 // are the static half of the perf gate; the dynamic half is
 // cmd/benchdiff, which replays the serve benchmarks against the
 // committed BENCH_serve.json snapshot (make bench-gate).
+//
+// The four lifecycle analyzers (cancel-leak, body-close, timer-stop,
+// handler-contract) walk release obligations — context CancelFuncs,
+// response bodies, tickers, the ResponseWriter protocol — across every
+// path out of the acquiring scope. Where the repair is mechanical the
+// finding carries a suggested fix, and -fix applies it.
 //
 // Usage:
 //
@@ -25,6 +31,11 @@
 //	-json             emit the findings as a stable JSON report on stdout
 //	-baseline FILE    fail only on findings not present in FILE (a prior
 //	                  -json report); known ones print as "(baseline)"
+//	-fix              apply suggested fixes, rewriting files in place
+//	                  (suppressed findings are never fixed; overlapping
+//	                  fixes are skipped; output is gofmt-clean)
+//	-dry-run          with -fix: print unified diffs of the would-be
+//	                  rewrites instead of touching any file
 //
 // Findings print as file:line:col: [analyzer] message. Suppress one with
 // an end-of-line directive: //shvet:ignore <analyzer> <reason>.
@@ -42,6 +53,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"sortinghat/internal/analysis"
@@ -104,7 +116,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed findings")
 	jsonOut := fs.Bool("json", false, "emit findings as a stable JSON report on stdout")
 	baselinePath := fs.String("baseline", "", "fail only on findings absent from this prior -json report")
+	fix := fs.Bool("fix", false, "apply suggested fixes, rewriting files in place")
+	dryRun := fs.Bool("dry-run", false, "with -fix: print unified diffs instead of writing files")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dryRun && !*fix {
+		fmt.Fprintf(stderr, "shvet: -dry-run only makes sense together with -fix\n")
+		return 2
+	}
+	if *fix && *jsonOut {
+		fmt.Fprintf(stderr, "shvet: -fix and -json cannot be combined\n")
 		return 2
 	}
 
@@ -169,6 +191,48 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	findings := analysis.Analyze(pkgs, analyzers)
 
+	dryRunDiffs := false
+	if *fix {
+		src, err := packageSources(pkgs)
+		if err != nil {
+			fmt.Fprintf(stderr, "shvet: %v\n", err)
+			return 2
+		}
+		changed, applied, skippedFixes, err := analysis.ApplyFixes(pkgs[0].Fset, src, findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "shvet: %v\n", err)
+			return 2
+		}
+		files := make([]string, 0, len(changed))
+		for name := range changed {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		if *dryRun {
+			for _, name := range files {
+				fmt.Fprint(stdout, analysis.UnifiedDiff(modRelPath(loader.ModRoot, name), src[name], changed[name]))
+			}
+			dryRunDiffs = len(files) > 0
+		} else {
+			for _, name := range files {
+				if werr := os.WriteFile(name, changed[name], 0o644); werr != nil {
+					fmt.Fprintf(stderr, "shvet: %v\n", werr)
+					return 2
+				}
+			}
+			if len(applied) > 0 {
+				fmt.Fprintf(stderr, "shvet: applied %d fix(es) across %d file(s)\n", len(applied), len(files))
+			}
+			// The applied findings no longer exist in the tree; the report
+			// and the exit code cover only what remains.
+			findings = dropApplied(findings, applied)
+		}
+		for _, s := range skippedFixes {
+			rel := modRelPath(loader.ModRoot, s.Finding.Pos.Filename)
+			fmt.Fprintf(stderr, "shvet: fix skipped at %s:%d [%s]: %s\n", rel, s.Finding.Pos.Line, s.Finding.Analyzer, s.Reason)
+		}
+	}
+
 	rep := jsonReport{Module: loader.ModPath, Findings: []jsonFinding{}}
 	for _, f := range findings {
 		jf := jsonFinding{
@@ -198,7 +262,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		fmt.Fprintf(stdout, "%s\n", data)
-	} else {
+	} else if !(*fix && *dryRun) {
+		// In -fix -dry-run mode stdout carries the diffs, nothing else.
 		for i, f := range findings {
 			if f.Suppressed && !*showSuppressed {
 				continue
@@ -225,7 +290,50 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 1
 	}
+	if dryRunDiffs {
+		// Everything pending is baselined, but -fix would still rewrite
+		// files; a "clean" exit would let CI miss the unapplied fixes.
+		fmt.Fprintf(stderr, "shvet: -fix would rewrite files (see diffs above)\n")
+		return 1
+	}
 	return 0
+}
+
+// packageSources reads the current on-disk bytes of every file in the
+// analyzed packages, keyed the way the FileSet names them.
+func packageSources(pkgs []*analysis.Package) (map[string][]byte, error) {
+	src := map[string][]byte{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			if _, ok := src[name]; ok {
+				continue
+			}
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			src[name] = data
+		}
+	}
+	return src, nil
+}
+
+// dropApplied removes the findings whose fixes were just applied; they
+// describe code that no longer exists.
+func dropApplied(findings, applied []analysis.Finding) []analysis.Finding {
+	fixed := make(map[*analysis.SuggestedFix]bool, len(applied))
+	for _, f := range applied {
+		fixed[f.Fix] = true
+	}
+	out := make([]analysis.Finding, 0, len(findings))
+	for _, f := range findings {
+		if f.Fix != nil && fixed[f.Fix] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // modRelPath renders filename relative to the module root with forward

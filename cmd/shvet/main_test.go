@@ -232,3 +232,116 @@ func TestNoMatchingPackages(t *testing.T) {
 		t.Errorf("stderr missing diagnosis:\n%s", stderr)
 	}
 }
+
+const leakyFixture = `// Package leaky leaks a cancel func on purpose.
+package leaky
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline discards the CancelFunc.
+func Deadline(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second)
+	return ctx
+}
+`
+
+// TestFixDryRunPrintsDiff checks that -fix -dry-run shows the rewrite as
+// a unified diff, leaves the file untouched, and still exits non-zero.
+func TestFixDryRunPrintsDiff(t *testing.T) {
+	dir := chtmpmod(t, map[string]string{"leaky.go": leakyFixture})
+
+	code, stdout, stderr := capture(t, []string{"-fix", "-dry-run", "-only", "cancel-leak"})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"--- a/leaky.go", "+++ b/leaky.go", "+\tdefer cancel()"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("dry-run diff missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "leaky.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != leakyFixture {
+		t.Errorf("-dry-run modified the file:\n%s", data)
+	}
+}
+
+// TestFixRewritesFile checks the write path end to end: the fix lands on
+// disk gofmt-clean, the run exits 0 because nothing unfixed remains, and
+// a second plain run stays clean.
+func TestFixRewritesFile(t *testing.T) {
+	dir := chtmpmod(t, map[string]string{"leaky.go": leakyFixture})
+
+	code, _, stderr := capture(t, []string{"-fix", "-only", "cancel-leak"})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "applied 1 fix(es)") {
+		t.Errorf("stderr missing applied count:\n%s", stderr)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "leaky.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ctx, cancel := context.WithTimeout(parent, time.Second)\n\tdefer cancel()") {
+		t.Errorf("fix not applied on disk:\n%s", data)
+	}
+	if code, _, _ := capture(t, []string{"-only", "cancel-leak"}); code != 0 {
+		t.Errorf("fixed module still reports findings (exit %d)", code)
+	}
+	if code, stdout, _ := capture(t, []string{"-fix", "-dry-run", "-only", "cancel-leak"}); code != 0 || stdout != "" {
+		t.Errorf("-fix -dry-run after fixing: exit %d, stdout %q; want clean", code, stdout)
+	}
+}
+
+// TestFixRefusesSuppressed pins the policy that a //shvet:ignore
+// directive outranks -fix.
+func TestFixRefusesSuppressed(t *testing.T) {
+	suppressed := strings.Replace(leakyFixture,
+		"ctx, _ := context.WithTimeout(parent, time.Second)",
+		"ctx, _ := context.WithTimeout(parent, time.Second) //shvet:ignore cancel-leak deadline is the cleanup", 1)
+	dir := chtmpmod(t, map[string]string{"leaky.go": suppressed})
+
+	code, _, stderr := capture(t, []string{"-fix", "-only", "cancel-leak"})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (finding is suppressed)\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "fix skipped") || !strings.Contains(stderr, "suppressed") {
+		t.Errorf("stderr missing suppressed-fix refusal:\n%s", stderr)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "leaky.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != suppressed {
+		t.Errorf("-fix modified a suppressed region:\n%s", data)
+	}
+}
+
+// TestDryRunWithoutFixIsUsageError keeps the flag pairing honest.
+func TestDryRunWithoutFixIsUsageError(t *testing.T) {
+	code, _, stderr := capture(t, []string{"-dry-run"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-dry-run") {
+		t.Errorf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+// TestFixJSONConflictIsUsageError: -fix rewrites files, -json promises a
+// pure report; the pair is rejected.
+func TestFixJSONConflictIsUsageError(t *testing.T) {
+	code, _, stderr := capture(t, []string{"-fix", "-json"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-fix and -json") {
+		t.Errorf("stderr missing diagnosis:\n%s", stderr)
+	}
+}

@@ -59,7 +59,7 @@ func cmdTrain(args []string) {
 	n := fs.Int("n", 0, "training corpus size (default: paper-scale 9,921)")
 	seed := fs.Int64("seed", 7, "corpus seed")
 	traceOut := fs.String("trace-out", "", "write the training trace as a JSONL span tree to this file")
-	fs.Parse(args) //shvet:ignore unchecked-err ExitOnError FlagSet exits on parse failure
+	_ = fs.Parse(args)
 
 	// With -trace-out, every training phase (corpus, featurize, fit, save)
 	// is timed as a span under one root train span, written as one JSONL
@@ -121,7 +121,7 @@ func cmdTrain(args []string) {
 func cmdInfer(args []string) {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	modelPath := fs.String("model", "", "trained model file (optional; trains a small model when omitted)")
-	fs.Parse(args) //shvet:ignore unchecked-err ExitOnError FlagSet exits on parse failure
+	_ = fs.Parse(args)
 	files := fs.Args()
 	if len(files) == 0 {
 		usage()

@@ -14,8 +14,9 @@ type Finding struct {
 	Pos        token.Position
 	Analyzer   string
 	Message    string
-	Suppressed bool   // true when a //shvet:ignore directive covers it
-	Reason     string // suppression reason, when Suppressed
+	Suppressed bool          // true when a //shvet:ignore directive covers it
+	Reason     string        // suppression reason, when Suppressed
+	Fix        *SuggestedFix // machine-applicable repair, when the analyzer has one
 }
 
 // String renders the finding in the canonical file:line:col form.
@@ -106,6 +107,10 @@ func All() []*Analyzer {
 		AnalyzerStringChurn,
 		AnalyzerDeferInLoop,
 		AnalyzerBoxing,
+		AnalyzerCancelLeak,
+		AnalyzerBodyClose,
+		AnalyzerTimerStop,
+		AnalyzerHandlerContract,
 	}
 }
 

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerBodyClose flags *http.Response values whose Body is not closed
+// on every path. An unclosed body pins the underlying connection, so the
+// client cannot reuse it and under load the fleet bleeds sockets —
+// exactly the hedge-loser and early-error paths the gateway exercises.
+// The check is interprocedural one hop deep: passing the response to a
+// callee in the module that provably never closes (or re-escapes) it
+// does not discharge the obligation. The branch where the paired error
+// is non-nil is exempt, since the response is nil there by contract.
+var AnalyzerBodyClose = &Analyzer{
+	Name:      "body-close",
+	Doc:       "http.Response bodies not closed on every path",
+	RunModule: runBodyClose,
+}
+
+func runBodyClose(mp *ModulePass) {
+	closes := map[string]bool{} // memo for closesOrEscapesBody, keyed id\x00paramIdx
+	for _, id := range mp.Graph.SortedIDs() {
+		n := mp.Graph.Nodes[id]
+		info := n.Pkg.Info
+		for _, acq := range collectAcquisitions(info, n.Decl.Body, func(call *ast.CallExpr) (int, int, bool) {
+			return matchResponseCall(info, call)
+		}) {
+			if acq.name == "_" {
+				mp.Reportf(acq.call.Pos(),
+					"the *http.Response from this call is discarded; on success its body is never closed and the connection cannot be reused")
+				continue
+			}
+			if acq.obj == nil {
+				continue
+			}
+			passedTo := "" // first in-module callee seen that never closes the body
+			rules := resRules{
+				isRelease: isBodyCloseCall,
+				isBenignUse: func(info *types.Info, ident *ast.Ident, path []ast.Node) bool {
+					// Field and method access through the response —
+					// resp.StatusCode, resp.Header, resp.Body handed to a
+					// reader — neither closes nor hides the body.
+					_, ok := path[0].(*ast.SelectorExpr)
+					return ok
+				},
+				classifyCallArg: func(info *types.Info, call *ast.CallExpr, argIdx int) escapeKind {
+					fn := calleeFuncInfo(info, call)
+					if fn == nil {
+						return escOther // function value: assume it manages the body
+					}
+					callee, ok := mp.Graph.Nodes[fn.FullName()]
+					if !ok {
+						return escOther // outside the module graph
+					}
+					sig, _ := fn.Type().(*types.Signature)
+					if sig == nil || sig.Variadic() || argIdx >= sig.Params().Len() {
+						return escOther
+					}
+					if closesOrEscapesBody(mp.Graph, closes, callee, argIdx, 0) {
+						return escOther
+					}
+					if passedTo == "" {
+						passedTo = mp.Graph.ShortID(callee.ID)
+					}
+					return escNone // callee provably never closes: keep tracking
+				},
+			}
+			out := analyzeAcquisition(info, rules, acq)
+			switch {
+			case out.escaped:
+			case out.loopDefer:
+				mp.Reportf(acq.stmt.Pos(),
+					"response body of %s acquired inside a loop is closed only via defer, which runs at function exit; close each iteration's body before the next one starts", acq.name)
+			case out.leakPos != token.NoPos:
+				where := "before its scope ends"
+				if out.leakAtReturn {
+					where = "on an early-return path"
+				}
+				suffix := ""
+				if passedTo != "" {
+					suffix = "; it is passed to " + passedTo + ", which never closes it"
+				}
+				mp.ReportFixf(acq.stmt.Pos(), bodyCloseFix(info, acq, out),
+					"response body of %s is not closed %s%s; the connection cannot be reused", acq.name, where, suffix)
+			}
+		}
+	}
+}
+
+// matchResponseCall reports whether call yields a caller-owned
+// *http.Response: the result list is (*http.Response) or
+// (*http.Response, error).
+func matchResponseCall(info *types.Info, call *ast.CallExpr) (resIdx, errIdx int, ok bool) {
+	t := info.TypeOf(call)
+	switch v := t.(type) {
+	case *types.Tuple:
+		if v.Len() != 2 || !isHTTPResponsePtr(v.At(0).Type()) {
+			return 0, 0, false
+		}
+		if !types.Identical(v.At(1).Type(), types.Universe.Lookup("error").Type()) {
+			return 0, 0, false
+		}
+		return 0, 1, true
+	default:
+		if t != nil && isHTTPResponsePtr(t) {
+			return 0, -1, true
+		}
+	}
+	return 0, 0, false
+}
+
+func isHTTPResponsePtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Response"
+}
+
+// isBodyCloseCall recognizes obj.Body.Close().
+func isBodyCloseCall(info *types.Info, obj types.Object, call *ast.CallExpr) bool {
+	closeSel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || closeSel.Sel.Name != "Close" {
+		return false
+	}
+	bodySel, ok := closeSel.X.(*ast.SelectorExpr)
+	if !ok || bodySel.Sel.Name != "Body" {
+		return false
+	}
+	id, ok := bodySel.X.(*ast.Ident)
+	return ok && obj != nil && info.Uses[id] == obj
+}
+
+// bodyCloseFix builds a "defer name.Body.Close()" insertion when it is
+// provably safe: either the call has no paired error, or the statement
+// immediately after the acquisition is the `if err != nil` check whose
+// branch terminates — the defer then goes after that check, where the
+// response is known non-nil.
+func bodyCloseFix(info *types.Info, acq *acquisition, out resOutcome) *SuggestedFix {
+	if out.anyRelease || acq.enclosedByLoop() {
+		return nil
+	}
+	insert := acq.stmt.End()
+	if acq.errObj != nil {
+		next := nextStmtInBlock(acq)
+		ifs, ok := next.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil {
+			return nil
+		}
+		if errBranch(info, acq.errObj, ifs.Cond) != errNonNilThen || !blockTerminates(ifs.Body) {
+			return nil
+		}
+		insert = ifs.End()
+	}
+	return &SuggestedFix{
+		Message: "insert defer " + acq.name + ".Body.Close() once the response is known good",
+		Edits:   []TextEdit{{Start: insert, End: insert, NewText: "\ndefer " + acq.name + ".Body.Close()"}},
+	}
+}
+
+// nextStmtInBlock returns the statement immediately after the
+// acquisition in its enclosing block, or nil.
+func nextStmtInBlock(acq *acquisition) ast.Stmt {
+	for i := len(acq.stack) - 1; i > 0; i-- {
+		if acq.stack[i] != ast.Node(acq.stmt) {
+			continue
+		}
+		var list []ast.Stmt
+		switch p := acq.stack[i-1].(type) {
+		case *ast.BlockStmt:
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.CommClause:
+			list = p.Body
+		default:
+			return nil
+		}
+		rest := stmtsAfter(list, acq.stmt)
+		if len(rest) > 0 {
+			return rest[0]
+		}
+		return nil
+	}
+	return nil
+}
+
+// blockTerminates reports whether the block's last statement leaves the
+// function: return, panic, os.Exit, log.Fatal.
+func blockTerminates(blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	switch last := blk.List[len(blk.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if pkg, ok := sel.X.(*ast.Ident); ok {
+					if pkg.Name == "os" && name == "Exit" {
+						return true
+					}
+					if pkg.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln") {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// closesOrEscapesBody reports whether the callee, given the response as
+// its paramIdx-th parameter, either closes its body or lets it escape
+// further than the walker can see (returned, stored, captured, handed
+// to an unknown callee). Only a false answer — the callee provably just
+// reads the response — keeps the caller's obligation alive.
+func closesOrEscapesBody(g *CallGraph, memo map[string]bool, n *Node, paramIdx int, depth int) bool {
+	key := n.ID + "\x00" + string(rune('0'+paramIdx))
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	if depth > 3 {
+		return true
+	}
+	memo[key] = true // break recursion cycles toward the safe answer
+	sig, _ := n.Fn.Type().(*types.Signature)
+	if sig == nil || paramIdx >= sig.Params().Len() {
+		return true
+	}
+	pvar := sig.Params().At(paramIdx)
+	info := n.Pkg.Info
+
+	result := false
+	walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+		if result {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok || info.Uses[id] != types.Object(pvar) {
+			return true
+		}
+		path := make([]ast.Node, 0, len(stack)-1)
+		for i := len(stack) - 2; i >= 0; i-- {
+			path = append(path, stack[i])
+		}
+		if call := enclosingReleaseCall(id, path); call != nil && isBodyCloseCall(info, pvar, call) {
+			result = true
+			return true
+		}
+		if len(path) == 0 {
+			result = true
+			return true
+		}
+		switch p := path[0].(type) {
+		case *ast.SelectorExpr:
+			return true // field/method read
+		case *ast.BinaryExpr:
+			if p.Op == token.EQL || p.Op == token.NEQ {
+				return true // nil check
+			}
+			result = true
+		case *ast.CallExpr:
+			for i, arg := range p.Args {
+				if arg != ast.Expr(id) {
+					continue
+				}
+				fn := calleeFuncInfo(info, p)
+				if fn == nil {
+					result = true
+					return true
+				}
+				callee, ok := g.Nodes[fn.FullName()]
+				if !ok {
+					result = true
+					return true
+				}
+				csig, _ := fn.Type().(*types.Signature)
+				if csig == nil || csig.Variadic() || i >= csig.Params().Len() {
+					result = true
+					return true
+				}
+				if closesOrEscapesBody(g, memo, callee, i, depth+1) {
+					result = true
+				}
+				return true
+			}
+			result = true
+		default:
+			result = true // returned, stored, captured, address taken, ...
+		}
+		return true
+	})
+	memo[key] = result
+	return result
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerCancelLeak flags context.WithCancel/WithTimeout/WithDeadline
+// calls whose CancelFunc is discarded, or is not guaranteed to be called
+// on every path out of the variable's scope. A context whose cancel
+// never runs pins its parent's resources (and, for WithTimeout, a timer)
+// until the deadline fires — or forever. Contexts created per loop
+// iteration whose cancel is merely deferred are flagged too: the defers
+// pile up until function exit. Where the repair is mechanical the
+// finding carries a fix inserting "defer cancel()".
+var AnalyzerCancelLeak = &Analyzer{
+	Name:      "cancel-leak",
+	Doc:       "context CancelFuncs discarded or not called on every path",
+	RunModule: runCancelLeak,
+}
+
+// ctxWithFuncs are the context constructors that return a cancel func as
+// their second result. The bool marks the plain CancelFunc variants
+// (niladic), for which inserting "defer cancel()" is mechanical.
+var ctxWithFuncs = map[string]bool{
+	"WithCancel":        true,
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithCancelCause":   false,
+	"WithTimeoutCause":  false,
+	"WithDeadlineCause": false,
+}
+
+func runCancelLeak(mp *ModulePass) {
+	for _, id := range mp.Graph.SortedIDs() {
+		n := mp.Graph.Nodes[id]
+		info := n.Pkg.Info
+		for _, acq := range collectAcquisitions(info, n.Decl.Body, func(call *ast.CallExpr) (int, int, bool) {
+			if ctxCancelCtor(info, call) == "" {
+				return 0, 0, false
+			}
+			return 1, -1, true
+		}) {
+			ctor := ctxCancelCtor(info, acq.call)
+			if acq.name == "_" {
+				fix := discardedCancelFix(mp, n, acq, ctor)
+				mp.ReportFixf(acq.call.Pos(), fix,
+					"CancelFunc from context.%s is discarded; the context can never be canceled early and leaks its resources until the deadline, if there is one", ctor)
+				continue
+			}
+			if acq.obj == nil {
+				continue
+			}
+			out := analyzeAcquisition(info, cancelLeakRules(), acq)
+			switch {
+			case out.escaped:
+			case out.loopDefer:
+				mp.Reportf(acq.stmt.Pos(),
+					"context.%s inside a loop releases %s only via defer, which runs at function exit; cancel each iteration's context before the next one starts", ctor, acq.name)
+			case out.leakPos != token.NoPos:
+				// CancelFuncs are documented idempotent, so a blanket
+				// "defer cancel()" right after the acquisition is safe
+				// even when some path already cancels directly.
+				var fix *SuggestedFix
+				if ctxWithFuncs[ctor] && !acq.enclosedByLoop() {
+					fix = &SuggestedFix{
+						Message: "insert defer " + acq.name + "() after the acquisition",
+						Edits:   []TextEdit{{Start: acq.stmt.End(), End: acq.stmt.End(), NewText: "\ndefer " + acq.name + "()"}},
+					}
+				}
+				where := "before its scope ends"
+				if out.leakAtReturn {
+					where = "on an early-return path"
+				}
+				mp.ReportFixf(acq.stmt.Pos(), fix,
+					"CancelFunc %s from context.%s is not called %s; the context leaks", acq.name, ctor, where)
+			}
+		}
+	}
+}
+
+// cancelLeakRules: the only legitimate local uses of a cancel func are
+// calling it and deferring it; anything else is an escape.
+func cancelLeakRules() resRules {
+	return resRules{
+		isRelease: func(info *types.Info, obj types.Object, call *ast.CallExpr) bool {
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && obj != nil && info.Uses[id] == obj
+		},
+	}
+}
+
+// ctxCancelCtor returns the context constructor name ("WithCancel", ...)
+// when call is one, or "".
+func ctxCancelCtor(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFuncInfo(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if _, ok := ctxWithFuncs[fn.Name()]; !ok {
+		return ""
+	}
+	return fn.Name()
+}
+
+// discardedCancelFix builds the fix for `ctx, _ := context.WithX(...)`:
+// name the cancel func and defer it. Skipped when "cancel" is already in
+// scope (the rename would shadow or collide) or the constructor's cancel
+// func takes arguments.
+func discardedCancelFix(mp *ModulePass, n *Node, acq *acquisition, ctor string) *SuggestedFix {
+	if !ctxWithFuncs[ctor] || acq.enclosedByLoop() {
+		return nil
+	}
+	as, ok := acq.stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 2 || as.Tok != token.DEFINE {
+		return nil
+	}
+	blank, ok := as.Lhs[1].(*ast.Ident)
+	if !ok || blank.Name != "_" {
+		return nil
+	}
+	if scope := n.Pkg.Types.Scope().Innermost(acq.stmt.Pos()); scope != nil {
+		if _, obj := scope.LookupParent("cancel", acq.stmt.Pos()); obj != nil {
+			return nil
+		}
+	}
+	return &SuggestedFix{
+		Message: "name the CancelFunc and defer it",
+		Edits: []TextEdit{
+			{Start: blank.Pos(), End: blank.End(), NewText: "cancel"},
+			{Start: acq.stmt.End(), End: acq.stmt.End(), NewText: "\ndefer cancel()"},
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders a unified diff (3 lines of context) between a and
+// b, labeled "--- a/name" / "+++ b/name". It returns "" when the inputs
+// are byte-identical. The implementation is a plain longest-common-
+// subsequence line diff — quadratic, which is fine for source files —
+// so `shvet -fix -dry-run` needs nothing outside the standard library.
+func UnifiedDiff(name string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+
+	// LCS table over lines. lcs[i][j] = length of the LCS of al[i:], bl[j:].
+	lcs := make([][]int, len(al)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(bl)+1)
+	}
+	for i := len(al) - 1; i >= 0; i-- {
+		for j := len(bl) - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	// Walk the table into an edit script of keep/delete/insert ops.
+	type op struct {
+		kind byte // ' ', '-', '+'
+		text string
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < len(al) && j < len(bl) {
+		switch {
+		case al[i] == bl[j]:
+			ops = append(ops, op{' ', al[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', al[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', bl[j]})
+			j++
+		}
+	}
+	for ; i < len(al); i++ {
+		ops = append(ops, op{'-', al[i]})
+	}
+	for ; j < len(bl); j++ {
+		ops = append(ops, op{'+', bl[j]})
+	}
+
+	// Group changed ops into hunks with up to `context` common lines on
+	// each side; hunks closer than 2*context merge.
+	const context = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", name, name)
+	aLine, bLine := 1, 1 // 1-based line numbers of the next op's position
+	k := 0
+	for k < len(ops) {
+		if ops[k].kind == ' ' {
+			aLine++
+			bLine++
+			k++
+			continue
+		}
+		// Found a change at ops[k]; open a hunk spanning every change
+		// within 2*context common lines of the previous one.
+		start := k - context
+		if start < 0 {
+			start = 0
+		}
+		lead := k - start // common lines re-included before the change
+		end := k
+		last := k // index just past the last changed op in the hunk
+		for end < len(ops) {
+			if ops[end].kind != ' ' {
+				end++
+				last = end
+				continue
+			}
+			run := 0
+			for end+run < len(ops) && ops[end+run].kind == ' ' {
+				run++
+			}
+			if end+run < len(ops) && run <= 2*context {
+				end += run // common gap small enough: keep extending
+				continue
+			}
+			break
+		}
+		tail := last + context
+		if tail > len(ops) {
+			tail = len(ops)
+		}
+		hunk := ops[start:tail]
+
+		aStart, bStart := aLine-lead, bLine-lead
+		var aCount, bCount int
+		for _, o := range hunk {
+			switch o.kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for _, o := range hunk {
+			sb.WriteByte(o.kind)
+			sb.WriteString(o.text)
+			sb.WriteByte('\n')
+		}
+		for _, o := range ops[k:tail] {
+			switch o.kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		k = tail
+	}
+	return sb.String()
+}
+
+// splitLines splits src into lines without their newlines; a trailing
+// newline does not produce a final empty line.
+func splitLines(src []byte) []string {
+	s := string(src)
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+)
+
+// This file is the autofix engine: analyzers may attach a SuggestedFix to
+// a finding (ReportFixf), and ApplyFixes turns the fixes of a findings
+// list into new file contents. The engine is deliberately conservative —
+// it refuses overlapping edits, refuses to touch suppressed findings, and
+// round-trips every rewritten file through gofmt so an applied fix can
+// never leave the tree unformatted or unparsable. cmd/shvet exposes it as
+// the -fix flag (-dry-run prints unified diffs instead of writing).
+
+// TextEdit is one replacement of the source range [Start, End) with
+// NewText. Start == End inserts. Positions are token.Pos values from the
+// same FileSet the findings were produced under.
+type TextEdit struct {
+	Start, End token.Pos
+	NewText    string
+}
+
+// SuggestedFix is a machine-applicable repair attached to a finding:
+// one or more non-overlapping text edits plus a short description of
+// what applying them does.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// ReportFixf records a finding at pos carrying a suggested fix.
+func (p *ModulePass) ReportFixf(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// SkippedFix records a fix ApplyFixes declined to apply and why.
+type SkippedFix struct {
+	Finding Finding
+	Reason  string
+}
+
+// resolvedEdit is a TextEdit resolved to a concrete file and byte range.
+type resolvedEdit struct {
+	file       string
+	start, end int
+	newText    string
+}
+
+// ApplyFixes applies the suggested fixes of findings to src (filename ->
+// original file bytes) and returns the rewritten files, the findings
+// whose fixes were applied, and the ones skipped with a reason. Policy:
+//
+//   - a suppressed finding's fix is never applied: the //shvet:ignore
+//     directive records a human decision that the code is intentional,
+//     and -fix must not overrule it;
+//   - fixes are considered in the findings' sorted order, and a fix any
+//     of whose edits overlaps an already-accepted edit is skipped whole
+//     (fixes are atomic — applying half of one is worse than none);
+//   - every rewritten file is run through gofmt; a fix that produces
+//     unformattable output is a bug in its analyzer and fails the whole
+//     call rather than silently writing a broken file.
+func ApplyFixes(fset *token.FileSet, src map[string][]byte, findings []Finding) (changed map[string][]byte, applied []Finding, skipped []SkippedFix, err error) {
+	accepted := map[string][]resolvedEdit{}
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		if f.Suppressed {
+			skipped = append(skipped, SkippedFix{Finding: f,
+				Reason: "finding is suppressed by a //shvet:ignore directive; remove the directive first"})
+			continue
+		}
+		edits, rerr := resolveEdits(fset, src, f.Fix.Edits)
+		if rerr != nil {
+			skipped = append(skipped, SkippedFix{Finding: f, Reason: rerr.Error()})
+			continue
+		}
+		if overlapsAccepted(accepted, edits) {
+			skipped = append(skipped, SkippedFix{Finding: f,
+				Reason: "edits overlap a fix already applied in this run; re-run shvet -fix after the first pass lands"})
+			continue
+		}
+		for _, e := range edits {
+			accepted[e.file] = append(accepted[e.file], e)
+		}
+		applied = append(applied, f)
+	}
+
+	changed = map[string][]byte{}
+	files := make([]string, 0, len(accepted))
+	for file := range accepted {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := accepted[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		out := append([]byte(nil), src[file]...)
+		for _, e := range edits {
+			out = append(out[:e.start], append([]byte(e.newText), out[e.end:]...)...)
+		}
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return nil, nil, nil, fmt.Errorf("analysis: fix for %s produced unformattable output: %w", file, ferr)
+		}
+		changed[file] = formatted
+	}
+	return changed, applied, skipped, nil
+}
+
+// resolveEdits maps a fix's token.Pos edits onto file byte ranges,
+// validating that every range falls inside a file we hold sources for.
+func resolveEdits(fset *token.FileSet, src map[string][]byte, edits []TextEdit) ([]resolvedEdit, error) {
+	if len(edits) == 0 {
+		return nil, fmt.Errorf("fix has no edits")
+	}
+	out := make([]resolvedEdit, 0, len(edits))
+	for _, e := range edits {
+		start := fset.Position(e.Start)
+		end := fset.Position(e.End)
+		if start.Filename == "" || start.Filename != end.Filename {
+			return nil, fmt.Errorf("fix edit spans files (%s vs %s)", start.Filename, end.Filename)
+		}
+		data, ok := src[start.Filename]
+		if !ok {
+			return nil, fmt.Errorf("fix edit in %s, which is not part of the analyzed sources", start.Filename)
+		}
+		if start.Offset > end.Offset || end.Offset > len(data) {
+			return nil, fmt.Errorf("fix edit range [%d,%d) outside %s (%d bytes)", start.Offset, end.Offset, start.Filename, len(data))
+		}
+		out = append(out, resolvedEdit{file: start.Filename, start: start.Offset, end: end.Offset, newText: e.NewText})
+	}
+	return out, nil
+}
+
+// overlapsAccepted reports whether any candidate edit overlaps an edit
+// already accepted for the same file. Two insertions at the same offset
+// also count as overlapping: their order would be ambiguous.
+func overlapsAccepted(accepted map[string][]resolvedEdit, edits []resolvedEdit) bool {
+	for _, e := range edits {
+		for _, a := range accepted[e.file] {
+			if e.start < a.end && a.start < e.end {
+				return true
+			}
+			if e.start == e.end && a.start == a.end && e.start == a.start {
+				return true
+			}
+			// An insertion at the boundary of a replacement is ambiguous
+			// too: refuse rather than guess which side it lands on.
+			if (e.start == e.end && e.start > a.start && e.start < a.end) ||
+				(a.start == a.end && a.start > e.start && a.start < e.end) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadDir loads the module rooted at root and runs the full suite.
+func loadDir(t *testing.T, root string) ([]*Package, []Finding) {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", root, err)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", root)
+	}
+	return pkgs, Analyze(pkgs, All())
+}
+
+// copyTree copies the fixfixtures module into a temp dir so applying
+// fixes cannot dirty the checked-in tree.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readGoSources returns filename -> bytes for every .go file under root.
+func readGoSources(t *testing.T, root string) map[string][]byte {
+	t.Helper()
+	src := map[string][]byte{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		src[path] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestFixGolden applies the suite's suggested fixes to the fixfixtures
+// module and compares every file against its .golden counterpart; it
+// then re-analyzes the fixed tree and asserts a second pass is a no-op.
+// Set SHVET_UPDATE_GOLDEN=1 to regenerate the goldens.
+func TestFixGolden(t *testing.T) {
+	orig, err := filepath.Abs(filepath.Join("testdata", "fixfixtures"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := t.TempDir()
+	copyTree(t, orig, work)
+
+	pkgs, findings := loadDir(t, work)
+	src := readGoSources(t, work)
+	changed, applied, skipped, err := ApplyFixes(pkgs[0].Fset, src, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(applied) != 4 {
+		t.Errorf("applied %d fixes, want 4:", len(applied))
+		for _, f := range applied {
+			t.Logf("  applied: %s", f)
+		}
+	}
+	suppressedSkips := 0
+	for _, s := range skipped {
+		if strings.Contains(s.Reason, "suppressed") {
+			suppressedSkips++
+		}
+	}
+	if suppressedSkips != 1 {
+		t.Errorf("got %d suppressed-fix skips, want 1: %+v", suppressedSkips, skipped)
+	}
+	for path, data := range changed {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every fixed file must match its golden; files without a golden
+	// must come out untouched.
+	err = filepath.WalkDir(work, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(work, path)
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		golden := filepath.Join(orig, rel+".golden")
+		want, gerr := os.ReadFile(golden)
+		if os.IsNotExist(gerr) {
+			want, gerr = os.ReadFile(filepath.Join(orig, rel))
+		}
+		if gerr != nil {
+			return gerr
+		}
+		if bytes.Equal(got, want) {
+			return nil
+		}
+		if os.Getenv("SHVET_UPDATE_GOLDEN") != "" {
+			return os.WriteFile(golden, got, 0o644)
+		}
+		t.Errorf("%s: post-fix content does not match golden\n--- got ---\n%s--- want ---\n%s", rel, got, want)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Idempotence: a second pass over the fixed tree changes nothing.
+	pkgs2, findings2 := loadDir(t, work)
+	src2 := readGoSources(t, work)
+	changed2, applied2, _, err := ApplyFixes(pkgs2[0].Fset, src2, findings2)
+	if err != nil {
+		t.Fatalf("second ApplyFixes: %v", err)
+	}
+	if len(changed2) != 0 || len(applied2) != 0 {
+		t.Errorf("second fix pass is not a no-op: %d files changed, %d fixes applied", len(changed2), len(applied2))
+	}
+}
+
+// synthFinding builds a finding over the given source with one edit.
+func synthFinding(fset *token.FileSet, file *token.File, start, end int, text, msg string) Finding {
+	return Finding{
+		Pos:      fset.Position(file.Pos(start)),
+		Analyzer: "synthetic",
+		Message:  msg,
+		Fix: &SuggestedFix{
+			Message: msg,
+			Edits:   []TextEdit{{Start: file.Pos(start), End: file.Pos(end), NewText: text}},
+		},
+	}
+}
+
+func synthFile(src string) (*token.FileSet, *token.File) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("p.go", -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	return fset, f
+}
+
+const synthSrc = "package p\n\nfunc f() {}\n"
+
+func TestFixOverlapRejected(t *testing.T) {
+	fset, f := synthFile(synthSrc)
+	// Both fixes rename the "f" ident (offset 16); the second must be
+	// skipped whole.
+	findings := []Finding{
+		synthFinding(fset, f, 16, 17, "g", "first"),
+		synthFinding(fset, f, 16, 17, "h", "second"),
+	}
+	changed, applied, skipped, err := ApplyFixes(fset, map[string][]byte{"p.go": []byte(synthSrc)}, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(applied) != 1 || applied[0].Message != "first" {
+		t.Fatalf("applied = %v, want just the first fix", applied)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0].Reason, "overlap") {
+		t.Fatalf("skipped = %+v, want one overlap skip", skipped)
+	}
+	if got := string(changed["p.go"]); !strings.Contains(got, "func g()") {
+		t.Errorf("changed content = %q, want func g()", got)
+	}
+}
+
+func TestFixSameOffsetInsertionsRejected(t *testing.T) {
+	fset, f := synthFile(synthSrc)
+	end := len(synthSrc)
+	findings := []Finding{
+		synthFinding(fset, f, end, end, "\nfunc g() {}\n", "first"),
+		synthFinding(fset, f, end, end, "\nfunc h() {}\n", "second"),
+	}
+	_, applied, skipped, err := ApplyFixes(fset, map[string][]byte{"p.go": []byte(synthSrc)}, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(applied) != 1 || len(skipped) != 1 || !strings.Contains(skipped[0].Reason, "overlap") {
+		t.Fatalf("applied=%v skipped=%+v, want second insertion rejected as ambiguous", applied, skipped)
+	}
+}
+
+func TestFixSuppressedRefused(t *testing.T) {
+	fset, f := synthFile(synthSrc)
+	fdg := synthFinding(fset, f, 16, 17, "g", "rename")
+	fdg.Suppressed = true
+	fdg.Reason = "intentional"
+	changed, applied, skipped, err := ApplyFixes(fset, map[string][]byte{"p.go": []byte(synthSrc)}, []Finding{fdg})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(changed) != 0 || len(applied) != 0 {
+		t.Fatalf("suppressed fix was applied: changed=%v applied=%v", changed, applied)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0].Reason, "suppressed") {
+		t.Fatalf("skipped = %+v, want one suppressed-refusal", skipped)
+	}
+}
+
+func TestFixUnformattableFails(t *testing.T) {
+	fset, f := synthFile(synthSrc)
+	findings := []Finding{synthFinding(fset, f, len(synthSrc), len(synthSrc), "}}}", "breakage")}
+	if _, _, _, err := ApplyFixes(fset, map[string][]byte{"p.go": []byte(synthSrc)}, findings); err == nil {
+		t.Fatal("ApplyFixes accepted a fix producing unparsable output")
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	if d := UnifiedDiff("x.go", []byte("a\nb\n"), []byte("a\nb\n")); d != "" {
+		t.Errorf("diff of identical content = %q, want empty", d)
+	}
+	d := UnifiedDiff("x.go", []byte("a\nb\nc\n"), []byte("a\nX\nc\n"))
+	for _, want := range []string{"--- a/x.go", "+++ b/x.go", "@@", "-b", "+X"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,533 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerHandlerContract checks functions with the http.HandlerFunc
+// signature against the ResponseWriter protocol: WriteHeader must not
+// run twice on any path, must not run after the body has been written
+// (net/http drops it with a log line and the client sees the wrong
+// status), and a loop that feeds request-sized input into the hot
+// inference path must either watch r.Context() or sit behind the
+// admission gate — otherwise a canceled client keeps burning worker
+// time. Helpers like writeJSON/writeError count as writes: the walk
+// follows the ResponseWriter argument through module-internal calls.
+var AnalyzerHandlerContract = &Analyzer{
+	Name:      "handler-contract",
+	Doc:       "double WriteHeader, writes after body, and uncancellable hot loops in HTTP handlers",
+	RunModule: runHandlerContract,
+}
+
+// Write states for one path through a handler.
+const (
+	wNone   = 0 // nothing sent
+	wHeader = 1 // WriteHeader ran
+	wBody   = 2 // body bytes written (header implied)
+)
+
+// Effect bits for what a call does through a ResponseWriter it receives
+// as an argument. Writing body bytes after the header is the normal
+// sequence; setting the status a second time is the contract violation,
+// so the two must be tracked separately.
+const (
+	effHeader = 1 << iota // sets the status (calls WriteHeader, directly or not)
+	effBody               // writes body bytes
+)
+
+func runHandlerContract(mp *ModulePass) {
+	writes := map[string]int{} // memo for writerEffect, keyed id\x00paramIdx
+	for _, id := range mp.Graph.SortedIDs() {
+		n := mp.Graph.Nodes[id]
+		wObj, _ := handlerParams(n.Fn)
+		if wObj == nil {
+			continue
+		}
+		hw := &handlerWalk{
+			mp:       mp,
+			node:     n,
+			info:     n.Pkg.Info,
+			wObj:     wObj,
+			writes:   writes,
+			reported: map[token.Pos]bool{},
+		}
+		hw.walkStmts(n.Decl.Body.List, wNone)
+		checkHandlerLoops(mp, n)
+	}
+}
+
+// handlerParams returns the (ResponseWriter, *Request) parameter objects
+// when fn has the http.HandlerFunc signature, else nils.
+func handlerParams(fn *types.Func) (w, r *types.Var) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return nil, nil
+	}
+	p0, p1 := sig.Params().At(0), sig.Params().At(1)
+	if !isNamedNetHTTP(p0.Type(), "ResponseWriter") {
+		return nil, nil
+	}
+	ptr, ok := types.Unalias(p1.Type()).(*types.Pointer)
+	if !ok || !isNamedNetHTTP(ptr.Elem(), "Request") {
+		return nil, nil
+	}
+	return p0, p1
+}
+
+func isNamedNetHTTP(t types.Type, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// handlerWalk is the per-handler write-state path walk. Branch joins
+// take the minimum state, so a second WriteHeader is only reported when
+// every path to it has already written — zero false positives at the
+// cost of missing some single-path bugs behind conditions.
+type handlerWalk struct {
+	mp       *ModulePass
+	node     *Node
+	info     *types.Info
+	wObj     *types.Var
+	writes   map[string]int
+	reported map[token.Pos]bool
+}
+
+func (h *handlerWalk) report(pos token.Pos, format string, args ...any) {
+	if h.reported[pos] {
+		return
+	}
+	h.reported[pos] = true
+	h.mp.Reportf(pos, format, args...)
+}
+
+func (h *handlerWalk) walkStmts(stmts []ast.Stmt, st int) (int, bool) {
+	for _, s := range stmts {
+		var falls bool
+		st, falls = h.walkStmt(s, st)
+		if !falls {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+func (h *handlerWalk) walkStmt(s ast.Stmt, st int) (int, bool) {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if isTerminalCall(h.info, call) {
+				return st, false
+			}
+			return h.applyCall(call, st), true
+		}
+		return st, true
+	case *ast.ReturnStmt:
+		return st, false
+	case *ast.BlockStmt:
+		return h.walkStmts(v.List, st)
+	case *ast.LabeledStmt:
+		return h.walkStmt(v.Stmt, st)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			st, _ = h.walkStmt(v.Init, st)
+		}
+		st1, falls1 := h.walkStmts(v.Body.List, st)
+		st2, falls2 := st, true
+		if v.Else != nil {
+			st2, falls2 = h.walkStmt(v.Else, st)
+		}
+		switch {
+		case falls1 && falls2:
+			return min(st1, st2), true
+		case falls1:
+			return st1, true
+		case falls2:
+			return st2, true
+		default:
+			return st, false
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			st, _ = h.walkStmt(v.Init, st)
+		}
+		h.walkStmts(v.Body.List, st)
+		if v.Cond == nil && !containsBreak(v.Body) {
+			return st, false
+		}
+		return st, true
+	case *ast.RangeStmt:
+		h.walkStmts(v.Body.List, st)
+		return st, true
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			st, _ = h.walkStmt(v.Init, st)
+		}
+		return h.walkCases(v.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			st, _ = h.walkStmt(v.Init, st)
+		}
+		return h.walkCases(v.Body.List, st)
+	case *ast.SelectStmt:
+		joined, anyFalls, first := st, false, true
+		for _, c := range v.Body.List {
+			cc := c.(*ast.CommClause)
+			cs, falls := h.walkStmts(cc.Body, st)
+			if !falls {
+				continue
+			}
+			anyFalls = true
+			if first {
+				joined, first = cs, false
+			} else {
+				joined = min(joined, cs)
+			}
+		}
+		if first {
+			joined = st
+		}
+		return joined, anyFalls
+	case *ast.BranchStmt:
+		return st, false
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				st = h.applyCall(call, st)
+			}
+		}
+		return st, true
+	case *ast.DeferStmt, *ast.GoStmt:
+		return st, true
+	default:
+		return st, true
+	}
+}
+
+func (h *handlerWalk) walkCases(list []ast.Stmt, st int) (int, bool) {
+	joined, anyFalls, first := st, false, true
+	hasDefault := false
+	for _, c := range list {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cs, falls := h.walkStmts(cc.Body, st)
+		if !falls {
+			continue
+		}
+		anyFalls = true
+		if first {
+			joined, first = cs, false
+		} else {
+			joined = min(joined, cs)
+		}
+	}
+	if !hasDefault {
+		if first {
+			joined = st
+		} else {
+			joined = min(joined, st)
+		}
+		anyFalls = true
+	}
+	return joined, anyFalls
+}
+
+// applyCall advances the write state through one call and reports
+// contract violations at it.
+func (h *handlerWalk) applyCall(call *ast.CallExpr, st int) int {
+	// Direct method call on the writer: w.WriteHeader / w.Write.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && h.info.Uses[id] == types.Object(h.wObj) {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				switch st {
+				case wBody:
+					h.report(call.Pos(), "%s calls WriteHeader after the body has been written; net/http ignores it and the client already got a different status",
+						h.mp.Graph.ShortID(h.node.ID))
+				case wHeader:
+					h.report(call.Pos(), "%s calls WriteHeader twice on the same path; the second status is dropped",
+						h.mp.Graph.ShortID(h.node.ID))
+				}
+				if st < wHeader {
+					return wHeader
+				}
+				return st
+			case "Write":
+				return wBody
+			}
+			return st
+		}
+	}
+	// The writer handed to something that writes through it.
+	mask := 0
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || h.info.Uses[id] != types.Object(h.wObj) {
+			continue
+		}
+		mask = h.callWriteEffect(call, i)
+		break
+	}
+	if mask == 0 {
+		return st
+	}
+	// More body bytes are always legal; a second status is not.
+	if mask&effHeader != 0 && st >= wHeader {
+		h.report(call.Pos(), "%s sets the response status again through this call after the header was already sent; the earlier status wins and the second is dropped",
+			h.mp.Graph.ShortID(h.node.ID))
+	}
+	switch {
+	case mask&effBody != 0 && wBody > st:
+		return wBody
+	case mask&effHeader != 0 && wHeader > st:
+		return wHeader
+	}
+	return st
+}
+
+// callWriteEffect classifies what a call does to the ResponseWriter it
+// receives as argument argIdx, as an effHeader/effBody mask: http.Error
+// and friends set a status and write a body, fmt.Fprint* writes body
+// only, module helpers get the recursive treatment. Zero means the walk
+// cannot prove the call writes anything.
+func (h *handlerWalk) callWriteEffect(call *ast.CallExpr, argIdx int) int {
+	fn := calleeFuncInfo(h.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		switch fn.Name() {
+		case "Error", "NotFound", "Redirect", "ServeContent", "ServeFile":
+			return effHeader | effBody
+		}
+		return 0
+	case "fmt":
+		if argIdx == 0 && (fn.Name() == "Fprintf" || fn.Name() == "Fprint" || fn.Name() == "Fprintln") {
+			return effBody
+		}
+		return 0
+	}
+	callee, ok := h.mp.Graph.Nodes[fn.FullName()]
+	if !ok {
+		return 0
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Variadic() || argIdx >= sig.Params().Len() {
+		return 0
+	}
+	return writerEffect(h.mp.Graph, h.writes, callee, argIdx, 0)
+}
+
+// writerEffect reports (memoized) the effHeader/effBody mask of what the
+// callee does through its argIdx-th parameter, directly or up to three
+// more hops down.
+func writerEffect(g *CallGraph, memo map[string]int, n *Node, paramIdx int, depth int) int {
+	key := n.ID + "\x00" + string(rune('0'+paramIdx))
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	if depth > 3 {
+		return 0
+	}
+	memo[key] = 0 // break cycles toward "no effect"
+	sig, _ := n.Fn.Type().(*types.Signature)
+	if sig == nil || paramIdx >= sig.Params().Len() {
+		return 0
+	}
+	pvar := sig.Params().At(paramIdx)
+	info := n.Pkg.Info
+
+	effect := 0
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		if effect == effHeader|effBody {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && info.Uses[id] == types.Object(pvar) {
+				switch sel.Sel.Name {
+				case "Write":
+					effect |= effBody
+				case "WriteHeader":
+					effect |= effHeader
+				}
+				return true
+			}
+		}
+		for i, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if !ok || info.Uses[id] != types.Object(pvar) {
+				continue
+			}
+			fn := calleeFuncInfo(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				continue
+			}
+			if fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+				effect |= effHeader | effBody
+			} else if fn.Pkg().Path() == "fmt" && i == 0 &&
+				(fn.Name() == "Fprintf" || fn.Name() == "Fprint" || fn.Name() == "Fprintln") {
+				effect |= effBody
+			} else if callee, ok := g.Nodes[fn.FullName()]; ok {
+				if csig, _ := fn.Type().(*types.Signature); csig != nil && !csig.Variadic() && i < csig.Params().Len() {
+					effect |= writerEffect(g, memo, callee, i, depth+1)
+				}
+			}
+		}
+		return true
+	})
+	memo[key] = effect
+	return effect
+}
+
+// checkHandlerLoops flags loops in the handler that call into the hot
+// region without watching the request context and without the admission
+// gate anywhere on the path.
+func checkHandlerLoops(mp *ModulePass, n *Node) {
+	hot := mp.hotRegion()
+	info := n.Pkg.Info
+	if bodyCallsGate(info, n.Decl.Body) {
+		return // the whole handler is behind the admission gate
+	}
+	walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+		var body *ast.BlockStmt
+		switch v := x.(type) {
+		case *ast.ForStmt:
+			body = v.Body
+		case *ast.RangeStmt:
+			body = v.Body
+		default:
+			return true
+		}
+		// Only the outermost qualifying loop is reported.
+		for _, anc := range stack[:len(stack)-1] {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				return true
+			}
+		}
+		if !loopCallsHot(mp, info, body, hot) {
+			return true
+		}
+		if loopChecksCtx(info, body) || bodyCallsGate(info, body) || loopCalleeGates(mp, info, body) {
+			return true
+		}
+		mp.Reportf(x.Pos(),
+			"loop in handler %s feeds request-sized input into the hot path without checking r.Context(); a canceled client keeps consuming worker time — check ctx.Err() per iteration or shed at the admission gate",
+			mp.Graph.ShortID(n.ID))
+		return true
+	})
+}
+
+// loopCallsHot reports whether the loop body calls a function inside the
+// hot region.
+func loopCallsHot(mp *ModulePass, info *types.Info, body *ast.BlockStmt, hot map[string]crumb) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFuncInfo(info, call)
+		if fn == nil {
+			return true
+		}
+		if _, ok := hot[fn.FullName()]; ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopChecksCtx reports whether the loop body consults a context: a
+// Done()/Err() method call on a context value, or a select statement.
+func loopChecksCtx(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.CallExpr:
+			if fn := calleeFuncInfo(info, v); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+					isContextType(sig.Recv().Type()) && (fn.Name() == "Done" || fn.Name() == "Err") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// gateMethods are the admission-gate entry points; a call to any of them
+// means the work is bounded by the gate.
+var gateMethods = map[string]bool{"TryReserve": true, "Reserve": true, "Acquire": true, "TryAcquire": true}
+
+// bodyCallsGate reports whether the block calls an admission-gate method
+// directly.
+func bodyCallsGate(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFuncInfo(info, call); fn != nil && gateMethods[fn.Name()] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopCalleeGates reports whether a module function called from the loop
+// body itself reserves at the admission gate (e.g. a handler loop over
+// InferBatch, which gates internally).
+func loopCalleeGates(mp *ModulePass, info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFuncInfo(info, call)
+		if fn == nil {
+			return true
+		}
+		if callee, ok := mp.Graph.Nodes[fn.FullName()]; ok {
+			if bodyCallsGate(callee.Pkg.Info, callee.Decl.Body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,731 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the resource-lifecycle walker shared by cancel-leak,
+// body-close, and timer-stop. A "resource" is a variable bound by an
+// acquisition call (context.WithCancel, http.Client.Do, time.NewTicker)
+// that carries a release obligation (cancel(), resp.Body.Close(),
+// t.Stop()). The walker answers: is the release guaranteed on every
+// path from the acquisition to the end of the variable's scope?
+//
+// The analysis is deliberately conservative in the direction of no
+// false positives: any use of the resource the walker does not fully
+// understand — passed whole to a call, returned, stored, captured by a
+// closure, address taken — is an escape, and an escaped resource is
+// assumed managed elsewhere. body-close sharpens the call-argument case
+// interprocedurally (see bodyclose.go): a callee in the module graph
+// that provably never closes the body does not discharge the
+// obligation.
+
+// acquisition is one tracked resource binding inside one function scope.
+type acquisition struct {
+	stmt   ast.Stmt      // the assignment statement binding the resource
+	call   *ast.CallExpr // the acquiring call
+	obj    types.Object  // the resource variable; nil when assigned to _
+	name   string        // source name of the resource variable ("_" when blank)
+	errObj types.Object  // paired error variable, when the call returns (res, err)
+	scope  ast.Node      // enclosing function body: *ast.BlockStmt of the decl or a FuncLit
+	stack  []ast.Node    // walkWithStack snapshot at the acquisition statement
+}
+
+// escapeKind classifies how a resource value left the walker's sight.
+type escapeKind int
+
+const (
+	escNone    escapeKind = iota
+	escCallArg            // passed whole as a call argument
+	escOther              // returned, stored, captured, address taken, unknown use
+)
+
+// resRules parameterizes the walker per analyzer.
+type resRules struct {
+	// isRelease reports whether call releases the resource held in obj
+	// (e.g. cancel(), resp.Body.Close(), t.Stop()).
+	isRelease func(info *types.Info, obj types.Object, call *ast.CallExpr) bool
+	// isBenignUse reports whether this identifier use of the resource is
+	// neither a release nor an escape (field reads like resp.StatusCode,
+	// nil checks, channel reads like t.C). The ident is the resource
+	// variable itself; path is its ancestor chain, innermost first.
+	isBenignUse func(info *types.Info, ident *ast.Ident, path []ast.Node) bool
+	// classifyCallArg, when non-nil, refines escCallArg: return escNone
+	// to keep tracking (the callee provably does not discharge the
+	// obligation), escOther to treat the resource as managed elsewhere.
+	classifyCallArg func(info *types.Info, call *ast.CallExpr, argIdx int) escapeKind
+}
+
+// resState is the per-path walker state.
+type resState struct {
+	released bool
+	byDefer  bool // release was registered with defer
+}
+
+// resOutcome is what the walker concluded about one acquisition.
+type resOutcome struct {
+	escaped      bool      // resource escaped: no obligation locally
+	leakPos      token.Pos // first position proving a leaking path; NoPos when none
+	leakAtReturn bool      // leakPos is a return statement (vs scope end / acquisition)
+	loopDefer    bool      // acquired per loop iteration but released only via defer
+	anyRelease   bool      // some release call exists in the scope (partial coverage)
+}
+
+// resTracker runs the two-phase analysis for one acquisition.
+type resTracker struct {
+	info  *types.Info
+	rules resRules
+	acq   *acquisition
+	out   resOutcome
+}
+
+// analyzeAcquisition runs escape scanning then the path walk.
+func analyzeAcquisition(info *types.Info, rules resRules, acq *acquisition) resOutcome {
+	t := &resTracker{info: info, rules: rules, acq: acq}
+	// A resource bound to a variable whose scope outlives the enclosing
+	// function scope (a captured outer variable, a package-level var, a
+	// named parameter) can be released from code this walker never sees.
+	if s := scopeOf(acq.obj); s != nil && s.End() > t.acq.scope.End() {
+		t.out.escaped = true
+		return t.out
+	}
+	if t.scanEscapes() {
+		t.out.escaped = true
+		return t.out
+	}
+	t.walkContinuations()
+	return t.out
+}
+
+// scanEscapes visits every use of the resource variable inside its
+// function scope and classifies it. Returns true when the resource
+// escapes (obligation discharged from this walker's point of view).
+func (t *resTracker) scanEscapes() bool {
+	obj := t.acq.obj
+	if obj == nil {
+		return false // blank binding: nothing to use, nothing to escape
+	}
+	escaped := false
+	walkWithStack(t.acq.scope, func(n ast.Node, stack []ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || t.info.Uses[id] != obj {
+			return true
+		}
+		// Ancestor chain innermost-first, excluding the ident itself.
+		path := make([]ast.Node, 0, len(stack)-1)
+		for i := len(stack) - 2; i >= 0; i-- {
+			path = append(path, stack[i])
+		}
+		switch t.classifyUse(id, path) {
+		case escNone:
+		case escCallArg, escOther:
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+// classifyUse classifies one identifier use of the resource variable.
+func (t *resTracker) classifyUse(id *ast.Ident, path []ast.Node) escapeKind {
+	// A use inside a nested function literal is a closure capture; the
+	// closure may release at any time (defer func() { cancel() }() is a
+	// common idiom), so the obligation is considered managed.
+	for _, anc := range path {
+		if anc == t.acq.scope {
+			break
+		}
+		if _, ok := anc.(*ast.FuncLit); ok {
+			return escOther
+		}
+	}
+	if len(path) == 0 {
+		return escOther
+	}
+	// Release call: rules decide (covers cancel() and obj.Sel(...) forms).
+	if call := enclosingReleaseCall(id, path); call != nil && t.rules.isRelease(t.info, t.acq.obj, call) {
+		t.out.anyRelease = true
+		return escNone
+	}
+	if t.rules.isBenignUse != nil && t.rules.isBenignUse(t.info, id, path) {
+		return escNone
+	}
+	switch p := path[0].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(id) {
+				return escNone // (re)binding, including the acquisition itself
+			}
+		}
+		return escOther // resource on the RHS: aliased away
+	case *ast.ValueSpec:
+		return escOther
+	case *ast.BinaryExpr:
+		// nil comparison: if resp != nil { ... }
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			return escNone
+		}
+		return escOther
+	case *ast.CallExpr:
+		for i, arg := range p.Args {
+			if arg == ast.Expr(id) {
+				if t.rules.classifyCallArg != nil {
+					return t.rules.classifyCallArg(t.info, p, i)
+				}
+				return escCallArg
+			}
+		}
+		return escOther
+	}
+	return escOther
+}
+
+// enclosingReleaseCall returns the call expression this ident
+// participates in as (part of) the callee — cancel() where id is the
+// Fun, or t.Stop() / resp.Body.Close() where id is the root of the
+// selector chain — or nil.
+func enclosingReleaseCall(id *ast.Ident, path []ast.Node) *ast.CallExpr {
+	// Climb selector chains: id, id.Body, id.Body.Close ...
+	var cur ast.Expr = id
+	for _, anc := range path {
+		switch v := anc.(type) {
+		case *ast.SelectorExpr:
+			if v.X != cur {
+				return nil
+			}
+			cur = v
+		case *ast.CallExpr:
+			if v.Fun == cur {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// contLevel is one segment of the continuation: the statements that run
+// after the acquisition (or after the enclosing statement) in one
+// enclosing block, plus whether completing this segment ends a loop
+// iteration.
+type contLevel struct {
+	stmts    []ast.Stmt
+	endsLoop bool
+}
+
+// walkContinuations runs the path walk from the acquisition statement to
+// the end of the resource variable's lexical scope: first the rest of
+// the acquisition's own block, then the rest of each enclosing block in
+// turn, stopping at the variable's scope end or at a loop-iteration
+// boundary.
+func (t *resTracker) walkContinuations() {
+	levels, ok := t.continuationLevels()
+	if !ok {
+		// Acquisition in a position the walker does not model (e.g. an
+		// if-statement init). Treat as escaped: silence over noise.
+		t.out.escaped = true
+		return
+	}
+
+	st := resState{}
+	for _, lv := range levels {
+		if !st.released {
+			var falls bool
+			st, falls = t.walkStmts(lv.stmts, st)
+			if !falls {
+				return // leaks at returns were recorded in the walk
+			}
+		}
+		if lv.endsLoop {
+			// Leaving a loop iteration. A per-iteration resource must be
+			// released before the iteration ends; defer only runs at
+			// function exit, so a defer-release accumulates across
+			// iterations.
+			switch {
+			case st.released && st.byDefer:
+				t.out.loopDefer = true
+			case !st.released:
+				t.leakAt(t.acq.stmt.Pos(), false)
+			}
+			return
+		}
+		if st.released {
+			return
+		}
+	}
+	if !st.released {
+		t.leakAt(t.acq.stmt.Pos(), false)
+	}
+}
+
+// continuationLevels builds the walk segments from the acquisition's
+// ancestor stack. ok is false when the acquisition sits in a position
+// the walker does not model.
+func (t *resTracker) continuationLevels() ([]contLevel, bool) {
+	var levels []contLevel
+	objScope := scopeOf(t.acq.obj)
+	stack := t.acq.stack
+	idx := len(stack) - 1
+	for idx >= 0 && stack[idx] != ast.Node(t.acq.stmt) {
+		idx--
+	}
+	if idx <= 0 {
+		return nil, false
+	}
+	child := stack[idx]
+	for i := idx - 1; i >= 0; i-- {
+		parent := stack[i]
+		switch p := parent.(type) {
+		case *ast.BlockStmt:
+			if inScope(objScope, p) {
+				levels = append(levels, contLevel{stmts: stmtsAfter(p.List, child)})
+			}
+			if parent == t.acq.scope {
+				return levels, true
+			}
+		case *ast.CaseClause:
+			levels = append(levels, contLevel{stmts: stmtsAfter(p.Body, child)})
+		case *ast.CommClause:
+			levels = append(levels, contLevel{stmts: stmtsAfter(p.Body, child)})
+		case *ast.ForStmt:
+			if child != ast.Node(p.Body) {
+				return nil, false // acquisition in init/cond/post: unmodeled
+			}
+			if len(levels) > 0 {
+				levels[len(levels)-1].endsLoop = true
+			}
+		case *ast.RangeStmt:
+			if child != ast.Node(p.Body) {
+				return nil, false
+			}
+			if len(levels) > 0 {
+				levels[len(levels)-1].endsLoop = true
+			}
+		case *ast.FuncLit:
+			return levels, true // scope boundary
+		case *ast.IfStmt:
+			if child != ast.Node(p.Body) && child != p.Else {
+				return nil, false // acquisition in an if init: unmodeled
+			}
+		case *ast.SwitchStmt:
+			if p.Init == child {
+				return nil, false
+			}
+		case *ast.TypeSwitchStmt:
+			if p.Init == child {
+				return nil, false
+			}
+		case *ast.SelectStmt, *ast.LabeledStmt:
+			// Structural parents contribute no statements of their own.
+		default:
+			return nil, false
+		}
+		child = parent
+	}
+	return levels, true
+}
+
+// leakAt records the first leaking position.
+func (t *resTracker) leakAt(pos token.Pos, atReturn bool) {
+	if t.out.leakPos == token.NoPos {
+		t.out.leakPos = pos
+		t.out.leakAtReturn = atReturn
+	}
+}
+
+// scopeOf returns the declaring scope of obj, or nil.
+func scopeOf(obj types.Object) *types.Scope {
+	if obj == nil {
+		return nil
+	}
+	return obj.Parent()
+}
+
+// inScope reports whether the block lies within the variable's scope —
+// i.e. whether a release could still legally appear there.
+func inScope(s *types.Scope, blk *ast.BlockStmt) bool {
+	if s == nil {
+		return true
+	}
+	return blk.Pos() >= s.Pos() && blk.End() <= s.End()
+}
+
+// stmtsAfter returns the statements of list strictly after child.
+func stmtsAfter(list []ast.Stmt, child ast.Node) []ast.Stmt {
+	for i, s := range list {
+		if ast.Node(s) == child {
+			return list[i+1:]
+		}
+	}
+	return nil
+}
+
+// walkStmts walks a statement list with the current path state and
+// reports whether control falls off the end.
+func (t *resTracker) walkStmts(stmts []ast.Stmt, st resState) (resState, bool) {
+	for _, s := range stmts {
+		var falls bool
+		st, falls = t.walkStmt(s, st)
+		if !falls {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+func (t *resTracker) walkStmt(s ast.Stmt, st resState) (resState, bool) {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if t.rules.isRelease(t.info, t.acq.obj, call) {
+				return resState{released: true}, true
+			}
+			if isTerminalCall(t.info, call) {
+				return st, false
+			}
+		}
+		return st, true
+	case *ast.DeferStmt:
+		if t.rules.isRelease(t.info, t.acq.obj, v.Call) {
+			return resState{released: true, byDefer: true}, true
+		}
+		return st, true
+	case *ast.ReturnStmt:
+		if !st.released {
+			t.leakAt(v.Pos(), true)
+		}
+		return st, false
+	case *ast.AssignStmt:
+		// A release whose error is explicitly discarded or checked:
+		// _ = resp.Body.Close(), err := t.Stop() and the like.
+		for _, rhs := range v.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && t.rules.isRelease(t.info, t.acq.obj, call) {
+				return resState{released: true}, true
+			}
+		}
+		// Rebinding the resource variable ends this acquisition's story;
+		// the new binding is tracked as its own acquisition.
+		if t.acq.obj != nil {
+			for _, lhs := range v.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (t.info.Uses[id] == t.acq.obj || t.info.Defs[id] == t.acq.obj) {
+					return resState{released: true}, true
+				}
+			}
+		}
+		return st, true
+	case *ast.BlockStmt:
+		return t.walkStmts(v.List, st)
+	case *ast.LabeledStmt:
+		return t.walkStmt(v.Stmt, st)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			st, _ = t.walkStmt(v.Init, st)
+		}
+		thenSt, elseSt := st, st
+		// Error-path exemption: in the branch where the paired error is
+		// non-nil, the resource is absent (resp == nil) — treat released.
+		switch errBranch(t.info, t.acq.errObj, v.Cond) {
+		case errNonNilThen:
+			thenSt = resState{released: true}
+		case errNonNilElse:
+			elseSt = resState{released: true}
+		}
+		st1, falls1 := t.walkStmts(v.Body.List, thenSt)
+		st2, falls2 := elseSt, true
+		if v.Else != nil {
+			st2, falls2 = t.walkStmt(v.Else, elseSt)
+		}
+		switch {
+		case falls1 && falls2:
+			return joinRes(st1, st2), true
+		case falls1:
+			return st1, true
+		case falls2:
+			return st2, true
+		default:
+			return st, false
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			st, _ = t.walkStmt(v.Init, st)
+		}
+		// The body may run zero times, so its releases are not
+		// guaranteed; still walk it to catch leaks at returns inside.
+		t.walkStmts(v.Body.List, st)
+		if v.Cond == nil && !containsBreak(v.Body) {
+			return st, false
+		}
+		return st, true
+	case *ast.RangeStmt:
+		t.walkStmts(v.Body.List, st)
+		return st, true
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			st, _ = t.walkStmt(v.Init, st)
+		}
+		return t.walkCases(v.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			st, _ = t.walkStmt(v.Init, st)
+		}
+		return t.walkCases(v.Body.List, st)
+	case *ast.SelectStmt:
+		joined, anyFalls := st, false
+		first := true
+		for _, c := range v.Body.List {
+			cc := c.(*ast.CommClause)
+			cs, falls := t.walkStmts(cc.Body, st)
+			if !falls {
+				continue
+			}
+			anyFalls = true
+			if first {
+				joined, first = cs, false
+			} else {
+				joined = joinRes(joined, cs)
+			}
+		}
+		if first {
+			joined = st
+		}
+		return joined, anyFalls
+	case *ast.BranchStmt:
+		// break/continue/goto: control leaves this statement list. The
+		// walker does not chase the target; no leak is reported here,
+		// which errs toward silence.
+		return st, false
+	case *ast.GoStmt:
+		return st, true
+	default:
+		return st, true
+	}
+}
+
+// walkCases walks a switch body's case clauses with the incoming state
+// and joins the falling branches; a missing default contributes the
+// incoming state unchanged.
+func (t *resTracker) walkCases(list []ast.Stmt, st resState) (resState, bool) {
+	joined, anyFalls, first := st, false, true
+	hasDefault := false
+	for _, c := range list {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cs, falls := t.walkStmts(cc.Body, st)
+		if !falls {
+			continue
+		}
+		anyFalls = true
+		if first {
+			joined, first = cs, false
+		} else {
+			joined = joinRes(joined, cs)
+		}
+	}
+	if !hasDefault {
+		if first {
+			joined = st
+		} else {
+			joined = joinRes(joined, st)
+		}
+		anyFalls = true
+	}
+	return joined, anyFalls
+}
+
+// joinRes merges two falling paths: the resource is released after the
+// join only when it is released on both.
+func joinRes(a, b resState) resState {
+	return resState{
+		released: a.released && b.released,
+		byDefer:  (a.released && a.byDefer) || (b.released && b.byDefer),
+	}
+}
+
+type errBranchKind int
+
+const (
+	errBranchNone errBranchKind = iota
+	errNonNilThen               // if err != nil { <resource absent> }
+	errNonNilElse               // if err == nil { <resource present> } else { <absent> }
+)
+
+// errBranch recognizes nil checks against the acquisition's paired
+// error variable.
+func errBranch(info *types.Info, errObj types.Object, cond ast.Expr) errBranchKind {
+	if errObj == nil {
+		return errBranchNone
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return errBranchNone
+	}
+	var other ast.Expr
+	if id, ok := be.X.(*ast.Ident); ok && info.Uses[id] == errObj {
+		other = be.Y
+	} else if id, ok := be.Y.(*ast.Ident); ok && info.Uses[id] == errObj {
+		other = be.X
+	} else {
+		return errBranchNone
+	}
+	if id, ok := other.(*ast.Ident); !ok || id.Name != "nil" {
+		return errBranchNone
+	}
+	if be.Op == token.NEQ {
+		return errNonNilThen
+	}
+	return errNonNilElse
+}
+
+// isTerminalCall reports whether the call never returns: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := calleeFuncInfo(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	}
+	return false
+}
+
+// containsBreak reports whether the loop body has a break that targets
+// this loop (unlabeled, not inside a nested loop/switch/select).
+func containsBreak(body *ast.BlockStmt) bool {
+	found := false
+	var visit func(s ast.Stmt)
+	visitList := func(list []ast.Stmt) {
+		for _, s := range list {
+			visit(s)
+		}
+	}
+	visit = func(s ast.Stmt) {
+		if found {
+			return
+		}
+		switch v := s.(type) {
+		case *ast.BranchStmt:
+			if v.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.BlockStmt:
+			visitList(v.List)
+		case *ast.IfStmt:
+			visitList(v.Body.List)
+			if v.Else != nil {
+				visit(v.Else)
+			}
+		case *ast.LabeledStmt:
+			visit(v.Stmt)
+		case *ast.CaseClause:
+			visitList(v.Body)
+		case *ast.CommClause:
+			visitList(v.Body)
+		}
+	}
+	visitList(body.List)
+	return found
+}
+
+// collectAcquisitions walks a function body and returns every
+// acquisition matched by match. Each acquisition records its innermost
+// enclosing function scope (the body itself or a nested FuncLit) and the
+// ancestor stack needed by the path walk.
+//
+// match examines an assignment's single call RHS and returns the index
+// of the resource variable on the left-hand side (plus the index of the
+// paired error variable, or -1) — or ok=false when the call is not an
+// acquisition.
+func collectAcquisitions(info *types.Info, body *ast.BlockStmt,
+	match func(call *ast.CallExpr) (resIdx, errIdx int, ok bool)) []*acquisition {
+
+	var out []*acquisition
+	walkWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		resIdx, errIdx, ok := match(call)
+		if !ok || resIdx >= len(as.Lhs) {
+			return true
+		}
+		acq := &acquisition{stmt: as, call: call, scope: body}
+		// Innermost enclosing function literal, if any, bounds the scope.
+		for i := len(stack) - 2; i >= 0; i-- {
+			if lit, ok := stack[i].(*ast.FuncLit); ok {
+				acq.scope = lit.Body
+				break
+			}
+		}
+		acq.stack = append([]ast.Node(nil), stack...)
+		if id, ok := as.Lhs[resIdx].(*ast.Ident); ok {
+			acq.name = id.Name
+			if id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					acq.obj = obj
+				} else if obj := info.Uses[id]; obj != nil {
+					acq.obj = obj
+				}
+			}
+		} else {
+			return true // resource bound to a field/index: managed elsewhere
+		}
+		if errIdx >= 0 && errIdx < len(as.Lhs) {
+			if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					acq.errObj = obj
+				} else if obj := info.Uses[id]; obj != nil {
+					acq.errObj = obj
+				}
+			}
+		}
+		out = append(out, acq)
+		return true
+	})
+	return out
+}
+
+// enclosedByLoop reports whether the acquisition sits inside a for or
+// range statement within its function scope.
+func (a *acquisition) enclosedByLoop() bool {
+	inScope := false
+	for i := len(a.stack) - 1; i >= 0; i-- {
+		n := a.stack[i]
+		if n == a.scope {
+			break
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inScope = true
+		case *ast.FuncLit:
+			return inScope
+		}
+	}
+	return inScope
+}

@@ -1,0 +1,37 @@
+// This file holds the context fixes: a skipped cancel on an early
+// return, a discarded CancelFunc, and a suppressed finding whose fix
+// must be refused.
+package fixable
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errStale = errors.New("stale")
+
+// Refresh cancels only on the happy path; the fix defers the cancel at
+// the acquisition.
+func Refresh(stale bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if stale {
+		return errStale
+	}
+	<-ctx.Done()
+	cancel()
+	return nil
+}
+
+// Deadline discards the CancelFunc; the fix names and defers it.
+func Deadline(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second)
+	return ctx
+}
+
+// Hold keeps its context alive until the deadline on purpose; the
+// directive records that, and -fix must leave the file alone.
+func Hold(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Minute) //shvet:ignore cancel-leak the deadline itself is the cleanup here
+	return ctx
+}

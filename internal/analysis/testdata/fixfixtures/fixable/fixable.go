@@ -1,0 +1,23 @@
+// Package fixable carries findings whose suggested fixes shvet -fix
+// applies; the .golden files beside each source are the expected
+// post-fix contents.
+package fixable
+
+import (
+	"net/http"
+)
+
+// Watch polls url once and reports the status code. It leaks its
+// response body on every success path; the fix defers the close right
+// after the error check.
+func Watch(client *http.Client, url string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,22 @@
+// This file holds the timer fix: a drain goroutine whose ticker is
+// never stopped gets a deferred Stop.
+package fixable
+
+import "time"
+
+// Pump drains its ticker forever.
+type Pump struct {
+	d time.Duration
+	n int
+}
+
+// Start spins the drain loop.
+func (p *Pump) Start() {
+	go func() {
+		t := time.NewTicker(p.d)
+		for {
+			<-t.C
+			p.n++
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module fixfixtures
+
+go 1.22

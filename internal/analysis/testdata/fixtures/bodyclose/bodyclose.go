@@ -1,0 +1,126 @@
+// Package bodyclose exercises the body-close analyzer: responses whose
+// Body is never closed, closed only on the happy path, discarded
+// outright, or handed to a helper that provably never closes them are
+// findings; deferred closes, closes on every path, err-branch early
+// returns, ownership transfers to the caller, and helpers that do close
+// are near-misses.
+package bodyclose
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+var errBadStatus = errors.New("unexpected status")
+
+// leakNever reads the status but never closes the body.
+func leakNever(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req) // want body-close
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// leakOnStatus closes on the happy path but leaks on the status check.
+func leakOnStatus(url string) ([]byte, error) {
+	resp, err := http.Get(url) // want body-close
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errBadStatus
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// discarded drops the response; on success nobody can close it.
+func discarded(c *http.Client, req *http.Request) error {
+	_, err := c.Do(req) // want body-close
+	return err
+}
+
+// leakViaHelper hands the response to a helper that only reads it.
+func leakViaHelper(c *http.Client, req *http.Request, v any) error {
+	resp, err := c.Do(req) // want body-close
+	if err != nil {
+		return err
+	}
+	return decodeInto(resp, v)
+}
+
+// decodeInto reads the response body but never closes it; the caller
+// keeps the obligation.
+func decodeInto(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// leakInLoop acquires per hedge attempt and closes only via defer, so
+// every loser's connection stays pinned until the function returns.
+func leakInLoop(c *http.Client, reqs []*http.Request) int {
+	good := 0
+	for _, req := range reqs {
+		resp, err := c.Do(req) // want body-close
+		if err != nil {
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			good++
+		}
+	}
+	return good
+}
+
+// deferred is the canonical clean shape.
+func deferred(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// everyPath closes explicitly on both paths, discarding the close error
+// on the unhappy one.
+func everyPath(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		return 0, errBadStatus
+	}
+	code := resp.StatusCode
+	_ = resp.Body.Close()
+	return code, nil
+}
+
+// closedByHelper hands the response to a helper that closes it.
+func closedByHelper(c *http.Client, req *http.Request, v any) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return drainAndClose(resp, v)
+}
+
+// drainAndClose decodes and closes on behalf of its caller.
+func drainAndClose(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// handoff transfers ownership to the caller.
+func handoff(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,127 @@
+// Package cancelleak exercises the cancel-leak analyzer: CancelFuncs
+// that are discarded, skipped on a path out of scope, shadowed by an
+// inner leaking acquisition, or deferred inside a loop are findings;
+// deferred cancels, cancels called on every path, and cancel funcs that
+// escape to a caller or closure are near-misses.
+package cancelleak
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func use(ctx context.Context) bool { return ctx.Err() == nil }
+
+// discard drops the CancelFunc outright; nothing can ever cancel early.
+func discard() context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), time.Second) // want cancel-leak
+	return ctx
+}
+
+// earlyReturn cancels on the happy path but not on the error path.
+func earlyReturn(fail bool) error {
+	ctx, cancel := context.WithCancel(context.Background()) // want cancel-leak
+	if fail {
+		return errBoom
+	}
+	use(ctx)
+	cancel()
+	return nil
+}
+
+// fallsOffEnd cancels only inside one branch and lets the other fall off
+// the end of the scope.
+func fallsOffEnd(fail bool) {
+	ctx, cancel := context.WithCancel(context.Background()) // want cancel-leak
+	if fail {
+		cancel()
+		return
+	}
+	use(ctx)
+}
+
+// shadowed defers the outer cancel, then shadows it with an inner
+// acquisition that leaks on the early return.
+func shadowed(fail bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if fail {
+		inner, cancel := context.WithCancel(ctx) // want cancel-leak
+		if use(inner) {
+			cancel()
+		}
+		return
+	}
+	use(ctx)
+}
+
+// loopDeferred defers each iteration's cancel, so every context lives
+// until function exit instead of its own iteration.
+func loopDeferred(keys []string) {
+	for range keys {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want cancel-leak
+		defer cancel()
+		use(ctx)
+	}
+}
+
+// loopSkipped cancels only on one path of each iteration.
+func loopSkipped(keys []string) {
+	for _, k := range keys {
+		ctx, cancel := context.WithCancel(context.Background()) // want cancel-leak
+		if k != "" {
+			cancel()
+		}
+		use(ctx)
+	}
+}
+
+// deferred is the canonical clean shape.
+func deferred() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	use(ctx)
+}
+
+// everyPath cancels explicitly on both paths; no finding.
+func everyPath(fail bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if fail {
+		cancel()
+		return errBoom
+	}
+	use(ctx)
+	cancel()
+	return nil
+}
+
+// handoff returns the CancelFunc; the caller owns the obligation.
+func handoff() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	return ctx, cancel
+}
+
+// closureCancel hands the cancel to a goroutine; escaped, not tracked.
+func closureCancel(done chan struct{}) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-done
+		cancel()
+	}()
+	return ctx
+}
+
+// preDeclared binds an outer variable inside a branch and defers there;
+// the walker follows the assignment form too.
+func preDeclared(timeout time.Duration) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	use(ctx)
+}

@@ -1,0 +1,115 @@
+// Package handlercontract exercises the handler-contract analyzer:
+// handlers that set the status twice, set it after body bytes are out,
+// or feed request-sized input into the hot path without watching the
+// request context are findings; single-write paths, per-iteration
+// context checks, and admission-gated loops are near-misses.
+package handlercontract
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// PredictScore is a hot-region entry the handler loops feed.
+func PredictScore(rows []string) int { return len(rows) }
+
+// Gate is a stand-in admission gate.
+type Gate struct{ slots int }
+
+// TryReserve claims one slot when available.
+func (g *Gate) TryReserve() bool {
+	if g.slots == 0 {
+		return false
+	}
+	g.slots--
+	return true
+}
+
+// InferGated is a hot-region entry that sheds load at the gate itself.
+func InferGated(rows []string) int {
+	g := &Gate{slots: 1}
+	if !g.TryReserve() {
+		return 0
+	}
+	return PredictScore(rows)
+}
+
+// doubleHeader sets the status twice on the same path.
+func doubleHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusAccepted)
+	w.WriteHeader(http.StatusOK) // want handler-contract
+}
+
+// headerAfterBody writes body bytes first, then tries to flip the
+// status to an error.
+func headerAfterBody(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "partial")
+	w.WriteHeader(http.StatusInternalServerError) // want handler-contract
+}
+
+// sendError writes a plain-text error reply.
+func sendError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, msg)
+}
+
+// doubleViaHelper replies, then replies again through the helper.
+func doubleViaHelper(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	sendError(w, http.StatusBadGateway, "late failure") // want handler-contract
+}
+
+// hotLoop feeds every query parameter into scoring without watching
+// the request context.
+func hotLoop(w http.ResponseWriter, r *http.Request) {
+	total := 0
+	for _, vs := range r.URL.Query() { // want handler-contract
+		total += PredictScore(vs)
+	}
+	fmt.Fprintln(w, total)
+}
+
+// hotLoopChecked bails out as soon as the client goes away.
+func hotLoopChecked(w http.ResponseWriter, r *http.Request) {
+	total := 0
+	for _, vs := range r.URL.Query() {
+		if r.Context().Err() != nil {
+			return
+		}
+		total += PredictScore(vs)
+	}
+	fmt.Fprintln(w, total)
+}
+
+// hotLoopGated sheds load at the admission gate before each unit of
+// work.
+func hotLoopGated(w http.ResponseWriter, r *http.Request) {
+	g := &Gate{slots: 8}
+	total := 0
+	for _, vs := range r.URL.Query() {
+		if !g.TryReserve() {
+			break
+		}
+		total += PredictScore(vs)
+	}
+	fmt.Fprintln(w, total)
+}
+
+// hotLoopCalleeGated loops over an entry that gates internally.
+func hotLoopCalleeGated(w http.ResponseWriter, r *http.Request) {
+	total := 0
+	for _, vs := range r.URL.Query() {
+		total += InferGated(vs)
+	}
+	fmt.Fprintln(w, total)
+}
+
+// branchesExclusive writes exactly once on each path.
+func branchesExclusive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "queued")
+}

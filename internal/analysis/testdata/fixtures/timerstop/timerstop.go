@@ -1,0 +1,113 @@
+// Package timerstop exercises the timer-stop analyzer: tickers and
+// timers in long-lived goroutines that are never stopped and whose
+// loops have no external exit are findings, as is time.After allocating
+// a fresh timer per loop iteration; deferred Stops, stop-channel exits,
+// and tickers parked on the struct for the owner to stop are
+// near-misses.
+package timerstop
+
+import "time"
+
+// Pump is a stand-in for the fleet's background drainers and probers.
+type Pump struct {
+	d    time.Duration
+	n    int
+	t    *time.Ticker
+	stop chan struct{}
+}
+
+// StartLeaky spins a goroutine whose ticker is never stopped and whose
+// loop has no external exit.
+func (p *Pump) StartLeaky() {
+	go func() {
+		t := time.NewTicker(p.d) // want timer-stop
+		for {
+			<-t.C
+			p.n++
+		}
+	}()
+}
+
+// StartNamed spawns the named drain loop.
+func (p *Pump) StartNamed() {
+	go p.run()
+}
+
+// run resets its timer each round but never stops it.
+func (p *Pump) run() {
+	t := time.NewTimer(p.d) // want timer-stop
+	for {
+		<-t.C
+		p.n++
+		t.Reset(p.d)
+	}
+}
+
+// StartAfterLoop allocates a fresh timer every round through time.After.
+func (p *Pump) StartAfterLoop() {
+	go func() {
+		for {
+			select {
+			case <-time.After(p.d): // want timer-stop
+				p.n++
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// StartStopped defers the stop; the ticker dies with the goroutine.
+func (p *Pump) StartStopped() {
+	go func() {
+		t := time.NewTicker(p.d)
+		defer t.Stop()
+		for {
+			<-t.C
+			p.n++
+		}
+	}()
+}
+
+// StartWithExit stops the ticker and drains until told to stop.
+func (p *Pump) StartWithExit() {
+	go func() {
+		t := time.NewTicker(p.d)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.n++
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// StartExternalExit never stops the ticker itself, but the goroutine
+// can be shut down through the stop channel, and the ticker is
+// collected when it exits.
+func (p *Pump) StartExternalExit() {
+	go func() {
+		t := time.NewTicker(p.d)
+		for {
+			select {
+			case <-t.C:
+				p.n++
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// StartShared parks the ticker on the struct so the owner can stop it.
+func (p *Pump) StartShared() {
+	p.t = time.NewTicker(p.d)
+	go func() {
+		for range p.t.C {
+			p.n++
+		}
+	}()
+}

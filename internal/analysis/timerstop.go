@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerTimerStop flags timer misuse in long-lived goroutines — the
+// health probers, queue drainers, and flight recorders this fleet runs
+// for its whole lifetime. Two shapes are caught: a time.NewTicker /
+// time.NewTimer whose Stop is never called in a goroutine whose loop
+// also has no external exit (no ctx.Done, no done channel — the timer
+// and the goroutine both live forever), and time.After inside a loop,
+// which allocates a fresh timer every iteration with nothing ever
+// stopping them. Missing Stops get a "defer t.Stop()" fix.
+var AnalyzerTimerStop = &Analyzer{
+	Name:      "timer-stop",
+	Doc:       "unstopped tickers/timers and per-iteration time.After in long-lived goroutines",
+	RunModule: runTimerStop,
+}
+
+func runTimerStop(mp *ModulePass) {
+	// The same callee body can be spawned from several go statements;
+	// collect findings keyed by position so each is reported once. The
+	// node walk is deterministic, so insertion order is too; Analyze
+	// sorts all findings by position at the end regardless.
+	type tsFinding struct {
+		fix *SuggestedFix
+		msg string
+	}
+	found := map[token.Pos]tsFinding{}
+	var order []token.Pos
+	record := func(pos token.Pos, f tsFinding) {
+		if _, ok := found[pos]; ok {
+			return
+		}
+		found[pos] = f
+		order = append(order, pos)
+	}
+
+	for _, id := range mp.Graph.SortedIDs() {
+		n := mp.Graph.Nodes[id]
+		for _, goStmt := range n.Gos {
+			body, info := timerGoroutineBody(mp.Graph, n, goStmt)
+			if body == nil || !containsLoop(body) {
+				continue
+			}
+
+			// time.After allocating a timer per loop iteration.
+			walkWithStack(body, func(x ast.Node, stack []ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok || !isTimeCtor(info, call, "After") {
+					return true
+				}
+				if !loopEnclosedAnywhere(stack, body) {
+					return true
+				}
+				record(call.Pos(), tsFinding{msg: "time.After inside this goroutine's loop allocates a new timer every iteration and none are ever stopped; hoist a time.NewTimer or time.NewTicker out of the loop"})
+				return true
+			})
+
+			// NewTicker/NewTimer without Stop and without an external exit.
+			for _, acq := range collectAcquisitions(info, body, func(call *ast.CallExpr) (int, int, bool) {
+				if isTimeCtor(info, call, "NewTicker") || isTimeCtor(info, call, "NewTimer") {
+					return 0, -1, true
+				}
+				return 0, 0, false
+			}) {
+				ctor := "NewTicker"
+				if isTimeCtor(info, acq.call, "NewTimer") {
+					ctor = "NewTimer"
+				}
+				if acq.name == "_" {
+					record(acq.call.Pos(), tsFinding{msg: "the " + kindOfTimeCtor(ctor) + " from time." + ctor + " is discarded and can never be stopped"})
+					continue
+				}
+				if acq.obj == nil {
+					continue
+				}
+				// The path walk's leak positions are beside the point here:
+				// a timer in a forever-goroutine leaks unless Stop appears
+				// somewhere (the usual shape, `for { <-t.C }`, never falls
+				// off any path at all). Never-stopped and never-escaped is
+				// the finding.
+				out := analyzeAcquisition(info, timerStopRules(), acq)
+				if out.escaped || out.anyRelease {
+					continue
+				}
+				if hasExternalExit(info, body, acq.obj) {
+					// The goroutine can be told to stop; the unstopped
+					// timer is collected when it exits.
+					continue
+				}
+				var fix *SuggestedFix
+				if !acq.enclosedByLoop() {
+					fix = &SuggestedFix{
+						Message: "insert defer " + acq.name + ".Stop() after the acquisition",
+						Edits:   []TextEdit{{Start: acq.stmt.End(), End: acq.stmt.End(), NewText: "\ndefer " + acq.name + ".Stop()"}},
+					}
+				}
+				record(acq.stmt.Pos(), tsFinding{
+					fix: fix,
+					msg: "time." + ctor + " in a long-lived goroutine is never stopped and its loop has no external exit (no context or done channel); the " + kindOfTimeCtor(ctor) + " and the goroutine leak",
+				})
+			}
+		}
+	}
+
+	for _, pos := range order {
+		f := found[pos]
+		mp.ReportFixf(pos, f.fix, "%s", f.msg)
+	}
+}
+
+// timerStopRules: Stop releases; channel reads (t.C) and Reset are
+// benign; handing the timer anywhere else escapes.
+func timerStopRules() resRules {
+	return resRules{
+		isRelease: func(info *types.Info, obj types.Object, call *ast.CallExpr) bool {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Stop" {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && obj != nil && info.Uses[id] == obj
+		},
+		isBenignUse: func(info *types.Info, ident *ast.Ident, path []ast.Node) bool {
+			_, ok := path[0].(*ast.SelectorExpr)
+			return ok // t.C, t.Reset(...)
+		},
+	}
+}
+
+// timerGoroutineBody resolves the body a go statement runs — the
+// function literal itself or the declaration of a statically-resolved
+// callee in the module. Unlike goroutine-leak's resolver it does not
+// stop at signal-carrying parameters: timer hygiene matters even in
+// goroutines that can be shut down.
+func timerGoroutineBody(g *CallGraph, n *Node, goStmt *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := goStmt.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, n.Pkg.Info
+	}
+	fn := calleeFuncInfo(n.Pkg.Info, goStmt.Call)
+	if fn == nil {
+		return nil, nil
+	}
+	callee, ok := g.Nodes[fn.FullName()]
+	if !ok {
+		return nil, nil
+	}
+	return callee.Decl.Body, callee.Pkg.Info
+}
+
+// isTimeCtor reports whether call is time.<name>(...).
+func isTimeCtor(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFuncInfo(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == name
+}
+
+func kindOfTimeCtor(ctor string) string {
+	if ctor == "NewTimer" {
+		return "timer"
+	}
+	return "ticker"
+}
+
+// loopEnclosedAnywhere reports whether the node at the top of the stack
+// sits inside a for/range statement within body. Function literals cut
+// the search: a time.After inside a nested literal runs on that
+// literal's schedule, not once per iteration of the outer loop.
+func loopEnclosedAnywhere(stack []ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+		if stack[i] == ast.Node(body) {
+			return false
+		}
+	}
+	return false
+}
+
+// hasExternalExit reports whether the goroutine body can be told to
+// stop from outside: it reads ctx.Done()/ctx.Err(), or touches a
+// channel other than the timer's own C field.
+func hasExternalExit(info *types.Info, body *ast.BlockStmt, timerObj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFuncInfo(info, v); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+					isContextType(sig.Recv().Type()) && (fn.Name() == "Done" || fn.Name() == "Err") {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if isChanValued(info.TypeOf(v)) && !selectorRootedAt(info, v, timerObj) {
+				found = true
+			}
+		case *ast.Ident:
+			// A field ident is the Sel half of some selector (t.C, p.stop)
+			// and is judged above with its root; only standalone
+			// channel-typed identifiers count here.
+			if vv, ok := info.Uses[v].(*types.Var); ok && vv.IsField() {
+				return true
+			}
+			if isChanValued(info.TypeOf(v)) && info.Uses[v] != timerObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanValued(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok
+}
+
+// selectorRootedAt reports whether the selector chain bottoms out at an
+// identifier bound to obj (e.g. t.C for the tracked timer t).
+func selectorRootedAt(info *types.Info, sel *ast.SelectorExpr, obj types.Object) bool {
+	cur := sel.X
+	for {
+		switch v := cur.(type) {
+		case *ast.SelectorExpr:
+			cur = v.X
+		case *ast.Ident:
+			return obj != nil && info.Uses[v] == obj
+		default:
+			return false
+		}
+	}
+}
