@@ -10,8 +10,8 @@ BENCH_SET  = ^(BenchmarkServeInfer|BenchmarkFeaturizeColumn|BenchmarkTreePredict
 BENCH_TIME = 100x
 
 .PHONY: build test race vet shvet shvet-strict shvet-fix shvet-fix-clean \
-	check bench smoke smoke-fleet profile chaos bench-run bench-snapshot \
-	bench-gate bench-gate-trace
+	check bench smoke smoke-fleet profile chaos soak bench-run \
+	bench-snapshot bench-gate bench-gate-trace
 
 build:
 	$(GO) build ./...
@@ -96,11 +96,21 @@ profile:
 		-cpuprofile=profiles/cpu.out -memprofile=profiles/mem.out \
 		-o profiles/bench.test .
 
-# Chaos suite: the resilience layer (breaker, gate, fault injector, rule
-# fallback) plus the serve-level fault drills, under the race detector —
-# panic recovery and load shedding are only trustworthy race-clean.
+# Chaos suite: the resilience layer (breaker, gate, retry budget, AIMD
+# limiter, backoff, fault injector, rule fallback) plus the serve- and
+# gateway-level fault drills — replica kills, brownouts, retry storms —
+# under the race detector; panic recovery and load shedding are only
+# trustworthy race-clean.
 chaos:
-	$(GO) test -race ./internal/resilience/... ./internal/serve
+	$(GO) test -race ./internal/resilience/... ./internal/serve ./internal/gateway
+
+# Overload soak: a live three-replica fleet with injected featurize
+# latency, concurrent clients, and a mid-run replica kill, for
+# SOAK_DURATION (default 15s in the test). Every answer must be a
+# complete ordered 200 or an accounted overload status (429/503/504).
+SOAK_DURATION ?= 20s
+soak:
+	SOAK=1 SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -run TestFleetSoak -count=1 -timeout 180s -v ./internal/gateway
 
 # End-to-end serving smoke: train a small model, boot sortinghatd, probe
 # /healthz and /v1/infer (twice, to exercise the cache), check /metrics,

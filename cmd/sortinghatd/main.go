@@ -73,26 +73,27 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "trained model file (gob, from `sortinghat train`)")
-		modelVer  = flag.String("model-version", "", "label for the startup model in /healthz and metrics (default v1)")
-		trainN    = flag.Int("train-n", 0, "no -model: train a fresh Random Forest on an N-column corpus at startup")
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "column worker pool size (default: GOMAXPROCS)")
-		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "prediction cache capacity in columns (negative disables)")
-		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline (negative disables)")
-		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per /v1/infer request")
-		drain     = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
+		modelPath  = flag.String("model", "", "trained model file (gob, from `sortinghat train`)")
+		modelVer   = flag.String("model-version", "", "label for the startup model in /healthz and metrics (default v1)")
+		trainN     = flag.Int("train-n", 0, "no -model: train a fresh Random Forest on an N-column corpus at startup")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "column worker pool size (default: GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", serve.DefaultCacheSize, "prediction cache capacity in columns (negative disables)")
+		timeout    = flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline (negative disables)")
+		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per /v1/infer request")
+		drain      = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests at shutdown")
 		traceRing  = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
 		traceOut   = flag.String("trace-out", "", "append finished request traces to this JSONL file (stitch with `tracecat`)")
 		flightRing = flag.Int("flight-ring", obs.DefaultFlightRing, "slowest/errored requests kept for GET /debug/flight")
 		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
-		maxCell     = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
-		queueDepth  = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
-		brkFailures = flag.Int("breaker-failures", 0, "consecutive prediction failures that trip the breaker open (default 5)")
-		brkProbe    = flag.Duration("breaker-probe", 0, "wait before an open breaker probes the ML path again (default 5s)")
-		faultSpec   = flag.String("fault-spec", "", "deterministic fault injection, e.g. 'predict:panic:0.1;featurize:latency:1:20ms' (testing only)")
-		faultSeed   = flag.Int64("fault-seed", 1, "seed for -fault-spec fault draws")
+		maxCell       = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
+		queueDepth    = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
+		retryAfterMax = flag.Int("retry-after-max", serve.DefaultRetryAfterMax, "cap in seconds on the Retry-After hint sent with shed (429) answers")
+		brkFailures   = flag.Int("breaker-failures", 0, "consecutive prediction failures that trip the breaker open (default 5)")
+		brkProbe      = flag.Duration("breaker-probe", 0, "wait before an open breaker probes the ML path again (default 5s)")
+		faultSpec     = flag.String("fault-spec", "", "deterministic fault injection, e.g. 'predict:panic:0.1;featurize:latency:1:20ms' (testing only)")
+		faultSeed     = flag.Int64("fault-seed", 1, "seed for -fault-spec fault draws")
 	)
 	flag.Parse()
 
@@ -105,17 +106,18 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		ModelVersion: *modelVer,
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		Timeout:      *timeout,
-		MaxBatch:     *maxBatch,
-		MaxCellBytes: *maxCell,
-		QueueDepth:   *queueDepth,
-		TraceRing:    *traceRing,
-		FlightRing:   *flightRing,
-		Logger:       logger,
-		EnablePprof:  *pprof,
+		ModelVersion:  *modelVer,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		Timeout:       *timeout,
+		MaxBatch:      *maxBatch,
+		MaxCellBytes:  *maxCell,
+		QueueDepth:    *queueDepth,
+		RetryAfterMax: *retryAfterMax,
+		TraceRing:     *traceRing,
+		FlightRing:    *flightRing,
+		Logger:        logger,
+		EnablePprof:   *pprof,
 		Breaker: resilience.BreakerConfig{
 			FailureThreshold: *brkFailures,
 			ProbeInterval:    *brkProbe,

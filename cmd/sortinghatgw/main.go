@@ -67,15 +67,15 @@ import (
 
 func main() {
 	var (
-		replicas  = flag.String("replicas", "", "comma-separated sortinghatd base URLs (required)")
-		addr      = flag.String("addr", ":8090", "listen address")
-		vnodes    = flag.Int("vnodes", gateway.DefaultVNodes, "virtual nodes per replica on the hash ring")
-		hedge     = flag.Duration("hedge", gateway.DefaultHedge, "delay before hedging a slow shard to the next replica (negative disables)")
-		timeout   = flag.Duration("timeout", gateway.DefaultTimeout, "per-request deadline (negative disables)")
-		probe     = flag.Duration("probe-interval", gateway.DefaultProbeInterval, "replica /healthz polling period")
-		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per request")
-		maxCell   = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
-		queue     = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
+		replicas   = flag.String("replicas", "", "comma-separated sortinghatd base URLs (required)")
+		addr       = flag.String("addr", ":8090", "listen address")
+		vnodes     = flag.Int("vnodes", gateway.DefaultVNodes, "virtual nodes per replica on the hash ring")
+		hedge      = flag.Duration("hedge", gateway.DefaultHedge, "delay before hedging a slow shard to the next replica (negative disables)")
+		timeout    = flag.Duration("timeout", gateway.DefaultTimeout, "per-request deadline (negative disables)")
+		probe      = flag.Duration("probe-interval", gateway.DefaultProbeInterval, "replica /healthz polling period")
+		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max columns per request")
+		maxCell    = flag.Int("max-cell", serve.DefaultMaxCellBytes, "max bytes per CSV cell on /v1/infer/csv (answered with 413)")
+		queue      = flag.Int("queue-depth", 0, "admission-gate high-water mark in columns (default: 2*max-batch)")
 		traceRing  = flag.Int("trace-ring", obs.DefaultTraceRing, "recent request traces kept for GET /debug/traces")
 		traceOut   = flag.String("trace-out", "", "append finished request traces to this JSONL file (stitch with `tracecat`)")
 		flightRing = flag.Int("flight-ring", obs.DefaultFlightRing, "slowest/errored requests kept for GET /debug/flight")
@@ -86,6 +86,14 @@ func main() {
 		brkProbe    = flag.Duration("breaker-probe", 0, "wait before an open replica breaker probes again (default 5s)")
 		faultSpec   = flag.String("fault-spec", "", "deterministic fault injection at gateway sites, e.g. 'forward@r1:error:1' (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for -fault-spec fault draws")
+
+		netSlack      = flag.Duration("net-slack", gateway.DefaultNetSlack, "network allowance subtracted from the budget propagated via X-Deadline-Ms (negative disables propagation)")
+		budgetRatio   = flag.Float64("retry-budget", resilience.DefaultRetryRatio, "retry-budget token deposited per successful shard leg (negative disables the refill)")
+		budgetBurst   = flag.Float64("retry-budget-burst", resilience.DefaultRetryBurst, "retry-budget bucket capacity; the bucket starts full")
+		inflightMax   = flag.Int("replica-inflight", resilience.DefaultAIMDMax, "adaptive concurrency ceiling on forwards per replica")
+		backoffBase   = flag.Duration("backoff-base", resilience.DefaultBackoffBase, "first backoff window after a shedding (429/503) replica answer (negative disables)")
+		backoffSeed   = flag.Int64("backoff-seed", 1, "seed for backoff jitter; replica i draws from seed+i")
+		retryAfterMax = flag.Int("retry-after-max", serve.DefaultRetryAfterMax, "cap in seconds on the Retry-After hint sent with 429/504 answers")
 	)
 	flag.Parse()
 
@@ -119,6 +127,14 @@ func main() {
 			FailureThreshold: *brkFailures,
 			ProbeInterval:    *brkProbe,
 		},
+		NetSlack: *netSlack,
+		RetryBudget: resilience.RetryBudgetConfig{
+			Ratio: *budgetRatio,
+			Burst: *budgetBurst,
+		},
+		ReplicaLimit:  resilience.AIMDConfig{Max: *inflightMax},
+		Backoff:       resilience.BackoffConfig{Base: *backoffBase, Seed: *backoffSeed},
+		RetryAfterMax: *retryAfterMax,
 	}
 	if *faultSpec != "" {
 		inj, err := faultinject.Parse(*faultSpec, *faultSeed)

@@ -38,6 +38,7 @@ type groupResult struct {
 	cacheHit int
 	hedged   int           // extra speculative requests fired
 	attempts int           // shard attempts resolved
+	denied   int           // speculative attempts denied by the retry budget
 	canceled bool          // the request ended before this group resolved
 	hedgeDur time.Duration // first hedge fire → group resolution (0 if never hedged)
 }
@@ -84,13 +85,18 @@ func (g *Gateway) scatter(ctx context.Context, groups []group) []groupResult {
 
 // shardAttempt is one forwarded sub-request's outcome. canceled marks
 // attempts that died because the group was canceled (a winner already
-// answered, or the client gave up) — those are not evidence against the
-// replica and must not feed its breaker.
+// answered, or the client gave up) or the budget was spent before the
+// leg fired — those are not evidence against the replica and must not
+// feed its breaker. status and retryAfter carry the replica's HTTP
+// answer for non-200s (plain ints, not typed errors, so the hot path
+// classifies overloads without boxing).
 type shardAttempt struct {
-	replica  int
-	resp     *serve.InferResponse
-	err      error
-	canceled bool
+	replica    int
+	resp       *serve.InferResponse
+	err        error
+	canceled   bool
+	status     int           // HTTP status of a non-200 answer; 0 otherwise
+	retryAfter time.Duration // the replica's Retry-After hint, if any
 }
 
 // dispatchGroup forwards one group through its candidate list with a
@@ -116,11 +122,28 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 	order := g.candidates(gr.owner)
 	attempts := make(chan shardAttempt, len(order))
 	inflight, next := 0, 0
-	launch := func() bool {
+	res := groupResult{replica: -1}
+	launch := func(speculative bool) bool {
+		// Speculative legs — hedges and failover retries — draw from the
+		// fleet-wide retry budget before touching a candidate, so a
+		// brownout cannot amplify load past the budget's bound. Denied
+		// legs fall through: the in-flight attempt (or the rule fallback)
+		// answers instead.
+		if speculative && !g.budget.TryWithdraw() {
+			res.denied++
+			return false
+		}
 		for next < len(order) {
 			r := order[next]
 			next++
-			if !g.replicas[r].breaker.Allow() {
+			rep := g.replicas[r]
+			if !rep.breaker.Allow() {
+				continue
+			}
+			if !rep.backoff.Ready() {
+				continue
+			}
+			if !rep.limiter.Acquire() {
 				continue
 			}
 			inflight++
@@ -130,7 +153,6 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 		return false
 	}
 
-	res := groupResult{replica: -1}
 	var hedgeFired time.Time
 	settleHedge := func() {
 		if !hedgeFired.IsZero() {
@@ -138,7 +160,7 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 			g.met.hedgeDur.Observe(res.hedgeDur.Seconds())
 		}
 	}
-	if launch() {
+	if launch(false) {
 		hedge := hedgeTimer(g.cfg.Hedge)
 		defer hedge.Stop()
 		for inflight > 0 {
@@ -147,13 +169,17 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 				inflight--
 				res.attempts++
 				if a.err == nil {
-					g.replicas[a.replica].breaker.Success()
+					rep := g.replicas[a.replica]
+					rep.breaker.Success()
+					rep.limiter.Success()
+					rep.backoff.Reset()
+					g.budget.Deposit()
 					res.preds = a.resp.Predictions
 					res.replica = a.replica
 					res.model = a.resp.Model
 					res.version = a.resp.ModelVersion
 					res.cacheHit = a.resp.CacheHits
-					span.SetAttr("replica", g.replicas[a.replica].label)
+					span.SetAttr("replica", rep.label)
 					if res.hedged > 0 {
 						span.SetAttr("hedged", strconv.Itoa(res.hedged))
 					}
@@ -161,15 +187,28 @@ func (g *Gateway) dispatchGroup(ctx context.Context, gr *group) groupResult {
 					return res
 				}
 				if !a.canceled {
-					g.replicas[a.replica].breaker.Failure()
-					g.replicas[a.replica].errors.Add(1)
+					rep := g.replicas[a.replica]
+					rep.breaker.Failure()
+					rep.errors.Add(1)
 					g.met.shardErrors.Add(1)
+					// An overloaded answer adapts the gateway's pressure on
+					// that replica: cut its concurrency limit, and on an
+					// explicit shed (429/503) also arm its backoff with the
+					// Retry-After hint it sent.
+					switch a.status {
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+						rep.limiter.Overload()
+						rep.backoff.Arm(a.retryAfter)
+						g.met.backoffArmed.Add(1)
+					case http.StatusGatewayTimeout:
+						rep.limiter.Overload()
+					}
 					//shvet:ignore string-churn failure-path annotation only; steady-state requests never reach this arm
-					span.SetAttr("error@"+g.replicas[a.replica].label, a.err.Error())
+					span.SetAttr("error@"+rep.label, a.err.Error())
 				}
-				launch() // immediate failover; inflight hedges may still win
+				launch(true) // immediate failover; inflight hedges may still win
 			case <-hedge.C:
-				if launch() {
+				if launch(true) {
 					res.hedged++
 					g.met.hedges.Add(1)
 					if hedgeFired.IsZero() {
@@ -238,13 +277,17 @@ func localFallback(col *data.Column) serve.InferPrediction {
 // forward sends one group to one replica as a POST /v1/infer sub-request
 // and reports the outcome. Panics (possible via injected faults) are
 // converted to errors so one bad attempt can't take the gateway down.
+// The caller acquired a slot on the replica's concurrency limiter;
+// forward owns releasing it.
 func (g *Gateway) forward(ctx context.Context, ri int, cols []data.Column, out chan<- shardAttempt) {
 	r := g.replicas[ri]
+	defer r.limiter.Release()
 	r.requests.Add(1)
 	g.met.shardRequests.Add(1)
 	fctx, fSpan := obs.StartSpan(ctx, "forward")
 	fSpan.SetAttr("replica", r.label)
 	start := time.Now()
+	var meta shardMeta
 	resp, err := func() (resp *serve.InferResponse, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -254,14 +297,22 @@ func (g *Gateway) forward(ctx context.Context, ri int, cols []data.Column, out c
 		if err := g.inject("forward@" + r.label); err != nil {
 			return nil, err
 		}
-		return g.postInfer(fctx, r.addr, cols)
+		resp, meta, err = g.postInfer(fctx, r.addr, cols)
+		return resp, err
 	}()
 	if err != nil {
 		fSpan.SetAttr("error", err.Error())
 	}
 	fSpan.End()
 	g.met.shardLatency.ObserveSince(start)
-	out <- shardAttempt{replica: ri, resp: resp, err: err, canceled: err != nil && ctx.Err() != nil}
+	out <- shardAttempt{
+		replica:    ri,
+		resp:       resp,
+		err:        err,
+		canceled:   err != nil && (ctx.Err() != nil || err == errBudgetSpent),
+		status:     meta.status,
+		retryAfter: meta.retryAfter,
+	}
 }
 
 // decodeJSONBody decodes a bounded JSON response body.
@@ -269,22 +320,50 @@ func decodeJSONBody(resp *http.Response, v any) error {
 	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
 }
 
+// shardMeta carries the HTTP-level facts of a failed sub-request the
+// dispatch loop classifies on: the status code and the replica's
+// Retry-After hint. Plain value fields, not a typed error, so the
+// hot-path classification never boxes.
+type shardMeta struct {
+	status     int
+	retryAfter time.Duration
+}
+
+// errBudgetSpent marks a leg that was never sent because the request's
+// remaining time budget (minus net slack) was already gone. Not
+// evidence against the replica.
+var errBudgetSpent = fmt.Errorf("gateway: request budget spent before forwarding")
+
 // postInfer performs the sub-request: the group's columns as a standard
-// /v1/infer batch against one replica.
-func (g *Gateway) postInfer(ctx context.Context, addr string, cols []data.Column) (*serve.InferResponse, error) {
+// /v1/infer batch against one replica, with the remaining request
+// budget propagated via X-Deadline-Ms so the replica never works on an
+// answer the gateway has stopped waiting for.
+func (g *Gateway) postInfer(ctx context.Context, addr string, cols []data.Column) (*serve.InferResponse, shardMeta, error) {
 	req := serve.InferRequest{Columns: make([]serve.InferColumn, len(cols))}
 	for i, c := range cols {
 		req.Columns[i] = serve.InferColumn{Name: c.Name, Values: c.Values}
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("encoding shard request: %w", err)
+		return nil, shardMeta{}, fmt.Errorf("encoding shard request: %w", err)
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/infer", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, shardMeta{}, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// Propagate the remaining time budget, minus a network-slack
+	// allowance, so the replica clamps its own deadline to the time the
+	// gateway will actually wait.
+	if g.cfg.NetSlack >= 0 {
+		if d, ok := ctx.Deadline(); ok {
+			remain := time.Until(d) - g.cfg.NetSlack
+			if remain < time.Millisecond {
+				return nil, shardMeta{}, errBudgetSpent
+			}
+			httpReq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(remain.Milliseconds(), 10))
+		}
+	}
 	// Propagate trace identity so the replica's root span joins this
 	// trace instead of minting its own, and forward the request id so
 	// fleet-wide log lines join on one key.
@@ -296,19 +375,23 @@ func (g *Gateway) postInfer(ctx context.Context, addr string, cols []data.Column
 	}
 	httpResp, err := g.cfg.Client.Do(httpReq)
 	if err != nil {
-		return nil, err
+		return nil, shardMeta{}, err
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
+		meta := shardMeta{status: httpResp.StatusCode}
+		if s, err := strconv.ParseInt(httpResp.Header.Get("Retry-After"), 10, 64); err == nil && s > 0 {
+			meta.retryAfter = time.Duration(s) * time.Second
+		}
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
-		return nil, fmt.Errorf("replica answered %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))
+		return nil, meta, fmt.Errorf("replica answered %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))
 	}
 	var resp serve.InferResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("decoding shard response: %w", err)
+		return nil, shardMeta{}, fmt.Errorf("decoding shard response: %w", err)
 	}
 	if len(resp.Predictions) != len(cols) {
-		return nil, fmt.Errorf("replica answered %d predictions for %d columns", len(resp.Predictions), len(cols))
+		return nil, shardMeta{}, fmt.Errorf("replica answered %d predictions for %d columns", len(resp.Predictions), len(cols))
 	}
-	return &resp, nil
+	return &resp, shardMeta{}, nil
 }

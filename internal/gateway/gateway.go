@@ -27,6 +27,10 @@ const (
 	// fallback inspects per column when the whole fleet is unreachable —
 	// the daemon's featurization sample size.
 	DefaultFallbackSample = 1000
+	// DefaultNetSlack is subtracted from the remaining request budget
+	// before it is propagated to a replica via X-Deadline-Ms, reserving
+	// time for the network hop and response handling.
+	DefaultNetSlack = 10 * time.Millisecond
 )
 
 // Injector is the fault-injection hook the gateway calls at its named
@@ -66,6 +70,24 @@ type Config struct {
 	QueueDepth int
 	// Breaker tunes the per-replica forwarding breakers.
 	Breaker resilience.BreakerConfig
+	// NetSlack is the network allowance subtracted from the remaining
+	// request budget before propagating it to replicas (0 =
+	// DefaultNetSlack, negative disables deadline propagation).
+	NetSlack time.Duration
+	// RetryBudget bounds speculative work — hedges and failover retries —
+	// fleet-wide. The zero value takes the resilience package defaults
+	// (~10% of successful traffic plus a small floor).
+	RetryBudget resilience.RetryBudgetConfig
+	// ReplicaLimit tunes the adaptive (AIMD) per-replica concurrency
+	// limiters. The zero value takes the resilience package defaults.
+	ReplicaLimit resilience.AIMDConfig
+	// Backoff tunes the per-replica retry backoff armed by shedding
+	// (429/503) answers. The zero value takes the resilience package
+	// defaults; replica i's jitter RNG is seeded Backoff.Seed + i.
+	Backoff resilience.BackoffConfig
+	// RetryAfterMax caps the Retry-After hint (seconds) on shed and
+	// budget-spent responses (0 = serve.DefaultRetryAfterMax).
+	RetryAfterMax int
 	// TraceRing is the recent-traces ring capacity (0 =
 	// obs.DefaultTraceRing).
 	TraceRing int
@@ -112,6 +134,12 @@ func (c Config) normalized() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 2 * c.MaxBatch
 	}
+	if c.NetSlack == 0 {
+		c.NetSlack = DefaultNetSlack
+	}
+	if c.RetryAfterMax <= 0 {
+		c.RetryAfterMax = serve.DefaultRetryAfterMax
+	}
 	if c.TraceRing <= 0 {
 		c.TraceRing = obs.DefaultTraceRing
 	}
@@ -127,7 +155,9 @@ type replica struct {
 	addr    string
 	label   string // "r0", "r1", ... in ring (sorted-address) order
 	breaker *resilience.Breaker
-	health  atomic.Int32 // Health, written by the prober
+	limiter *resilience.AIMDLimiter // adaptive concurrency cap on forwards
+	backoff *resilience.Backoff     // armed by shedding (429/503) answers
+	health  atomic.Int32            // Health, written by the prober
 
 	requests atomic.Int64 // shard requests sent to this replica
 	errors   atomic.Int64 // shard requests that failed
@@ -168,6 +198,7 @@ type Gateway struct {
 	replicas []*replica
 	owned    []float64 // ring ownership share, indexed like replicas
 	gate     *resilience.Gate
+	budget   *resilience.RetryBudget // fleet-wide bound on speculative work
 	tracer   *obs.Tracer
 	flight   *obs.FlightRecorder
 	logger   *slog.Logger
@@ -192,6 +223,7 @@ func New(cfg Config) (*Gateway, error) {
 		ring:      ring,
 		owned:     ring.Ownership(),
 		gate:      resilience.NewGate(cfg.QueueDepth),
+		budget:    resilience.NewRetryBudget(cfg.RetryBudget),
 		tracer:    obs.NewTracer(cfg.TraceRing),
 		flight:    obs.NewFlightRecorder(cfg.FlightRing),
 		logger:    cfg.Logger,
@@ -204,10 +236,16 @@ func New(cfg Config) (*Gateway, error) {
 		g.tracer.SetSink(cfg.TraceSink)
 	}
 	for i, addr := range ring.Replicas() {
+		bcfg := cfg.Backoff
+		// Offset the seed per replica so peers' jitter decorrelates while
+		// the whole fleet's schedule stays reproducible from one seed.
+		bcfg.Seed += int64(i)
 		r := &replica{
 			addr:    addr,
 			label:   "r" + strconv.Itoa(i),
 			breaker: resilience.NewBreaker(cfg.Breaker),
+			limiter: resilience.NewAIMDLimiter(cfg.ReplicaLimit),
+			backoff: resilience.NewBackoff(bcfg),
 		}
 		// Until the first probe lands, optimism: route normally rather
 		// than stalling a fresh gateway behind one probe interval.
@@ -236,16 +274,18 @@ func ringKey(col *data.Column) uint64 {
 }
 
 // healthClass buckets a replica for candidate ordering: 0 route
-// normally, 1 deprioritize, 2 route around. The probe result and the
-// local forwarding breaker both contribute — a replica that probes
-// healthy but fails real requests is tripped out by its breaker between
-// probes.
+// normally, 1 deprioritize, 2 route around. The probe result, the
+// local forwarding breaker, the backoff window, and the adaptive
+// concurrency limiter all contribute — a replica that probes healthy
+// but is shedding, backing off, or at its concurrency limit is
+// deprioritized so failovers prefer replicas with headroom.
 func (g *Gateway) healthClass(i int) int {
 	r := g.replicas[i]
 	switch {
 	case Health(r.health.Load()) == Down, r.breaker.State() == resilience.Open:
 		return 2
-	case Health(r.health.Load()) == Degraded, r.breaker.State() == resilience.HalfOpen:
+	case Health(r.health.Load()) == Degraded, r.breaker.State() == resilience.HalfOpen,
+		!r.backoff.Ready(), r.limiter.Saturated():
 		return 1
 	default:
 		return 0

@@ -10,6 +10,7 @@ import (
 
 	"sortinghat/internal/data"
 	"sortinghat/internal/obs"
+	"sortinghat/internal/resilience"
 	"sortinghat/internal/serve"
 )
 
@@ -167,7 +168,7 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Columns {
 		cols[i] = data.Column{Name: c.Name, Values: c.Values}
 	}
-	g.serveBatch(w, ctx, span, start, r.URL.Path, cols)
+	g.serveBatch(w, ctx, span, start, r.URL.Path, r.Header.Get(serve.DeadlineHeader), cols)
 }
 
 // handleInferCSV ingests a whole table as CSV and shards its columns,
@@ -206,7 +207,7 @@ func (g *Gateway) handleInferCSV(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	g.serveBatch(w, ctx, span, start, r.URL.Path, ds.Columns)
+	g.serveBatch(w, ctx, span, start, r.URL.Path, r.Header.Get(serve.DeadlineHeader), ds.Columns)
 }
 
 // serveBatch is the shared tail of the infer handlers: validate, admit
@@ -217,7 +218,7 @@ func (g *Gateway) handleInferCSV(w http.ResponseWriter, r *http.Request) {
 // the answer.
 //
 //shvet:hotpath request tail of every gateway infer endpoint; all per-request instrumentation lands here
-func (g *Gateway) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, path string, cols []data.Column) {
+func (g *Gateway) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, path, deadlineMS string, cols []data.Column) {
 	status, errMsg := http.StatusOK, ""
 	var dispatchDur, hedgeDur, reassembleDur time.Duration
 	var notes []string
@@ -252,9 +253,32 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, ctx context.Context, span *o
 		fail(http.StatusBadRequest, "batch too large: max "+strconv.Itoa(g.cfg.MaxBatch)+" columns")
 		return
 	}
+	// Honor a propagated deadline before admitting work: a client (or an
+	// upstream gateway tier) that sends X-Deadline-Ms bounds how long
+	// this request may hold queue and replica capacity.
+	if deadlineMS != "" {
+		ms, err := strconv.ParseInt(deadlineMS, 10, 64)
+		if err != nil {
+			g.met.requestErrors.Add(1)
+			fail(http.StatusBadRequest, "malformed "+serve.DeadlineHeader+" header: "+deadlineMS)
+			return
+		}
+		if ms <= 0 {
+			g.met.requestTimeouts.Add(1)
+			notes = append(notes, "rejected by control: deadline (budget spent before admission)")
+			span.SetAttr("deadline", "spent")
+			w.Header().Set("Retry-After", g.retryAfter())
+			fail(http.StatusGatewayTimeout, "request budget spent before admission")
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
 	if err := g.gate.TryReserve(len(cols)); err != nil {
 		span.SetAttr("shed", "true")
-		w.Header().Set("Retry-After", "1")
+		notes = append(notes, "rejected by control: gate (queue at high water)")
+		w.Header().Set("Retry-After", g.retryAfter())
 		fail(http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
 		return
 	}
@@ -281,6 +305,8 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, ctx context.Context, span *o
 	if err := ctx.Err(); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			g.met.requestTimeouts.Add(1)
+			notes = append(notes, "rejected by control: deadline (request budget exhausted)")
+			w.Header().Set("Retry-After", g.retryAfter())
 			fail(http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 			return
 		}
@@ -346,7 +372,17 @@ func routeNote(g *Gateway, gr *group, res *groupResult) string {
 	if res.attempts > 1 {
 		note += " (attempts " + strconv.Itoa(res.attempts) + ")"
 	}
+	if res.denied > 0 {
+		note += " (budget-denied x" + strconv.Itoa(res.denied) + ")"
+	}
 	return note
+}
+
+// retryAfter derives the Retry-After hint for shed and budget-spent
+// responses from live queue fullness.
+func (g *Gateway) retryAfter() string {
+	return strconv.FormatInt(resilience.RetryAfterSeconds(
+		g.gate.Depth(), g.gate.Capacity(), int64(g.cfg.RetryAfterMax)), 10)
 }
 
 // handleHealthz answers with the fleet view: per-replica probe state,

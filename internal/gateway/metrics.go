@@ -22,6 +22,7 @@ type metrics struct {
 	shardRequests    *obs.Counter // sub-requests forwarded to replicas
 	shardErrors      *obs.Counter // sub-requests that failed
 	hedges           *obs.Counter // speculative (hedged) sub-requests
+	backoffArmed     *obs.Counter // replica backoffs armed by shedding answers
 	rerouted         *obs.Counter // columns answered off their ring owner
 	degraded         *obs.Counter // degraded columns in gateway responses
 	fallbackColumns  *obs.Counter // columns answered by the local rule fallback
@@ -52,6 +53,9 @@ func newMetrics(g *Gateway) *metrics {
 	m.shardRequests = reg.Counter("sortinghatgw_shard_requests_total", "Sub-requests forwarded to replicas (including hedges and retries).")
 	m.shardErrors = reg.Counter("sortinghatgw_shard_errors_total", "Forwarded sub-requests that failed (transport error or non-200).")
 	m.hedges = reg.Counter("sortinghatgw_hedged_requests_total", "Speculative sub-requests fired after the hedge delay.")
+	reg.CounterFunc("sortinghatgw_retry_budget_denied_total", "Speculative attempts (hedges and failover retries) denied by the retry budget.", g.budget.Denied)
+	reg.GaugeFunc("sortinghatgw_retry_budget_tokens", "Tokens currently in the retry-budget bucket.", g.budget.Tokens)
+	m.backoffArmed = reg.Counter("sortinghatgw_backoff_armed_total", "Times a replica's backoff was armed by a shedding (429/503) answer.")
 	m.rerouted = reg.Counter("sortinghatgw_rerouted_columns_total", "Columns answered by a replica other than their ring owner.")
 	m.degraded = reg.Counter("sortinghatgw_degraded_columns_total", "Degraded columns in gateway responses (replica fallback or local rules).")
 	m.fallbackColumns = reg.Counter("sortinghatgw_fallback_columns_total", "Columns answered by the gateway's local rule fallback (fleet unreachable).")
@@ -71,6 +75,14 @@ func newMetrics(g *Gateway) *metrics {
 		reg.CounterFunc("sortinghatgw_replica_"+r.label+"_requests_total", "Sub-requests forwarded to "+r.addr+".", r.requests.Load)
 		reg.CounterFunc("sortinghatgw_replica_"+r.label+"_errors_total", "Failed sub-requests to "+r.addr+".", r.errors.Load)
 		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_ownership", "Ring ownership share of "+r.addr+".", func() float64 { return g.owned[i] })
+		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_concurrency_limit", "Adaptive (AIMD) concurrency limit on forwards to "+r.addr+".", func() float64 { return float64(r.limiter.Limit()) })
+		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_inflight", "Sub-requests currently in flight to "+r.addr+".", func() float64 { return float64(r.limiter.Inflight()) })
+		reg.GaugeFunc("sortinghatgw_replica_"+r.label+"_in_backoff", "Whether "+r.addr+" is inside its backoff window (1 = yes).", func() float64 {
+			if r.backoff.Ready() {
+				return 0
+			}
+			return 1
+		})
 	}
 	m.batchSize = reg.Summary("sortinghatgw_batch_columns", "Columns per gateway request.")
 	m.shardLatency = reg.Histogram("sortinghatgw_shard_seconds", "Per-sub-request forwarding latency.")

@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"testing"
 	"time"
+
+	"sortinghat/internal/resilience"
 )
 
 // liveValueLine strips the wall-clock- and runtime-dependent values
@@ -73,7 +75,10 @@ func TestGatewayMetricsRenderPinned(t *testing.T) {
 			gauge("sortinghatgw_replica_"+label+"_breaker_state", "Forwarding breaker state for "+addr+" (0 closed, 1 open, 2 half-open).", 0) +
 			counter("sortinghatgw_replica_"+label+"_requests_total", "Sub-requests forwarded to "+addr+".", 0) +
 			counter("sortinghatgw_replica_"+label+"_errors_total", "Failed sub-requests to "+addr+".", 0) +
-			gauge("sortinghatgw_replica_"+label+"_ownership", "Ring ownership share of "+addr+".", ownership)
+			gauge("sortinghatgw_replica_"+label+"_ownership", "Ring ownership share of "+addr+".", ownership) +
+			gauge("sortinghatgw_replica_"+label+"_concurrency_limit", "Adaptive (AIMD) concurrency limit on forwards to "+addr+".", resilience.DefaultAIMDMax) +
+			gauge("sortinghatgw_replica_"+label+"_inflight", "Sub-requests currently in flight to "+addr+".", 0) +
+			gauge("sortinghatgw_replica_"+label+"_in_backoff", "Whether "+addr+" is inside its backoff window (1 = yes).", 0)
 	}
 	want := counter("sortinghatgw_requests_total", "Completed gateway /v1/infer requests.", 0) +
 		counter("sortinghatgw_request_errors_total", "Rejected gateway requests (malformed or oversized batches).", 0) +
@@ -83,6 +88,9 @@ func TestGatewayMetricsRenderPinned(t *testing.T) {
 		counter("sortinghatgw_shard_requests_total", "Sub-requests forwarded to replicas (including hedges and retries).", 0) +
 		counter("sortinghatgw_shard_errors_total", "Forwarded sub-requests that failed (transport error or non-200).", 0) +
 		counter("sortinghatgw_hedged_requests_total", "Speculative sub-requests fired after the hedge delay.", 0) +
+		counter("sortinghatgw_retry_budget_denied_total", "Speculative attempts (hedges and failover retries) denied by the retry budget.", 0) +
+		gauge("sortinghatgw_retry_budget_tokens", "Tokens currently in the retry-budget bucket.", resilience.DefaultRetryBurst) +
+		counter("sortinghatgw_backoff_armed_total", "Times a replica's backoff was armed by a shedding (429/503) answer.", 0) +
 		counter("sortinghatgw_rerouted_columns_total", "Columns answered by a replica other than their ring owner.", 0) +
 		counter("sortinghatgw_degraded_columns_total", "Degraded columns in gateway responses (replica fallback or local rules).", 0) +
 		counter("sortinghatgw_fallback_columns_total", "Columns answered by the gateway's local rule fallback (fleet unreachable).", 0) +

@@ -1,0 +1,169 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AIMD limiter defaults. The limit starts at AIMDMax (the same optimism
+// as routing a freshly booted fleet normally) and only tightens on
+// observed overload; DefaultAIMDCutCooldown spaces multiplicative cuts
+// so one burst of overload answers from a single slow batch collapses
+// the limit once, not once per answer.
+const (
+	DefaultAIMDMax         = 32
+	DefaultAIMDBackoff     = 0.5
+	DefaultAIMDCutCooldown = time.Second
+)
+
+// AIMDConfig tunes an AIMDLimiter. The zero value takes the documented
+// defaults.
+type AIMDConfig struct {
+	// Min is the limit floor; the limiter never cuts below it, so a
+	// struggling replica keeps receiving probe traffic. 0 means 1.
+	Min int
+	// Max is the limit ceiling and the starting limit. 0 means
+	// DefaultAIMDMax.
+	Max int
+	// Backoff is the multiplicative factor applied to the limit on
+	// overload, in (0, 1). 0 means DefaultAIMDBackoff.
+	Backoff float64
+	// CutCooldown is the minimum spacing between multiplicative cuts;
+	// overload signals inside the window are absorbed by the cut that
+	// opened it. 0 means DefaultAIMDCutCooldown; negative disables the
+	// cooldown (every overload cuts).
+	CutCooldown time.Duration
+	// Clock injects the time source for the cut cooldown; nil means
+	// SystemClock. Tests pass a FakeClock.
+	Clock Clock
+}
+
+// AIMDLimiter adaptively caps in-flight work toward one backend with
+// additive-increase/multiplicative-decrease: every success raises the
+// limit by 1/limit (one whole step per full window of successes), every
+// overload signal halves it — at most once per cooldown window. It
+// replaces "healthy means unlimited" in the gateway's per-replica
+// routing. All methods are safe for concurrent use.
+type AIMDLimiter struct {
+	min, max float64
+	backoff  float64
+	cooldown time.Duration
+	clock    Clock
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+	lastCut  time.Time
+
+	cuts atomic.Int64
+}
+
+// NewAIMDLimiter builds a limiter from cfg, starting wide open at Max.
+func NewAIMDLimiter(cfg AIMDConfig) *AIMDLimiter {
+	if cfg.Min <= 0 {
+		cfg.Min = 1
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = DefaultAIMDMax
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Backoff <= 0 || cfg.Backoff >= 1 {
+		cfg.Backoff = DefaultAIMDBackoff
+	}
+	if cfg.CutCooldown == 0 {
+		cfg.CutCooldown = DefaultAIMDCutCooldown
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
+	}
+	return &AIMDLimiter{
+		min:      float64(cfg.Min),
+		max:      float64(cfg.Max),
+		backoff:  cfg.Backoff,
+		cooldown: cfg.CutCooldown,
+		clock:    cfg.Clock,
+		limit:    float64(cfg.Max),
+	}
+}
+
+// Acquire reserves one in-flight slot, or reports false when the
+// backend is at its current limit. Every true Acquire must be paired
+// with a Release once the attempt resolves.
+func (l *AIMDLimiter) Acquire() bool {
+	l.mu.Lock()
+	if l.inflight >= int(l.limit) {
+		l.mu.Unlock()
+		return false
+	}
+	l.inflight++
+	l.mu.Unlock()
+	return true
+}
+
+// Release returns a slot reserved by Acquire.
+func (l *AIMDLimiter) Release() {
+	l.mu.Lock()
+	if l.inflight > 0 {
+		l.inflight--
+	}
+	l.mu.Unlock()
+}
+
+// Success additively raises the limit by 1/limit (capped at Max): one
+// whole step of headroom per full window of successes.
+func (l *AIMDLimiter) Success() {
+	l.mu.Lock()
+	l.limit += 1 / l.limit
+	if l.limit > l.max {
+		l.limit = l.max
+	}
+	l.mu.Unlock()
+}
+
+// Overload multiplicatively cuts the limit (floored at Min) in response
+// to an overload signal — a 429, 503, 504 or timeout from the backend.
+// Cuts are spaced by the cooldown window: signals landing inside the
+// window are attributed to the already-taken cut.
+func (l *AIMDLimiter) Overload() {
+	now := l.clock.Now()
+	l.mu.Lock()
+	if l.cooldown > 0 && !l.lastCut.IsZero() && now.Sub(l.lastCut) < l.cooldown {
+		l.mu.Unlock()
+		return
+	}
+	l.lastCut = now
+	l.limit *= l.backoff
+	if l.limit < l.min {
+		l.limit = l.min
+	}
+	l.mu.Unlock()
+	l.cuts.Add(1)
+}
+
+// Limit samples the current integer limit for /metrics and routing.
+func (l *AIMDLimiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}
+
+// Inflight samples the currently reserved slots.
+func (l *AIMDLimiter) Inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Saturated reports whether the backend is at (or past) its current
+// limit — the routing signal that deprioritizes it in failover order.
+func (l *AIMDLimiter) Saturated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight >= int(l.limit)
+}
+
+// Cuts reports the lifetime number of multiplicative cuts taken.
+func (l *AIMDLimiter) Cuts() int64 { return l.cuts.Load() }

@@ -1,0 +1,99 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAIMDStartsWideOpen pins the optimistic start: the limit begins at
+// Max and Acquire admits up to it.
+func TestAIMDStartsWideOpen(t *testing.T) {
+	l := NewAIMDLimiter(AIMDConfig{Max: 4, Clock: NewFakeClock(time.Unix(0, 0))})
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("fresh limit = %d, want Max 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !l.Acquire() {
+			t.Fatalf("acquire %d refused under limit 4", i)
+		}
+	}
+	if l.Acquire() {
+		t.Fatal("5th acquire granted at limit 4")
+	}
+	if !l.Saturated() {
+		t.Error("Saturated() = false with inflight == limit")
+	}
+	l.Release()
+	if !l.Acquire() {
+		t.Fatal("acquire refused after a release")
+	}
+}
+
+// TestAIMDMultiplicativeCut checks one overload halves the limit and
+// the cut cooldown absorbs the rest of the burst: ten overload signals
+// inside one window take exactly one cut.
+func TestAIMDMultiplicativeCut(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	l := NewAIMDLimiter(AIMDConfig{Max: 16, CutCooldown: time.Second, Clock: clk})
+	for i := 0; i < 10; i++ {
+		l.Overload()
+	}
+	if got := l.Limit(); got != 8 {
+		t.Errorf("limit after an overload burst = %d, want one cut to 8", got)
+	}
+	if got := l.Cuts(); got != 1 {
+		t.Errorf("Cuts() = %d, want 1 (cooldown absorbs the burst)", got)
+	}
+	clk.Advance(time.Second)
+	l.Overload()
+	if got := l.Limit(); got != 4 {
+		t.Errorf("limit after the cooldown elapsed = %d, want 4", got)
+	}
+	if got := l.Cuts(); got != 2 {
+		t.Errorf("Cuts() = %d, want 2", got)
+	}
+}
+
+// TestAIMDFloor checks repeated cuts never push the limit below Min, so
+// a struggling replica keeps receiving probe traffic.
+func TestAIMDFloor(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	l := NewAIMDLimiter(AIMDConfig{Min: 2, Max: 8, Clock: clk})
+	for i := 0; i < 10; i++ {
+		l.Overload()
+		clk.Advance(time.Second)
+	}
+	if got := l.Limit(); got != 2 {
+		t.Errorf("limit after sustained overload = %d, want floor 2", got)
+	}
+	if !l.Acquire() {
+		t.Error("floor limit must still admit work")
+	}
+}
+
+// TestAIMDAdditiveRecovery checks the additive raise: from a cut limit
+// of 2, one full window of successes (2 at 1/limit each... growing)
+// climbs back toward Max one step per window, and caps there.
+func TestAIMDAdditiveRecovery(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	l := NewAIMDLimiter(AIMDConfig{Max: 4, Clock: clk})
+	l.Overload() // 4 -> 2
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit after cut = %d, want 2", got)
+	}
+	l.Success()
+	l.Success() // 2 + 1/2 + 1/2.5 = 2.9 — still reads 2
+	if got := l.Limit(); got != 2 {
+		t.Errorf("limit mid-window = %d, want still 2", got)
+	}
+	l.Success() // 2.9 + 1/2.9 = 3.24...
+	if got := l.Limit(); got != 3 {
+		t.Errorf("limit after a full window of successes = %d, want 3", got)
+	}
+	for i := 0; i < 100; i++ {
+		l.Success()
+	}
+	if got := l.Limit(); got != 4 {
+		t.Errorf("limit after sustained success = %d, want Max cap 4", got)
+	}
+}

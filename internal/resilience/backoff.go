@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backoff defaults: first retry after ~DefaultBackoffBase (jittered),
+// doubling per consecutive strike up to DefaultBackoffMax.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
+
+// BackoffConfig tunes a Backoff. The zero value takes the documented
+// defaults.
+type BackoffConfig struct {
+	// Base is the pre-jitter delay of the first strike; consecutive
+	// strikes double it. 0 means DefaultBackoffBase; negative disables
+	// backoff entirely (Ready is always true).
+	Base time.Duration
+	// Max caps the pre-jitter exponential delay. 0 means
+	// DefaultBackoffMax.
+	Max time.Duration
+	// Seed seeds the jitter RNG, making the delay sequence reproducible
+	// in tests and drills. 0 means 1.
+	Seed int64
+	// Clock injects the time source; nil means SystemClock.
+	Clock Clock
+}
+
+// Backoff is a jittered, seedable exponential backoff with Retry-After
+// override: each Arm pushes the not-before time out by
+// max(hint, jitter(base·2^strikes)) and Reset clears it on success.
+// The gateway keeps one per replica so a shedding replica is not
+// re-offered load until its own hint (or the exponential schedule) says
+// so. All methods are safe for concurrent use.
+type Backoff struct {
+	base  time.Duration
+	max   time.Duration
+	clock Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	until   time.Time
+	strikes int
+
+	armed atomic.Int64
+}
+
+// NewBackoff builds a backoff from cfg.
+func NewBackoff(cfg BackoffConfig) *Backoff {
+	if cfg.Base == 0 {
+		cfg.Base = DefaultBackoffBase
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = DefaultBackoffMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
+	}
+	return &Backoff{
+		base:  cfg.Base,
+		max:   cfg.Max,
+		clock: cfg.Clock,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Arm records one strike and extends the not-before time. The delay is
+// the jittered exponential — uniformly drawn from [d/2, d] where d is
+// base·2^strikes capped at Max, so synchronized failures don't retry in
+// lockstep — overridden upward by hint when the backend sent a larger
+// Retry-After. It returns the delay applied (0 when backoff is
+// disabled).
+func (b *Backoff) Arm(hint time.Duration) time.Duration {
+	if b.base < 0 {
+		return 0
+	}
+	b.mu.Lock()
+	d := b.base << uint(min(b.strikes, 30))
+	if d > b.max || d <= 0 {
+		d = b.max
+	}
+	b.strikes++
+	// Half-jitter: keep at least half the exponential delay so the
+	// schedule still backs off, spread the rest to decorrelate peers.
+	delay := d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	if hint > delay {
+		delay = hint
+	}
+	notBefore := b.clock.Now().Add(delay)
+	if notBefore.After(b.until) {
+		b.until = notBefore
+	}
+	b.mu.Unlock()
+	b.armed.Add(1)
+	return delay
+}
+
+// Ready reports whether load may be offered again: true once the
+// not-before time has passed (and always true when disabled).
+func (b *Backoff) Ready() bool {
+	if b.base < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.clock.Now().Before(b.until)
+}
+
+// Reset clears the strike count and not-before time after a success.
+func (b *Backoff) Reset() {
+	if b.base < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.strikes = 0
+	b.until = time.Time{}
+	b.mu.Unlock()
+}
+
+// Armed reports the lifetime number of Arm calls, for /metrics.
+func (b *Backoff) Armed() int64 { return b.armed.Load() }

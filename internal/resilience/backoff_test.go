@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffExponentialJittered checks the schedule: each strike's
+// pre-jitter delay doubles from Base, the jittered delay lands in
+// [d/2, d], and Ready flips only once the clock passes the not-before
+// time.
+func TestBackoffExponentialJittered(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewBackoff(BackoffConfig{Base: 100 * time.Millisecond, Max: time.Second, Seed: 42, Clock: clk})
+	if !b.Ready() {
+		t.Fatal("fresh backoff must be Ready")
+	}
+	want := 100 * time.Millisecond
+	for strike := 0; strike < 3; strike++ {
+		d := b.Arm(0)
+		if d < want/2 || d > want {
+			t.Fatalf("strike %d delay = %v, want within [%v, %v]", strike, d, want/2, want)
+		}
+		if b.Ready() {
+			t.Fatalf("strike %d: Ready immediately after Arm", strike)
+		}
+		clk.Advance(d - time.Millisecond)
+		if b.Ready() {
+			t.Fatalf("strike %d: Ready 1ms before the not-before time", strike)
+		}
+		clk.Advance(time.Millisecond)
+		if !b.Ready() {
+			t.Fatalf("strike %d: not Ready once the delay elapsed", strike)
+		}
+		want *= 2
+	}
+	if got := b.Armed(); got != 3 {
+		t.Errorf("Armed() = %d, want 3", got)
+	}
+}
+
+// TestBackoffHonorsRetryAfter checks a replica's Retry-After hint
+// overrides a shorter exponential delay: the gateway must not re-offer
+// load before the time the backend itself asked for.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewBackoff(BackoffConfig{Base: 10 * time.Millisecond, Seed: 1, Clock: clk})
+	if d := b.Arm(2 * time.Second); d != 2*time.Second {
+		t.Fatalf("Arm with a 2s Retry-After applied %v, want the hint verbatim", d)
+	}
+	clk.Advance(1900 * time.Millisecond)
+	if b.Ready() {
+		t.Fatal("Ready before the backend's Retry-After elapsed")
+	}
+	clk.Advance(101 * time.Millisecond)
+	if !b.Ready() {
+		t.Fatal("not Ready after the Retry-After elapsed")
+	}
+	// A hint smaller than the exponential schedule does not shrink it.
+	b2 := NewBackoff(BackoffConfig{Base: time.Second, Seed: 1, Clock: clk})
+	if d := b2.Arm(time.Millisecond); d < 500*time.Millisecond {
+		t.Errorf("tiny hint shrank the exponential delay to %v", d)
+	}
+}
+
+// TestBackoffResetAndCap checks Reset restarts the schedule and the Max
+// cap bounds the pre-jitter delay.
+func TestBackoffResetAndCap(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewBackoff(BackoffConfig{Base: 100 * time.Millisecond, Max: 300 * time.Millisecond, Seed: 7, Clock: clk})
+	for i := 0; i < 10; i++ {
+		if d := b.Arm(0); d > 300*time.Millisecond {
+			t.Fatalf("strike %d delay = %v, past the 300ms cap", i, d)
+		}
+		clk.Advance(time.Second)
+	}
+	b.Reset()
+	if d := b.Arm(0); d > 100*time.Millisecond {
+		t.Errorf("post-Reset delay = %v, want back on the first-strike schedule (<= 100ms)", d)
+	}
+	if !func() bool { b.Reset(); return b.Ready() }() {
+		t.Error("Reset must clear the not-before time")
+	}
+}
+
+// TestBackoffSeededDeterminism checks two backoffs with the same seed
+// produce the same delay sequence — the property chaos drills rely on.
+func TestBackoffSeededDeterminism(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	a := NewBackoff(BackoffConfig{Seed: 99, Clock: clk})
+	b := NewBackoff(BackoffConfig{Seed: 99, Clock: clk})
+	for i := 0; i < 5; i++ {
+		if da, db := a.Arm(0), b.Arm(0); da != db {
+			t.Fatalf("strike %d: same seed, different delays (%v vs %v)", i, da, db)
+		}
+	}
+}
+
+// TestBackoffDisabled checks Base < 0 turns the whole mechanism off.
+func TestBackoffDisabled(t *testing.T) {
+	b := NewBackoff(BackoffConfig{Base: -1, Clock: NewFakeClock(time.Unix(0, 0))})
+	if d := b.Arm(time.Hour); d != 0 {
+		t.Errorf("disabled Arm applied %v, want 0", d)
+	}
+	if !b.Ready() {
+		t.Error("disabled backoff must always be Ready")
+	}
+}
+
+// TestRetryAfterSeconds table-drives the queue-fullness scaling.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		depth, capacity, max, want int64
+	}{
+		{0, 100, 8, 1},    // empty queue: minimal hint
+		{50, 100, 8, 4},   // half full: mid scale
+		{100, 100, 8, 8},  // at high water: the max
+		{200, 100, 8, 8},  // past high water: clamped
+		{1, 100, 8, 1},    // ceil keeps the floor at 1
+		{-5, 100, 8, 1},   // garbage depth: floor
+		{10, 0, 8, 1},     // no capacity known: floor
+		{100, 100, 0, 1},  // max floored at 1
+		{99, 100, 60, 60}, // ceil rounds up to the cap
+	}
+	for _, tc := range cases {
+		if got := RetryAfterSeconds(tc.depth, tc.capacity, tc.max); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%d, %d, %d) = %d, want %d", tc.depth, tc.capacity, tc.max, got, tc.want)
+		}
+	}
+}

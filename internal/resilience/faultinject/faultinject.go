@@ -151,6 +151,10 @@ func New(faults []Fault, seed int64) (*Injector, error) {
 //	predict:panic:0.1            panic on 10% of predictions
 //	featurize:latency:1:20ms     add 20ms to every featurization
 //	predict:error:1:x6           fail the first 6 predictions
+//
+// Latency clauses accept a shorthand where a duration stands in for the
+// rate, meaning "always fire": featurize:latency:120ms is equivalent to
+// featurize:latency:1:120ms.
 func Parse(spec string, seed int64) (*Injector, error) {
 	var faults []Fault
 	for _, clause := range strings.Split(spec, ";") {
@@ -171,9 +175,17 @@ func Parse(spec string, seed int64) (*Injector, error) {
 		f.Kind = kind
 		rate, err := strconv.ParseFloat(parts[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("faultinject: clause %q: bad rate %q", clause, parts[2])
+			// Latency shorthand: a duration in the rate slot means rate 1,
+			// e.g. featurize:latency:120ms.
+			if d, derr := time.ParseDuration(parts[2]); derr == nil && kind == Latency {
+				f.Rate = 1
+				f.Latency = d
+			} else {
+				return nil, fmt.Errorf("faultinject: clause %q: bad rate %q", clause, parts[2])
+			}
+		} else {
+			f.Rate = rate
 		}
-		f.Rate = rate
 		for _, extra := range parts[3:] {
 			switch {
 			case strings.HasPrefix(extra, "x"):

@@ -52,6 +52,40 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLatencyShorthand checks the duration-as-rate shorthand: a
+// latency clause may put a duration in the rate slot, meaning rate 1,
+// and its canonical String form re-parses to the same fault.
+func TestLatencyShorthand(t *testing.T) {
+	in, err := Parse("featurize:latency:120ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := in.String()
+	if canonical != "featurize:latency:1:120ms" {
+		t.Fatalf("String() = %q, want the canonical long form", canonical)
+	}
+	again, err := Parse(canonical, 1)
+	if err != nil {
+		t.Fatalf("canonical form %q failed to re-parse: %v", canonical, err)
+	}
+	if again.String() != canonical {
+		t.Errorf("round trip changed the spec: %q -> %q", canonical, again.String())
+	}
+	// The shorthand is latency-only: a duration can't stand in for the
+	// rate of an error or panic fault.
+	if _, err := Parse("predict:error:120ms", 1); err == nil {
+		t.Error("duration-as-rate accepted on an error fault")
+	}
+	// A shorthand clause with a fire cap still parses.
+	in2, err := Parse("forward@r1:latency:20ms:x4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in2.String(); got != "forward@r1:latency:1:20ms:x4" {
+		t.Errorf("String() = %q, want forward@r1:latency:1:20ms:x4", got)
+	}
+}
+
 // TestDeterministicSequence requires the same spec + seed to fire on the
 // same visits, and a different seed to (overwhelmingly likely) differ.
 func TestDeterministicSequence(t *testing.T) {

@@ -1,0 +1,27 @@
+package resilience
+
+// RetryAfterSeconds derives a Retry-After hint from live queue
+// fullness: the fuller the queue, the longer the caller should wait,
+// scaled linearly from 1 second (nearly empty) to max seconds (at or
+// past the high-water mark), rounded up. It replaces hardcoded
+// Retry-After values on 429/504 responses so cooperative clients space
+// their retries proportionally to actual load.
+func RetryAfterSeconds(depth, capacity, max int64) int64 {
+	if max < 1 {
+		max = 1
+	}
+	if capacity <= 0 {
+		return 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > capacity {
+		depth = capacity
+	}
+	s := (depth*max + capacity - 1) / capacity
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

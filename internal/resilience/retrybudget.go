@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retry-budget defaults. A bucket that starts full at DefaultRetryBurst
+// lets a fresh gateway hedge immediately; DefaultRetryRatio bounds
+// steady-state speculative traffic at ~10% of successful traffic; the
+// DefaultRetryMinPerSec floor keeps a trickle of probing retries alive
+// during a total brownout so recovery is discovered without operator
+// action.
+const (
+	DefaultRetryRatio     = 0.1
+	DefaultRetryMinPerSec = 1.0
+	DefaultRetryBurst     = 10.0
+)
+
+// RetryBudgetConfig tunes a RetryBudget. The zero value takes the
+// documented defaults; negative values disable the corresponding term.
+type RetryBudgetConfig struct {
+	// Ratio is the fraction of a token deposited per observed success, so
+	// sustained speculative traffic is bounded at Ratio of the success
+	// rate. 0 means DefaultRetryRatio; negative disables deposits (the
+	// bucket only ever refills via MinPerSec).
+	Ratio float64
+	// MinPerSec is the floor refill rate in tokens per second, granted
+	// even with zero successes, so a browned-out fleet is still probed.
+	// 0 means DefaultRetryMinPerSec; negative disables the floor.
+	MinPerSec float64
+	// Burst caps the bucket (and is its starting level). 0 means
+	// DefaultRetryBurst.
+	Burst float64
+	// Clock injects the time source for the MinPerSec accrual; nil means
+	// SystemClock. Tests pass a FakeClock for deterministic refill.
+	Clock Clock
+}
+
+// RetryBudget is a token-bucket bound on speculative work (hedges and
+// failover retries): every success deposits Ratio of a token, every
+// speculative attempt withdraws a whole one, and a small floor rate
+// keeps probing possible during brownouts. The bucket starts full so
+// cold starts are not penalized. All methods are safe for concurrent
+// use.
+type RetryBudget struct {
+	ratio     float64
+	minPerSec float64
+	burst     float64
+	clock     Clock
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	denied atomic.Int64
+}
+
+// tokenEpsilon absorbs float accumulation error so N deposits of 1/N
+// of a token buy exactly one withdrawal.
+const tokenEpsilon = 1e-9
+
+// NewRetryBudget builds a budget from cfg, starting with a full bucket.
+func NewRetryBudget(cfg RetryBudgetConfig) *RetryBudget {
+	if cfg.Ratio == 0 {
+		cfg.Ratio = DefaultRetryRatio
+	}
+	if cfg.MinPerSec == 0 {
+		cfg.MinPerSec = DefaultRetryMinPerSec
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = DefaultRetryBurst
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
+	}
+	b := &RetryBudget{
+		ratio:     cfg.Ratio,
+		minPerSec: cfg.MinPerSec,
+		burst:     cfg.Burst,
+		clock:     cfg.Clock,
+		tokens:    cfg.Burst,
+	}
+	b.last = b.clock.Now()
+	return b
+}
+
+// accrue applies the floor refill since the last observation. Callers
+// hold b.mu.
+func (b *RetryBudget) accrue(now time.Time) {
+	if b.minPerSec > 0 {
+		if d := now.Sub(b.last); d > 0 {
+			b.tokens += d.Seconds() * b.minPerSec
+		}
+	}
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Deposit credits one observed success: Ratio of a token, capped at
+// Burst. A no-op when deposits are disabled (Ratio < 0).
+func (b *RetryBudget) Deposit() {
+	if b.ratio < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.accrue(b.clock.Now())
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// TryWithdraw spends one token for a speculative attempt, or reports
+// false (and counts the denial) when less than a whole token is
+// available. Denied attempts must fall through to non-speculative
+// handling (wait for the in-flight attempt, or the rule fallback).
+func (b *RetryBudget) TryWithdraw() bool {
+	b.mu.Lock()
+	b.accrue(b.clock.Now())
+	if b.tokens >= 1-tokenEpsilon {
+		b.tokens--
+		b.mu.Unlock()
+		return true
+	}
+	b.mu.Unlock()
+	b.denied.Add(1)
+	return false
+}
+
+// Tokens samples the current bucket level for /metrics.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	b.accrue(b.clock.Now())
+	t := b.tokens
+	b.mu.Unlock()
+	return t
+}
+
+// Denied reports the lifetime count of withdrawals refused.
+func (b *RetryBudget) Denied() int64 { return b.denied.Load() }

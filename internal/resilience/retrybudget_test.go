@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryBudgetStartsFull pins the cold-start contract: a fresh
+// budget allows exactly Burst speculative attempts before denying, so a
+// freshly booted gateway can hedge immediately but a brownout cannot
+// amplify past the burst.
+func TestRetryBudgetStartsFull(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: -1, MinPerSec: -1, Burst: 3, Clock: clk})
+	for i := 0; i < 3; i++ {
+		if !b.TryWithdraw() {
+			t.Fatalf("withdrawal %d denied with a full bucket of 3", i)
+		}
+	}
+	if b.TryWithdraw() {
+		t.Fatal("4th withdrawal granted from a burst-3 bucket with deposits and floor disabled")
+	}
+	if got := b.Denied(); got != 1 {
+		t.Errorf("Denied() = %d, want 1", got)
+	}
+	if got := b.Tokens(); got != 0 {
+		t.Errorf("Tokens() = %g, want 0", got)
+	}
+}
+
+// TestRetryBudgetRatioDeposits checks speculative traffic is bounded at
+// the ratio of successes: with Ratio 0.1, ten deposits buy exactly one
+// withdrawal.
+func TestRetryBudgetRatioDeposits(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: 0.1, MinPerSec: -1, Burst: 5, Clock: clk})
+	for b.TryWithdraw() {
+	}
+	if b.TryWithdraw() {
+		t.Fatal("bucket should be empty")
+	}
+	for i := 0; i < 9; i++ {
+		b.Deposit()
+	}
+	if b.TryWithdraw() {
+		t.Fatal("9 deposits at ratio 0.1 must not buy a whole token")
+	}
+	b.Deposit()
+	if !b.TryWithdraw() {
+		t.Fatal("10 deposits at ratio 0.1 must buy exactly one token")
+	}
+	if b.TryWithdraw() {
+		t.Fatal("token already spent")
+	}
+}
+
+// TestRetryBudgetMinRateFloor checks the floor refill: with deposits
+// disabled, tokens accrue at MinPerSec on the injected clock, capped at
+// Burst.
+func TestRetryBudgetMinRateFloor(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	b := NewRetryBudget(RetryBudgetConfig{Ratio: -1, MinPerSec: 2, Burst: 4, Clock: clk})
+	for b.TryWithdraw() {
+	}
+	if b.TryWithdraw() {
+		t.Fatal("bucket should be empty")
+	}
+	clk.Advance(500 * time.Millisecond) // 2/sec × 0.5s = 1 token
+	if !b.TryWithdraw() {
+		t.Fatal("floor rate should have refilled one token after 500ms")
+	}
+	if b.TryWithdraw() {
+		t.Fatal("only one token should have accrued")
+	}
+	clk.Advance(time.Hour)
+	if got := b.Tokens(); got != 4 {
+		t.Errorf("after an hour idle Tokens() = %g, want Burst cap 4", got)
+	}
+}
+
+// TestRetryBudgetDefaults checks the zero config takes the documented
+// defaults: bucket starts at DefaultRetryBurst.
+func TestRetryBudgetDefaults(t *testing.T) {
+	b := NewRetryBudget(RetryBudgetConfig{Clock: NewFakeClock(time.Unix(0, 0))})
+	if got := b.Tokens(); got != DefaultRetryBurst {
+		t.Errorf("fresh default bucket holds %g tokens, want %g", got, DefaultRetryBurst)
+	}
+}

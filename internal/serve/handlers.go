@@ -19,6 +19,13 @@ import (
 // 1024-column batch of long text columns with room to spare).
 const maxRequestBody = 64 << 20
 
+// DeadlineHeader carries the caller's remaining time budget in whole
+// milliseconds. The gateway stamps it on every forwarded leg (its own
+// deadline minus a network-slack allowance) and the replica clamps its
+// server-side timeout down to it, so a replica never keeps working on a
+// column whose answer the gateway has already given up waiting for.
+const DeadlineHeader = "X-Deadline-Ms"
+
 // InferRequest is the JSON body of POST /v1/infer: a batch of raw
 // columns, typically every column of one ingested table.
 type InferRequest struct {
@@ -217,7 +224,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Columns {
 		cols[i] = data.Column{Name: c.Name, Values: c.Values}
 	}
-	s.serveBatch(w, ctx, span, start, r.URL.Path, cols)
+	s.serveBatch(w, ctx, span, start, r.URL.Path, r.Header.Get(DeadlineHeader), cols)
 }
 
 // handleInferCSV ingests a whole table as CSV (the form AutoML platforms
@@ -259,7 +266,7 @@ func (s *Server) handleInferCSV(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.serveBatch(w, ctx, span, start, r.URL.Path, ds.Columns)
+	s.serveBatch(w, ctx, span, start, r.URL.Path, r.Header.Get(DeadlineHeader), ds.Columns)
 }
 
 // serveBatch is the shared tail of the infer handlers: validate the
@@ -270,10 +277,14 @@ func (s *Server) handleInferCSV(w http.ResponseWriter, r *http.Request) {
 // outcome.
 //
 //shvet:hotpath request tail of every infer endpoint; all per-request instrumentation lands here
-func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, path string, cols []data.Column) {
+func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *obs.Span, start time.Time, path, deadlineMS string, cols []data.Column) {
 	status, errMsg := http.StatusOK, ""
+	var notes []string
 	ctx, acc := withPhases(ctx)
 	defer func() {
+		if n := acc.expiredCount(); n > 0 {
+			notes = append(notes, "deadline expired in queue for "+strconv.FormatInt(n, 10)+" columns (never featurized)")
+		}
 		s.flight.Record(obs.FlightRecord{
 			TraceID:    span.Context().TraceID.String(),
 			RequestID:  obs.RequestIDFrom(ctx),
@@ -283,6 +294,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *ob
 			Columns:    len(cols),
 			Phases:     acc.phases(),
 			Err:        errMsg,
+			Notes:      notes,
 		})
 	}()
 	fail := func(st int, msg string) {
@@ -299,6 +311,29 @@ func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *ob
 		fail(http.StatusBadRequest, "batch too large: max "+strconv.Itoa(s.cfg.MaxBatch)+" columns")
 		return
 	}
+	// Honor a propagated deadline before admitting any work: clamp the
+	// request context to the caller's remaining budget so queued columns
+	// expire (and are dropped at pickup) the moment the caller stops
+	// waiting.
+	if deadlineMS != "" {
+		ms, err := strconv.ParseInt(deadlineMS, 10, 64)
+		if err != nil {
+			s.met.requestErrors.Add(1)
+			fail(http.StatusBadRequest, "malformed "+DeadlineHeader+" header: "+deadlineMS)
+			return
+		}
+		if ms <= 0 {
+			s.met.requestTimeouts.Add(1)
+			notes = append(notes, "rejected by control: deadline (budget spent before admission)")
+			span.SetAttr("deadline", "spent")
+			fail(http.StatusGatewayTimeout, "request budget spent before admission")
+			return
+		}
+		var cancel context.CancelFunc
+		// Nested WithTimeout keeps the tighter of this and Config.Timeout.
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
 	s.met.columns.Add(int64(len(cols)))
 	s.met.batchSize.Observe(float64(len(cols)))
 	span.SetAttr("columns", strconv.Itoa(len(cols)))
@@ -308,10 +343,12 @@ func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *ob
 		switch {
 		case errors.Is(err, resilience.ErrOverloaded):
 			span.SetAttr("shed", "true")
-			w.Header().Set("Retry-After", "1")
+			notes = append(notes, "rejected by control: gate (queue at high water)")
+			w.Header().Set("Retry-After", s.retryAfter())
 			fail(http.StatusTooManyRequests, "overloaded: queue past high water; retry later")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.requestTimeouts.Add(1)
+			notes = append(notes, "rejected by control: deadline (expired before the batch completed)")
 			fail(http.StatusGatewayTimeout, "deadline exceeded before the batch completed")
 		case errors.Is(err, context.Canceled):
 			// The client went away; the status code is never seen.
@@ -351,6 +388,14 @@ func (s *Server) serveBatch(w http.ResponseWriter, ctx context.Context, span *ob
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.met.request.ObserveSince(start)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// retryAfter derives the Retry-After hint for shed responses from live
+// queue fullness, so cooperative clients space retries proportionally to
+// actual load instead of hammering at a fixed cadence.
+func (s *Server) retryAfter() string {
+	return strconv.FormatInt(resilience.RetryAfterSeconds(
+		s.gate.Depth(), s.gate.Capacity(), int64(s.cfg.RetryAfterMax)), 10)
 }
 
 // probsByClass labels a class-indexed probability vector with the paper's

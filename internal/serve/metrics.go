@@ -24,6 +24,7 @@ type metrics struct {
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	panics          *obs.Counter // panics recovered from the hot path
+	deadlineExpired *obs.Counter // columns dropped at pickup: deadline spent in queue
 	degraded        *obs.Counter // columns answered by the rule fallback
 	reloads         *obs.Counter // successful hot model swaps
 	reloadErrors    *obs.Counter // rejected /admin/reload requests
@@ -63,6 +64,7 @@ func newMetrics(s *Server) *metrics {
 	reg.CounterFunc("sortinghatd_shed_total", "Requests fast-failed by the admission gate (HTTP 429).", s.gate.Shed)
 	reg.GaugeFunc("sortinghatd_queue_depth", "Columns admitted and not yet picked up by a worker.", func() float64 { return float64(s.gate.Depth()) })
 	reg.GaugeFunc("sortinghatd_queue_high_water", "Admission-gate high-water mark in columns.", func() float64 { return float64(s.gate.Capacity()) })
+	m.deadlineExpired = reg.Counter("sortinghatd_deadline_expired_in_queue_total", "Columns dropped at worker pickup because their deadline expired while queued (never featurized).")
 	reg.GaugeFunc("sortinghatd_breaker_state", "Prediction circuit breaker state (0 closed, 1 open, 2 half-open).", func() float64 { return float64(s.breaker.State()) })
 	reg.CounterFunc("sortinghatd_breaker_open_total", "Times the prediction circuit breaker tripped open.", s.breaker.Opened)
 	reg.CounterFunc("sortinghatd_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).", s.faultsFired)

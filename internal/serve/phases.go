@@ -20,6 +20,7 @@ type phaseAcc struct {
 	cache     atomic.Int64 // prediction cache lookups
 	featurize atomic.Int64 // base featurization (successful columns)
 	predict   atomic.Int64 // model prediction (successful columns)
+	expired   atomic.Int64 // columns dropped at pickup: deadline spent in queue
 }
 
 // phaseKey is the context key carrying the request's accumulator.
@@ -59,6 +60,23 @@ func (a *phaseAcc) addPredict(d time.Duration) {
 	if a != nil {
 		a.predict.Add(int64(d))
 	}
+}
+
+// addExpired counts one column whose deadline ran out while it waited in
+// the queue (a count, not a duration — it never enters phases()).
+func (a *phaseAcc) addExpired() {
+	if a != nil {
+		a.expired.Add(1)
+	}
+}
+
+// expiredCount reports how many of the request's columns expired in
+// queue, for the flight-record routing note.
+func (a *phaseAcc) expiredCount() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.expired.Load()
 }
 
 // phases renders the accumulated totals in fixed order for a flight

@@ -550,6 +550,7 @@ func TestMetricsRenderPinned(t *testing.T) {
 		counter("sortinghatd_shed_total", "Requests fast-failed by the admission gate (HTTP 429).") +
 		gauge("sortinghatd_queue_depth", "Columns admitted and not yet picked up by a worker.", 0) +
 		gauge("sortinghatd_queue_high_water", "Admission-gate high-water mark in columns.", 2*DefaultMaxBatch) +
+		counter("sortinghatd_deadline_expired_in_queue_total", "Columns dropped at worker pickup because their deadline expired while queued (never featurized).") +
 		gauge("sortinghatd_breaker_state", "Prediction circuit breaker state (0 closed, 1 open, 2 half-open).", 0) +
 		counter("sortinghatd_breaker_open_total", "Times the prediction circuit breaker tripped open.") +
 		counter("sortinghatd_faults_injected_total", "Faults fired by the injector (-fault-spec; 0 in production).") +

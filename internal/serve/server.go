@@ -58,6 +58,10 @@ type Config struct {
 	// MaxCellBytes caps individual cell sizes on the CSV ingestion
 	// endpoint (HTTP 413 beyond it). 0 means DefaultMaxCellBytes.
 	MaxCellBytes int
+	// RetryAfterMax caps the Retry-After hint (in seconds) sent with shed
+	// responses; the hint scales linearly with live queue fullness from 1
+	// up to this cap. 0 means DefaultRetryAfterMax.
+	RetryAfterMax int
 	// Breaker tunes the circuit breaker guarding model prediction; the
 	// zero value takes the resilience package defaults.
 	Breaker resilience.BreakerConfig
@@ -92,10 +96,11 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	DefaultCacheSize    = 4096
-	DefaultTimeout      = 10 * time.Second
-	DefaultMaxBatch     = 1024
-	DefaultMaxCellBytes = 1 << 20
+	DefaultCacheSize     = 4096
+	DefaultTimeout       = 10 * time.Second
+	DefaultMaxBatch      = 1024
+	DefaultMaxCellBytes  = 1 << 20
+	DefaultRetryAfterMax = 8
 )
 
 // normalized fills in the documented defaults.
@@ -117,6 +122,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxCellBytes <= 0 {
 		c.MaxCellBytes = DefaultMaxCellBytes
+	}
+	if c.RetryAfterMax <= 0 {
+		c.RetryAfterMax = DefaultRetryAfterMax
 	}
 	return c
 }
@@ -306,8 +314,15 @@ func (s *Server) worker() {
 //shvet:hotpath worker-pool body; every inferred column passes through here via the task channel
 func (s *Server) process(t task) {
 	defer t.done.Done()
-	if t.ctx.Err() != nil {
-		return // request already abandoned; don't burn the pool on it
+	if err := t.ctx.Err(); err != nil {
+		// Request already abandoned; don't burn the pool on it. Sentinel
+		// compare (not errors.Is): context returns exactly this value, and
+		// the check must stay allocation-free on the hot path.
+		if err == context.DeadlineExceeded {
+			s.met.deadlineExpired.Add(1)
+			phasesFrom(t.ctx).addExpired()
+		}
+		return
 	}
 	t.out.Name = t.col.Name
 
